@@ -1,0 +1,486 @@
+// Package gpunion_test holds the benchmark harness that regenerates
+// every table and figure in the paper's evaluation (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench prints the paper-style rows once and reports
+// its headline quantities as benchmark metrics.
+package gpunion_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"gpunion/internal/auth"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/container"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/heartbeat"
+	"gpunion/internal/netsim"
+	"gpunion/internal/scheduler"
+	"gpunion/internal/sim"
+	"gpunion/internal/storage"
+	"gpunion/internal/workload"
+)
+
+var benchEpoch = time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// once-guards so each experiment's table prints a single time even
+// though the benchmark harness re-runs bodies with growing b.N.
+var (
+	onceTable1      sync.Once
+	onceFig2        sync.Once
+	onceFig3        sync.Once
+	onceImpact      sync.Once
+	onceTraffic     sync.Once
+	onceScalability sync.Once
+	onceALCvsCRIU   sync.Once
+)
+
+// --- Table 1: platform comparison ---
+
+func BenchmarkTable1PlatformComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sim.Table1()
+		if len(rows) != 12 {
+			b.Fatalf("table rows = %d", len(rows))
+		}
+	}
+	onceTable1.Do(func() {
+		fmt.Println("\n--- Table 1: platform comparison ---")
+		_ = sim.WriteTable1(os.Stdout)
+	})
+}
+
+// --- Fig. 2: campus utilization (34% → 67%, +40% sessions) ---
+
+func BenchmarkFig2Utilization(b *testing.B) {
+	var last sim.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunFig2(sim.Fig2Config{Weeks: 1, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.BaselineUtilization, "manual_util_%")
+	b.ReportMetric(100*last.GPUnionUtilization, "gpunion_util_%")
+	b.ReportMetric(100*last.SessionGain(), "session_gain_%")
+	onceFig2.Do(func() {
+		fmt.Printf("\n--- Fig. 2 (1 week): utilization %.0f%% -> %.0f%%, sessions %d -> %d (paper: 34%%->67%%, +40%%) ---\n",
+			100*last.BaselineUtilization, 100*last.GPUnionUtilization,
+			last.BaselineSessions, last.GPUnionSessions)
+	})
+}
+
+// --- Fig. 3: migration under interruptions ---
+
+func BenchmarkFig3Migration(b *testing.B) {
+	var last sim.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunFig3(sim.Fig3Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.Scheduled.MigrationSuccessRate, "scheduled_success_%")
+	b.ReportMetric(last.Emergency.MeanWorkLost.Seconds(), "emergency_loss_s")
+	b.ReportMetric(100*last.MigratedBackFraction, "migrate_back_%")
+	onceFig3.Do(func() {
+		fmt.Printf("\n--- Fig. 3: scheduled %.0f%%, emergency %.0f%% (loss %v of %v interval), temporary %.0f%%, migrate-back %.0f%% (paper: 94%%, loss ≈ interval, 67%%) ---\n",
+			100*last.Scheduled.MigrationSuccessRate,
+			100*last.Emergency.MigrationSuccessRate,
+			last.Emergency.MeanWorkLost.Round(time.Second), last.CheckpointInterval,
+			100*last.Temporary.MigrationSuccessRate,
+			100*last.MigratedBackFraction)
+	})
+}
+
+// --- §4 Training impact: 2–4 interruptions ⇒ 3–7% ---
+
+func BenchmarkTrainingImpact(b *testing.B) {
+	var rows []sim.ImpactRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sim.RunTrainingImpact(sim.ImpactConfig{MaxInterruptions: 4, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum, n float64
+	for _, r := range rows {
+		if r.Interruptions >= 2 && r.Interruptions <= 4 {
+			sum += r.IncreasePct()
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/n, "mean_increase_2to4_%")
+	}
+	onceImpact.Do(func() {
+		fmt.Println("\n--- Training impact (paper: 2–4 interruptions => 3–7%) ---")
+		for _, r := range rows {
+			if r.Interruptions >= 2 && r.Interruptions <= 4 {
+				mem := ""
+				if r.MemoryIntensive {
+					mem = " (memory-intensive)"
+				}
+				fmt.Printf("  %s%s k=%d: +%.1f%%\n", r.Class, mem, r.Interruptions, r.IncreasePct())
+			}
+		}
+	})
+}
+
+// --- §4 Network traffic: incremental backup < 2% of bandwidth ---
+
+func BenchmarkNetworkTraffic(b *testing.B) {
+	var inc, full sim.TrafficResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		inc, err = sim.RunTraffic(sim.TrafficConfig{Hours: 12, Jobs: 20, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err = sim.RunTraffic(sim.TrafficConfig{Hours: 12, Jobs: 20, Seed: 5, ForceFull: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*inc.PeakUtilization, "incremental_peak_%")
+	b.ReportMetric(100*full.PeakUtilization, "full_peak_%")
+	onceTraffic.Do(func() {
+		fmt.Printf("\n--- Network traffic: incremental peak %.2f%% / full peak %.2f%% of backbone (paper: < 2%% with incrementality) ---\n",
+			100*inc.PeakUtilization, 100*full.PeakUtilization)
+	})
+}
+
+// --- §5.3 Scalability: sub-second to 50 nodes, bottlenecks beyond 200 ---
+
+func BenchmarkScalability(b *testing.B) {
+	var rows []sim.ScalabilityRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sim.RunScalability(sim.ScalabilityConfig{DecisionsPerPoint: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Nodes == 50 {
+			b.ReportMetric(float64(r.P95SchedulingLatency.Microseconds()), "p95_sched_us_at_50")
+		}
+		if r.Nodes == 400 {
+			b.ReportMetric(r.Headroom, "db_headroom_at_400")
+		}
+	}
+	onceScalability.Do(func() {
+		fmt.Println("\n--- Scalability (paper: sub-second to 50 nodes; bottlenecks beyond 200) ---")
+		for _, r := range rows {
+			fmt.Printf("  n=%-4d sched p95=%-12v sub-second=%-5v db headroom=%.1fx\n",
+				r.Nodes, r.P95SchedulingLatency, r.SubSecond, r.Headroom)
+		}
+	})
+}
+
+// --- §3.5 ablation: ALC vs CRIU across heterogeneous hardware ---
+
+func BenchmarkALCvsCRIU(b *testing.B) {
+	type cell struct {
+		mech      string
+		cuda      bool
+		srcArch   gpu.Architecture
+		dstArch   gpu.Architecture
+		srcKernel string
+		dstKernel string
+	}
+	// The campus migration matrix: GPU workloads moving across the
+	// paper's heterogeneous park.
+	cells := []cell{
+		{"alc", true, gpu.Ampere, gpu.Ampere, "5.15", "5.15"},
+		{"alc", true, gpu.Ampere, gpu.Ada, "5.15", "6.1"},
+		{"criu", true, gpu.Ampere, gpu.Ampere, "5.15", "5.15"},
+		{"criu", false, gpu.Ampere, gpu.Ampere, "5.15", "5.15"},
+		{"criu", false, gpu.Ampere, gpu.Ada, "5.15", "5.15"},
+		{"criu", false, gpu.Ampere, gpu.Ampere, "5.15", "6.1"},
+	}
+	success := make([]bool, len(cells))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ci, c := range cells {
+			img := checkpoint.NewMemoryImage(64, 1<<20)
+			src := checkpoint.Source{
+				JobID: "ablate", Image: img,
+				Progress: checkpoint.Progress{Step: 100},
+				Env: checkpoint.Env{
+					KernelVersion: c.srcKernel, GPUArch: c.srcArch,
+					HasCUDAContext: c.cuda, GPUMemMiB: 8192,
+				},
+			}
+			var mech checkpoint.Checkpointer = checkpoint.ALC{}
+			if c.mech == "criu" {
+				mech = checkpoint.CRIU{}
+			}
+			ck, err := mech.Capture(src, 1, false, benchEpoch)
+			ok := err == nil
+			if ok {
+				_, rerr := mech.Restore(ck, checkpoint.Target{
+					KernelVersion: c.dstKernel, GPUArch: c.dstArch,
+				})
+				ok = rerr == nil
+			}
+			success[ci] = ok
+		}
+	}
+	onceALCvsCRIU.Do(func() {
+		fmt.Println("\n--- ALC vs CRIU ablation (paper §3.5: CRIU fails on CUDA contexts, kernel pinning, cross-arch) ---")
+		for ci, c := range cells {
+			fmt.Printf("  %-4s cuda=%-5v %s/%s -> %s/%s : success=%v\n",
+				c.mech, c.cuda, c.srcArch, c.srcKernel, c.dstArch, c.dstKernel, success[ci])
+		}
+	})
+	// ALC must survive every scenario; CRIU only the homogeneous
+	// CPU-only one.
+	if !success[0] || !success[1] {
+		b.Fatal("ALC failed a migration it must survive")
+	}
+	if success[2] || success[4] || success[5] {
+		b.Fatal("CRIU survived a scenario the paper says it cannot")
+	}
+	if !success[3] {
+		b.Fatal("CRIU failed the homogeneous CPU-only case")
+	}
+}
+
+// --- Design-choice ablations (DESIGN.md) ---
+
+var (
+	onceInterval sync.Once
+	onceStrategy sync.Once
+)
+
+// BenchmarkCheckpointIntervalAblation quantifies §3.5's "checkpoint
+// frequency optimization": tighter intervals bound emergency work loss
+// but ship more backup traffic.
+func BenchmarkCheckpointIntervalAblation(b *testing.B) {
+	var pts []sim.IntervalPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = sim.RunCheckpointIntervalSweep(nil, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	onceInterval.Do(func() {
+		fmt.Println("\n--- Checkpoint-interval ablation: loss vs backup traffic ---")
+		for _, p := range pts {
+			fmt.Printf("  interval=%-6v emergency loss=%-8v backup=%6.1f GB  peak=%.2f%%\n",
+				p.Interval, p.MeanEmergencyLoss.Round(time.Second),
+				float64(p.CheckpointBytes)/1e9, 100*p.PeakUtilization)
+		}
+	})
+}
+
+// BenchmarkSchedulerStrategyAblation compares §3.2's allocation
+// strategies on a heterogeneous campus: best-fit protects the big GPUs
+// for the jobs that need them.
+func BenchmarkSchedulerStrategyAblation(b *testing.B) {
+	var rows []sim.StrategyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sim.RunStrategyAblation(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	onceStrategy.Do(func() {
+		fmt.Println("\n--- Scheduler-strategy ablation: large-job queueing delay ---")
+		for _, r := range rows {
+			fmt.Printf("  %-12s utilization=%.0f%%  large jobs placed=%d  mean wait=%v\n",
+				r.Strategy, 100*r.Utilization, r.LargeJobsPlaced,
+				r.MeanLargeJobWait.Round(time.Second))
+		}
+	})
+}
+
+// --- Micro-benchmarks: the platform's hot paths ---
+
+func benchNodes(n int) []db.NodeRecord {
+	nodes := make([]db.NodeRecord, 0, n)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, db.NodeRecord{
+			ID:     fmt.Sprintf("node-%03d", i),
+			Status: db.NodeActive,
+			GPUs: []db.GPUInfo{{DeviceID: "gpu0", Model: "RTX 3090",
+				MemoryMiB: 24576, CapabilityMajor: 8, CapabilityMinor: 6}},
+			RegisteredAt: benchEpoch,
+		})
+	}
+	return nodes
+}
+
+func BenchmarkSchedulerDecision50Nodes(b *testing.B) {
+	s := scheduler.New(&scheduler.RoundRobin{}, scheduler.DefaultReliability())
+	nodes := benchNodes(50)
+	req := scheduler.Request{JobID: "j", GPUMemMiB: 8192,
+		Capability: gpu.ComputeCapability{Major: 7, Minor: 0}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(req, nodes, benchEpoch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointCaptureIncremental(b *testing.B) {
+	img := checkpoint.NewMemoryImage(1500, 1<<20) // 1.5 GB state
+	src := checkpoint.Source{JobID: "bench", Image: img}
+	if _, err := (checkpoint.ALC{}).Capture(src, 1, false, benchEpoch); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img.TouchFraction(0.05)
+		if _, err := (checkpoint.ALC{}).Capture(src, i+2, true, benchEpoch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeartbeatSweep200Nodes(b *testing.B) {
+	m := heartbeat.NewMonitor(10*time.Second, 3)
+	for i := 0; i < 200; i++ {
+		m.Track(fmt.Sprintf("n%03d", i), benchEpoch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := benchEpoch.Add(time.Duration(i) * time.Second)
+		for j := 0; j < 200; j++ {
+			m.Beat(fmt.Sprintf("n%03d", j), now)
+		}
+		_ = m.Lost(now)
+	}
+}
+
+func BenchmarkEventBusPublish(b *testing.B) {
+	bus := eventbus.New(0)
+	sub := bus.Subscribe(1024)
+	defer sub.Close()
+	go func() {
+		for range sub.Events() {
+		}
+	}()
+	ev := eventbus.Event{Type: eventbus.JobStarted, Job: "j", Node: "n"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+}
+
+func BenchmarkDBJobQueueQuery(b *testing.B) {
+	store := db.New(0)
+	for i := 0; i < 500; i++ {
+		state := db.JobPending
+		if i%3 == 0 {
+			state = db.JobRunning
+		}
+		_ = store.InsertJob(db.JobRecord{
+			ID: fmt.Sprintf("job-%04d", i), State: state,
+			Priority: i % 7, SubmittedAt: benchEpoch.Add(time.Duration(i) * time.Second),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = store.JobsInState(db.JobPending)
+	}
+}
+
+func BenchmarkTokenIssueVerify(b *testing.B) {
+	a, err := auth.NewAuthority([]byte("bench-secret"), time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok, err := a.Issue("node-bench", auth.RoleProvider, benchEpoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Verify(tok, benchEpoch.Add(time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContainerLifecycle(b *testing.B) {
+	images := container.DefaultImages()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := container.NewRuntime(images, gpu.NewInventory(gpu.RTX3090, 1), 0, 0)
+		spec := container.Spec{
+			ID: "c", ImageName: "pytorch/pytorch:2.3-cuda12", Mode: container.Batch,
+			Resources: container.Resources{CPUCores: 4, MemoryMiB: 8192, GPUMemoryMiB: 8192},
+		}
+		if _, err := rt.Create(spec, benchEpoch); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Start("c", benchEpoch); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Stop("c", 0, benchEpoch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetsimTransfer(b *testing.B) {
+	net := netsim.New(10 * netsim.Gbps)
+	net.AddNode(netsim.NodeLink{Name: "a", Access: netsim.Gbps})
+	net.AddNode(netsim.NodeLink{Name: "b", Access: netsim.Gbps})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Transfer("a", "b", 1<<30, netsim.TrafficCheckpoint, benchEpoch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointStoreRestoreChain(b *testing.B) {
+	store := checkpoint.NewStore(storage.NewMemStore(0))
+	for seq := 1; seq <= 6; seq++ {
+		ck := checkpoint.Checkpoint{JobID: "j", Seq: seq, Bytes: 1 << 20,
+			Mechanism: "alc", CreatedAt: benchEpoch}
+		if seq > 1 {
+			ck.Incremental = true
+			ck.BaseSeq = seq - 1
+		}
+		if err := store.Save(ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.RestoreChain("j"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadAdvance(b *testing.B) {
+	j := workload.NewJob("bench", workload.SmallCNN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if j.Done() {
+			j.RestoreTo(checkpoint.Progress{Step: 0})
+		}
+		j.Advance(10)
+	}
+}

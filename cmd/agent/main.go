@@ -1,0 +1,171 @@
+// Command agent runs GPUnion's provider agent: it registers the node
+// with the coordinator, serves the workload-lifecycle REST API, sends
+// heartbeats, and enforces provider supremacy locally.
+//
+// Usage:
+//
+//	agent -coordinator http://coord:8080 [-listen :7070] [-gpus "RTX 3090:2"]
+//	agent -config agent.json
+//
+// SIGINT triggers a *scheduled* departure: running jobs are checkpointed
+// and the coordinator is told to migrate them. SIGTERM departs without
+// notice (emergency semantics: the coordinator learns via heartbeat
+// loss).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"gpunion/internal/agent"
+	"gpunion/internal/api"
+	"gpunion/internal/auth"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/config"
+	"gpunion/internal/container"
+	"gpunion/internal/core"
+	"gpunion/internal/gpu"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+)
+
+func main() {
+	coordURL := flag.String("coordinator", "", "coordinator base URL (overrides config)")
+	listen := flag.String("listen", "", "HTTP bind address (overrides config)")
+	gpus := flag.String("gpus", "", `installed devices, e.g. "RTX 3090:2,A100:1" (overrides config)`)
+	cfgPath := flag.String("config", "", "path to agent.json")
+	flag.Parse()
+
+	var cfg config.Agent
+	if *cfgPath != "" {
+		var err error
+		cfg, err = config.LoadAgent(*cfgPath)
+		if err != nil {
+			log.Fatalf("loading config: %v", err)
+		}
+	}
+	if *coordURL != "" {
+		cfg.CoordinatorURL = *coordURL
+	}
+	if *listen != "" {
+		cfg.Listen = *listen
+		cfg.AdvertiseURL = ""
+	}
+	if *gpus != "" {
+		entries, err := parseGPUFlag(*gpus)
+		if err != nil {
+			log.Fatalf("parsing -gpus: %v", err)
+		}
+		cfg.GPUs = entries
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("config: %v", err)
+	}
+	specs, err := cfg.Inventory()
+	if err != nil {
+		log.Fatalf("inventory: %v", err)
+	}
+
+	machineID, err := auth.NewMachineID()
+	if err != nil {
+		log.Fatalf("generating machine id: %v", err)
+	}
+
+	rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(specs...), 0, 0)
+	coordClient := core.NewClient(cfg.CoordinatorURL)
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	ag := agent.New(agent.Config{
+		MachineID:                 machineID,
+		Kernel:                    cfg.Kernel,
+		DefaultCheckpointInterval: time.Duration(cfg.CheckpointIntervalSec) * time.Second,
+	}, simclock.Real(), rt, ckpts, nil, coordClient)
+
+	srv := &http.Server{Addr: cfg.Listen, Handler: ag.Handler()}
+	go func() {
+		log.Printf("gpunion agent %s listening on %s (%d GPUs)", machineID, cfg.Listen, len(specs))
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("http server: %v", err)
+		}
+	}()
+
+	resp, err := coordClient.Register(ag.RegisterRequest(cfg.AdvertiseURL, cfg.StorageBytes))
+	if err != nil {
+		log.Fatalf("registering with %s: %v", cfg.CoordinatorURL, err)
+	}
+	ag.SetToken(resp.Token)
+	log.Printf("registered; heartbeating every %v", resp.HeartbeatInterval)
+
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(resp.HeartbeatInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if ag.Departed() {
+					continue
+				}
+				hb, err := coordClient.Heartbeat(ag.HeartbeatRequest())
+				if err != nil {
+					log.Printf("heartbeat: %v", err)
+					continue
+				}
+				if hb.Reregister {
+					if r, err := coordClient.Register(ag.RegisterRequest(cfg.AdvertiseURL, cfg.StorageBytes)); err == nil {
+						ag.SetToken(r.Token)
+						log.Printf("re-registered after coordinator restart")
+					}
+				}
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	close(stop)
+	if s == syscall.SIGINT {
+		log.Printf("scheduled departure: checkpointing workloads")
+		ag.Depart(api.DepartScheduled, 2*time.Minute)
+	} else {
+		log.Printf("emergency departure")
+		ag.Depart(api.DepartEmergency, 0)
+	}
+	ag.Stop()
+	_ = srv.Close()
+}
+
+// parseGPUFlag parses "MODEL:N,MODEL:N" device lists.
+func parseGPUFlag(s string) ([]config.GPUEntry, error) {
+	var out []config.GPUEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		model, countStr, ok := strings.Cut(part, ":")
+		count := 1
+		if ok {
+			n, err := strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil {
+				return nil, fmt.Errorf("bad count in %q: %w", part, err)
+			}
+			count = n
+		}
+		out = append(out, config.GPUEntry{Model: strings.TrimSpace(model), Count: count})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no devices in %q", s)
+	}
+	return out, nil
+}

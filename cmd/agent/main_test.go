@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseGPUFlag(t *testing.T) {
+	entries, err := parseGPUFlag("RTX 3090:2,A100:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Model != "RTX 3090" || entries[0].Count != 2 {
+		t.Fatalf("first = %+v", entries[0])
+	}
+	if entries[1].Model != "A100" || entries[1].Count != 1 {
+		t.Fatalf("second = %+v", entries[1])
+	}
+}
+
+func TestParseGPUFlagDefaultCount(t *testing.T) {
+	entries, err := parseGPUFlag("A6000")
+	if err != nil || len(entries) != 1 || entries[0].Count != 1 {
+		t.Fatalf("entries = %+v, %v", entries, err)
+	}
+}
+
+func TestParseGPUFlagWhitespace(t *testing.T) {
+	entries, err := parseGPUFlag(" RTX 4090 : 8 , ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Model != "RTX 4090" || entries[0].Count != 8 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestParseGPUFlagErrors(t *testing.T) {
+	if _, err := parseGPUFlag(""); err == nil {
+		t.Fatal("empty flag accepted")
+	}
+	if _, err := parseGPUFlag("A100:many"); err == nil {
+		t.Fatal("non-numeric count accepted")
+	}
+}

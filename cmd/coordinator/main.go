@@ -1,0 +1,108 @@
+// Command coordinator runs GPUnion's central coordinator daemon: node
+// registration, the pending-job priority queue, heartbeat-based failure
+// detection and workload migration, served over a REST API.
+//
+// Usage:
+//
+//	coordinator [-listen :8080] [-config coordinator.json]
+//
+// The flags override the config file; with neither, built-in defaults
+// apply. On SIGINT/SIGTERM the daemon snapshots its database (when
+// snapshot_path is configured) and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/config"
+	"gpunion/internal/core"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/scheduler"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+)
+
+func main() {
+	listen := flag.String("listen", "", "HTTP bind address (overrides config)")
+	cfgPath := flag.String("config", "", "path to coordinator.json")
+	flag.Parse()
+
+	var cfg config.Coordinator
+	if *cfgPath != "" {
+		var err error
+		cfg, err = config.LoadCoordinator(*cfgPath)
+		if err != nil {
+			log.Fatalf("loading config: %v", err)
+		}
+	} else if err := cfg.Validate(); err != nil {
+		log.Fatalf("config defaults: %v", err)
+	}
+	if *listen != "" {
+		cfg.Listen = *listen
+	}
+
+	var strategy scheduler.Strategy
+	switch cfg.Strategy {
+	case "best-fit":
+		strategy = scheduler.BestFit{}
+	case "least-loaded":
+		strategy = scheduler.LeastLoaded{}
+	default:
+		strategy = &scheduler.RoundRobin{}
+	}
+
+	database := db.New(0)
+	if cfg.SnapshotPath != "" {
+		if f, err := os.Open(cfg.SnapshotPath); err == nil {
+			if err := database.Load(f); err != nil {
+				log.Printf("warning: could not load snapshot: %v", err)
+			}
+			f.Close()
+		}
+	}
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	bus := eventbus.New(4096)
+
+	coord, err := core.New(core.Config{
+		HeartbeatInterval: cfg.HeartbeatInterval(),
+		MissedThreshold:   cfg.MissedThreshold,
+		Strategy:          strategy,
+	}, simclock.Real(), database, ckpts, bus)
+	if err != nil {
+		log.Fatalf("creating coordinator: %v", err)
+	}
+
+	srv := &http.Server{Addr: cfg.Listen, Handler: coord.Handler(nil)}
+	go func() {
+		log.Printf("gpunion coordinator listening on %s (strategy %s)", cfg.Listen, cfg.Strategy)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("http server: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	coord.Stop()
+	_ = srv.Close()
+	if cfg.SnapshotPath != "" {
+		f, err := os.Create(cfg.SnapshotPath)
+		if err != nil {
+			log.Fatalf("creating snapshot: %v", err)
+		}
+		if err := database.Save(f); err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		f.Close()
+		fmt.Printf("database snapshot saved to %s\n", cfg.SnapshotPath)
+	}
+}

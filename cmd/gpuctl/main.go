@@ -1,0 +1,238 @@
+// Command gpuctl is GPUnion's command-line client for both roles:
+//
+// Users (against the coordinator):
+//
+//	gpuctl -coordinator http://coord:8080 submit -image pytorch/pytorch:2.3-cuda12 -gpu-mem 8192
+//	gpuctl -coordinator http://coord:8080 status job-000001
+//	gpuctl -coordinator http://coord:8080 kill job-000001
+//	gpuctl -coordinator http://coord:8080 nodes
+//
+// Providers (against their local agent — provider supremacy controls):
+//
+//	gpuctl -agent http://127.0.0.1:7070 killswitch
+//	gpuctl -agent http://127.0.0.1:7070 pause | resume
+//	gpuctl -agent http://127.0.0.1:7070 depart -reason scheduled -grace 120
+//	gpuctl -agent http://127.0.0.1:7070 agent-status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpunion/internal/agent"
+	"gpunion/internal/api"
+	"gpunion/internal/core"
+	"gpunion/internal/workload"
+)
+
+func main() {
+	coordURL := flag.String("coordinator", "http://127.0.0.1:8080", "coordinator base URL")
+	agentURL := flag.String("agent", "http://127.0.0.1:7070", "local agent base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(core.NewClient(*coordURL), rest)
+	case "status":
+		err = cmdStatus(core.NewClient(*coordURL), rest)
+	case "kill":
+		err = cmdKill(core.NewClient(*coordURL), rest)
+	case "nodes":
+		err = cmdNodes(core.NewClient(*coordURL))
+	case "jobs":
+		err = cmdJobs(core.NewClient(*coordURL))
+	case "killswitch":
+		err = cmdKillSwitch(agent.NewClient(*agentURL))
+	case "pause":
+		err = agent.NewClient(*agentURL).Pause()
+	case "resume":
+		err = agent.NewClient(*agentURL).Resume()
+	case "depart":
+		err = cmdDepart(agent.NewClient(*agentURL), rest)
+	case "agent-status":
+		err = cmdAgentStatus(agent.NewClient(*agentURL))
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpuctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gpuctl [-coordinator URL] [-agent URL] <command> [args]
+
+user commands:    submit, status <job>, kill <job>, jobs, nodes
+provider commands: killswitch, pause, resume, depart, agent-status`)
+}
+
+func cmdSubmit(c *core.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	image := fs.String("image", "pytorch/pytorch:2.3-cuda12", "container image")
+	kind := fs.String("kind", "batch", "batch or interactive")
+	gpuMem := fs.Int64("gpu-mem", 8192, "GPU memory requirement (MiB)")
+	prio := fs.Int("priority", 0, "queue priority (higher first)")
+	ckptSec := fs.Int("checkpoint-interval", 600, "ALC checkpoint interval (seconds)")
+	profile := fs.String("profile", "small-cnn", "training profile: small-cnn, large-cnn, small-transformer, large-transformer")
+	sessionSec := fs.Int("session-seconds", 7200, "interactive session length")
+	user := fs.String("user", os.Getenv("USER"), "submitting user")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	req := api.SubmitJobRequest{
+		User: *user, Kind: *kind, ImageName: *image,
+		Priority: *prio, GPUMemMiB: *gpuMem,
+		CheckpointIntervalSec: *ckptSec,
+	}
+	if *kind == "batch" {
+		spec, err := profileSpec(*profile)
+		if err != nil {
+			return err
+		}
+		req.Training = &spec
+		req.GPUMemMiB = spec.GPUMemMiB
+		req.CapabilityMajor = spec.MinCapability.Major
+		req.CapabilityMinor = spec.MinCapability.Minor
+	} else {
+		req.SessionSeconds = *sessionSec
+	}
+	id, err := c.SubmitJob(req)
+	if err != nil {
+		return err
+	}
+	fmt.Println(id)
+	return nil
+}
+
+func profileSpec(name string) (workload.TrainingSpec, error) {
+	switch name {
+	case "small-cnn":
+		return workload.SmallCNN, nil
+	case "large-cnn":
+		return workload.LargeCNN, nil
+	case "small-transformer":
+		return workload.SmallTransformer, nil
+	case "large-transformer":
+		return workload.LargeTransformer, nil
+	}
+	return workload.TrainingSpec{}, fmt.Errorf("unknown profile %q", name)
+}
+
+func cmdStatus(c *core.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: gpuctl status <job-id>")
+	}
+	st, err := c.JobStatus(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job:        %s\nstate:      %s\nnode:       %s\ndevice:     %s\nmigrations: %d\nsubmitted:  %s\n",
+		st.JobID, st.State, orDash(st.NodeID), orDash(st.DeviceID), st.Migrations,
+		st.Submitted.Format(time.RFC3339))
+	if !st.Started.IsZero() {
+		fmt.Printf("started:    %s\n", st.Started.Format(time.RFC3339))
+	}
+	if !st.Finished.IsZero() {
+		fmt.Printf("finished:   %s\n", st.Finished.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func cmdKill(c *core.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: gpuctl kill <job-id>")
+	}
+	return c.KillJob(args[0])
+}
+
+func cmdNodes(c *core.Client) error {
+	nodes, err := c.Nodes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %-12s %-6s %-6s %s\n", "NODE", "STATUS", "GPUS", "FREE", "DEPARTURES")
+	for _, n := range nodes {
+		free := 0
+		for _, g := range n.GPUs {
+			if !g.Allocated {
+				free++
+			}
+		}
+		fmt.Printf("%-20s %-12s %-6d %-6d %d\n", n.ID, n.Status, len(n.GPUs), free, n.Departures)
+	}
+	return nil
+}
+
+func cmdJobs(c *core.Client) error {
+	jobs, err := c.Jobs()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-10s %-16s %-6s %s\n", "JOB", "STATE", "NODE", "MIGR", "SUBMITTED")
+	for _, j := range jobs {
+		fmt.Printf("%-12s %-10s %-16s %-6d %s\n",
+			j.JobID, j.State, orDash(j.NodeID), j.Migrations,
+			j.Submitted.Format("Jan 2 15:04:05"))
+	}
+	return nil
+}
+
+func cmdKillSwitch(c *agent.Client) error {
+	resp, err := c.KillSwitch()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("killed %d workloads\n", len(resp.KilledJobs))
+	for _, id := range resp.KilledJobs {
+		fmt.Printf("  %s\n", id)
+	}
+	return nil
+}
+
+func cmdDepart(c *agent.Client, args []string) error {
+	fs := flag.NewFlagSet("depart", flag.ExitOnError)
+	reason := fs.String("reason", "scheduled", "scheduled, emergency or temporary")
+	grace := fs.Int("grace", 120, "checkpoint grace period (seconds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch api.DepartReason(*reason) {
+	case api.DepartScheduled, api.DepartEmergency, api.DepartTemporary:
+	default:
+		return fmt.Errorf("unknown reason %q", *reason)
+	}
+	return c.Depart(api.DepartReason(*reason), time.Duration(*grace)*time.Second)
+}
+
+func cmdAgentStatus(c *agent.Client) error {
+	st, err := c.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine:  %s\npaused:   %v\ndeparted: %v\njobs:     %d\n",
+		st.MachineID, st.Paused, st.Departed, len(st.RunningJobs))
+	for _, tel := range st.Telemetry {
+		fmt.Printf("  %-6s %-10s util %5.1f%%  mem %6d/%6d MiB  %4.1f °C  %5.1f W\n",
+			tel.DeviceID, tel.Model, 100*tel.Utilization,
+			tel.UsedMemMiB, tel.TotalMemMiB, tel.TemperatureC, tel.PowerW)
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

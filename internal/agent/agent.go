@@ -1,0 +1,706 @@
+// Package agent implements GPUnion's provider agent (§3.4): the
+// lightweight daemon every participating node runs. It owns the node's
+// container runtime and GPU inventory, executes workloads, takes
+// periodic ALC checkpoints, reports telemetry, and — above all —
+// enforces provider supremacy: the local kill-switch, pause, and
+// departure controls always work immediately, without coordinator
+// round-trips.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/container"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+	"gpunion/internal/workload"
+)
+
+// Errors returned by the agent.
+var (
+	ErrDeparted   = errors.New("agent: node has departed")
+	ErrPaused     = errors.New("agent: node is paused")
+	ErrJobUnknown = errors.New("agent: unknown job")
+	ErrJobExists  = errors.New("agent: job already running")
+)
+
+// defaultProgressTick is how often the agent advances running jobs and
+// refreshes device telemetry unless configured otherwise.
+const defaultProgressTick = time.Second
+
+// Notifier is the agent's channel back to the coordinator. In-process
+// deployments wire the coordinator directly; HTTP deployments use a
+// client. Notifications are best-effort: provider supremacy means local
+// actions never block on them.
+type Notifier interface {
+	// JobUpdate reports a job's terminal or checkpoint state change.
+	JobUpdate(machineID, jobID string, state db.JobState, step int64)
+	// Departing announces a voluntary departure.
+	Departing(machineID string, reason api.DepartReason)
+}
+
+// NopNotifier discards all notifications (stand-alone agents).
+type NopNotifier struct{}
+
+// JobUpdate implements Notifier.
+func (NopNotifier) JobUpdate(string, string, db.JobState, int64) {}
+
+// Departing implements Notifier.
+func (NopNotifier) Departing(string, api.DepartReason) {}
+
+// Config parameterises an Agent.
+type Config struct {
+	// MachineID is the node's unique identity (auth.NewMachineID).
+	MachineID string
+	// Kernel is the host kernel version.
+	Kernel string
+	// DefaultCheckpointInterval applies when a launch does not set one.
+	DefaultCheckpointInterval time.Duration
+	// ProgressTick is how often jobs advance and telemetry refreshes
+	// (default 1 s; long simulations use coarser ticks).
+	ProgressTick time.Duration
+	// ForceFullCheckpoints disables incremental captures — every
+	// periodic checkpoint ships the whole state. Used by the network
+	// traffic ablation (§4) to quantify what incrementality saves.
+	ForceFullCheckpoints bool
+}
+
+// Agent is the provider-side daemon.
+type Agent struct {
+	cfg     Config
+	clock   simclock.Clock
+	runtime *container.Runtime
+	ckpts   *checkpoint.Store
+	bus     *eventbus.Bus
+	notify  Notifier
+	// stores resolves user-pinned checkpoint locations (§3.5). Nil
+	// means every job uses the default store.
+	stores *storage.Placement
+
+	mu       sync.Mutex
+	jobs     map[string]*jobRun
+	paused   bool
+	departed bool
+	token    string
+	stopped  bool
+	ticker   simclock.Timer
+}
+
+// jobRun is the agent-local state of one running workload.
+type jobRun struct {
+	jobID       string
+	containerID string
+	deviceID    string
+	devSpec     gpu.Spec
+	training    *workload.Job // nil for interactive sessions
+	sessionEnds time.Time     // for interactive sessions
+	ckptEvery   time.Duration
+	lastCkpt    time.Time
+	ckptSeq     int
+	lastTick    time.Time
+	// pinned is the user's chosen checkpoint location (§3.5), written
+	// in addition to the platform store so migration metadata stays
+	// centrally resolvable. Nil when the user expressed no preference.
+	pinned *checkpoint.Store
+	// pausedUntil marks the end of a checkpoint-creation stall: the
+	// workload is quiesced while its state is written out, so large
+	// (memory-intensive) models pay proportionally more per capture.
+	pausedUntil time.Time
+	// residual carries compute time smaller than one training step
+	// between ticks, so coarse tick granularity never loses progress.
+	residual time.Duration
+}
+
+// New creates an agent over the node's runtime. Checkpoints are saved to
+// ckpts (typically backed by a LAN store or the user's pinned location).
+func New(cfg Config, clock simclock.Clock, rt *container.Runtime, ckpts *checkpoint.Store, bus *eventbus.Bus, notify Notifier) *Agent {
+	if notify == nil {
+		notify = NopNotifier{}
+	}
+	if bus == nil {
+		bus = eventbus.New(0)
+	}
+	if cfg.DefaultCheckpointInterval <= 0 {
+		cfg.DefaultCheckpointInterval = 10 * time.Minute
+	}
+	if cfg.ProgressTick <= 0 {
+		cfg.ProgressTick = defaultProgressTick
+	}
+	a := &Agent{
+		cfg:     cfg,
+		clock:   clock,
+		runtime: rt,
+		ckpts:   ckpts,
+		bus:     bus,
+		notify:  notify,
+		jobs:    make(map[string]*jobRun),
+	}
+	a.scheduleTick()
+	return a
+}
+
+// MachineID returns the node identity.
+func (a *Agent) MachineID() string { return a.cfg.MachineID }
+
+// SetToken stores the coordinator-issued credential.
+func (a *Agent) SetToken(tok string) {
+	a.mu.Lock()
+	a.token = tok
+	a.mu.Unlock()
+}
+
+// Token returns the stored credential.
+func (a *Agent) Token() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.token
+}
+
+// Runtime exposes the container runtime (telemetry, tests).
+func (a *Agent) Runtime() *container.Runtime { return a.runtime }
+
+// SetStores installs a storage placement registry for user-pinned
+// checkpoint locations. Jobs whose StoragePrefs resolve to a live named
+// store checkpoint there; everything else uses the default store.
+func (a *Agent) SetStores(p *storage.Placement) {
+	a.mu.Lock()
+	a.stores = p
+	a.mu.Unlock()
+}
+
+// RegisterRequest builds the agent's registration payload.
+func (a *Agent) RegisterRequest(addr string, storageBytes int64) api.RegisterRequest {
+	return api.RegisterRequest{
+		MachineID:    a.cfg.MachineID,
+		Addr:         addr,
+		GPUs:         a.gpuInfo(),
+		Kernel:       a.cfg.Kernel,
+		StorageBytes: storageBytes,
+	}
+}
+
+func (a *Agent) gpuInfo() []db.GPUInfo {
+	devs := a.runtime.Inventory().Devices()
+	out := make([]db.GPUInfo, 0, len(devs))
+	for _, d := range devs {
+		out = append(out, db.GPUInfo{
+			DeviceID:        d.ID,
+			Model:           d.Spec.Model,
+			Arch:            string(d.Spec.Arch),
+			MemoryMiB:       d.Spec.MemoryMiB,
+			CapabilityMajor: d.Spec.Capability.Major,
+			CapabilityMinor: d.Spec.Capability.Minor,
+			Allocated:       !d.Free(),
+		})
+	}
+	return out
+}
+
+// Launch starts a workload per the coordinator's request: admission,
+// container creation, GPU binding, restore (for migrations), and
+// checkpoint scheduling.
+func (a *Agent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
+	a.mu.Lock()
+	if a.departed {
+		a.mu.Unlock()
+		return api.LaunchResponse{}, ErrDeparted
+	}
+	if a.paused {
+		a.mu.Unlock()
+		return api.LaunchResponse{}, ErrPaused
+	}
+	if _, exists := a.jobs[req.JobID]; exists {
+		a.mu.Unlock()
+		return api.LaunchResponse{}, fmt.Errorf("%w: %s", ErrJobExists, req.JobID)
+	}
+	a.mu.Unlock()
+
+	now := a.clock.Now()
+	mode := container.Batch
+	if req.Kind == "interactive" {
+		mode = container.Interactive
+	}
+	// A migrated job may return to a node that hosted it before; clear
+	// the stale terminal container so the ID can be reused.
+	ctrID := "ctr-" + req.JobID
+	if old, err := a.runtime.Get(ctrID); err == nil {
+		st := old.State()
+		if st == container.Exited || st == container.Killed {
+			_ = a.runtime.Remove(ctrID)
+		}
+	}
+	spec := container.Spec{
+		ID:         ctrID,
+		ImageName:  req.ImageName,
+		Mode:       mode,
+		Entrypoint: req.Entrypoint,
+		Resources: container.Resources{
+			CPUCores:      4,
+			MemoryMiB:     16384,
+			GPUMemoryMiB:  req.GPUMemMiB,
+			MinCapability: api.CapabilityOf(req.CapabilityMajor, req.CapabilityMinor),
+		},
+	}
+	ctr, err := a.runtime.Create(spec, now)
+	if err != nil {
+		return api.LaunchResponse{}, fmt.Errorf("agent: creating container: %w", err)
+	}
+	if err := a.runtime.Start(ctr.ID(), now); err != nil {
+		return api.LaunchResponse{}, fmt.Errorf("agent: starting container: %w", err)
+	}
+
+	run := &jobRun{
+		jobID:       req.JobID,
+		containerID: ctr.ID(),
+		deviceID:    ctr.GPUDeviceID(),
+		ckptEvery:   time.Duration(req.CheckpointIntervalSec) * time.Second,
+		lastCkpt:    now,
+		lastTick:    now,
+	}
+	// §3.5: the user may pin checkpoints to specific storage nodes; the
+	// pinned copy supplements the platform store, which migration
+	// planning always consults.
+	a.mu.Lock()
+	stores := a.stores
+	a.mu.Unlock()
+	if stores != nil && len(req.StoragePrefs) > 0 {
+		if backing, name, err := stores.Resolve(req.StoragePrefs); err == nil {
+			run.pinned = checkpoint.NewStore(backing)
+			a.bus.Publish(eventbus.Event{
+				Type: eventbus.ContainerCreated, Time: now,
+				Node: a.cfg.MachineID, Job: req.JobID,
+				Detail: map[string]any{"checkpoint_store": name},
+			})
+		}
+	}
+	if run.ckptEvery <= 0 {
+		run.ckptEvery = a.cfg.DefaultCheckpointInterval
+	}
+	if run.deviceID != "" {
+		if dev, derr := a.runtime.Inventory().Device(run.deviceID); derr == nil {
+			run.devSpec = dev.Spec
+		}
+	}
+	switch {
+	case req.Training != nil:
+		job := workload.NewJob(req.JobID, *req.Training)
+		if req.RestoreStep > 0 {
+			// Resume from checkpointed progress: mark image clean state
+			// by advancing to the restore point without dirtying.
+			job.RestoreTo(checkpoint.Progress{Step: req.RestoreStep})
+		}
+		run.training = job
+		run.ckptSeq = req.RestoreFromSeq
+	case mode == container.Interactive:
+		d := time.Duration(req.SessionSeconds) * time.Second
+		if d <= 0 {
+			d = 2 * time.Hour
+		}
+		run.sessionEnds = now.Add(d)
+	}
+
+	a.mu.Lock()
+	a.jobs[req.JobID] = run
+	a.mu.Unlock()
+
+	a.bus.Publish(eventbus.Event{
+		Type: eventbus.JobStarted, Time: now,
+		Node: a.cfg.MachineID, Job: req.JobID, Container: ctr.ID(),
+	})
+	return api.LaunchResponse{ContainerID: ctr.ID(), DeviceID: run.deviceID}, nil
+}
+
+// Kill terminates one job immediately (coordinator-requested or local).
+func (a *Agent) Kill(jobID string) error {
+	a.mu.Lock()
+	run, ok := a.jobs[jobID]
+	if ok {
+		delete(a.jobs, jobID)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrJobUnknown, jobID)
+	}
+	now := a.clock.Now()
+	if err := a.runtime.Kill(run.containerID, now); err != nil {
+		return fmt.Errorf("agent: killing container for %s: %w", jobID, err)
+	}
+	a.bus.Publish(eventbus.Event{
+		Type: eventbus.JobKilled, Time: now,
+		Node: a.cfg.MachineID, Job: jobID, Container: run.containerID,
+	})
+	return nil
+}
+
+// CheckpointNow captures a checkpoint of the job and persists it.
+func (a *Agent) CheckpointNow(jobID string, incremental bool) (api.CheckpointResponse, error) {
+	a.mu.Lock()
+	run, ok := a.jobs[jobID]
+	a.mu.Unlock()
+	if !ok {
+		return api.CheckpointResponse{}, fmt.Errorf("%w: %s", ErrJobUnknown, jobID)
+	}
+	if run.training == nil {
+		return api.CheckpointResponse{}, fmt.Errorf("agent: job %s has no checkpointable state", jobID)
+	}
+	return a.captureCheckpoint(run, incremental)
+}
+
+// fullCheckpointEvery bounds the incremental chain: every sixth capture
+// is a full snapshot and obsolete predecessors are pruned, keeping the
+// restore transfer bounded (a full image plus at most five deltas).
+const fullCheckpointEvery = 6
+
+func (a *Agent) captureCheckpoint(run *jobRun, incremental bool) (api.CheckpointResponse, error) {
+	now := a.clock.Now()
+	// Quiesce the container during capture when it is running; a paused
+	// or checkpointing container is captured as-is.
+	quiesced := a.runtime.BeginCheckpoint(run.containerID) == nil
+	defer func() {
+		if quiesced {
+			_ = a.runtime.EndCheckpoint(run.containerID)
+		}
+	}()
+
+	run.ckptSeq++
+	src := checkpoint.Source{
+		JobID:    run.jobID,
+		Image:    run.training.Image(),
+		Progress: run.training.Progress(),
+		Env: checkpoint.Env{
+			KernelVersion:  a.cfg.Kernel,
+			GPUArch:        run.devSpec.Arch,
+			HasCUDAContext: run.deviceID != "",
+			GPUMemMiB:      run.training.Spec.GPUMemMiB,
+		},
+	}
+	if a.cfg.ForceFullCheckpoints || (run.ckptSeq-1)%fullCheckpointEvery == 0 {
+		incremental = false
+	}
+	ck, err := checkpoint.ALC{}.Capture(src, run.ckptSeq, incremental, now)
+	if err != nil {
+		run.ckptSeq--
+		return api.CheckpointResponse{}, fmt.Errorf("agent: capturing checkpoint: %w", err)
+	}
+	if err := a.ckpts.Save(ck); err != nil {
+		run.ckptSeq--
+		return api.CheckpointResponse{}, fmt.Errorf("agent: saving checkpoint: %w", err)
+	}
+	if run.pinned != nil {
+		// The user's pinned copy is best effort: its loss never blocks
+		// the platform copy migrations depend on.
+		_ = run.pinned.Save(ck)
+	}
+	if !ck.Incremental {
+		// Best effort: drop checkpoints the new full snapshot obsoletes.
+		_, _ = a.ckpts.Prune(run.jobID)
+		if run.pinned != nil {
+			_, _ = run.pinned.Prune(run.jobID)
+		}
+	}
+	run.lastCkpt = now
+	if run.training != nil {
+		run.pausedUntil = now.Add(run.training.Spec.CheckpointCreationTime())
+	}
+	a.bus.Publish(eventbus.Event{
+		Type: eventbus.JobCheckpoint, Time: now,
+		Node: a.cfg.MachineID, Job: run.jobID,
+		Detail: map[string]any{"seq": ck.Seq, "bytes": ck.Bytes, "incremental": ck.Incremental},
+	})
+	return api.CheckpointResponse{Seq: ck.Seq, Bytes: ck.Bytes, Step: ck.Progress.Step}, nil
+}
+
+// KillSwitch is the provider's emergency control: every workload dies
+// immediately, no checkpoints, no coordinator involvement. It returns
+// the job IDs terminated.
+func (a *Agent) KillSwitch() []string {
+	a.mu.Lock()
+	ids := make([]string, 0, len(a.jobs))
+	for id := range a.jobs {
+		ids = append(ids, id)
+	}
+	a.jobs = make(map[string]*jobRun)
+	a.mu.Unlock()
+	sort.Strings(ids)
+
+	now := a.clock.Now()
+	a.runtime.KillAll(now)
+	a.bus.Publish(eventbus.Event{
+		Type: eventbus.KillSwitch, Time: now, Node: a.cfg.MachineID,
+		Detail: map[string]any{"killed": len(ids)},
+	})
+	return ids
+}
+
+// Pause stops accepting new allocations; running jobs continue.
+func (a *Agent) Pause() {
+	a.mu.Lock()
+	a.paused = true
+	a.mu.Unlock()
+	a.bus.Publish(eventbus.Event{Type: eventbus.NodePaused, Time: a.clock.Now(), Node: a.cfg.MachineID})
+}
+
+// Resume re-enables allocations.
+func (a *Agent) Resume() {
+	a.mu.Lock()
+	a.paused = false
+	a.mu.Unlock()
+	a.bus.Publish(eventbus.Event{Type: eventbus.NodeResumed, Time: a.clock.Now(), Node: a.cfg.MachineID})
+}
+
+// Paused reports whether new allocations are paused.
+func (a *Agent) Paused() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.paused
+}
+
+// Departed reports whether the node has left the platform.
+func (a *Agent) Departed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.departed
+}
+
+// Depart executes a voluntary departure.
+//
+// Scheduled: every training job gets a final checkpoint within the grace
+// period (jobs whose checkpoint cannot complete in time lose progress to
+// their last periodic checkpoint), then all workloads stop and the
+// coordinator is notified.
+//
+// Temporary: same as scheduled, but the node intends to return; the
+// coordinator keeps its registration and may migrate work back later.
+//
+// Emergency: everything dies instantly and the coordinator is NOT
+// notified — heartbeat loss is the only signal, exactly as when the
+// power cable leaves the wall.
+func (a *Agent) Depart(reason api.DepartReason, grace time.Duration) {
+	now := a.clock.Now()
+	if reason != api.DepartEmergency {
+		// Final checkpoints, best effort, within the grace budget.
+		var budget time.Duration = grace
+		for _, run := range a.snapshotRuns() {
+			if run.training == nil {
+				continue
+			}
+			cost := run.training.Spec.CheckpointCreationTime()
+			if grace > 0 && cost > budget {
+				continue // no time left for this job's final snapshot
+			}
+			if _, err := a.captureCheckpoint(run, true); err == nil && grace > 0 {
+				budget -= cost
+			}
+		}
+	}
+
+	a.mu.Lock()
+	a.departed = true
+	a.jobs = make(map[string]*jobRun)
+	if a.ticker != nil {
+		a.ticker.Stop()
+		a.stopped = true
+	}
+	a.mu.Unlock()
+
+	a.runtime.KillAll(now)
+	if reason != api.DepartEmergency {
+		a.notify.Departing(a.cfg.MachineID, reason)
+	}
+	a.bus.Publish(eventbus.Event{
+		Type: eventbus.NodeDeparted, Time: now, Node: a.cfg.MachineID,
+		Detail: map[string]any{"reason": string(reason)},
+	})
+}
+
+// Return brings a temporarily-departed node back online.
+func (a *Agent) Return() {
+	a.mu.Lock()
+	a.departed = false
+	a.paused = false
+	if a.stopped {
+		a.stopped = false
+		a.mu.Unlock()
+		a.scheduleTick()
+	} else {
+		a.mu.Unlock()
+	}
+	a.bus.Publish(eventbus.Event{Type: eventbus.NodeReturned, Time: a.clock.Now(), Node: a.cfg.MachineID})
+}
+
+// Status builds the agent's self-report.
+func (a *Agent) Status() api.AgentStatus {
+	a.mu.Lock()
+	jobs := make([]string, 0, len(a.jobs))
+	for id := range a.jobs {
+		jobs = append(jobs, id)
+	}
+	paused, departed := a.paused, a.departed
+	a.mu.Unlock()
+	sort.Strings(jobs)
+	return api.AgentStatus{
+		MachineID:   a.cfg.MachineID,
+		Paused:      paused,
+		Departed:    departed,
+		RunningJobs: jobs,
+		Telemetry:   a.runtime.Inventory().Snapshot(),
+	}
+}
+
+// HeartbeatRequest builds the periodic status update.
+func (a *Agent) HeartbeatRequest() api.HeartbeatRequest {
+	st := a.Status()
+	return api.HeartbeatRequest{
+		MachineID:   a.cfg.MachineID,
+		Token:       a.Token(),
+		Telemetry:   st.Telemetry,
+		RunningJobs: st.RunningJobs,
+		Paused:      st.Paused,
+	}
+}
+
+// snapshotRuns returns the current runs without holding the lock during
+// the caller's iteration.
+func (a *Agent) snapshotRuns() []*jobRun {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*jobRun, 0, len(a.jobs))
+	for _, r := range a.jobs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].jobID < out[j].jobID })
+	return out
+}
+
+// scheduleTick arms the periodic progress/checkpoint timer.
+func (a *Agent) scheduleTick() {
+	a.mu.Lock()
+	if a.departed || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.ticker = a.clock.AfterFunc(a.cfg.ProgressTick, func() {
+		a.tick()
+		a.scheduleTick()
+	})
+	a.mu.Unlock()
+}
+
+// Stop halts the agent's background timer (shutdown path for daemons).
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	a.stopped = true
+	if a.ticker != nil {
+		a.ticker.Stop()
+	}
+	a.mu.Unlock()
+}
+
+// tick advances every running job by the elapsed wall time, refreshes
+// device telemetry, fires due checkpoints, and completes finished work.
+func (a *Agent) tick() {
+	now := a.clock.Now()
+	for _, run := range a.snapshotRuns() {
+		elapsed := now.Sub(run.lastTick)
+		if elapsed <= 0 {
+			continue
+		}
+		run.lastTick = now
+		switch {
+		case run.training != nil:
+			a.tickTraining(run, elapsed, now)
+		case !run.sessionEnds.IsZero():
+			a.tickSession(run, now)
+		}
+	}
+}
+
+func (a *Agent) tickTraining(run *jobRun, elapsed time.Duration, now time.Time) {
+	job := run.training
+	// Checkpoint-creation stalls consume training time: deduct any part
+	// of the elapsed window spent writing state out.
+	if run.pausedUntil.After(now) {
+		elapsed = 0
+	} else if stall := run.pausedUntil.Sub(now.Add(-elapsed)); stall > 0 {
+		elapsed -= stall
+	}
+	// Accumulate sub-step leftovers so integer step counts per tick do
+	// not systematically under-run the job.
+	budget := elapsed + run.residual
+	steps := job.Spec.StepsIn(budget, run.devSpec)
+	if st := job.Spec.StepTime(run.devSpec); st > 0 {
+		run.residual = budget - time.Duration(steps)*st
+	}
+	job.Advance(steps)
+	a.setDeviceLoad(run, 0.95, job.Spec.GPUMemMiB)
+
+	if job.Done() {
+		a.finishJob(run, db.JobCompleted, now)
+		return
+	}
+	if run.ckptEvery > 0 && now.Sub(run.lastCkpt) >= run.ckptEvery {
+		if _, err := a.captureCheckpoint(run, true); err != nil {
+			// Checkpoint failures must not kill the job; surface via bus.
+			a.bus.Publish(eventbus.Event{
+				Type: eventbus.JobFailed, Time: now, Node: a.cfg.MachineID,
+				Job: run.jobID, Detail: map[string]any{"checkpoint_error": err.Error()},
+			})
+		}
+	}
+}
+
+func (a *Agent) tickSession(run *jobRun, now time.Time) {
+	a.setDeviceLoad(run, 0.3, 0)
+	if !now.Before(run.sessionEnds) {
+		a.finishJob(run, db.JobCompleted, now)
+	}
+}
+
+func (a *Agent) setDeviceLoad(run *jobRun, util float64, memMiB int64) {
+	if run.deviceID == "" {
+		return
+	}
+	if dev, err := a.runtime.Inventory().Device(run.deviceID); err == nil {
+		dev.SetUtilization(util)
+		if memMiB > 0 {
+			dev.SetUsedMemory(memMiB)
+		}
+	}
+}
+
+// finishJob stops the container, forgets the run and notifies upstream.
+func (a *Agent) finishJob(run *jobRun, state db.JobState, now time.Time) {
+	a.mu.Lock()
+	delete(a.jobs, run.jobID)
+	a.mu.Unlock()
+	_ = a.runtime.Stop(run.containerID, 0, now)
+	var step int64
+	if run.training != nil {
+		step = run.training.Step()
+	}
+	a.bus.Publish(eventbus.Event{
+		Type: eventbus.JobCompleted, Time: now,
+		Node: a.cfg.MachineID, Job: run.jobID, Container: run.containerID,
+	})
+	a.notify.JobUpdate(a.cfg.MachineID, run.jobID, state, step)
+}
+
+// RunningJob returns the live training job object (tests, telemetry).
+func (a *Agent) RunningJob(jobID string) (*workload.Job, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	run, ok := a.jobs[jobID]
+	if !ok || run.training == nil {
+		return nil, false
+	}
+	return run.training, true
+}

@@ -1,0 +1,410 @@
+package agent
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/container"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+	"gpunion/internal/workload"
+)
+
+var t0 = time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC)
+
+type recordedUpdate struct {
+	jobID string
+	state db.JobState
+	step  int64
+}
+
+type fakeNotifier struct {
+	updates []recordedUpdate
+	departs []api.DepartReason
+}
+
+func (f *fakeNotifier) JobUpdate(_, jobID string, state db.JobState, step int64) {
+	f.updates = append(f.updates, recordedUpdate{jobID, state, step})
+}
+
+func (f *fakeNotifier) Departing(_ string, reason api.DepartReason) {
+	f.departs = append(f.departs, reason)
+}
+
+type testRig struct {
+	clock  *simclock.Sim
+	agent  *Agent
+	ckpts  *checkpoint.Store
+	notify *fakeNotifier
+	bus    *eventbus.Bus
+}
+
+func newRig(t *testing.T, specs ...gpu.Spec) *testRig {
+	t.Helper()
+	if len(specs) == 0 {
+		specs = []gpu.Spec{gpu.RTX3090, gpu.RTX3090}
+	}
+	clock := simclock.NewSim(t0)
+	rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(specs...), 0, 0)
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	notify := &fakeNotifier{}
+	bus := eventbus.New(256)
+	a := New(Config{MachineID: "node-test", Kernel: "5.15"}, clock, rt, ckpts, bus, notify)
+	t.Cleanup(a.Stop)
+	return &testRig{clock: clock, agent: a, ckpts: ckpts, notify: notify, bus: bus}
+}
+
+func launchTraining(t *testing.T, r *testRig, jobID string, spec workload.TrainingSpec, ckptSec int) api.LaunchResponse {
+	t.Helper()
+	resp, err := r.agent.Launch(api.LaunchRequest{
+		JobID:                 jobID,
+		ImageName:             "pytorch/pytorch:2.3-cuda12",
+		Kind:                  "batch",
+		GPUMemMiB:             spec.GPUMemMiB,
+		CheckpointIntervalSec: ckptSec,
+		Training:              &spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestLaunchBindsContainerAndGPU(t *testing.T) {
+	r := newRig(t)
+	resp := launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	if resp.ContainerID != "ctr-j1" || resp.DeviceID == "" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	ctr, err := r.agent.Runtime().Get(resp.ContainerID)
+	if err != nil || ctr.State() != container.Running {
+		t.Fatalf("container = %v, %v", ctr.State(), err)
+	}
+	st := r.agent.Status()
+	if len(st.RunningJobs) != 1 || st.RunningJobs[0] != "j1" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestLaunchDuplicateJob(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	_, err := r.agent.Launch(api.LaunchRequest{
+		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+		Training: &workload.SmallCNN,
+	})
+	if !errors.Is(err, ErrJobExists) {
+		t.Fatalf("err = %v, want ErrJobExists", err)
+	}
+}
+
+func TestLaunchWhilePausedRejected(t *testing.T) {
+	r := newRig(t)
+	r.agent.Pause()
+	_, err := r.agent.Launch(api.LaunchRequest{
+		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+		Training: &workload.SmallCNN,
+	})
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("err = %v, want ErrPaused", err)
+	}
+	r.agent.Resume()
+	if _, err := r.agent.Launch(api.LaunchRequest{
+		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+		Training: &workload.SmallCNN,
+	}); err != nil {
+		t.Fatalf("launch after resume: %v", err)
+	}
+}
+
+func TestTrainingProgressesWithClock(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	r.clock.Advance(time.Minute)
+	job, ok := r.agent.RunningJob("j1")
+	if !ok {
+		t.Fatal("job not running")
+	}
+	if job.Step() == 0 {
+		t.Fatal("job made no progress after a simulated minute")
+	}
+	// Device telemetry reflects training load.
+	dev, _ := r.agent.Runtime().Inventory().Device("gpu0")
+	if dev.Telemetry().Utilization < 0.9 {
+		t.Fatalf("device util = %v, want ~0.95", dev.Telemetry().Utilization)
+	}
+}
+
+func TestTrainingCompletesAndNotifies(t *testing.T) {
+	r := newRig(t)
+	spec := workload.SmallCNN
+	spec.TotalSteps = 50 // finishes in a few seconds of sim time
+	launchTraining(t, r, "j1", spec, 0)
+	r.clock.Advance(time.Minute)
+	if len(r.notify.updates) != 1 {
+		t.Fatalf("updates = %+v", r.notify.updates)
+	}
+	u := r.notify.updates[0]
+	if u.jobID != "j1" || u.state != db.JobCompleted || u.step != 50 {
+		t.Fatalf("update = %+v", u)
+	}
+	// Container exited, GPU freed.
+	if r.agent.Runtime().Running() != 0 {
+		t.Fatal("container still running after completion")
+	}
+	if r.agent.Runtime().Inventory().CountFree() != 2 {
+		t.Fatal("GPU not freed after completion")
+	}
+}
+
+func TestPeriodicCheckpointing(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 30) // every 30 s
+	r.clock.Advance(95 * time.Second)
+	seqs, err := r.ckpts.Sequences("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 3 {
+		t.Fatalf("checkpoints after 95 s at 30 s interval = %v", seqs)
+	}
+	// First is full, the rest incremental.
+	chain, err := r.ckpts.RestoreChain("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[0].Incremental {
+		t.Fatal("first checkpoint should be full")
+	}
+	if len(chain) >= 2 && !chain[1].Incremental {
+		t.Fatal("subsequent checkpoints should be incremental")
+	}
+}
+
+func TestCheckpointNowOnDemand(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	r.clock.Advance(10 * time.Second)
+	resp, err := r.agent.CheckpointNow("j1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 1 || resp.Bytes <= 0 || resp.Step <= 0 {
+		t.Fatalf("checkpoint = %+v", resp)
+	}
+	if _, err := r.agent.CheckpointNow("ghost", false); !errors.Is(err, ErrJobUnknown) {
+		t.Fatalf("unknown job err = %v", err)
+	}
+}
+
+func TestKillSwitchTerminatesEverything(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	launchTraining(t, r, "j2", workload.SmallCNN, 0)
+	killed := r.agent.KillSwitch()
+	if len(killed) != 2 || killed[0] != "j1" || killed[1] != "j2" {
+		t.Fatalf("killed = %v", killed)
+	}
+	if r.agent.Runtime().Running() != 0 {
+		t.Fatal("containers survived the kill-switch")
+	}
+	if len(r.agent.Status().RunningJobs) != 0 {
+		t.Fatal("jobs survived the kill-switch")
+	}
+	// Kill-switch is local: no coordinator notification of job state.
+	if len(r.notify.updates) != 0 {
+		t.Fatalf("kill-switch notified coordinator: %+v", r.notify.updates)
+	}
+}
+
+func TestKillSingleJob(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	launchTraining(t, r, "j2", workload.SmallCNN, 0)
+	if err := r.agent.Kill("j1"); err != nil {
+		t.Fatal(err)
+	}
+	st := r.agent.Status()
+	if len(st.RunningJobs) != 1 || st.RunningJobs[0] != "j2" {
+		t.Fatalf("running = %v", st.RunningJobs)
+	}
+	if err := r.agent.Kill("j1"); !errors.Is(err, ErrJobUnknown) {
+		t.Fatalf("double kill err = %v", err)
+	}
+}
+
+func TestScheduledDepartureCheckpointsFirst(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	r.clock.Advance(30 * time.Second)
+	r.agent.Depart(api.DepartScheduled, time.Minute)
+
+	if !r.agent.Departed() {
+		t.Fatal("agent not departed")
+	}
+	// A final checkpoint exists with the job's progress.
+	ck, err := r.ckpts.Latest("j1")
+	if err != nil {
+		t.Fatalf("no final checkpoint: %v", err)
+	}
+	if ck.Progress.Step == 0 {
+		t.Fatal("final checkpoint captured no progress")
+	}
+	if len(r.notify.departs) != 1 || r.notify.departs[0] != api.DepartScheduled {
+		t.Fatalf("departs = %v", r.notify.departs)
+	}
+}
+
+func TestEmergencyDepartureSilent(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	r.clock.Advance(30 * time.Second)
+	r.agent.Depart(api.DepartEmergency, 0)
+	// No checkpoint, no notification.
+	if _, err := r.ckpts.Latest("j1"); err == nil {
+		t.Fatal("emergency departure captured a checkpoint")
+	}
+	if len(r.notify.departs) != 0 {
+		t.Fatalf("emergency departure notified: %v", r.notify.departs)
+	}
+	if r.agent.Runtime().Running() != 0 {
+		t.Fatal("containers survived emergency departure")
+	}
+}
+
+func TestDepartedAgentRejectsLaunch(t *testing.T) {
+	r := newRig(t)
+	r.agent.Depart(api.DepartScheduled, 0)
+	_, err := r.agent.Launch(api.LaunchRequest{
+		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+		Training: &workload.SmallCNN,
+	})
+	if !errors.Is(err, ErrDeparted) {
+		t.Fatalf("err = %v, want ErrDeparted", err)
+	}
+}
+
+func TestReturnAfterTemporaryDeparture(t *testing.T) {
+	r := newRig(t)
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	r.clock.Advance(10 * time.Second)
+	r.agent.Depart(api.DepartTemporary, time.Minute)
+	r.clock.Advance(time.Hour)
+	r.agent.Return()
+	if r.agent.Departed() {
+		t.Fatal("agent still departed after Return")
+	}
+	// Fresh launches work and progress again.
+	launchTraining(t, r, "j2", workload.SmallCNN, 0)
+	r.clock.Advance(time.Minute)
+	if job, ok := r.agent.RunningJob("j2"); !ok || job.Step() == 0 {
+		t.Fatal("job on returned node made no progress")
+	}
+}
+
+func TestMigrationRestoreResumesProgress(t *testing.T) {
+	// Simulates the coordinator relaunching a job from a checkpoint.
+	r := newRig(t)
+	spec := workload.SmallCNN
+	_, err := r.agent.Launch(api.LaunchRequest{
+		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+		GPUMemMiB: spec.GPUMemMiB, Training: &spec,
+		RestoreFromSeq: 3, RestoreStep: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, _ := r.agent.RunningJob("j1")
+	if job.Step() != 1200 {
+		t.Fatalf("restored step = %d, want 1200", job.Step())
+	}
+	// Next checkpoint continues the sequence.
+	r.clock.Advance(5 * time.Second)
+	resp, err := r.agent.CheckpointNow("j1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 4 {
+		t.Fatalf("checkpoint seq = %d, want 4 (continues after restore)", resp.Seq)
+	}
+}
+
+func TestInteractiveSessionExpires(t *testing.T) {
+	r := newRig(t)
+	_, err := r.agent.Launch(api.LaunchRequest{
+		JobID: "sess1", ImageName: "gpunion/jupyter-dl:latest", Kind: "interactive",
+		GPUMemMiB: 4096, SessionSeconds: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.clock.Advance(30 * time.Second)
+	if len(r.agent.Status().RunningJobs) != 1 {
+		t.Fatal("session ended early")
+	}
+	r.clock.Advance(31 * time.Second)
+	if len(r.agent.Status().RunningJobs) != 0 {
+		t.Fatal("session did not expire")
+	}
+	if len(r.notify.updates) != 1 || r.notify.updates[0].state != db.JobCompleted {
+		t.Fatalf("updates = %+v", r.notify.updates)
+	}
+}
+
+func TestHeartbeatRequestShape(t *testing.T) {
+	r := newRig(t)
+	r.agent.SetToken("tok-123")
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	hb := r.agent.HeartbeatRequest()
+	if hb.MachineID != "node-test" || hb.Token != "tok-123" {
+		t.Fatalf("hb = %+v", hb)
+	}
+	if len(hb.Telemetry) != 2 || len(hb.RunningJobs) != 1 {
+		t.Fatalf("hb = %+v", hb)
+	}
+}
+
+func TestRegisterRequestInventoriesGPUs(t *testing.T) {
+	r := newRig(t, gpu.A100, gpu.A6000)
+	req := r.agent.RegisterRequest("http://127.0.0.1:7070", 1<<30)
+	if len(req.GPUs) != 2 {
+		t.Fatalf("GPUs = %+v", req.GPUs)
+	}
+	if req.GPUs[0].Model != "A100" || req.GPUs[0].Arch != "ampere" {
+		t.Fatalf("GPUs[0] = %+v", req.GPUs[0])
+	}
+	if req.Kernel != "5.15" || req.MachineID != "node-test" {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestCheckpointFailureDoesNotKillJob(t *testing.T) {
+	// Back the checkpoint store with a full store so saves fail.
+	clock := simclock.NewSim(t0)
+	rt := container.NewRuntime(container.DefaultImages(), gpu.NewInventory(gpu.RTX3090, 1), 0, 0)
+	full := checkpoint.NewStore(storage.NewMemStore(1)) // 1-byte capacity
+	bus := eventbus.New(64)
+	a := New(Config{MachineID: "n", Kernel: "5.15"}, clock, rt, full, bus, nil)
+	defer a.Stop()
+	spec := workload.SmallCNN
+	if _, err := a.Launch(api.LaunchRequest{
+		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+		GPUMemMiB: spec.GPUMemMiB, CheckpointIntervalSec: 10, Training: &spec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	if job, ok := a.RunningJob("j1"); !ok || job.Step() == 0 {
+		t.Fatal("job died because checkpoints failed")
+	}
+	// Container still running despite capture failures.
+	if a.Runtime().Running() != 1 {
+		t.Fatal("container not running")
+	}
+}

@@ -1,0 +1,250 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/monitor"
+)
+
+// Handler returns the agent's REST API (§3.4: "The agent exposes REST
+// APIs for resource advertisement, workload lifecycle management, and
+// emergency controls"). Coordinator-facing endpoints (launch, kill,
+// checkpoint) and provider-local controls (killswitch, pause, resume,
+// depart) share the mux; in a real deployment the local controls would
+// bind to loopback only.
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/launch", func(w http.ResponseWriter, r *http.Request) {
+		var req api.LaunchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := a.Launch(req)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/kill", func(w http.ResponseWriter, r *http.Request) {
+		var req api.KillRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if err := a.Kill(req.JobID); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		var req api.CheckpointRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := a.CheckpointNow(req.JobID, req.Incremental)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/killswitch", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, api.KillSwitchResponse{KilledJobs: a.KillSwitch()})
+	})
+
+	mux.HandleFunc("POST /v1/pause", func(w http.ResponseWriter, _ *http.Request) {
+		a.Pause()
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/resume", func(w http.ResponseWriter, _ *http.Request) {
+		a.Resume()
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/depart", func(w http.ResponseWriter, r *http.Request) {
+		var req api.DepartRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		grace := time.Duration(req.GraceSeconds) * time.Second
+		a.Depart(req.Reason, grace)
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, a.Status())
+	})
+
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		reg := monitor.NewRegistry()
+		for _, tel := range a.runtime.Inventory().Snapshot() {
+			labels := map[string]string{"node": a.cfg.MachineID, "device": tel.DeviceID, "model": tel.Model}
+			set := func(name, help string, v float64) {
+				if g, err := reg.Gauge(name, help, labels); err == nil {
+					g.Set(v)
+				}
+			}
+			set("gpunion_gpu_utilization", "GPU compute utilization (0..1)", tel.Utilization)
+			set("gpunion_gpu_memory_used_mib", "GPU memory in use", float64(tel.UsedMemMiB))
+			set("gpunion_gpu_temperature_celsius", "GPU temperature", tel.TemperatureC)
+			set("gpunion_gpu_power_watts", "GPU power draw", tel.PowerW)
+		}
+		if g, err := reg.Gauge("gpunion_agent_running_jobs", "Jobs running on this node", nil); err == nil {
+			g.Set(float64(len(a.Status().RunningJobs)))
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WriteText(w)
+	})
+
+	return mux
+}
+
+// Client drives a remote agent over HTTP. It implements the
+// coordinator's AgentHandle contract plus the provider-local controls
+// used by gpuctl.
+type Client struct {
+	// BaseURL is the agent's address, e.g. "http://10.0.0.5:7070".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient creates a Client with sane timeouts.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Launch implements the coordinator-side handle.
+func (c *Client) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
+	var resp api.LaunchResponse
+	err := c.post("/v1/launch", req, &resp)
+	return resp, err
+}
+
+// Kill implements the coordinator-side handle.
+func (c *Client) Kill(jobID string) error {
+	return c.post("/v1/kill", api.KillRequest{JobID: jobID}, nil)
+}
+
+// Checkpoint implements the coordinator-side handle.
+func (c *Client) Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error) {
+	var resp api.CheckpointResponse
+	err := c.post("/v1/checkpoint", api.CheckpointRequest{JobID: jobID, Incremental: incremental}, &resp)
+	return resp, err
+}
+
+// KillSwitch triggers the provider's emergency control.
+func (c *Client) KillSwitch() (api.KillSwitchResponse, error) {
+	var resp api.KillSwitchResponse
+	err := c.post("/v1/killswitch", nil, &resp)
+	return resp, err
+}
+
+// Pause stops new allocations on the node.
+func (c *Client) Pause() error { return c.post("/v1/pause", nil, nil) }
+
+// Resume re-enables allocations.
+func (c *Client) Resume() error { return c.post("/v1/resume", nil, nil) }
+
+// Depart asks the agent to leave the platform.
+func (c *Client) Depart(reason api.DepartReason, grace time.Duration) error {
+	return c.post("/v1/depart", api.DepartRequest{
+		Reason: reason, GraceSeconds: int(grace / time.Second),
+	}, nil)
+}
+
+// Status fetches the agent's self-report.
+func (c *Client) Status() (api.AgentStatus, error) {
+	var st api.AgentStatus
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/status")
+	if err != nil {
+		return st, fmt.Errorf("agent: GET status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, readError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("agent: decoding status: %w", err)
+	}
+	return st, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("agent: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("agent: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return readError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("agent: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// decodeJSON parses the request body, writing a 400 on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, out any) bool {
+	if err := json.NewDecoder(r.Body).Decode(out); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("agent: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, api.Error{Code: code, Message: err.Error()})
+}
+
+func readError(resp *http.Response) error {
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Message != "" {
+		return apiErr
+	}
+	return fmt.Errorf("agent: HTTP %d", resp.StatusCode)
+}

@@ -1,0 +1,245 @@
+// Package api defines the wire types of GPUnion's REST protocol: the
+// messages exchanged between provider agents, the central coordinator,
+// and user clients. All bodies are JSON.
+//
+// Endpoint map (coordinator):
+//
+//	POST /v1/register        RegisterRequest  → RegisterResponse
+//	POST /v1/heartbeat       HeartbeatRequest → HeartbeatResponse
+//	POST /v1/depart          DepartRequest    → empty
+//	POST /v1/jobs            SubmitJobRequest → SubmitJobResponse
+//	GET  /v1/jobs/{id}       → JobStatus
+//	GET  /v1/nodes           → []NodeSummary
+//	GET  /v1/metrics         → Prometheus text
+//
+// Endpoint map (agent):
+//
+//	POST /v1/launch          LaunchRequest → LaunchResponse
+//	POST /v1/kill            KillRequest   → empty
+//	POST /v1/checkpoint      CheckpointRequest → CheckpointResponse
+//	POST /v1/killswitch      → KillSwitchResponse   (provider-local)
+//	POST /v1/pause           → empty                (provider-local)
+//	POST /v1/resume          → empty                (provider-local)
+//	POST /v1/depart          DepartRequest → empty  (provider-local)
+//	GET  /v1/status          → AgentStatus
+//	GET  /v1/metrics         → Prometheus text
+package api
+
+import (
+	"time"
+
+	"gpunion/internal/db"
+	"gpunion/internal/gpu"
+	"gpunion/internal/workload"
+)
+
+// Error is the JSON error envelope returned with non-2xx statuses.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e Error) Error() string { return e.Message }
+
+// RegisterRequest is sent by an agent joining the platform.
+type RegisterRequest struct {
+	// MachineID is the agent-generated unique identifier.
+	MachineID string `json:"machine_id"`
+	// Addr is the agent's base URL for coordinator-initiated calls.
+	Addr string `json:"addr"`
+	// GPUs inventories the node's devices.
+	GPUs []db.GPUInfo `json:"gpus"`
+	// Kernel is the host kernel version (CRIU-ablation relevance).
+	Kernel string `json:"kernel"`
+	// StorageBytes is scratch capacity offered to the platform.
+	StorageBytes int64 `json:"storage_bytes"`
+}
+
+// RegisterResponse returns the credentials the agent uses afterwards.
+type RegisterResponse struct {
+	// Token authenticates subsequent agent calls.
+	Token string `json:"token"`
+	// HeartbeatInterval is how often the agent must report.
+	HeartbeatInterval time.Duration `json:"heartbeat_interval"`
+}
+
+// HeartbeatRequest carries the periodic status update (§3.2: "periodic
+// status updates from provider agents").
+type HeartbeatRequest struct {
+	MachineID string `json:"machine_id"`
+	Token     string `json:"token"`
+	// Telemetry is the current per-device reading.
+	Telemetry []gpu.Telemetry `json:"telemetry"`
+	// RunningJobs lists job IDs currently executing on the node.
+	RunningJobs []string `json:"running_jobs"`
+	// Paused reports whether the provider has paused new allocations.
+	Paused bool `json:"paused"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct {
+	// Acknowledged is true when the coordinator accepted the update.
+	Acknowledged bool `json:"acknowledged"`
+	// Reregister asks the agent to register again (unknown node, e.g.
+	// after a coordinator restart).
+	Reregister bool `json:"reregister,omitempty"`
+}
+
+// DepartReason distinguishes the §4 interruption classes.
+type DepartReason string
+
+// Departure reasons.
+const (
+	// DepartScheduled is a graceful, provider-initiated shutdown with
+	// time for final checkpoints.
+	DepartScheduled DepartReason = "scheduled"
+	// DepartEmergency is an immediate disconnect (power cut, network
+	// pull); detected by heartbeat loss, not announced.
+	DepartEmergency DepartReason = "emergency"
+	// DepartTemporary is a pause with intent to return.
+	DepartTemporary DepartReason = "temporary"
+)
+
+// DepartRequest announces a voluntary departure.
+type DepartRequest struct {
+	MachineID string       `json:"machine_id"`
+	Token     string       `json:"token"`
+	Reason    DepartReason `json:"reason"`
+	// GraceSeconds is how long the provider allows for checkpointing
+	// before workloads are terminated (scheduled departures).
+	GraceSeconds int `json:"grace_seconds,omitempty"`
+}
+
+// SubmitJobRequest is a user's job submission.
+type SubmitJobRequest struct {
+	User string `json:"user"`
+	// Kind is "batch" or "interactive".
+	Kind string `json:"kind"`
+	// ImageName is the container image to run.
+	ImageName string `json:"image_name"`
+	// Entrypoint for batch jobs.
+	Entrypoint []string `json:"entrypoint,omitempty"`
+	// Priority orders the pending queue (higher first).
+	Priority int `json:"priority"`
+	// GPUMemMiB and MinCapability* constrain placement.
+	GPUMemMiB       int64 `json:"gpu_mem_mib"`
+	CapabilityMajor int   `json:"capability_major"`
+	CapabilityMinor int   `json:"capability_minor"`
+	// CheckpointIntervalSec enables periodic ALC checkpoints.
+	CheckpointIntervalSec int `json:"checkpoint_interval_sec,omitempty"`
+	// StoragePrefs is the ordered list of storage nodes for checkpoints.
+	StoragePrefs []string `json:"storage_prefs,omitempty"`
+	// Training describes the batch training workload (the stand-in for
+	// the user's training script).
+	Training *workload.TrainingSpec `json:"training,omitempty"`
+	// SessionSeconds is the expected duration of an interactive session.
+	SessionSeconds int `json:"session_seconds,omitempty"`
+}
+
+// SubmitJobResponse returns the assigned job ID.
+type SubmitJobResponse struct {
+	JobID string `json:"job_id"`
+}
+
+// JobStatus reports a job's platform-level state.
+type JobStatus struct {
+	JobID      string      `json:"job_id"`
+	State      db.JobState `json:"state"`
+	NodeID     string      `json:"node_id,omitempty"`
+	DeviceID   string      `json:"device_id,omitempty"`
+	Migrations int         `json:"migrations"`
+	Submitted  time.Time   `json:"submitted"`
+	Started    time.Time   `json:"started,omitempty"`
+	Finished   time.Time   `json:"finished,omitempty"`
+}
+
+// NodeSummary is one row of the coordinator's node listing.
+type NodeSummary struct {
+	ID            string        `json:"id"`
+	Status        db.NodeStatus `json:"status"`
+	GPUs          []db.GPUInfo  `json:"gpus"`
+	LastHeartbeat time.Time     `json:"last_heartbeat"`
+	Departures    int           `json:"departures"`
+}
+
+// LaunchRequest asks an agent to start a job in a container.
+type LaunchRequest struct {
+	JobID     string `json:"job_id"`
+	ImageName string `json:"image_name"`
+	// Kind is "batch" or "interactive".
+	Kind       string   `json:"kind"`
+	Entrypoint []string `json:"entrypoint,omitempty"`
+	// GPUMemMiB / Capability* select a device on the node.
+	GPUMemMiB       int64 `json:"gpu_mem_mib"`
+	CapabilityMajor int   `json:"capability_major"`
+	CapabilityMinor int   `json:"capability_minor"`
+	// CheckpointIntervalSec enables periodic checkpoints on the agent.
+	CheckpointIntervalSec int `json:"checkpoint_interval_sec,omitempty"`
+	// RestoreFromSeq, when non-zero, instructs the agent to restore the
+	// job from the given checkpoint sequence before starting.
+	RestoreFromSeq int `json:"restore_from_seq,omitempty"`
+	// RestoreStep is the application progress to resume from.
+	RestoreStep int64 `json:"restore_step,omitempty"`
+	// Training describes the batch training workload.
+	Training *workload.TrainingSpec `json:"training,omitempty"`
+	// SessionSeconds is the expected duration of an interactive session.
+	SessionSeconds int `json:"session_seconds,omitempty"`
+	// StoragePrefs is the user's ordered checkpoint-placement list
+	// (§3.5: users pick where their state is kept).
+	StoragePrefs []string `json:"storage_prefs,omitempty"`
+}
+
+// LaunchResponse confirms a launch.
+type LaunchResponse struct {
+	ContainerID string `json:"container_id"`
+	DeviceID    string `json:"device_id"`
+}
+
+// KillRequest terminates a job on an agent.
+type KillRequest struct {
+	JobID string `json:"job_id"`
+}
+
+// CheckpointRequest asks the agent to checkpoint a job now.
+type CheckpointRequest struct {
+	JobID string `json:"job_id"`
+	// Incremental requests a delta checkpoint.
+	Incremental bool `json:"incremental"`
+}
+
+// CheckpointResponse reports the captured snapshot.
+type CheckpointResponse struct {
+	Seq   int   `json:"seq"`
+	Bytes int64 `json:"bytes"`
+	Step  int64 `json:"step"`
+}
+
+// JobUpdateRequest is the agent's report of a job state change
+// (completion, failure) to the coordinator.
+type JobUpdateRequest struct {
+	MachineID string      `json:"machine_id"`
+	Token     string      `json:"token"`
+	JobID     string      `json:"job_id"`
+	State     db.JobState `json:"state"`
+	Step      int64       `json:"step"`
+}
+
+// KillSwitchResponse reports what the provider's kill-switch terminated.
+type KillSwitchResponse struct {
+	KilledJobs []string `json:"killed_jobs"`
+}
+
+// AgentStatus is the agent's self-report.
+type AgentStatus struct {
+	MachineID   string          `json:"machine_id"`
+	Paused      bool            `json:"paused"`
+	Departed    bool            `json:"departed"`
+	RunningJobs []string        `json:"running_jobs"`
+	Telemetry   []gpu.Telemetry `json:"telemetry"`
+}
+
+// CapabilityOf converts the wire fields to the gpu type.
+func CapabilityOf(major, minor int) gpu.ComputeCapability {
+	return gpu.ComputeCapability{Major: major, Minor: minor}
+}

@@ -1,0 +1,198 @@
+package auth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var now = time.Date(2025, 9, 1, 12, 0, 0, 0, time.UTC)
+
+func newAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority([]byte("test-secret"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewMachineIDFormat(t *testing.T) {
+	id, err := NewMachineID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "node-") || len(id) != len("node-")+16 {
+		t.Fatalf("machine id %q has wrong shape", id)
+	}
+}
+
+func TestNewMachineIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id, err := NewMachineID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate machine id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestIssueVerifyRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	tok, err := a.Issue("node-abc", RoleProvider, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims, err := a.Verify(tok, now.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claims.Subject != "node-abc" || claims.Role != RoleProvider {
+		t.Fatalf("claims = %+v", claims)
+	}
+	if claims.IssuedAt != now.Unix() {
+		t.Fatalf("IssuedAt = %d, want %d", claims.IssuedAt, now.Unix())
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	a := newAuthority(t)
+	tok, err := a.Issue("node-abc", RoleProvider, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Verify(tok, now.Add(2*time.Hour))
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+}
+
+func TestVerifyExactExpiryRejected(t *testing.T) {
+	a := newAuthority(t)
+	tok, _ := a.Issue("node-abc", RoleProvider, now)
+	if _, err := a.Verify(tok, now.Add(time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("token at exact expiry err = %v, want ErrExpired", err)
+	}
+}
+
+func TestVerifyTamperedPayload(t *testing.T) {
+	a := newAuthority(t)
+	tok, _ := a.Issue("node-abc", RoleProvider, now)
+	body, sig, _ := strings.Cut(tok, ".")
+	// Flip a character in the payload.
+	mutated := "A" + body[1:]
+	if mutated == body {
+		mutated = "B" + body[1:]
+	}
+	_, err := a.Verify(mutated+"."+sig, now)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered token err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyWrongSecret(t *testing.T) {
+	a := newAuthority(t)
+	other, err := NewAuthority([]byte("different"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := a.Issue("node-abc", RoleProvider, now)
+	if _, err := other.Verify(tok, now); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("cross-authority verify err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyMalformed(t *testing.T) {
+	a := newAuthority(t)
+	for _, tok := range []string{"", "nodot", ".", "a.", ".b", "!!bad-base64!!.sig"} {
+		if _, err := a.Verify(tok, now); err == nil {
+			t.Errorf("Verify(%q) succeeded, want error", tok)
+		}
+	}
+}
+
+func TestVerifySubject(t *testing.T) {
+	a := newAuthority(t)
+	tok, _ := a.Issue("node-abc", RoleProvider, now)
+	if _, err := a.VerifySubject(tok, "node-abc", now); err != nil {
+		t.Fatalf("matching subject: %v", err)
+	}
+	if _, err := a.VerifySubject(tok, "node-xyz", now); !errors.Is(err, ErrWrongSubject) {
+		t.Fatalf("wrong subject err = %v, want ErrWrongSubject", err)
+	}
+}
+
+func TestIssueEmptySubject(t *testing.T) {
+	a := newAuthority(t)
+	if _, err := a.Issue("", RoleUser, now); err == nil {
+		t.Fatal("Issue with empty subject succeeded")
+	}
+}
+
+func TestRandomSecretAuthoritiesIndependent(t *testing.T) {
+	a1, err := NewAuthority(nil, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAuthority(nil, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := a1.Issue("node-abc", RoleProvider, now)
+	if _, err := a2.Verify(tok, now); err == nil {
+		t.Fatal("token from one random authority verified by another")
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	a, err := NewAuthority([]byte("s"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := a.Issue("node-abc", RoleProvider, now)
+	// Valid at day 29, expired at day 31.
+	if _, err := a.Verify(tok, now.Add(29*24*time.Hour)); err != nil {
+		t.Fatalf("day-29 verify: %v", err)
+	}
+	if _, err := a.Verify(tok, now.Add(31*24*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("day-31 verify err = %v, want ErrExpired", err)
+	}
+}
+
+func TestUserRoleRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	tok, _ := a.Issue("alice", RoleUser, now)
+	claims, err := a.Verify(tok, now)
+	if err != nil || claims.Role != RoleUser {
+		t.Fatalf("claims = %+v, err = %v", claims, err)
+	}
+}
+
+// Property: any issued token verifies before expiry and yields the same
+// subject, for arbitrary printable subjects.
+func TestIssueVerifyProperty(t *testing.T) {
+	a := newAuthority(t)
+	f := func(raw []byte) bool {
+		subject := "node-" + strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return 'x'
+			}
+			return r
+		}, string(raw))
+		tok, err := a.Issue(subject, RoleProvider, now)
+		if err != nil {
+			return false
+		}
+		claims, err := a.Verify(tok, now.Add(time.Second))
+		return err == nil && claims.Subject == subject
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gpunion/internal/storage"
+)
+
+// Store persists checkpoint metadata in a storage.Store and answers the
+// restore-chain questions the migration engine needs: what is the latest
+// checkpoint for a job, and how many bytes must move to restore it
+// (last full snapshot plus every subsequent increment).
+type Store struct {
+	mu      sync.Mutex
+	backing storage.Store
+	// latest caches the highest sequence number per job.
+	latest map[string]int
+}
+
+// NewStore wraps a backing blob store.
+func NewStore(backing storage.Store) *Store {
+	return &Store{backing: backing, latest: make(map[string]int)}
+}
+
+func ckptKey(jobID string, seq int) string {
+	return fmt.Sprintf("ckpt/%s/%08d", jobID, seq)
+}
+
+// Save persists the checkpoint's metadata.
+func (s *Store) Save(ck Checkpoint) error {
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding: %w", err)
+	}
+	if err := s.backing.Put(ckptKey(ck.JobID, ck.Seq), raw); err != nil {
+		return fmt.Errorf("checkpoint: persisting %s/%d: %w", ck.JobID, ck.Seq, err)
+	}
+	s.mu.Lock()
+	if ck.Seq > s.latest[ck.JobID] {
+		s.latest[ck.JobID] = ck.Seq
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Load fetches one checkpoint by job and sequence number.
+func (s *Store) Load(jobID string, seq int) (Checkpoint, error) {
+	raw, err := s.backing.Get(ckptKey(jobID, seq))
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("%w: %s/%d (%v)", ErrNoCheckpoint, jobID, seq, err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		return Checkpoint{}, fmt.Errorf("checkpoint: decoding %s/%d: %w", jobID, seq, err)
+	}
+	return ck, nil
+}
+
+// Latest returns the most recent checkpoint for the job.
+func (s *Store) Latest(jobID string) (Checkpoint, error) {
+	s.mu.Lock()
+	seq := s.latest[jobID]
+	s.mu.Unlock()
+	if seq == 0 {
+		// Fall back to a listing (covers stores rehydrated from disk).
+		seqs, err := s.Sequences(jobID)
+		if err != nil || len(seqs) == 0 {
+			return Checkpoint{}, fmt.Errorf("%w: job %s", ErrNoCheckpoint, jobID)
+		}
+		seq = seqs[len(seqs)-1]
+		s.mu.Lock()
+		s.latest[jobID] = seq
+		s.mu.Unlock()
+	}
+	return s.Load(jobID, seq)
+}
+
+// Sequences lists the stored sequence numbers for a job, ascending.
+func (s *Store) Sequences(jobID string) ([]int, error) {
+	keys, err := s.backing.List(fmt.Sprintf("ckpt/%s/", jobID))
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([]int, 0, len(keys))
+	for _, k := range keys {
+		var seq int
+		if _, err := fmt.Sscanf(k[len(fmt.Sprintf("ckpt/%s/", jobID)):], "%d", &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// RestoreChain returns the checkpoints that must be fetched to restore
+// the job's latest state: the newest full checkpoint followed by every
+// later increment, in application order. The total of their Bytes fields
+// is the migration transfer size.
+func (s *Store) RestoreChain(jobID string) ([]Checkpoint, error) {
+	latest, err := s.Latest(jobID)
+	if err != nil {
+		return nil, err
+	}
+	chain := []Checkpoint{latest}
+	cur := latest
+	for cur.Incremental {
+		base, err := s.Load(jobID, cur.BaseSeq)
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing base %d for %s/%d",
+				ErrBadChain, cur.BaseSeq, jobID, cur.Seq)
+		}
+		chain = append(chain, base)
+		cur = base
+	}
+	// Reverse: oldest (the full snapshot) first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// RestoreBytes returns the total bytes that must move to restore the
+// job's latest state.
+func (s *Store) RestoreBytes(jobID string) (int64, error) {
+	chain, err := s.RestoreChain(jobID)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, ck := range chain {
+		total += ck.Bytes
+	}
+	return total, nil
+}
+
+// Prune deletes checkpoints older than the newest full snapshot, which
+// are no longer needed for any restore. It returns the bytes reclaimed.
+func (s *Store) Prune(jobID string) (int64, error) {
+	chain, err := s.RestoreChain(jobID)
+	if err != nil {
+		return 0, err
+	}
+	needed := make(map[int]bool, len(chain))
+	for _, ck := range chain {
+		needed[ck.Seq] = true
+	}
+	seqs, err := s.Sequences(jobID)
+	if err != nil {
+		return 0, err
+	}
+	var reclaimed int64
+	for _, seq := range seqs {
+		if needed[seq] {
+			continue
+		}
+		ck, err := s.Load(jobID, seq)
+		if err == nil {
+			reclaimed += ck.Bytes
+		}
+		if err := s.backing.Delete(ckptKey(jobID, seq)); err != nil {
+			return reclaimed, err
+		}
+	}
+	return reclaimed, nil
+}

@@ -1,0 +1,181 @@
+// Package config parses the JSON configuration files of GPUnion's two
+// daemons. Lightweight integration is a design principle (§1): one small
+// file per machine, sane defaults for everything else.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gpunion/internal/gpu"
+)
+
+// Coordinator is the central daemon's configuration.
+type Coordinator struct {
+	// Listen is the HTTP bind address, e.g. ":8080".
+	Listen string `json:"listen"`
+	// HeartbeatIntervalSec is the agent reporting period (default 10).
+	HeartbeatIntervalSec int `json:"heartbeat_interval_sec"`
+	// MissedThreshold marks nodes lost after this many silent
+	// intervals (default 3).
+	MissedThreshold int `json:"missed_threshold"`
+	// Strategy is "round-robin" (default), "best-fit" or "least-loaded".
+	Strategy string `json:"strategy"`
+	// SnapshotPath, when set, persists the system database there.
+	SnapshotPath string `json:"snapshot_path"`
+}
+
+// HeartbeatInterval returns the configured interval as a duration.
+func (c Coordinator) HeartbeatInterval() time.Duration {
+	return time.Duration(c.HeartbeatIntervalSec) * time.Second
+}
+
+// Validate applies defaults and checks invariants.
+func (c *Coordinator) Validate() error {
+	if c.Listen == "" {
+		c.Listen = ":8080"
+	}
+	if c.HeartbeatIntervalSec <= 0 {
+		c.HeartbeatIntervalSec = 10
+	}
+	if c.MissedThreshold <= 0 {
+		c.MissedThreshold = 3
+	}
+	switch c.Strategy {
+	case "":
+		c.Strategy = "round-robin"
+	case "round-robin", "best-fit", "least-loaded":
+	default:
+		return fmt.Errorf("config: unknown strategy %q", c.Strategy)
+	}
+	return nil
+}
+
+// GPUEntry declares devices installed in a provider node.
+type GPUEntry struct {
+	// Model must name a catalog GPU ("RTX 3090", "RTX 4090", "A100",
+	// "A6000").
+	Model string `json:"model"`
+	// Count is how many boards of this model are installed.
+	Count int `json:"count"`
+}
+
+// Agent is the provider daemon's configuration.
+type Agent struct {
+	// CoordinatorURL is the central daemon's base URL.
+	CoordinatorURL string `json:"coordinator_url"`
+	// Listen is the agent's HTTP bind address, e.g. ":7070".
+	Listen string `json:"listen"`
+	// AdvertiseURL is the address the coordinator should dial back;
+	// defaults to "http://127.0.0.1" + Listen.
+	AdvertiseURL string `json:"advertise_url"`
+	// GPUs inventories the node's devices.
+	GPUs []GPUEntry `json:"gpus"`
+	// Kernel is the host kernel version (informational).
+	Kernel string `json:"kernel"`
+	// CheckpointIntervalSec is the default ALC cadence (default 600).
+	CheckpointIntervalSec int `json:"checkpoint_interval_sec"`
+	// StorageBytes is scratch capacity offered to the platform.
+	StorageBytes int64 `json:"storage_bytes"`
+}
+
+// Validate applies defaults and checks invariants.
+func (a *Agent) Validate() error {
+	if a.CoordinatorURL == "" {
+		return errors.New("config: coordinator_url is required")
+	}
+	if a.Listen == "" {
+		a.Listen = ":7070"
+	}
+	if a.AdvertiseURL == "" {
+		a.AdvertiseURL = "http://127.0.0.1" + a.Listen
+	}
+	if len(a.GPUs) == 0 {
+		a.GPUs = []GPUEntry{{Model: "RTX 3090", Count: 1}}
+	}
+	for _, e := range a.GPUs {
+		if _, ok := gpu.SpecByModel(e.Model); !ok {
+			return fmt.Errorf("config: unknown GPU model %q", e.Model)
+		}
+		if e.Count <= 0 {
+			return fmt.Errorf("config: GPU model %q has count %d", e.Model, e.Count)
+		}
+	}
+	if a.Kernel == "" {
+		a.Kernel = "5.15"
+	}
+	if a.CheckpointIntervalSec <= 0 {
+		a.CheckpointIntervalSec = 600
+	}
+	if a.StorageBytes <= 0 {
+		a.StorageBytes = 100 << 30
+	}
+	return nil
+}
+
+// Inventory expands the GPU entries into device specs.
+func (a Agent) Inventory() ([]gpu.Spec, error) {
+	var specs []gpu.Spec
+	for _, e := range a.GPUs {
+		spec, ok := gpu.SpecByModel(e.Model)
+		if !ok {
+			return nil, fmt.Errorf("config: unknown GPU model %q", e.Model)
+		}
+		for i := 0; i < e.Count; i++ {
+			specs = append(specs, spec)
+		}
+	}
+	return specs, nil
+}
+
+// LoadCoordinator reads and validates a coordinator config file.
+func LoadCoordinator(path string) (Coordinator, error) {
+	var c Coordinator
+	if err := loadJSON(path, &c); err != nil {
+		return c, err
+	}
+	return c, c.Validate()
+}
+
+// LoadAgent reads and validates an agent config file.
+func LoadAgent(path string) (Agent, error) {
+	var a Agent
+	if err := loadJSON(path, &a); err != nil {
+		return a, err
+	}
+	return a, a.Validate()
+}
+
+// ParseCoordinator decodes a coordinator config from a reader.
+func ParseCoordinator(r io.Reader) (Coordinator, error) {
+	var c Coordinator
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return c, fmt.Errorf("config: decoding coordinator config: %w", err)
+	}
+	return c, c.Validate()
+}
+
+// ParseAgent decodes an agent config from a reader.
+func ParseAgent(r io.Reader) (Agent, error) {
+	var a Agent
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return a, fmt.Errorf("config: decoding agent config: %w", err)
+	}
+	return a, a.Validate()
+}
+
+func loadJSON(path string, out any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("config: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(out); err != nil {
+		return fmt.Errorf("config: decoding %s: %w", path, err)
+	}
+	return nil
+}

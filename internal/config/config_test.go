@@ -1,0 +1,140 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCoordinatorDefaults(t *testing.T) {
+	var c Coordinator
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Listen != ":8080" || c.HeartbeatIntervalSec != 10 || c.MissedThreshold != 3 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Strategy != "round-robin" {
+		t.Fatalf("strategy = %q", c.Strategy)
+	}
+	if c.HeartbeatInterval() != 10*time.Second {
+		t.Fatalf("interval = %v", c.HeartbeatInterval())
+	}
+}
+
+func TestCoordinatorBadStrategy(t *testing.T) {
+	c := Coordinator{Strategy: "random"}
+	if err := c.Validate(); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}
+
+func TestCoordinatorValidStrategies(t *testing.T) {
+	for _, s := range []string{"round-robin", "best-fit", "least-loaded"} {
+		c := Coordinator{Strategy: s}
+		if err := c.Validate(); err != nil {
+			t.Errorf("strategy %q rejected: %v", s, err)
+		}
+	}
+}
+
+func TestAgentRequiresCoordinatorURL(t *testing.T) {
+	var a Agent
+	if err := a.Validate(); err == nil {
+		t.Fatal("missing coordinator_url accepted")
+	}
+}
+
+func TestAgentDefaults(t *testing.T) {
+	a := Agent{CoordinatorURL: "http://coord:8080"}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Listen != ":7070" || a.AdvertiseURL != "http://127.0.0.1:7070" {
+		t.Fatalf("defaults = %+v", a)
+	}
+	if len(a.GPUs) != 1 || a.GPUs[0].Model != "RTX 3090" {
+		t.Fatalf("default GPUs = %+v", a.GPUs)
+	}
+	if a.CheckpointIntervalSec != 600 || a.StorageBytes <= 0 {
+		t.Fatalf("defaults = %+v", a)
+	}
+}
+
+func TestAgentUnknownGPU(t *testing.T) {
+	a := Agent{CoordinatorURL: "http://x", GPUs: []GPUEntry{{Model: "H100", Count: 1}}}
+	if err := a.Validate(); err == nil {
+		t.Fatal("unknown GPU model accepted")
+	}
+	a = Agent{CoordinatorURL: "http://x", GPUs: []GPUEntry{{Model: "A100", Count: 0}}}
+	if err := a.Validate(); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestAgentInventoryExpansion(t *testing.T) {
+	a := Agent{CoordinatorURL: "http://x", GPUs: []GPUEntry{
+		{Model: "A100", Count: 2}, {Model: "A6000", Count: 4},
+	}}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := a.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 6 || specs[0].Model != "A100" || specs[5].Model != "A6000" {
+		t.Fatalf("inventory = %+v", specs)
+	}
+}
+
+func TestParseCoordinator(t *testing.T) {
+	c, err := ParseCoordinator(strings.NewReader(`{"listen": ":9999", "strategy": "best-fit"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Listen != ":9999" || c.Strategy != "best-fit" {
+		t.Fatalf("parsed = %+v", c)
+	}
+	if _, err := ParseCoordinator(strings.NewReader("{bad")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestParseAgent(t *testing.T) {
+	a, err := ParseAgent(strings.NewReader(`{
+		"coordinator_url": "http://coord:8080",
+		"gpus": [{"model": "RTX 4090", "count": 8}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.GPUs) != 1 || a.GPUs[0].Count != 8 {
+		t.Fatalf("parsed = %+v", a)
+	}
+}
+
+func TestLoadFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpath := filepath.Join(dir, "coord.json")
+	if err := os.WriteFile(cpath, []byte(`{"listen": ":8181"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCoordinator(cpath)
+	if err != nil || c.Listen != ":8181" {
+		t.Fatalf("LoadCoordinator = %+v, %v", c, err)
+	}
+	apath := filepath.Join(dir, "agent.json")
+	if err := os.WriteFile(apath, []byte(`{"coordinator_url": "http://c"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadAgent(apath)
+	if err != nil || a.CoordinatorURL != "http://c" {
+		t.Fatalf("LoadAgent = %+v, %v", a, err)
+	}
+	if _, err := LoadCoordinator(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,461 @@
+package container
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gpunion/internal/gpu"
+)
+
+// Errors returned by the runtime.
+var (
+	ErrNotFound         = errors.New("container: container not found")
+	ErrBadTransition    = errors.New("container: invalid lifecycle transition")
+	ErrNoGPUAvailable   = errors.New("container: no GPU satisfies the request")
+	ErrIsolationBreach  = errors.New("container: operation blocked by isolation policy")
+	ErrAlreadyExists    = errors.New("container: id already exists")
+	ErrResourceExceeded = errors.New("container: resource limit exceeded")
+)
+
+// State is a container lifecycle state. Transitions follow the OCI
+// lifecycle extended with the checkpoint states GPUnion needs.
+type State string
+
+// Lifecycle states.
+const (
+	Created       State = "created"
+	Running       State = "running"
+	Paused        State = "paused"
+	Checkpointing State = "checkpointing"
+	Exited        State = "exited" // terminated normally or stopped
+	Killed        State = "killed" // terminated by the kill-switch
+)
+
+// Mode distinguishes the two execution modes of §3.3.
+type Mode string
+
+// Execution modes.
+const (
+	// Interactive provisions a Jupyter-style research environment.
+	Interactive Mode = "interactive"
+	// Batch runs an arbitrary entrypoint to completion.
+	Batch Mode = "batch"
+)
+
+// Resources are the cgroup-style limits applied to a container.
+type Resources struct {
+	// CPUCores is the CPU quota in whole cores.
+	CPUCores int `json:"cpu_cores"`
+	// MemoryMiB is the host-memory limit.
+	MemoryMiB int64 `json:"memory_mib"`
+	// GPUMemoryMiB is the device memory the workload needs; the runtime
+	// binds a GPU with at least this much.
+	GPUMemoryMiB int64 `json:"gpu_memory_mib"`
+	// MinCapability is the minimum CUDA compute capability required.
+	MinCapability gpu.ComputeCapability `json:"min_capability"`
+}
+
+// Isolation captures the sandboxing configuration applied to every
+// container (§3.3: namespaces, cgroups, Seccomp). The runtime enforces
+// the host-access policy; the rest is recorded configuration.
+type Isolation struct {
+	// PIDNamespace, NetNamespace, MountNamespace record namespace
+	// isolation; GPUnion always enables all three.
+	PIDNamespace   bool `json:"pid_namespace"`
+	NetNamespace   bool `json:"net_namespace"`
+	MountNamespace bool `json:"mount_namespace"`
+	// SeccompProfile names the syscall filter profile.
+	SeccompProfile string `json:"seccomp_profile"`
+	// AllowHostMounts lists host paths the container may access; empty
+	// means no host access (the default).
+	AllowHostMounts []string `json:"allow_host_mounts,omitempty"`
+}
+
+// DefaultIsolation is the sandbox applied to guest workloads.
+func DefaultIsolation() Isolation {
+	return Isolation{
+		PIDNamespace:   true,
+		NetNamespace:   true,
+		MountNamespace: true,
+		SeccompProfile: "gpunion-default",
+	}
+}
+
+// Spec describes a container to create.
+type Spec struct {
+	// ID is the caller-chosen container identifier.
+	ID string `json:"id"`
+	// ImageName references an image in the runtime's store.
+	ImageName string `json:"image_name"`
+	// Mode selects interactive or batch execution.
+	Mode Mode `json:"mode"`
+	// Entrypoint is the command for batch mode; interactive mode ignores
+	// it and provisions the notebook server.
+	Entrypoint []string `json:"entrypoint,omitempty"`
+	// Env is the environment; the runtime adds NVIDIA_VISIBLE_DEVICES.
+	Env map[string]string `json:"env,omitempty"`
+	// Resources are the cgroup limits and GPU requirements.
+	Resources Resources `json:"resources"`
+	// Isolation overrides DefaultIsolation when non-zero.
+	Isolation *Isolation `json:"isolation,omitempty"`
+}
+
+// Container is a live (or exited) container instance.
+type Container struct {
+	mu        sync.Mutex
+	spec      Spec
+	image     Image
+	state     State
+	device    *gpu.Device // bound GPU, nil after release
+	deviceID  string      // retained for status after release
+	isolation Isolation
+	createdAt time.Time
+	startedAt time.Time
+	exitedAt  time.Time
+	exitCode  int
+	env       map[string]string
+}
+
+// ID returns the container identifier.
+func (c *Container) ID() string { return c.spec.ID }
+
+// State returns the current lifecycle state.
+func (c *Container) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Mode returns the execution mode.
+func (c *Container) Mode() Mode { return c.spec.Mode }
+
+// Image returns the admitted image the container runs.
+func (c *Container) Image() Image { return c.image }
+
+// GPUDeviceID returns the bound device's local ID ("" if none was bound).
+func (c *Container) GPUDeviceID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deviceID
+}
+
+// Env returns a copy of the effective environment, including the GPU
+// visibility variable injected at creation.
+func (c *Container) Env() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.env))
+	for k, v := range c.env {
+		out[k] = v
+	}
+	return out
+}
+
+// Isolation returns the sandbox configuration.
+func (c *Container) Isolation() Isolation { return c.isolation }
+
+// ExitCode returns the recorded exit code (0 unless exited/killed).
+func (c *Container) ExitCode() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exitCode
+}
+
+// CheckHostAccess enforces the isolation policy: guest workloads may only
+// touch host paths explicitly allow-listed in their mount configuration.
+func (c *Container) CheckHostAccess(path string) error {
+	for _, allowed := range c.isolation.AllowHostMounts {
+		if path == allowed {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: host path %q", ErrIsolationBreach, path)
+}
+
+// Runtime is the node-local container engine. It owns the node's GPU
+// inventory and enforces image admission on every create.
+type Runtime struct {
+	mu         sync.Mutex
+	images     *ImageStore
+	inventory  *gpu.Inventory
+	containers map[string]*Container
+	// hostCPUCores / hostMemoryMiB are node-level cgroup budgets.
+	hostCPUCores  int
+	hostMemoryMiB int64
+	usedCPUCores  int
+	usedMemoryMiB int64
+}
+
+// NewRuntime creates a runtime over the node's images and GPU inventory.
+// hostCPUCores/hostMemoryMiB bound aggregate container resources
+// (0 = unbounded).
+func NewRuntime(images *ImageStore, inv *gpu.Inventory, hostCPUCores int, hostMemoryMiB int64) *Runtime {
+	return &Runtime{
+		images:        images,
+		inventory:     inv,
+		containers:    make(map[string]*Container),
+		hostCPUCores:  hostCPUCores,
+		hostMemoryMiB: hostMemoryMiB,
+	}
+}
+
+// Inventory exposes the node's GPU inventory (used by telemetry).
+func (r *Runtime) Inventory() *gpu.Inventory { return r.inventory }
+
+// Create admits the image, reserves host resources, binds a GPU
+// satisfying the spec, and returns the container in Created state.
+func (r *Runtime) Create(spec Spec, now time.Time) (*Container, error) {
+	if spec.ID == "" {
+		return nil, errors.New("container: empty container id")
+	}
+	if spec.Mode != Interactive && spec.Mode != Batch {
+		return nil, fmt.Errorf("container: unknown mode %q", spec.Mode)
+	}
+	im, err := r.images.Admit(spec.ImageName)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.containers[spec.ID]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyExists, spec.ID)
+	}
+	if r.hostCPUCores > 0 && r.usedCPUCores+spec.Resources.CPUCores > r.hostCPUCores {
+		return nil, fmt.Errorf("%w: cpu %d + %d > %d",
+			ErrResourceExceeded, r.usedCPUCores, spec.Resources.CPUCores, r.hostCPUCores)
+	}
+	if r.hostMemoryMiB > 0 && r.usedMemoryMiB+spec.Resources.MemoryMiB > r.hostMemoryMiB {
+		return nil, fmt.Errorf("%w: memory %d + %d > %d MiB",
+			ErrResourceExceeded, r.usedMemoryMiB, spec.Resources.MemoryMiB, r.hostMemoryMiB)
+	}
+
+	var dev *gpu.Device
+	if spec.Resources.GPUMemoryMiB > 0 {
+		dev = r.inventory.FindFree(spec.Resources.GPUMemoryMiB, spec.Resources.MinCapability)
+		if dev == nil {
+			return nil, fmt.Errorf("%w: need %d MiB, capability >= %s",
+				ErrNoGPUAvailable, spec.Resources.GPUMemoryMiB, spec.Resources.MinCapability)
+		}
+		if err := dev.Allocate(spec.ID, spec.Resources.GPUMemoryMiB); err != nil {
+			return nil, err
+		}
+	}
+
+	iso := DefaultIsolation()
+	if spec.Isolation != nil {
+		iso = *spec.Isolation
+	}
+	env := make(map[string]string, len(spec.Env)+2)
+	for k, v := range spec.Env {
+		env[k] = v
+	}
+	if dev != nil {
+		// GPU passthrough via the NVIDIA Container Toolkit convention.
+		env["NVIDIA_VISIBLE_DEVICES"] = dev.ID
+	} else {
+		env["NVIDIA_VISIBLE_DEVICES"] = "none"
+	}
+	if spec.Mode == Interactive {
+		env["JUPYTER_ENABLE"] = "1"
+	}
+
+	c := &Container{
+		spec:      spec,
+		image:     im,
+		state:     Created,
+		device:    dev,
+		isolation: iso,
+		createdAt: now,
+		env:       env,
+	}
+	if dev != nil {
+		c.deviceID = dev.ID
+	}
+	r.containers[spec.ID] = c
+	r.usedCPUCores += spec.Resources.CPUCores
+	r.usedMemoryMiB += spec.Resources.MemoryMiB
+	return c, nil
+}
+
+// Get returns a container by ID.
+func (r *Runtime) Get(id string) (*Container, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.containers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return c, nil
+}
+
+// List returns container IDs, sorted.
+func (r *Runtime) List() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.containers))
+	for id := range r.containers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Running returns the number of containers currently in Running state.
+func (r *Runtime) Running() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.containers {
+		if c.State() == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// Start transitions Created → Running.
+func (r *Runtime) Start(id string, now time.Time) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	return c.transition(Created, Running, func() { c.startedAt = now })
+}
+
+// Pause transitions Running → Paused (provider pressed "pause", or the
+// agent froze the workload ahead of a checkpoint).
+func (r *Runtime) Pause(id string) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	return c.transition(Running, Paused, nil)
+}
+
+// Resume transitions Paused → Running.
+func (r *Runtime) Resume(id string) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	return c.transition(Paused, Running, nil)
+}
+
+// BeginCheckpoint transitions Running → Checkpointing. The workload is
+// quiesced while state is captured.
+func (r *Runtime) BeginCheckpoint(id string) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	return c.transition(Running, Checkpointing, nil)
+}
+
+// EndCheckpoint transitions Checkpointing → Running.
+func (r *Runtime) EndCheckpoint(id string) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	return c.transition(Checkpointing, Running, nil)
+}
+
+// Stop terminates the container gracefully with the given exit code,
+// releasing its GPU. Valid from Running, Paused or Checkpointing.
+func (r *Runtime) Stop(id string, exitCode int, now time.Time) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	return c.terminate(Exited, exitCode, now)
+}
+
+// Kill immediately terminates the container (kill-switch path). Valid
+// from any non-terminal state, including Created.
+func (r *Runtime) Kill(id string, now time.Time) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	return c.terminate(Killed, 137, now)
+}
+
+// Remove deletes a terminal container and releases its host resources.
+func (r *Runtime) Remove(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.containers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	st := c.State()
+	if st != Exited && st != Killed {
+		return fmt.Errorf("%w: remove from %s", ErrBadTransition, st)
+	}
+	delete(r.containers, id)
+	r.usedCPUCores -= c.spec.Resources.CPUCores
+	r.usedMemoryMiB -= c.spec.Resources.MemoryMiB
+	return nil
+}
+
+// KillAll kills every non-terminal container (emergency kill-switch) and
+// returns the IDs killed.
+func (r *Runtime) KillAll(now time.Time) []string {
+	var killed []string
+	for _, id := range r.List() {
+		c, err := r.Get(id)
+		if err != nil {
+			continue
+		}
+		st := c.State()
+		if st == Exited || st == Killed {
+			continue
+		}
+		if err := r.Kill(id, now); err == nil {
+			killed = append(killed, id)
+		}
+	}
+	return killed
+}
+
+// transition performs a guarded single-source state change.
+func (c *Container) transition(from, to State, onOK func()) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != from {
+		return fmt.Errorf("%w: %s → %s (currently %s)", ErrBadTransition, from, to, c.state)
+	}
+	c.state = to
+	if onOK != nil {
+		onOK()
+	}
+	return nil
+}
+
+// terminate moves the container to a terminal state from any live state
+// and releases the GPU binding.
+func (c *Container) terminate(to State, exitCode int, now time.Time) error {
+	c.mu.Lock()
+	if c.state == Exited || c.state == Killed {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: already %s", ErrBadTransition, c.state)
+	}
+	c.state = to
+	c.exitCode = exitCode
+	c.exitedAt = now
+	dev := c.device
+	c.device = nil
+	id := c.spec.ID
+	c.mu.Unlock()
+	if dev != nil {
+		// Release errors indicate double-free bugs; surface loudly.
+		if err := dev.Release(id); err != nil {
+			return fmt.Errorf("container: releasing GPU on terminate: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+package container
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gpunion/internal/gpu"
+)
+
+var t0 = time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestRuntime() *Runtime {
+	inv := gpu.NewMixedInventory(gpu.RTX3090, gpu.A100)
+	return NewRuntime(DefaultImages(), inv, 32, 128*1024)
+}
+
+func batchSpec(id string, gpuMem int64) Spec {
+	return Spec{
+		ID:         id,
+		ImageName:  "pytorch/pytorch:2.3-cuda12",
+		Mode:       Batch,
+		Entrypoint: []string{"python", "train.py"},
+		Resources:  Resources{CPUCores: 4, MemoryMiB: 16384, GPUMemoryMiB: gpuMem},
+	}
+}
+
+func TestCreateBindsGPU(t *testing.T) {
+	r := newTestRuntime()
+	c, err := r.Create(batchSpec("c1", 20000), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != Created {
+		t.Fatalf("state = %s", c.State())
+	}
+	if c.GPUDeviceID() != "gpu0" {
+		t.Fatalf("bound device = %s, want gpu0", c.GPUDeviceID())
+	}
+	if c.Env()["NVIDIA_VISIBLE_DEVICES"] != "gpu0" {
+		t.Fatalf("env = %v", c.Env())
+	}
+}
+
+func TestCreateLargeJobPicksBigGPU(t *testing.T) {
+	r := newTestRuntime()
+	c, err := r.Create(batchSpec("c1", 40000), t0) // only fits the A100
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GPUDeviceID() != "gpu1" {
+		t.Fatalf("device = %s, want gpu1 (A100)", c.GPUDeviceID())
+	}
+}
+
+func TestCreateCPUOnly(t *testing.T) {
+	r := newTestRuntime()
+	spec := batchSpec("c1", 0)
+	c, err := r.Create(spec, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GPUDeviceID() != "" {
+		t.Fatal("CPU-only container bound a GPU")
+	}
+	if c.Env()["NVIDIA_VISIBLE_DEVICES"] != "none" {
+		t.Fatalf("env = %v", c.Env())
+	}
+}
+
+func TestCreateNoGPUAvailable(t *testing.T) {
+	r := newTestRuntime()
+	if _, err := r.Create(batchSpec("c1", 20000), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(batchSpec("c2", 40000), t0); err != nil {
+		t.Fatal(err) // takes the A100
+	}
+	_, err := r.Create(batchSpec("c3", 20000), t0)
+	if !errors.Is(err, ErrNoGPUAvailable) {
+		t.Fatalf("err = %v, want ErrNoGPUAvailable", err)
+	}
+}
+
+func TestCreateUntrustedImageRejected(t *testing.T) {
+	r := newTestRuntime()
+	spec := batchSpec("c1", 100)
+	spec.ImageName = "evil/backdoor:latest"
+	if _, err := r.Create(spec, t0); !errors.Is(err, ErrImageNotFound) {
+		t.Fatalf("err = %v, want ErrImageNotFound", err)
+	}
+}
+
+func TestCreateDuplicateID(t *testing.T) {
+	r := newTestRuntime()
+	if _, err := r.Create(batchSpec("c1", 0), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(batchSpec("c1", 0), t0); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("err = %v, want ErrAlreadyExists", err)
+	}
+}
+
+func TestCreateEmptyIDAndBadMode(t *testing.T) {
+	r := newTestRuntime()
+	spec := batchSpec("", 0)
+	if _, err := r.Create(spec, t0); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	spec = batchSpec("c1", 0)
+	spec.Mode = "warp"
+	if _, err := r.Create(spec, t0); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestHostResourceBudget(t *testing.T) {
+	inv := gpu.NewInventory(gpu.RTX3090, 8)
+	r := NewRuntime(DefaultImages(), inv, 8, 32768)
+	if _, err := r.Create(batchSpec("c1", 0), t0); err != nil { // 4 cores, 16 GiB
+		t.Fatal(err)
+	}
+	if _, err := r.Create(batchSpec("c2", 0), t0); err != nil { // 8 cores, 32 GiB total
+		t.Fatal(err)
+	}
+	if _, err := r.Create(batchSpec("c3", 0), t0); !errors.Is(err, ErrResourceExceeded) {
+		t.Fatalf("err = %v, want ErrResourceExceeded", err)
+	}
+}
+
+func TestRemoveReleasesHostBudget(t *testing.T) {
+	inv := gpu.NewInventory(gpu.RTX3090, 8)
+	r := NewRuntime(DefaultImages(), inv, 4, 16384)
+	if _, err := r.Create(batchSpec("c1", 0), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Kill("c1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(batchSpec("c2", 0), t0); err != nil {
+		t.Fatalf("budget not released: %v", err)
+	}
+}
+
+func TestRemoveLiveContainerRejected(t *testing.T) {
+	r := newTestRuntime()
+	if _, err := r.Create(batchSpec("c1", 0), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("c1"); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("err = %v, want ErrBadTransition", err)
+	}
+}
+
+func TestLifecycleHappyPath(t *testing.T) {
+	r := newTestRuntime()
+	c, err := r.Create(batchSpec("c1", 1000), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		op   func() error
+		want State
+	}{
+		{func() error { return r.Start("c1", t0) }, Running},
+		{func() error { return r.Pause("c1") }, Paused},
+		{func() error { return r.Resume("c1") }, Running},
+		{func() error { return r.BeginCheckpoint("c1") }, Checkpointing},
+		{func() error { return r.EndCheckpoint("c1") }, Running},
+		{func() error { return r.Stop("c1", 0, t0.Add(time.Hour)) }, Exited},
+	}
+	for i, s := range steps {
+		if err := s.op(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if c.State() != s.want {
+			t.Fatalf("step %d: state = %s, want %s", i, c.State(), s.want)
+		}
+	}
+	if c.ExitCode() != 0 {
+		t.Fatalf("exit code = %d", c.ExitCode())
+	}
+}
+
+func TestInvalidTransitions(t *testing.T) {
+	r := newTestRuntime()
+	if _, err := r.Create(batchSpec("c1", 0), t0); err != nil {
+		t.Fatal(err)
+	}
+	// Created → Pause is invalid.
+	if err := r.Pause("c1"); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("Pause from Created err = %v", err)
+	}
+	// Created → EndCheckpoint is invalid.
+	if err := r.EndCheckpoint("c1"); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("EndCheckpoint from Created err = %v", err)
+	}
+	if err := r.Start("c1", t0); err != nil {
+		t.Fatal(err)
+	}
+	// Running → Start again is invalid.
+	if err := r.Start("c1", t0); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("double Start err = %v", err)
+	}
+}
+
+func TestStopReleasesGPU(t *testing.T) {
+	r := newTestRuntime()
+	c, err := r.Create(batchSpec("c1", 20000), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start("c1", t0); err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := r.Inventory().Device(c.GPUDeviceID())
+	if dev.Free() {
+		t.Fatal("device free while container running")
+	}
+	if err := r.Stop("c1", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if !dev.Free() {
+		t.Fatal("device not released on Stop")
+	}
+	// Device ID is retained for status reporting.
+	if c.GPUDeviceID() != "gpu0" {
+		t.Fatalf("GPUDeviceID after stop = %q", c.GPUDeviceID())
+	}
+}
+
+func TestKillFromAnyLiveState(t *testing.T) {
+	r := newTestRuntime()
+	for i, setup := range []func(id string) error{
+		func(id string) error { return nil },                                        // Created
+		func(id string) error { return r.Start(id, t0) },                            // Running
+		func(id string) error { _ = r.Start(id, t0); return r.Pause(id) },           // Paused
+		func(id string) error { _ = r.Start(id, t0); return r.BeginCheckpoint(id) }, // Checkpointing
+	} {
+		id := string(rune('a' + i))
+		if _, err := r.Create(batchSpec(id, 0), t0); err != nil {
+			t.Fatal(err)
+		}
+		if err := setup(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Kill(id, t0); err != nil {
+			t.Fatalf("Kill from setup %d: %v", i, err)
+		}
+		c, _ := r.Get(id)
+		if c.State() != Killed || c.ExitCode() != 137 {
+			t.Fatalf("state = %s, exit = %d", c.State(), c.ExitCode())
+		}
+	}
+}
+
+func TestKillTerminalFails(t *testing.T) {
+	r := newTestRuntime()
+	if _, err := r.Create(batchSpec("c1", 0), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Kill("c1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Kill("c1", t0); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("double Kill err = %v", err)
+	}
+	if err := r.Stop("c1", 0, t0); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("Stop after Kill err = %v", err)
+	}
+}
+
+func TestKillAll(t *testing.T) {
+	r := newTestRuntime()
+	for _, id := range []string{"c1", "c2"} {
+		if _, err := r.Create(batchSpec(id, 1000), t0); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(id, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One already exited: must not be re-killed.
+	if err := r.Stop("c2", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	killed := r.KillAll(t0)
+	if len(killed) != 1 || killed[0] != "c1" {
+		t.Fatalf("KillAll = %v, want [c1]", killed)
+	}
+	if r.Running() != 0 {
+		t.Fatalf("Running = %d after KillAll", r.Running())
+	}
+}
+
+func TestInteractiveModeEnv(t *testing.T) {
+	r := newTestRuntime()
+	spec := Spec{
+		ID:        "sess1",
+		ImageName: "gpunion/jupyter-dl:latest",
+		Mode:      Interactive,
+		Resources: Resources{CPUCores: 2, MemoryMiB: 8192, GPUMemoryMiB: 8000},
+	}
+	c, err := r.Create(spec, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Env()["JUPYTER_ENABLE"] != "1" {
+		t.Fatalf("interactive env = %v", c.Env())
+	}
+	if c.Mode() != Interactive {
+		t.Fatalf("mode = %s", c.Mode())
+	}
+}
+
+func TestIsolationDefaults(t *testing.T) {
+	r := newTestRuntime()
+	c, err := r.Create(batchSpec("c1", 0), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := c.Isolation()
+	if !iso.PIDNamespace || !iso.NetNamespace || !iso.MountNamespace {
+		t.Fatalf("isolation = %+v, want all namespaces on", iso)
+	}
+	if iso.SeccompProfile != "gpunion-default" {
+		t.Fatalf("seccomp = %q", iso.SeccompProfile)
+	}
+}
+
+func TestHostAccessPolicy(t *testing.T) {
+	r := newTestRuntime()
+	spec := batchSpec("c1", 0)
+	iso := DefaultIsolation()
+	iso.AllowHostMounts = []string{"/data/shared"}
+	spec.Isolation = &iso
+	c, err := r.Create(spec, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckHostAccess("/data/shared"); err != nil {
+		t.Fatalf("allowed mount rejected: %v", err)
+	}
+	if err := c.CheckHostAccess("/etc/passwd"); !errors.Is(err, ErrIsolationBreach) {
+		t.Fatalf("host access err = %v, want ErrIsolationBreach", err)
+	}
+}
+
+func TestDefaultDeniesAllHostAccess(t *testing.T) {
+	r := newTestRuntime()
+	c, err := r.Create(batchSpec("c1", 0), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckHostAccess("/anything"); !errors.Is(err, ErrIsolationBreach) {
+		t.Fatalf("err = %v, want ErrIsolationBreach", err)
+	}
+}
+
+func TestListAndRunningCounts(t *testing.T) {
+	r := newTestRuntime()
+	for _, id := range []string{"b", "a"} {
+		if _, err := r.Create(batchSpec(id, 0), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := r.List()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("List = %v", ids)
+	}
+	if r.Running() != 0 {
+		t.Fatalf("Running = %d", r.Running())
+	}
+	if err := r.Start("a", t0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Running() != 1 {
+		t.Fatalf("Running = %d, want 1", r.Running())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	r := newTestRuntime()
+	if _, err := r.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestEnvReturnsCopy(t *testing.T) {
+	r := newTestRuntime()
+	c, err := r.Create(batchSpec("c1", 0), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.Env()
+	env["NVIDIA_VISIBLE_DEVICES"] = "hacked"
+	if c.Env()["NVIDIA_VISIBLE_DEVICES"] == "hacked" {
+		t.Fatal("Env exposed internal map")
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/db"
+)
+
+// Client talks to a coordinator over HTTP. It serves two callers:
+// user tooling (submit, status, nodes) and agent daemons (register,
+// heartbeat, depart, job updates). It implements agent.Notifier so a
+// daemonised agent can report through it directly.
+type Client struct {
+	// BaseURL is the coordinator's address.
+	BaseURL string
+	// HTTPClient defaults to a 10 s timeout client.
+	HTTPClient *http.Client
+
+	mu    sync.Mutex
+	token string
+}
+
+// NewClient creates a coordinator client.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// SetToken installs the node credential for authenticated calls.
+func (c *Client) SetToken(tok string) {
+	c.mu.Lock()
+	c.token = tok
+	c.mu.Unlock()
+}
+
+// Token returns the stored credential.
+func (c *Client) Token() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
+// Register joins the platform; the returned token is stored on the
+// client for subsequent authenticated calls.
+func (c *Client) Register(req api.RegisterRequest) (api.RegisterResponse, error) {
+	var resp api.RegisterResponse
+	if err := c.post("/v1/register", req, &resp); err != nil {
+		return resp, err
+	}
+	c.SetToken(resp.Token)
+	return resp, nil
+}
+
+// Heartbeat sends one status update.
+func (c *Client) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, error) {
+	if req.Token == "" {
+		req.Token = c.Token()
+	}
+	var resp api.HeartbeatResponse
+	err := c.post("/v1/heartbeat", req, &resp)
+	return resp, err
+}
+
+// Depart announces a voluntary departure.
+func (c *Client) Depart(machineID string, reason api.DepartReason, graceSeconds int) error {
+	return c.post("/v1/depart", api.DepartRequest{
+		MachineID: machineID, Token: c.Token(),
+		Reason: reason, GraceSeconds: graceSeconds,
+	}, nil)
+}
+
+// SubmitJob submits a user job.
+func (c *Client) SubmitJob(req api.SubmitJobRequest) (string, error) {
+	var resp api.SubmitJobResponse
+	if err := c.post("/v1/jobs", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// JobStatus fetches one job's state.
+func (c *Client) JobStatus(jobID string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.get("/v1/jobs/"+jobID, &st)
+	return st, err
+}
+
+// Jobs lists all jobs' statuses, newest first.
+func (c *Client) Jobs() ([]api.JobStatus, error) {
+	var jobs []api.JobStatus
+	err := c.get("/v1/jobs", &jobs)
+	return jobs, err
+}
+
+// KillJob terminates a job platform-wide.
+func (c *Client) KillJob(jobID string) error {
+	return c.post("/v1/jobs/"+jobID+"/kill", nil, nil)
+}
+
+// Nodes lists registered nodes.
+func (c *Client) Nodes() ([]api.NodeSummary, error) {
+	var nodes []api.NodeSummary
+	err := c.get("/v1/nodes", &nodes)
+	return nodes, err
+}
+
+// JobUpdate implements agent.Notifier over HTTP.
+func (c *Client) JobUpdate(machineID, jobID string, state db.JobState, step int64) {
+	_ = c.post("/v1/jobupdate", api.JobUpdateRequest{
+		MachineID: machineID, Token: c.Token(),
+		JobID: jobID, State: state, Step: step,
+	}, nil)
+}
+
+// Departing implements agent.Notifier over HTTP.
+func (c *Client) Departing(machineID string, reason api.DepartReason) {
+	_ = c.Depart(machineID, reason, 0)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("core: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("core: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return readAPIError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("core: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("core: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return readAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func readAPIError(resp *http.Response) error {
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Message != "" {
+		return apiErr
+	}
+	return fmt.Errorf("core: HTTP %d", resp.StatusCode)
+}

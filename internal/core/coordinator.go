@@ -1,0 +1,800 @@
+// Package core implements GPUnion's central coordinator (§3.2): node
+// registration and authentication, the real-time resource view, the
+// scheduling loop over the pending-job priority queue, heartbeat-based
+// failure detection, and the execution side of the resilient-migration
+// mechanism.
+//
+// The coordinator is transport-agnostic: agents are reached through the
+// AgentHandle interface, implemented in-process (tests, discrete-event
+// simulation) and over HTTP (the real daemons in cmd/).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/auth"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/heartbeat"
+	"gpunion/internal/migration"
+	"gpunion/internal/monitor"
+	"gpunion/internal/netsim"
+	"gpunion/internal/scheduler"
+	"gpunion/internal/simclock"
+	"gpunion/internal/workload"
+)
+
+// Errors returned by the coordinator.
+var (
+	ErrUnknownNode = errors.New("core: unknown node")
+	ErrUnknownJob  = errors.New("core: unknown job")
+	ErrBadToken    = errors.New("core: invalid token")
+)
+
+// AgentHandle is the coordinator's transport to one provider agent.
+type AgentHandle interface {
+	// Launch starts a workload on the node.
+	Launch(req api.LaunchRequest) (api.LaunchResponse, error)
+	// Kill terminates a job on the node.
+	Kill(jobID string) error
+	// Checkpoint captures a job's state on demand.
+	Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error)
+}
+
+// Config parameterises the coordinator.
+type Config struct {
+	// HeartbeatInterval is the period agents must report at.
+	HeartbeatInterval time.Duration
+	// MissedThreshold is how many silent intervals mark a node lost.
+	MissedThreshold int
+	// Strategy picks the scheduling strategy (nil = round-robin).
+	Strategy scheduler.Strategy
+	// TokenTTL bounds issued credentials (0 = 30 days).
+	TokenTTL time.Duration
+	// Net optionally models LAN transfer timing for migrations;
+	// StorageNode names the netsim node holding checkpoint data.
+	Net         *netsim.Network
+	StorageNode string
+}
+
+// jobMeta is the relaunch information not stored in the database record.
+type jobMeta struct {
+	image          string
+	kind           string
+	entrypoint     []string
+	ckptSec        int
+	training       *workload.TrainingSpec
+	sessionSeconds int
+	lostAt         time.Time // when the job was displaced (downtime basis)
+}
+
+// Coordinator is the central scheduler and coordination hub.
+type Coordinator struct {
+	cfg     Config
+	clock   simclock.Clock
+	db      *db.DB
+	authy   *auth.Authority
+	sched   *scheduler.Scheduler
+	hb      *heartbeat.Monitor
+	ckpts   *checkpoint.Store
+	mig     *migration.Engine
+	bus     *eventbus.Bus
+	metrics *monitor.Registry
+
+	mu               sync.Mutex
+	agents           map[string]AgentHandle
+	meta             map[string]*jobMeta
+	jobSeq           int
+	interactiveCount int
+	// temporary tracks nodes that departed with return intent.
+	temporary map[string]bool
+	stopped   bool
+	sweeper   simclock.Timer
+
+	schedLatency *monitor.Histogram
+}
+
+// New creates a coordinator. database and ckpts may be shared with other
+// components (the simulation inspects them).
+func New(cfg Config, clock simclock.Clock, database *db.DB, ckpts *checkpoint.Store, bus *eventbus.Bus) (*Coordinator, error) {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = heartbeat.DefaultInterval
+	}
+	if cfg.MissedThreshold <= 0 {
+		cfg.MissedThreshold = heartbeat.DefaultMissedThreshold
+	}
+	if bus == nil {
+		bus = eventbus.New(0)
+	}
+	authy, err := auth.NewAuthority(nil, cfg.TokenTTL)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating token authority: %w", err)
+	}
+	sched := scheduler.New(cfg.Strategy, scheduler.DefaultReliability())
+	metrics := monitor.NewRegistry()
+	latency, err := metrics.Histogram("gpunion_scheduling_latency_seconds",
+		"Latency of one scheduling decision",
+		[]float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5}, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:          cfg,
+		clock:        clock,
+		db:           database,
+		authy:        authy,
+		sched:        sched,
+		hb:           heartbeat.NewMonitor(cfg.HeartbeatInterval, cfg.MissedThreshold),
+		ckpts:        ckpts,
+		mig:          migration.New(sched, ckpts, cfg.Net, cfg.StorageNode),
+		bus:          bus,
+		metrics:      metrics,
+		agents:       make(map[string]AgentHandle),
+		meta:         make(map[string]*jobMeta),
+		temporary:    make(map[string]bool),
+		schedLatency: latency,
+	}
+	c.scheduleSweep()
+	return c, nil
+}
+
+// DB exposes the system database (read paths for tools and tests).
+func (c *Coordinator) DB() *db.DB { return c.db }
+
+// Checkpoints exposes the checkpoint store.
+func (c *Coordinator) Checkpoints() *checkpoint.Store { return c.ckpts }
+
+// Migration exposes the migration engine (statistics).
+func (c *Coordinator) Migration() *migration.Engine { return c.mig }
+
+// Metrics exposes the Prometheus-style registry.
+func (c *Coordinator) Metrics() *monitor.Registry { return c.metrics }
+
+// Bus exposes the event bus.
+func (c *Coordinator) Bus() *eventbus.Bus { return c.bus }
+
+// InteractiveSessions reports how many interactive sessions have been
+// launched (the Fig. 2 "+40% interactive sessions" statistic).
+func (c *Coordinator) InteractiveSessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interactiveCount
+}
+
+// Stop halts the background sweep timer.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	if c.sweeper != nil {
+		c.sweeper.Stop()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) scheduleSweep() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.sweeper = c.clock.AfterFunc(c.cfg.HeartbeatInterval, func() {
+		c.Sweep()
+		c.scheduleSweep()
+	})
+	c.mu.Unlock()
+}
+
+// --- Node lifecycle ---
+
+// Register admits a node (or re-admits a returning one) and returns its
+// credentials. handle is the transport used to reach the node's agent.
+func (c *Coordinator) Register(req api.RegisterRequest, handle AgentHandle) (api.RegisterResponse, error) {
+	if req.MachineID == "" {
+		return api.RegisterResponse{}, errors.New("core: empty machine id")
+	}
+	now := c.clock.Now()
+	token, err := c.authy.Issue(req.MachineID, auth.RoleProvider, now)
+	if err != nil {
+		return api.RegisterResponse{}, fmt.Errorf("core: issuing token: %w", err)
+	}
+
+	returning := false
+	if old, err := c.db.GetNode(req.MachineID); err == nil &&
+		(old.Status == db.NodeDeparted || old.Status == db.NodeUnreachable) {
+		returning = true
+	}
+
+	rec := db.NodeRecord{
+		ID: req.MachineID, Addr: req.Addr, Status: db.NodeActive,
+		GPUs: req.GPUs, Kernel: req.Kernel, Storage: req.StorageBytes,
+		RegisteredAt: now, LastHeartbeat: now, LastJoin: now,
+	}
+	if old, err := c.db.GetNode(req.MachineID); err == nil {
+		rec.RegisteredAt = old.RegisteredAt
+		rec.Departures = old.Departures
+		rec.TotalUptime = old.TotalUptime
+	}
+	c.db.UpsertNode(rec)
+
+	c.mu.Lock()
+	c.agents[req.MachineID] = handle
+	c.mu.Unlock()
+	c.hb.Track(req.MachineID, now)
+
+	c.bus.Publish(eventbus.Event{Type: eventbus.NodeRegistered, Time: now, Node: req.MachineID})
+	if returning {
+		c.handleNodeReturn(req.MachineID, now)
+	}
+	c.TrySchedule()
+	return api.RegisterResponse{Token: token, HeartbeatInterval: c.cfg.HeartbeatInterval}, nil
+}
+
+// Heartbeat processes a periodic agent report.
+func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, error) {
+	now := c.clock.Now()
+	if _, err := c.authy.VerifySubject(req.Token, req.MachineID, now); err != nil {
+		if errors.Is(err, auth.ErrExpired) {
+			// Long-lived nodes outlive their credentials (semester-scale
+			// participation): ask for a fresh registration rather than
+			// dropping the node.
+			return api.HeartbeatResponse{Reregister: true}, nil
+		}
+		return api.HeartbeatResponse{}, fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	rec, err := c.db.GetNode(req.MachineID)
+	if err != nil {
+		return api.HeartbeatResponse{Reregister: true}, nil
+	}
+
+	wasAway := rec.Status == db.NodeUnreachable || rec.Status == db.NodeDeparted
+	newStatus := db.NodeActive
+	if req.Paused {
+		newStatus = db.NodePaused
+	}
+	uerr := c.db.UpdateNode(req.MachineID, func(n *db.NodeRecord) {
+		n.LastHeartbeat = now
+		n.Status = newStatus
+		if wasAway {
+			n.LastJoin = now
+		}
+		// Refresh device allocation truth from the agent.
+		for i := range n.GPUs {
+			for _, tel := range req.Telemetry {
+				if n.GPUs[i].DeviceID == tel.DeviceID {
+					n.GPUs[i].Allocated = tel.Allocated
+				}
+			}
+		}
+	})
+	if uerr != nil {
+		return api.HeartbeatResponse{Reregister: true}, nil
+	}
+	c.hb.Beat(req.MachineID, now)
+
+	// Persist telemetry history for capacity planning (§3.2).
+	for _, tel := range req.Telemetry {
+		c.db.AppendSample(db.Sample{Time: now, NodeID: req.MachineID,
+			Metric: "gpu_utilization", Value: tel.Utilization})
+		c.db.AppendSample(db.Sample{Time: now, NodeID: req.MachineID,
+			Metric: "gpu_memory_used_mib", Value: float64(tel.UsedMemMiB)})
+	}
+
+	if wasAway {
+		c.handleNodeReturn(req.MachineID, now)
+	}
+	c.TrySchedule()
+	return api.HeartbeatResponse{Acknowledged: true}, nil
+}
+
+// Depart processes an announced departure (scheduled or temporary). The
+// agent has already checkpointed and stopped its workloads; the
+// coordinator migrates them and updates the node's standing.
+func (c *Coordinator) Depart(req api.DepartRequest) error {
+	now := c.clock.Now()
+	if req.Token != "" {
+		if _, err := c.authy.VerifySubject(req.Token, req.MachineID, now); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadToken, err)
+		}
+	}
+	return c.HandleDeparture(req.MachineID, req.Reason)
+}
+
+// HandleDeparture migrates a departing node's jobs and records its
+// standing. It is the convergence point for the announced path (REST or
+// in-process notify) — emergency departures are handled by Sweep.
+func (c *Coordinator) HandleDeparture(machineID string, reason api.DepartReason) error {
+	now := c.clock.Now()
+	if _, err := c.db.GetNode(machineID); err != nil {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, machineID)
+	}
+	err := c.db.UpdateNode(machineID, func(n *db.NodeRecord) {
+		n.Status = db.NodeDeparted
+		n.Departures++
+		if !n.LastJoin.IsZero() && now.After(n.LastJoin) {
+			n.TotalUptime += now.Sub(n.LastJoin)
+		}
+		for i := range n.GPUs {
+			n.GPUs[i].Allocated = false
+		}
+	})
+	if err != nil {
+		return err
+	}
+	c.hb.Suspend(machineID)
+	c.mu.Lock()
+	c.temporary[machineID] = reason == api.DepartTemporary
+	c.mu.Unlock()
+	c.bus.Publish(eventbus.Event{Type: eventbus.NodeDeparted, Time: now, Node: machineID,
+		Detail: map[string]any{"reason": string(reason)}})
+
+	mreason := migration.ReasonScheduled
+	if reason == api.DepartTemporary {
+		mreason = migration.ReasonTemporary
+	}
+	c.migrateJobsFrom(machineID, mreason)
+	return nil
+}
+
+// Sweep runs one failure-detection pass: nodes silent for the configured
+// threshold are marked unreachable and their jobs migrated (emergency
+// path). Daemons run this automatically; simulations may call it
+// directly.
+func (c *Coordinator) Sweep() {
+	now := c.clock.Now()
+	for _, nodeID := range c.hb.Lost(now) {
+		_ = c.db.UpdateNode(nodeID, func(n *db.NodeRecord) {
+			n.Status = db.NodeUnreachable
+			n.Departures++
+			if !n.LastJoin.IsZero() && now.After(n.LastJoin) {
+				n.TotalUptime += now.Sub(n.LastJoin)
+			}
+			for i := range n.GPUs {
+				n.GPUs[i].Allocated = false
+			}
+		})
+		c.bus.Publish(eventbus.Event{Type: eventbus.NodeUnreachable, Time: now, Node: nodeID})
+		c.migrateJobsFrom(nodeID, migration.ReasonEmergency)
+	}
+}
+
+// handleNodeReturn restores a node to service and migrates back the jobs
+// that prefer it (§4: 67% of displaced workloads migrated back).
+func (c *Coordinator) handleNodeReturn(nodeID string, now time.Time) {
+	_ = c.db.UpdateNode(nodeID, func(n *db.NodeRecord) {
+		if n.Status != db.NodeActive && n.Status != db.NodePaused {
+			n.Status = db.NodeActive
+		}
+		n.LastJoin = now
+	})
+	c.bus.Publish(eventbus.Event{Type: eventbus.NodeReturned, Time: now, Node: nodeID})
+	c.MigrateBack(nodeID)
+	c.TrySchedule()
+}
+
+// --- Job lifecycle ---
+
+// SubmitJob enqueues a user job and attempts immediate placement.
+func (c *Coordinator) SubmitJob(req api.SubmitJobRequest) (string, error) {
+	if req.Kind != "batch" && req.Kind != "interactive" {
+		return "", fmt.Errorf("core: unknown job kind %q", req.Kind)
+	}
+	if req.ImageName == "" {
+		return "", errors.New("core: empty image name")
+	}
+	now := c.clock.Now()
+	c.mu.Lock()
+	c.jobSeq++
+	jobID := fmt.Sprintf("job-%06d", c.jobSeq)
+	c.meta[jobID] = &jobMeta{
+		image:          req.ImageName,
+		kind:           req.Kind,
+		entrypoint:     req.Entrypoint,
+		ckptSec:        req.CheckpointIntervalSec,
+		training:       req.Training,
+		sessionSeconds: req.SessionSeconds,
+	}
+	c.mu.Unlock()
+
+	rec := db.JobRecord{
+		ID: jobID, User: req.User, Kind: req.Kind, State: db.JobPending,
+		Priority: req.Priority, GPUMemMiB: req.GPUMemMiB,
+		CapabilityMajor: req.CapabilityMajor, CapabilityMinor: req.CapabilityMinor,
+		StoragePrefs: req.StoragePrefs, SubmittedAt: now,
+	}
+	if err := c.db.InsertJob(rec); err != nil {
+		return "", err
+	}
+	c.bus.Publish(eventbus.Event{Type: eventbus.JobSubmitted, Time: now, Job: jobID})
+	c.TrySchedule()
+	return jobID, nil
+}
+
+// JobStatus reports one job.
+func (c *Coordinator) JobStatus(jobID string) (api.JobStatus, error) {
+	rec, err := c.db.GetJob(jobID)
+	if err != nil {
+		return api.JobStatus{}, fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	return api.JobStatus{
+		JobID: rec.ID, State: rec.State, NodeID: rec.NodeID, DeviceID: rec.DeviceID,
+		Migrations: rec.Migrations, Submitted: rec.SubmittedAt,
+		Started: rec.StartedAt, Finished: rec.FinishedAt,
+	}, nil
+}
+
+// Jobs lists all jobs' statuses, newest first.
+func (c *Coordinator) Jobs() []api.JobStatus {
+	recs := c.db.ListJobs()
+	out := make([]api.JobStatus, 0, len(recs))
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		out = append(out, api.JobStatus{
+			JobID: rec.ID, State: rec.State, NodeID: rec.NodeID, DeviceID: rec.DeviceID,
+			Migrations: rec.Migrations, Submitted: rec.SubmittedAt,
+			Started: rec.StartedAt, Finished: rec.FinishedAt,
+		})
+	}
+	return out
+}
+
+// Nodes lists all registered nodes.
+func (c *Coordinator) Nodes() []api.NodeSummary {
+	recs := c.db.ListNodes()
+	out := make([]api.NodeSummary, 0, len(recs))
+	for _, n := range recs {
+		out = append(out, api.NodeSummary{
+			ID: n.ID, Status: n.Status, GPUs: n.GPUs,
+			LastHeartbeat: n.LastHeartbeat, Departures: n.Departures,
+		})
+	}
+	return out
+}
+
+// KillJob terminates a job wherever it runs.
+func (c *Coordinator) KillJob(jobID string) error {
+	rec, err := c.db.GetJob(jobID)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	now := c.clock.Now()
+	if rec.State == db.JobRunning && rec.NodeID != "" {
+		if h := c.handle(rec.NodeID); h != nil {
+			_ = h.Kill(jobID) // node may be gone; record the kill anyway
+		}
+		c.freeDevice(rec.NodeID, rec.DeviceID)
+		_ = c.db.CloseAllocation(jobID, now)
+	}
+	err = c.db.UpdateJob(jobID, func(j *db.JobRecord) {
+		j.State = db.JobKilled
+		j.FinishedAt = now
+	})
+	c.bus.Publish(eventbus.Event{Type: eventbus.JobKilled, Time: now, Job: jobID})
+	c.TrySchedule()
+	return err
+}
+
+// TrySchedule drains the pending queue in priority order, placing every
+// job that fits the current resource view.
+func (c *Coordinator) TrySchedule() {
+	if c.db.CountJobsInState(db.JobPending) == 0 {
+		return
+	}
+	// Bound the work of one pass: once several placements in a row have
+	// failed, the cluster is effectively full for this queue shape.
+	const maxConsecutiveFailures = 16
+	failures := 0
+	now := c.clock.Now()
+	for _, job := range c.db.JobsInState(db.JobPending) {
+		if failures >= maxConsecutiveFailures {
+			break
+		}
+		c.mu.Lock()
+		meta := c.meta[job.ID]
+		c.mu.Unlock()
+		if meta == nil {
+			continue
+		}
+		start := time.Now() // real time: scheduling latency is a real cost
+		placement, err := c.sched.Schedule(scheduler.Request{
+			JobID:      job.ID,
+			GPUMemMiB:  job.GPUMemMiB,
+			Capability: api.CapabilityOf(job.CapabilityMajor, job.CapabilityMinor),
+			Priority:   job.Priority,
+			LongRunning: meta.training != nil &&
+				meta.training.TotalSteps > 10000,
+		}, c.db.ListNodes(), now)
+		c.schedLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			failures++
+			continue // stays pending
+		}
+		failures = 0
+		// A requeued job resumes from its latest checkpoint, if any.
+		var restoreSeq int
+		var restoreStep int64
+		if ck, cerr := c.ckpts.Latest(job.ID); cerr == nil {
+			restoreSeq = ck.Seq
+			restoreStep = ck.Progress.Step
+		}
+		c.place(job, meta, placement, restoreSeq, restoreStep, now)
+	}
+}
+
+// place launches a (possibly restored) job per a placement decision.
+func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placement, restoreSeq int, restoreStep int64, now time.Time) {
+	h := c.handle(p.NodeID)
+	if h == nil {
+		return
+	}
+	resp, err := h.Launch(api.LaunchRequest{
+		JobID: job.ID, ImageName: meta.image, Kind: meta.kind,
+		Entrypoint: meta.entrypoint, GPUMemMiB: job.GPUMemMiB,
+		CapabilityMajor: job.CapabilityMajor, CapabilityMinor: job.CapabilityMinor,
+		CheckpointIntervalSec: meta.ckptSec,
+		RestoreFromSeq:        restoreSeq, RestoreStep: restoreStep,
+		Training: meta.training, SessionSeconds: meta.sessionSeconds,
+		StoragePrefs: job.StoragePrefs,
+	})
+	if err != nil {
+		// Node said no (paused, race on capacity): reflect reality and
+		// leave the job pending.
+		return
+	}
+
+	_ = c.db.UpdateJob(job.ID, func(j *db.JobRecord) {
+		j.State = db.JobRunning
+		j.NodeID = p.NodeID
+		j.DeviceID = resp.DeviceID
+		j.ContainerID = resp.ContainerID
+		if j.PreferredNode == "" {
+			j.PreferredNode = p.NodeID
+		}
+		if j.StartedAt.IsZero() {
+			j.StartedAt = now
+		}
+	})
+	c.markDevice(p.NodeID, resp.DeviceID, true)
+	c.db.RecordAllocation(db.AllocationRecord{
+		JobID: job.ID, NodeID: p.NodeID, DeviceID: resp.DeviceID, Start: now,
+	})
+	if meta.kind == "interactive" {
+		c.mu.Lock()
+		c.interactiveCount++
+		c.mu.Unlock()
+	}
+	c.bus.Publish(eventbus.Event{Type: eventbus.JobScheduled, Time: now,
+		Job: job.ID, Node: p.NodeID,
+		Detail: map[string]any{"device": resp.DeviceID, "reliability": p.Reliability}})
+}
+
+// --- Agent notifications (core implements agent.Notifier) ---
+
+// JobUpdate receives job state changes from agents.
+func (c *Coordinator) JobUpdate(machineID, jobID string, state db.JobState, step int64) {
+	now := c.clock.Now()
+	rec, err := c.db.GetJob(jobID)
+	if err != nil {
+		return
+	}
+	switch state {
+	case db.JobCompleted, db.JobFailed:
+		_ = c.db.UpdateJob(jobID, func(j *db.JobRecord) {
+			j.State = state
+			j.FinishedAt = now
+		})
+		_ = c.db.CloseAllocation(jobID, now)
+		c.freeDevice(rec.NodeID, rec.DeviceID)
+		evType := eventbus.JobCompleted
+		if state == db.JobFailed {
+			evType = eventbus.JobFailed
+		}
+		c.bus.Publish(eventbus.Event{Type: evType, Time: now, Job: jobID, Node: machineID,
+			Detail: map[string]any{"step": step}})
+		c.TrySchedule()
+	}
+}
+
+// Departing receives announced departures from in-process agents.
+func (c *Coordinator) Departing(machineID string, reason api.DepartReason) {
+	_ = c.HandleDeparture(machineID, reason)
+}
+
+// --- Migration execution ---
+
+// migrateJobsFrom relaunches every job that was on nodeID. All of the
+// node's jobs are planned as one batch, so their restore transfers
+// overlap on the LAN model.
+func (c *Coordinator) migrateJobsFrom(nodeID string, reason migration.Reason) {
+	now := c.clock.Now()
+	jobs := c.db.JobsOnNode(nodeID)
+	if len(jobs) == 0 {
+		return
+	}
+	metas := make([]*jobMeta, len(jobs))
+	planned := make([]db.JobRecord, 0, len(jobs))
+	for _, job := range jobs {
+		c.mu.Lock()
+		meta := c.meta[job.ID]
+		if meta != nil {
+			meta.lostAt = now
+		}
+		c.mu.Unlock()
+		if meta == nil {
+			continue
+		}
+		metas[len(planned)] = meta
+		planned = append(planned, job)
+		_ = c.db.UpdateJob(job.ID, func(j *db.JobRecord) { j.State = db.JobMigrating })
+		_ = c.db.CloseAllocation(job.ID, now)
+		c.mig.RecordAttempt(reason)
+	}
+
+	items := c.mig.PlanBatch(planned, c.db.ListNodes(), reason, now)
+	for i, item := range items {
+		if item.Err != nil {
+			// No target now: requeue; a later TrySchedule will pick the
+			// job up when capacity returns. Counted as a failure for the
+			// immediate-migration statistic.
+			c.mig.RecordFailure(reason)
+			c.requeueFromCheckpoint(planned[i].ID, now)
+			continue
+		}
+		c.executePlan(planned[i], metas[i], item.Plan, reason, now)
+	}
+}
+
+// executePlan launches the displaced job on its planned target. The
+// relaunch happens only after the checkpoint data has crossed the LAN
+// (plan.TransferTime) — migration downtime is real time, not metadata.
+func (c *Coordinator) executePlan(job db.JobRecord, meta *jobMeta, plan migration.Plan, reason migration.Reason, now time.Time) {
+	if plan.TransferTime > 0 {
+		c.clock.AfterFunc(plan.TransferTime, func() {
+			c.finishMigration(job, meta, plan, reason)
+		})
+		return
+	}
+	c.finishMigration(job, meta, plan, reason)
+}
+
+// finishMigration performs the relaunch once restore data is in place.
+func (c *Coordinator) finishMigration(job db.JobRecord, meta *jobMeta, plan migration.Plan, reason migration.Reason) {
+	now := c.clock.Now()
+	// The job may have been killed (or otherwise resolved) while its
+	// checkpoint was in flight.
+	cur, err := c.db.GetJob(job.ID)
+	if err != nil || cur.State != db.JobMigrating {
+		return
+	}
+	c.place(job, meta, plan.Placement, plan.RestoreSeq, plan.RestoreStep, now)
+
+	after, err := c.db.GetJob(job.ID)
+	if err != nil || after.State != db.JobRunning {
+		c.mig.RecordFailure(reason)
+		c.requeueFromCheckpoint(job.ID, now)
+		return
+	}
+	_ = c.db.UpdateJob(job.ID, func(j *db.JobRecord) { j.Migrations++ })
+	c.mig.RecordSuccess(reason, 0, plan.TransferTime)
+	evType := eventbus.JobMigrated
+	if reason == migration.ReasonMigrateBack {
+		evType = eventbus.JobMigratedBack
+	}
+	c.bus.Publish(eventbus.Event{Type: evType, Time: now, Job: job.ID,
+		Node: plan.Placement.NodeID,
+		Detail: map[string]any{
+			"from": plan.From, "restore_step": plan.RestoreStep,
+			"transfer_bytes": plan.TransferBytes, "reason": string(reason),
+		}})
+}
+
+// requeueFromCheckpoint returns a displaced job to the pending queue; it
+// keeps its checkpoint state, so the next placement resumes correctly.
+func (c *Coordinator) requeueFromCheckpoint(jobID string, now time.Time) {
+	_ = c.db.UpdateJob(jobID, func(j *db.JobRecord) {
+		j.State = db.JobPending
+		j.NodeID = ""
+		j.DeviceID = ""
+	})
+	c.bus.Publish(eventbus.Event{Type: eventbus.JobRequeued, Time: now, Job: jobID})
+}
+
+// MigrateBack moves jobs that prefer nodeID (their original home) back
+// onto it, checkpointing them at their current host first.
+func (c *Coordinator) MigrateBack(nodeID string) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	wasTemporary := c.temporary[nodeID]
+	delete(c.temporary, nodeID)
+	c.mu.Unlock()
+	if !wasTemporary {
+		return
+	}
+	for _, job := range c.db.ListJobs() {
+		if job.PreferredNode != nodeID || job.NodeID == nodeID || job.State != db.JobRunning {
+			continue
+		}
+		c.mu.Lock()
+		meta := c.meta[job.ID]
+		c.mu.Unlock()
+		if meta == nil || meta.training == nil {
+			continue // only stateful batch jobs migrate back
+		}
+		cur := c.handle(job.NodeID)
+		if cur == nil {
+			continue
+		}
+		ck, err := cur.Checkpoint(job.ID, true)
+		if err != nil {
+			continue
+		}
+		c.mig.RecordAttempt(migration.ReasonMigrateBack)
+		plan, err := c.mig.Plan(job, c.db.ListNodes(), migration.ReasonMigrateBack, now)
+		if err != nil || plan.Placement.NodeID != nodeID {
+			c.mig.RecordFailure(migration.ReasonMigrateBack)
+			continue
+		}
+		if err := cur.Kill(job.ID); err != nil {
+			c.mig.RecordFailure(migration.ReasonMigrateBack)
+			continue
+		}
+		c.freeDevice(job.NodeID, job.DeviceID)
+		_ = c.db.CloseAllocation(job.ID, now)
+		_ = c.db.UpdateJob(job.ID, func(j *db.JobRecord) { j.State = db.JobMigrating })
+		plan.RestoreSeq = ck.Seq
+		plan.RestoreStep = ck.Step
+		c.executePlan(job, meta, plan, migration.ReasonMigrateBack, now)
+	}
+}
+
+// --- helpers ---
+
+func (c *Coordinator) handle(nodeID string) AgentHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.agents[nodeID]
+}
+
+func (c *Coordinator) markDevice(nodeID, deviceID string, allocated bool) {
+	_ = c.db.UpdateNode(nodeID, func(n *db.NodeRecord) {
+		for i := range n.GPUs {
+			if n.GPUs[i].DeviceID == deviceID {
+				n.GPUs[i].Allocated = allocated
+			}
+		}
+	})
+}
+
+func (c *Coordinator) freeDevice(nodeID, deviceID string) {
+	if nodeID == "" || deviceID == "" {
+		return
+	}
+	c.markDevice(nodeID, deviceID, false)
+}
+
+// LocalAgent adapts an in-process agent to the AgentHandle interface.
+type LocalAgent struct {
+	// A is the wrapped agent.
+	A interface {
+		Launch(api.LaunchRequest) (api.LaunchResponse, error)
+		Kill(jobID string) error
+		CheckpointNow(jobID string, incremental bool) (api.CheckpointResponse, error)
+	}
+}
+
+// Launch implements AgentHandle.
+func (l LocalAgent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
+	return l.A.Launch(req)
+}
+
+// Kill implements AgentHandle.
+func (l LocalAgent) Kill(jobID string) error { return l.A.Kill(jobID) }
+
+// Checkpoint implements AgentHandle.
+func (l LocalAgent) Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error) {
+	return l.A.CheckpointNow(jobID, incremental)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"gpunion/internal/db"
+)
+
+// dashboardTmpl renders the coordinator's status page — the paper's
+// "Web Interface" user client (Fig. 1). It is a read-only view over the
+// same state the REST API serves.
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<title>GPUnion — campus status</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+  table { border-collapse: collapse; min-width: 40rem; }
+  th, td { text-align: left; padding: .3rem .8rem; border-bottom: 1px solid #ddd; }
+  th { background: #f5f5f5; }
+  .active { color: #087f23; } .departed, .unreachable { color: #b00020; }
+  .paused, .departing { color: #b26a00; }
+  .muted { color: #888; }
+</style>
+</head>
+<body>
+<h1>GPUnion campus status</h1>
+<p class="muted">{{.Now}} — {{.NodeCount}} nodes, {{.GPUTotal}} GPUs ({{.GPUFree}} free), {{.RunningJobs}} jobs running, {{.PendingJobs}} queued, {{.Sessions}} interactive sessions to date</p>
+
+<h2>Provider nodes</h2>
+<table>
+<tr><th>Node</th><th>Status</th><th>GPUs</th><th>Free</th><th>Last heartbeat</th><th>Departures</th></tr>
+{{range .Nodes}}<tr>
+  <td>{{.ID}}</td><td class="{{.Status}}">{{.Status}}</td>
+  <td>{{.GPUs}}</td><td>{{.Free}}</td><td>{{.LastBeat}}</td><td>{{.Departures}}</td>
+</tr>{{end}}
+</table>
+
+<h2>Jobs</h2>
+<table>
+<tr><th>Job</th><th>User</th><th>Kind</th><th>State</th><th>Node</th><th>Migrations</th><th>Submitted</th></tr>
+{{range .Jobs}}<tr>
+  <td>{{.ID}}</td><td>{{.User}}</td><td>{{.Kind}}</td><td>{{.State}}</td>
+  <td>{{.Node}}</td><td>{{.Migrations}}</td><td>{{.Submitted}}</td>
+</tr>{{end}}
+</table>
+</body>
+</html>
+`))
+
+type dashboardNode struct {
+	ID         string
+	Status     db.NodeStatus
+	GPUs       int
+	Free       int
+	LastBeat   string
+	Departures int
+}
+
+type dashboardJob struct {
+	ID, User, Kind string
+	State          db.JobState
+	Node           string
+	Migrations     int
+	Submitted      string
+}
+
+type dashboardData struct {
+	Now         string
+	NodeCount   int
+	GPUTotal    int
+	GPUFree     int
+	RunningJobs int
+	PendingJobs int
+	Sessions    int
+	Nodes       []dashboardNode
+	Jobs        []dashboardJob
+}
+
+// Dashboard returns the HTML status page handler, mounted at / by the
+// coordinator's Handler.
+func (c *Coordinator) Dashboard() http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		now := c.clock.Now()
+		data := dashboardData{
+			Now:         now.Format(time.RFC1123),
+			RunningJobs: c.db.CountJobsInState(db.JobRunning),
+			PendingJobs: c.db.CountJobsInState(db.JobPending),
+			Sessions:    c.InteractiveSessions(),
+		}
+		for _, n := range c.db.ListNodes() {
+			free := 0
+			for _, g := range n.GPUs {
+				if !g.Allocated {
+					free++
+				}
+			}
+			data.NodeCount++
+			data.GPUTotal += len(n.GPUs)
+			if n.Status == db.NodeActive {
+				data.GPUFree += free
+			}
+			beat := "never"
+			if !n.LastHeartbeat.IsZero() {
+				beat = fmt.Sprintf("%s ago", now.Sub(n.LastHeartbeat).Round(time.Second))
+			}
+			data.Nodes = append(data.Nodes, dashboardNode{
+				ID: n.ID, Status: n.Status, GPUs: len(n.GPUs), Free: free,
+				LastBeat: beat, Departures: n.Departures,
+			})
+		}
+		// Show the most recent jobs first, capped for page size.
+		jobs := c.db.ListJobs()
+		const maxRows = 50
+		for i := len(jobs) - 1; i >= 0 && len(data.Jobs) < maxRows; i-- {
+			j := jobs[i]
+			node := j.NodeID
+			if node == "" {
+				node = "—"
+			}
+			data.Jobs = append(data.Jobs, dashboardJob{
+				ID: j.ID, User: j.User, Kind: j.Kind, State: j.State,
+				Node: node, Migrations: j.Migrations,
+				Submitted: j.SubmittedAt.Format("Jan 2 15:04"),
+			})
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := dashboardTmpl.Execute(w, data); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/gpu"
+	"gpunion/internal/workload"
+)
+
+func TestDashboardRendersCampusState(t *testing.T) {
+	r := newRig(t, 10*time.Second)
+	r.addNode("n1", gpu.RTX3090, gpu.RTX3090)
+	id := submitTraining(t, r, workload.SmallCNN, 0)
+	_, err := r.coord.SubmitJob(sessionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(r.coord.Handler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, want := range []string{
+		"GPUnion campus status",
+		"n1",          // the node row
+		id,            // the job row
+		"interactive", // the session row
+		"2 GPUs",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}
+
+func TestDashboardEmptyCampus(t *testing.T) {
+	r := newRig(t, 10*time.Second)
+	srv := httptest.NewServer(r.coord.Handler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d for empty campus", resp.StatusCode)
+	}
+}
+
+func TestDashboardUnknownPathIs404(t *testing.T) {
+	r := newRig(t, 10*time.Second)
+	srv := httptest.NewServer(r.coord.Handler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/not-a-page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func sessionRequest() api.SubmitJobRequest {
+	return api.SubmitJobRequest{
+		User: "student", Kind: "interactive",
+		ImageName: "gpunion/jupyter-dl:latest",
+		GPUMemMiB: 4096, SessionSeconds: 600,
+	}
+}

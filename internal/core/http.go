@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"gpunion/internal/agent"
+	"gpunion/internal/api"
+)
+
+// HandleFactory builds an AgentHandle for a newly registered node's
+// address. The default dials the agent's REST API; tests substitute
+// in-process handles.
+type HandleFactory func(addr string) AgentHandle
+
+// DefaultHandleFactory returns HTTP handles.
+func DefaultHandleFactory(addr string) AgentHandle {
+	return agent.NewClient(addr)
+}
+
+// Handler returns the coordinator's REST API.
+func (c *Coordinator) Handler(factory HandleFactory) http.Handler {
+	if factory == nil {
+		factory = DefaultHandleFactory
+	}
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var req api.RegisterRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := c.Register(req, factory(req.Addr))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req api.HeartbeatRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := c.Heartbeat(req)
+		if err != nil {
+			writeError(w, http.StatusUnauthorized, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/depart", func(w http.ResponseWriter, r *http.Request) {
+		var req api.DepartRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if err := c.Depart(req); err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrBadToken) {
+				code = http.StatusUnauthorized
+			}
+			writeError(w, code, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/jobupdate", func(w http.ResponseWriter, r *http.Request) {
+		var req api.JobUpdateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		c.JobUpdate(req.MachineID, req.JobID, req.State, req.Step)
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req api.SubmitJobRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		id, err := c.SubmitJob(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.SubmitJobResponse{JobID: id})
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, c.Jobs())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := c.JobStatus(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("POST /v1/jobs/{id}/kill", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.KillJob(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /v1/nodes", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, c.Nodes())
+	})
+
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = c.metrics.WriteText(w)
+	})
+
+	// The web interface: a read-only status page for campus users.
+	mux.HandleFunc("GET /{$}", c.Dashboard())
+
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, out any) bool {
+	if err := json.NewDecoder(r.Body).Decode(out); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("core: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, api.Error{Code: code, Message: err.Error()})
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpunion/internal/agent"
+	"gpunion/internal/api"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/container"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+	"gpunion/internal/workload"
+)
+
+// httpRig runs a coordinator and agents as real HTTP servers on
+// localhost, with the real wall clock: the full REST path the daemons
+// use, exercised end to end.
+type httpRig struct {
+	t        *testing.T
+	coord    *Coordinator
+	coordSrv *httptest.Server
+	client   *Client
+	ckpts    *checkpoint.Store
+}
+
+func newHTTPRig(t *testing.T) *httpRig {
+	t.Helper()
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	coord, err := New(Config{HeartbeatInterval: 100 * time.Millisecond}, simclock.Real(),
+		db.New(0), ckpts, eventbus.New(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+	srv := httptest.NewServer(coord.Handler(nil))
+	t.Cleanup(srv.Close)
+	return &httpRig{
+		t: t, coord: coord, coordSrv: srv,
+		client: NewClient(srv.URL), ckpts: ckpts,
+	}
+}
+
+// addHTTPNode starts an agent HTTP server, registers it through the
+// coordinator's REST API, and runs a real-time heartbeat loop.
+func (r *httpRig) addHTTPNode(id string, specs ...gpu.Spec) (*agent.Agent, *Client) {
+	r.t.Helper()
+	rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(specs...), 0, 0)
+	coordClient := NewClient(r.coordSrv.URL)
+	ag := agent.New(agent.Config{MachineID: id, Kernel: "5.15"},
+		simclock.Real(), rt, r.ckpts, nil, coordClient)
+	r.t.Cleanup(ag.Stop)
+
+	agSrv := httptest.NewServer(ag.Handler())
+	r.t.Cleanup(agSrv.Close)
+
+	resp, err := coordClient.Register(ag.RegisterRequest(agSrv.URL, 1<<30))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	ag.SetToken(resp.Token)
+
+	stop := make(chan struct{})
+	r.t.Cleanup(func() { close(stop) })
+	go func() {
+		tick := time.NewTicker(resp.HeartbeatInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if !ag.Departed() {
+					_, _ = coordClient.Heartbeat(ag.HeartbeatRequest())
+				}
+			}
+		}
+	}()
+	return ag, coordClient
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("condition not met within timeout")
+}
+
+func TestHTTPEndToEndJobLifecycle(t *testing.T) {
+	r := newHTTPRig(t)
+	r.addHTTPNode("n1", gpu.RTX3090)
+
+	spec := workload.SmallCNN
+	spec.TotalSteps = 20 // ~4 s of real time on the modelled 3090
+	jobID, err := r.client.SubmitJob(api.SubmitJobRequest{
+		User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: spec.GPUMemMiB, Training: &spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.client.JobStatus(jobID)
+	if err != nil || st.State != db.JobRunning {
+		t.Fatalf("status = %+v, %v", st, err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		st, err := r.client.JobStatus(jobID)
+		return err == nil && st.State == db.JobCompleted
+	})
+}
+
+func TestHTTPNodesEndpoint(t *testing.T) {
+	r := newHTTPRig(t)
+	r.addHTTPNode("n1", gpu.RTX3090, gpu.RTX3090)
+	nodes, err := r.client.Nodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].ID != "n1" || len(nodes[0].GPUs) != 2 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+}
+
+func TestHTTPKillJob(t *testing.T) {
+	r := newHTTPRig(t)
+	ag, _ := r.addHTTPNode("n1", gpu.RTX3090)
+	jobID, err := r.client.SubmitJob(api.SubmitJobRequest{
+		User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: 8192, Training: &workload.SmallCNN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.KillJob(jobID); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.client.JobStatus(jobID)
+	if st.State != db.JobKilled {
+		t.Fatalf("state = %s", st.State)
+	}
+	if len(ag.Status().RunningJobs) != 0 {
+		t.Fatal("agent still running the job")
+	}
+	if err := r.client.KillJob("ghost"); err == nil {
+		t.Fatal("killing unknown job succeeded")
+	}
+}
+
+func TestHTTPProviderControls(t *testing.T) {
+	r := newHTTPRig(t)
+	ag, _ := r.addHTTPNode("n1", gpu.RTX3090)
+	agClient := agent.NewClient("http://" + agentAddr(t, ag))
+	_ = agClient
+	// Drive the local controls through the agent's own REST API.
+	srv := httptest.NewServer(ag.Handler())
+	defer srv.Close()
+	local := agent.NewClient(srv.URL)
+
+	if err := local.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := local.Status()
+	if err != nil || !st.Paused {
+		t.Fatalf("status = %+v, %v", st, err)
+	}
+	if err := local.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	ks, err := local.KillSwitch()
+	if err != nil || len(ks.KilledJobs) != 0 {
+		t.Fatalf("killswitch = %+v, %v", ks, err)
+	}
+}
+
+// agentAddr is a placeholder (the agent has no listener of its own);
+// tests construct servers explicitly.
+func agentAddr(_ *testing.T, _ *agent.Agent) string { return "127.0.0.1:0" }
+
+func TestHTTPScheduledDepartureMigration(t *testing.T) {
+	r := newHTTPRig(t)
+	ag1, _ := r.addHTTPNode("n1", gpu.RTX3090)
+	r.addHTTPNode("n2", gpu.RTX3090)
+
+	jobID, err := r.client.SubmitJob(api.SubmitJobRequest{
+		User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: 8192, CheckpointIntervalSec: 1, Training: &workload.SmallCNN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.client.JobStatus(jobID)
+	firstNode := st.NodeID
+	if firstNode == "" {
+		t.Fatal("job not placed")
+	}
+	// Let it run and checkpoint, then gracefully depart its host.
+	time.Sleep(1500 * time.Millisecond)
+	if firstNode == "n1" {
+		ag1.Depart(api.DepartScheduled, time.Minute)
+	} else {
+		t.Skip("job placed on n2 by rotation; scenario covered in sim tests")
+	}
+
+	waitFor(t, 10*time.Second, func() bool {
+		st, err := r.client.JobStatus(jobID)
+		return err == nil && st.State == db.JobRunning && st.NodeID == "n2"
+	})
+	st, _ = r.client.JobStatus(jobID)
+	if st.Migrations != 1 {
+		t.Fatalf("migrations = %d", st.Migrations)
+	}
+}
+
+func TestHTTPMetricsEndpoints(t *testing.T) {
+	r := newHTTPRig(t)
+	ag, _ := r.addHTTPNode("n1", gpu.RTX3090)
+	srv := httptest.NewServer(ag.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "gpunion_gpu_utilization") {
+		t.Fatalf("agent metrics missing gauges:\n%s", body)
+	}
+
+	resp2, err := r.coordSrv.Client().Get(r.coordSrv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	n2, _ := resp2.Body.Read(buf)
+	if !strings.Contains(string(buf[:n2]), "gpunion_scheduling_latency_seconds") {
+		t.Fatal("coordinator metrics missing scheduling latency")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	r := newHTTPRig(t)
+	resp, err := r.coordSrv.Client().Post(r.coordSrv.URL+"/v1/jobs", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad JSON status = %d", resp.StatusCode)
+	}
+	if _, err := r.client.JobStatus("ghost"); err == nil {
+		t.Fatal("unknown job status succeeded")
+	}
+}
+
+func TestHTTPHeartbeatAuthRejected(t *testing.T) {
+	r := newHTTPRig(t)
+	r.addHTTPNode("n1", gpu.RTX3090)
+	bad := NewClient(r.coordSrv.URL)
+	bad.SetToken("forged.token")
+	_, err := bad.Heartbeat(api.HeartbeatRequest{MachineID: "n1", Token: "forged.token"})
+	if err == nil {
+		t.Fatal("forged heartbeat accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/db"
+	"gpunion/internal/gpu"
+	"gpunion/internal/workload"
+)
+
+func TestJobsListingNewestFirst(t *testing.T) {
+	r := newRig(t, 10*time.Second)
+	r.addNode("n1", gpu.RTX3090, gpu.RTX3090)
+	id1 := submitTraining(t, r, workload.SmallCNN, 0)
+	id2 := submitTraining(t, r, workload.SmallCNN, 0)
+
+	jobs := r.coord.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	if jobs[0].JobID != id2 || jobs[1].JobID != id1 {
+		t.Fatalf("order = %s, %s — want newest first", jobs[0].JobID, jobs[1].JobID)
+	}
+}
+
+func TestJobsEndpointOverHTTP(t *testing.T) {
+	r := newHTTPRig(t)
+	r.addHTTPNode("n1", gpu.RTX3090)
+	spec := workload.SmallCNN
+	if _, err := r.client.SubmitJob(api.SubmitJobRequest{
+		User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: spec.GPUMemMiB, Training: &spec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := r.client.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != db.JobRunning {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}
+
+func TestInteractiveSessionMigratesOnDeparture(t *testing.T) {
+	// "rapid migration for interactive sessions" (§2): a session
+	// displaced by a departure restarts on another node — stateless
+	// requeue, no checkpoint needed.
+	r := newRig(t, 10*time.Second)
+	ag1 := r.addNode("n1", gpu.RTX3090)
+	r.addNode("n2", gpu.RTX3090)
+	id, err := r.coord.SubmitJob(api.SubmitJobRequest{
+		User: "student", Kind: "interactive", ImageName: "gpunion/jupyter-dl:latest",
+		Priority: 10, GPUMemMiB: 8192, SessionSeconds: 7200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.coord.JobStatus(id)
+	if st.NodeID != "n1" {
+		t.Skipf("session placed on %s; scenario covered symmetrically", st.NodeID)
+	}
+	r.clock.Advance(time.Minute)
+	ag1.Depart(api.DepartScheduled, 0)
+
+	st, _ = r.coord.JobStatus(id)
+	if st.State != db.JobRunning || st.NodeID != "n2" {
+		t.Fatalf("session after departure: %+v, want running on n2", st)
+	}
+	if len(r.ags["n2"].Status().RunningJobs) != 1 {
+		t.Fatal("session container not running on n2")
+	}
+}

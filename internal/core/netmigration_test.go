@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gpunion/internal/agent"
+	"gpunion/internal/api"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/container"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/netsim"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+	"gpunion/internal/workload"
+)
+
+// netRig is a rig whose coordinator models LAN transfer timing, so
+// migrations have real (simulated) downtime.
+type netRig struct {
+	clock *simclock.Sim
+	coord *Coordinator
+	ckpts *checkpoint.Store
+	ags   map[string]*agent.Agent
+}
+
+func newNetRig(t *testing.T) *netRig {
+	t.Helper()
+	clock := simclock.NewSim(t0)
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	net := netsim.New(10 * netsim.Gbps)
+	net.AddNode(netsim.NodeLink{Name: "storage", Access: 10 * netsim.Gbps, Latency: 100 * time.Microsecond})
+	for _, id := range []string{"n1", "n2"} {
+		net.AddNode(netsim.NodeLink{Name: id, Access: netsim.Gbps, Latency: 250 * time.Microsecond})
+	}
+	coord, err := New(Config{
+		HeartbeatInterval: 10 * time.Second,
+		Net:               net,
+		StorageNode:       "storage",
+	}, clock, db.New(0), ckpts, eventbus.New(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+
+	r := &netRig{clock: clock, coord: coord, ckpts: ckpts, ags: map[string]*agent.Agent{}}
+	for _, id := range []string{"n1", "n2"} {
+		rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(gpu.RTX3090), 0, 0)
+		ag := agent.New(agent.Config{MachineID: id, Kernel: "5.15"}, clock, rt, ckpts, nil, coord)
+		t.Cleanup(ag.Stop)
+		resp, err := coord.Register(ag.RegisterRequest("inproc://"+id, 1<<30), LocalAgent{A: ag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag.SetToken(resp.Token)
+		r.ags[id] = ag
+		var beat func()
+		beat = func() {
+			if !ag.Departed() {
+				_, _ = coord.Heartbeat(ag.HeartbeatRequest())
+			}
+			clock.AfterFunc(resp.HeartbeatInterval, beat)
+		}
+		clock.AfterFunc(resp.HeartbeatInterval, beat)
+	}
+	return r
+}
+
+// bigStateSpec trains with ~2 GB of state so restore transfers take
+// seconds on the modelled 1 Gbps links.
+func bigStateSpec() workload.TrainingSpec {
+	spec := workload.SmallTransformer
+	spec.StateBytes = 2_000_000_000
+	return spec
+}
+
+func TestMigrationWaitsForCheckpointTransfer(t *testing.T) {
+	r := newNetRig(t)
+	spec := bigStateSpec()
+	id, err := r.coord.SubmitJob(api.SubmitJobRequest{
+		User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: spec.GPUMemMiB, CheckpointIntervalSec: 60, Training: &spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.coord.JobStatus(id)
+	home := st.NodeID
+	r.clock.Advance(2 * time.Minute) // at least one checkpoint
+
+	r.ags[home].Depart(api.DepartScheduled, time.Minute)
+
+	// Immediately after the departure the job is still migrating: its
+	// ~2 GB chain is crossing the LAN (≈16 s at 1 Gbps).
+	st, _ = r.coord.JobStatus(id)
+	if st.State != db.JobMigrating {
+		t.Fatalf("state right after departure = %s, want migrating", st.State)
+	}
+	// After the transfer window it runs on the other node.
+	r.clock.Advance(time.Minute)
+	st, _ = r.coord.JobStatus(id)
+	if st.State != db.JobRunning || st.NodeID == home {
+		t.Fatalf("after transfer: %+v", st)
+	}
+}
+
+func TestKillWhileCheckpointInFlight(t *testing.T) {
+	r := newNetRig(t)
+	spec := bigStateSpec()
+	id, err := r.coord.SubmitJob(api.SubmitJobRequest{
+		User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: spec.GPUMemMiB, CheckpointIntervalSec: 60, Training: &spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.coord.JobStatus(id)
+	home := st.NodeID
+	r.clock.Advance(2 * time.Minute)
+
+	r.ags[home].Depart(api.DepartScheduled, time.Minute)
+	// Mid-transfer, the user kills the job.
+	if err := r.coord.KillJob(id); err != nil {
+		t.Fatal(err)
+	}
+	r.clock.Advance(time.Minute) // the delayed relaunch fires — and must stand down
+
+	st, _ = r.coord.JobStatus(id)
+	if st.State != db.JobKilled {
+		t.Fatalf("state = %s, want killed to stick through the in-flight migration", st.State)
+	}
+	for id2, ag := range r.ags {
+		if n := len(ag.Status().RunningJobs); n != 0 {
+			t.Fatalf("node %s runs %d jobs after the kill", id2, n)
+		}
+	}
+}
+
+func TestMigrationDowntimeRecordedFromTransfer(t *testing.T) {
+	r := newNetRig(t)
+	spec := bigStateSpec()
+	_, err := r.coord.SubmitJob(api.SubmitJobRequest{
+		User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: spec.GPUMemMiB, CheckpointIntervalSec: 60, Training: &spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var home string
+	for id, ag := range r.ags {
+		if len(ag.Status().RunningJobs) == 1 {
+			home = id
+		}
+	}
+	r.clock.Advance(2 * time.Minute)
+	r.ags[home].Depart(api.DepartScheduled, time.Minute)
+	r.clock.Advance(time.Minute)
+
+	stats := r.coord.Migration().Stats()
+	// A ~2 GB chain at 1 Gbps is ≥ 16 s of downtime.
+	if d := stats.MeanDowntime("scheduled"); d < 10*time.Second {
+		t.Fatalf("mean downtime = %v, want the transfer to dominate", d)
+	}
+}

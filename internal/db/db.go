@@ -1,0 +1,449 @@
+// Package db is GPUnion's central system database (§3.2): it persists
+// node registrations, resource allocations, job records and historical
+// monitoring samples, "enabling both operational decision making and
+// capacity planning".
+//
+// The store is an in-memory, mutex-guarded database with JSON
+// snapshot/restore. A configurable per-operation delay models the
+// contention the paper predicts beyond ~200 nodes (§5.3), which the
+// scalability benchmark measures.
+package db
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by the database.
+var (
+	ErrNotFound = errors.New("db: record not found")
+	ErrConflict = errors.New("db: conflicting record")
+)
+
+// NodeStatus is the lifecycle status of a provider node.
+type NodeStatus string
+
+// Node statuses. Volatility is first-class: Paused and Departed are
+// normal states, not failures.
+const (
+	NodeActive      NodeStatus = "active"
+	NodePaused      NodeStatus = "paused"      // provider paused new allocations
+	NodeDeparting   NodeStatus = "departing"   // graceful shutdown in progress
+	NodeDeparted    NodeStatus = "departed"    // voluntarily left
+	NodeUnreachable NodeStatus = "unreachable" // heartbeat loss (emergency departure)
+)
+
+// GPUInfo summarizes one device for scheduling decisions.
+type GPUInfo struct {
+	DeviceID        string `json:"device_id"`
+	Model           string `json:"model"`
+	Arch            string `json:"arch"`
+	MemoryMiB       int64  `json:"memory_mib"`
+	CapabilityMajor int    `json:"capability_major"`
+	CapabilityMinor int    `json:"capability_minor"`
+	Allocated       bool   `json:"allocated"`
+}
+
+// NodeRecord is a registered provider node.
+type NodeRecord struct {
+	ID      string     `json:"id"`
+	Addr    string     `json:"addr"` // agent base URL
+	Status  NodeStatus `json:"status"`
+	GPUs    []GPUInfo  `json:"gpus"`
+	Kernel  string     `json:"kernel"`
+	Storage int64      `json:"storage_bytes"` // scratch capacity
+
+	RegisteredAt  time.Time `json:"registered_at"`
+	LastHeartbeat time.Time `json:"last_heartbeat"`
+
+	// Reliability inputs for the scheduler's volatility prediction.
+	Departures  int           `json:"departures"`
+	TotalUptime time.Duration `json:"total_uptime"`
+	// LastJoin is when the node most recently became active.
+	LastJoin time.Time `json:"last_join"`
+}
+
+// JobState is the platform-level lifecycle of a job.
+type JobState string
+
+// Job states.
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobMigrating JobState = "migrating"
+	JobCompleted JobState = "completed"
+	JobFailed    JobState = "failed"
+	JobKilled    JobState = "killed"
+)
+
+// JobRecord is a submitted job.
+type JobRecord struct {
+	ID   string `json:"id"`
+	User string `json:"user"`
+	// Kind is "batch" or "interactive".
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	// Priority orders the pending queue (higher first).
+	Priority int `json:"priority"`
+
+	// Requirements for placement.
+	GPUMemMiB       int64 `json:"gpu_mem_mib"`
+	CapabilityMajor int   `json:"capability_major"`
+	CapabilityMinor int   `json:"capability_minor"`
+
+	// Placement (when scheduled).
+	NodeID      string `json:"node_id,omitempty"`
+	DeviceID    string `json:"device_id,omitempty"`
+	ContainerID string `json:"container_id,omitempty"`
+	// PreferredNode remembers the original placement for migrate-back.
+	PreferredNode string `json:"preferred_node,omitempty"`
+	// StoragePrefs is the user's ordered checkpoint placement list.
+	StoragePrefs []string `json:"storage_prefs,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	Migrations  int       `json:"migrations"`
+}
+
+// AllocationRecord is one placement episode of a job on a device.
+type AllocationRecord struct {
+	JobID    string    `json:"job_id"`
+	NodeID   string    `json:"node_id"`
+	DeviceID string    `json:"device_id"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end,omitempty"`
+}
+
+// Sample is one historical monitoring data point.
+type Sample struct {
+	Time   time.Time `json:"time"`
+	NodeID string    `json:"node_id"`
+	Metric string    `json:"metric"`
+	Value  float64   `json:"value"`
+}
+
+// DB is the central database. All methods are safe for concurrent use.
+type DB struct {
+	mu          sync.Mutex
+	nodes       map[string]*NodeRecord
+	jobs        map[string]*JobRecord
+	stateCount  map[JobState]int
+	allocations []AllocationRecord
+	samples     []Sample
+	maxSamples  int
+	// opDelay models per-operation I/O latency for contention studies.
+	opDelay time.Duration
+	ops     atomic.Int64
+}
+
+// New creates a database retaining at most maxSamples monitoring points
+// (0 means a generous default).
+func New(maxSamples int) *DB {
+	if maxSamples <= 0 {
+		maxSamples = 1 << 20
+	}
+	return &DB{
+		nodes:      make(map[string]*NodeRecord),
+		jobs:       make(map[string]*JobRecord),
+		stateCount: make(map[JobState]int),
+		maxSamples: maxSamples,
+	}
+}
+
+// SetOpDelay configures an artificial per-operation latency, modelling a
+// disk-backed database under load. Used by the scalability experiment.
+func (d *DB) SetOpDelay(delay time.Duration) {
+	d.mu.Lock()
+	d.opDelay = delay
+	d.mu.Unlock()
+}
+
+// Ops reports the total operations served (contention instrumentation).
+func (d *DB) Ops() int64 { return d.ops.Load() }
+
+// lockOp acquires the database for one operation, applying the modelled
+// latency while holding the lock (the contention point).
+func (d *DB) lockOp() {
+	d.mu.Lock()
+	d.ops.Add(1)
+	if d.opDelay > 0 {
+		time.Sleep(d.opDelay)
+	}
+}
+
+// --- Nodes ---
+
+// UpsertNode inserts or replaces a node record.
+func (d *DB) UpsertNode(n NodeRecord) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	cp := n
+	d.nodes[n.ID] = &cp
+}
+
+// GetNode returns a copy of the node record.
+func (d *DB) GetNode(id string) (NodeRecord, error) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[id]
+	if !ok {
+		return NodeRecord{}, fmt.Errorf("%w: node %s", ErrNotFound, id)
+	}
+	return *n, nil
+}
+
+// UpdateNode applies fn to the node record under the lock.
+func (d *DB) UpdateNode(id string, fn func(*NodeRecord)) error {
+	d.lockOp()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: node %s", ErrNotFound, id)
+	}
+	fn(n)
+	return nil
+}
+
+// ListNodes returns copies of all nodes, sorted by ID.
+func (d *DB) ListNodes() []NodeRecord {
+	d.lockOp()
+	defer d.mu.Unlock()
+	out := make([]NodeRecord, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ActiveNodes returns nodes in NodeActive status, sorted by ID.
+func (d *DB) ActiveNodes() []NodeRecord {
+	var out []NodeRecord
+	for _, n := range d.ListNodes() {
+		if n.Status == NodeActive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// --- Jobs ---
+
+// InsertJob adds a new job record; the ID must be unused.
+func (d *DB) InsertJob(j JobRecord) error {
+	d.lockOp()
+	defer d.mu.Unlock()
+	if _, exists := d.jobs[j.ID]; exists {
+		return fmt.Errorf("%w: job %s", ErrConflict, j.ID)
+	}
+	cp := j
+	d.jobs[j.ID] = &cp
+	d.stateCount[j.State]++
+	return nil
+}
+
+// GetJob returns a copy of the job record.
+func (d *DB) GetJob(id string) (JobRecord, error) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return JobRecord{}, fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	return *j, nil
+}
+
+// UpdateJob applies fn to the job record under the lock.
+func (d *DB) UpdateJob(id string, fn func(*JobRecord)) error {
+	d.lockOp()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	before := j.State
+	fn(j)
+	if j.State != before {
+		d.stateCount[before]--
+		d.stateCount[j.State]++
+	}
+	return nil
+}
+
+// CountJobsInState returns the number of jobs in the state in O(1).
+func (d *DB) CountJobsInState(state JobState) int {
+	d.lockOp()
+	defer d.mu.Unlock()
+	return d.stateCount[state]
+}
+
+// ListJobs returns copies of all jobs, sorted by ID.
+func (d *DB) ListJobs() []JobRecord {
+	d.lockOp()
+	defer d.mu.Unlock()
+	out := make([]JobRecord, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// JobsInState returns jobs in the given state, sorted by priority
+// descending then submission time ascending — the pending-queue order.
+func (d *DB) JobsInState(state JobState) []JobRecord {
+	var out []JobRecord
+	for _, j := range d.ListJobs() {
+		if j.State == state {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		if !out[i].SubmittedAt.Equal(out[j].SubmittedAt) {
+			return out[i].SubmittedAt.Before(out[j].SubmittedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// JobsOnNode returns jobs currently placed on the node in Running or
+// Migrating state.
+func (d *DB) JobsOnNode(nodeID string) []JobRecord {
+	var out []JobRecord
+	for _, j := range d.ListJobs() {
+		if j.NodeID == nodeID && (j.State == JobRunning || j.State == JobMigrating) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// --- Allocations ---
+
+// RecordAllocation appends a placement episode.
+func (d *DB) RecordAllocation(a AllocationRecord) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	d.allocations = append(d.allocations, a)
+}
+
+// CloseAllocation sets the End time of the job's most recent open
+// allocation episode.
+func (d *DB) CloseAllocation(jobID string, end time.Time) error {
+	d.lockOp()
+	defer d.mu.Unlock()
+	for i := len(d.allocations) - 1; i >= 0; i-- {
+		a := &d.allocations[i]
+		if a.JobID == jobID && a.End.IsZero() {
+			a.End = end
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: open allocation for job %s", ErrNotFound, jobID)
+}
+
+// Allocations returns a copy of the allocation history.
+func (d *DB) Allocations() []AllocationRecord {
+	d.lockOp()
+	defer d.mu.Unlock()
+	out := make([]AllocationRecord, len(d.allocations))
+	copy(out, d.allocations)
+	return out
+}
+
+// --- Monitoring samples ---
+
+// AppendSample stores a monitoring data point, evicting the oldest when
+// the retention bound is hit.
+func (d *DB) AppendSample(s Sample) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	d.samples = append(d.samples, s)
+	if len(d.samples) > d.maxSamples {
+		d.samples = d.samples[len(d.samples)-d.maxSamples:]
+	}
+}
+
+// SamplesInRange returns samples for metric within [from, to), all nodes
+// if nodeID is empty.
+func (d *DB) SamplesInRange(metric, nodeID string, from, to time.Time) []Sample {
+	d.lockOp()
+	defer d.mu.Unlock()
+	var out []Sample
+	for _, s := range d.samples {
+		if s.Metric != metric {
+			continue
+		}
+		if nodeID != "" && s.NodeID != nodeID {
+			continue
+		}
+		if s.Time.Before(from) || !s.Time.Before(to) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// --- Persistence ---
+
+// snapshot is the JSON persistence envelope.
+type snapshot struct {
+	Nodes       []NodeRecord       `json:"nodes"`
+	Jobs        []JobRecord        `json:"jobs"`
+	Allocations []AllocationRecord `json:"allocations"`
+	Samples     []Sample           `json:"samples"`
+}
+
+// Save writes a JSON snapshot of the whole database.
+func (d *DB) Save(w io.Writer) error {
+	snap := snapshot{
+		Nodes:       d.ListNodes(),
+		Jobs:        d.ListJobs(),
+		Allocations: d.Allocations(),
+	}
+	d.mu.Lock()
+	snap.Samples = append(snap.Samples, d.samples...)
+	d.mu.Unlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("db: saving snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database contents from a JSON snapshot.
+func (d *DB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("db: loading snapshot: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nodes = make(map[string]*NodeRecord, len(snap.Nodes))
+	for _, n := range snap.Nodes {
+		cp := n
+		d.nodes[n.ID] = &cp
+	}
+	d.jobs = make(map[string]*JobRecord, len(snap.Jobs))
+	d.stateCount = make(map[JobState]int)
+	for _, j := range snap.Jobs {
+		cp := j
+		d.jobs[j.ID] = &cp
+		d.stateCount[j.State]++
+	}
+	d.allocations = snap.Allocations
+	d.samples = snap.Samples
+	return nil
+}

@@ -1,0 +1,186 @@
+package eventbus
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(t Type, job string) Event {
+	return Event{Type: t, Time: time.Unix(0, 0), Job: job}
+}
+
+func TestPublishDeliversToSubscriber(t *testing.T) {
+	b := New(0)
+	sub := b.Subscribe(8)
+	defer sub.Close()
+	b.Publish(ev(JobSubmitted, "j1"))
+	select {
+	case got := <-sub.Events():
+		if got.Type != JobSubmitted || got.Job != "j1" {
+			t.Fatalf("got %+v", got)
+		}
+	default:
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestTypeFilteredSubscription(t *testing.T) {
+	b := New(0)
+	sub := b.Subscribe(8, JobCompleted)
+	defer sub.Close()
+	b.Publish(ev(JobSubmitted, "j1"))
+	b.Publish(ev(JobCompleted, "j2"))
+	select {
+	case got := <-sub.Events():
+		if got.Type != JobCompleted {
+			t.Fatalf("filtered sub got %v", got.Type)
+		}
+	default:
+		t.Fatal("no event delivered")
+	}
+	select {
+	case got := <-sub.Events():
+		t.Fatalf("unexpected extra event %v", got.Type)
+	default:
+	}
+}
+
+func TestSubscribeFuncSynchronous(t *testing.T) {
+	b := New(0)
+	var calls []string
+	b.SubscribeFunc(func(e Event) { calls = append(calls, e.Job) }, JobStarted)
+	b.Publish(ev(JobStarted, "a"))
+	b.Publish(ev(JobFailed, "b")) // filtered out
+	b.Publish(ev(JobStarted, "c"))
+	if len(calls) != 2 || calls[0] != "a" || calls[1] != "c" {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+func TestSubscribeFuncAllTypes(t *testing.T) {
+	b := New(0)
+	n := 0
+	b.SubscribeFunc(func(Event) { n++ })
+	b.Publish(ev(JobStarted, "a"))
+	b.Publish(ev(NodeDeparted, ""))
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+}
+
+func TestFullBufferDropsOldest(t *testing.T) {
+	b := New(0)
+	sub := b.Subscribe(2)
+	defer sub.Close()
+	b.Publish(ev(JobStarted, "1"))
+	b.Publish(ev(JobStarted, "2"))
+	b.Publish(ev(JobStarted, "3")) // drops "1"
+	if sub.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", sub.Dropped())
+	}
+	got := (<-sub.Events()).Job
+	if got != "2" {
+		t.Fatalf("first queued = %q, want 2 (oldest dropped)", got)
+	}
+}
+
+func TestPublishNeverBlocks(t *testing.T) {
+	b := New(0)
+	_ = b.Subscribe(1) // never drained
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			b.Publish(ev(JobStarted, "x"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a full, undrained subscriber")
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	b := New(0)
+	sub := b.Subscribe(8)
+	sub.Close()
+	b.Publish(ev(JobStarted, "x"))
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("received event on closed subscription")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	b := New(0)
+	sub := b.Subscribe(8)
+	sub.Close()
+	sub.Close() // must not panic
+}
+
+func TestHistoryRetention(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 5; i++ {
+		b.Publish(ev(JobStarted, string(rune('a'+i))))
+	}
+	h := b.History()
+	if len(h) != 3 {
+		t.Fatalf("history len = %d, want 3", len(h))
+	}
+	if h[0].Job != "c" || h[2].Job != "e" {
+		t.Fatalf("history = %v", h)
+	}
+}
+
+func TestHistoryByType(t *testing.T) {
+	b := New(10)
+	b.Publish(ev(JobStarted, "a"))
+	b.Publish(ev(JobFailed, "b"))
+	b.Publish(ev(JobStarted, "c"))
+	got := b.HistoryByType(JobStarted)
+	if len(got) != 2 || got[0].Job != "a" || got[1].Job != "c" {
+		t.Fatalf("HistoryByType = %v", got)
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(ev(JobStarted, "x"))
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := b.Subscribe(16)
+			for j := 0; j < 10; j++ {
+				select {
+				case <-sub.Events():
+				case <-time.After(100 * time.Millisecond):
+				}
+			}
+			sub.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDefaultBufferApplied(t *testing.T) {
+	b := New(0)
+	sub := b.Subscribe(0)
+	defer sub.Close()
+	for i := 0; i < 64; i++ {
+		b.Publish(ev(JobStarted, "x"))
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped %d within default buffer", sub.Dropped())
+	}
+}

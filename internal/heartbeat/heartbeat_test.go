@@ -1,0 +1,182 @@
+package heartbeat
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func TestDefaults(t *testing.T) {
+	m := NewMonitor(0, 0)
+	if m.Interval() != DefaultInterval {
+		t.Fatalf("interval = %v", m.Interval())
+	}
+}
+
+func TestBeatKeepsNodeAlive(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	// Beat every interval for 10 intervals: never lost.
+	for i := 1; i <= 10; i++ {
+		now := t0.Add(time.Duration(i) * 10 * time.Second)
+		if !m.Beat("n1", now) {
+			t.Fatal("known node reported unknown")
+		}
+		if lost := m.Lost(now); len(lost) != 0 {
+			t.Fatalf("lost = %v at beat %d", lost, i)
+		}
+	}
+}
+
+func TestThreeMissedBeatsMarksLost(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	// At 29s: only 2 intervals + change missed — still alive.
+	if lost := m.Lost(t0.Add(29 * time.Second)); len(lost) != 0 {
+		t.Fatalf("lost early: %v", lost)
+	}
+	// At exactly 3 intervals: lost.
+	lost := m.Lost(t0.Add(30 * time.Second))
+	if len(lost) != 1 || lost[0] != "n1" {
+		t.Fatalf("lost = %v, want [n1]", lost)
+	}
+}
+
+func TestLostReportedOnce(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	if lost := m.Lost(t0.Add(time.Minute)); len(lost) != 1 {
+		t.Fatalf("first sweep lost = %v", lost)
+	}
+	if lost := m.Lost(t0.Add(2 * time.Minute)); len(lost) != 0 {
+		t.Fatalf("second sweep re-reported: %v", lost)
+	}
+}
+
+func TestBeatRevivesDownNode(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	_ = m.Lost(t0.Add(time.Minute)) // down
+	if m.Alive("n1") {
+		t.Fatal("down node reported alive")
+	}
+	m.Beat("n1", t0.Add(2*time.Minute))
+	if !m.Alive("n1") {
+		t.Fatal("beat did not revive node")
+	}
+	// It can be lost again later (re-reported after revival).
+	if lost := m.Lost(t0.Add(10 * time.Minute)); len(lost) != 1 {
+		t.Fatalf("revived node not re-reportable: %v", lost)
+	}
+}
+
+func TestSuspendedNodeNeverLost(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	m.Suspend("n1")
+	if lost := m.Lost(t0.Add(time.Hour)); len(lost) != 0 {
+		t.Fatalf("suspended node reported lost: %v", lost)
+	}
+	if m.Alive("n1") {
+		t.Fatal("suspended node reported alive")
+	}
+}
+
+func TestBeatAfterSuspendResumes(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	m.Suspend("n1")                 // temporary departure
+	m.Beat("n1", t0.Add(time.Hour)) // provider returns
+	if !m.Alive("n1") {
+		t.Fatal("returned node not alive")
+	}
+	if lost := m.Lost(t0.Add(time.Hour + 30*time.Second)); len(lost) != 1 {
+		t.Fatalf("returned node not monitored again: %v", lost)
+	}
+}
+
+func TestUnknownBeatRejected(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	if m.Beat("ghost", t0) {
+		t.Fatal("unknown node beat accepted")
+	}
+}
+
+func TestForget(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	m.Forget("n1")
+	if m.Tracked() != 0 {
+		t.Fatalf("Tracked = %d", m.Tracked())
+	}
+	if lost := m.Lost(t0.Add(time.Hour)); len(lost) != 0 {
+		t.Fatalf("forgotten node lost: %v", lost)
+	}
+}
+
+func TestMissedBeats(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	if got := m.MissedBeats("n1", t0.Add(25*time.Second)); got != 2 {
+		t.Fatalf("MissedBeats = %d, want 2", got)
+	}
+	if got := m.MissedBeats("ghost", t0); got != 0 {
+		t.Fatalf("unknown MissedBeats = %d", got)
+	}
+	// Clock skew (beat in the future) clamps to zero.
+	m.Beat("n1", t0.Add(time.Hour))
+	if got := m.MissedBeats("n1", t0); got != 0 {
+		t.Fatalf("negative MissedBeats = %d", got)
+	}
+}
+
+func TestMultipleNodesSortedLoss(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	for _, id := range []string{"n3", "n1", "n2"} {
+		m.Track(id, t0)
+	}
+	m.Beat("n2", t0.Add(50*time.Second)) // n2 stays alive
+	lost := m.Lost(t0.Add(time.Minute))
+	if len(lost) != 2 || lost[0] != "n1" || lost[1] != "n3" {
+		t.Fatalf("lost = %v, want [n1 n3]", lost)
+	}
+}
+
+func TestTrackResetsState(t *testing.T) {
+	m := NewMonitor(10*time.Second, 3)
+	m.Track("n1", t0)
+	_ = m.Lost(t0.Add(time.Minute))
+	// Re-registration: fresh tracking state.
+	m.Track("n1", t0.Add(2*time.Minute))
+	if !m.Alive("n1") {
+		t.Fatal("re-tracked node not alive")
+	}
+}
+
+// Property: a node beating at least every (threshold-1) intervals is
+// never reported lost, regardless of the sweep schedule.
+func TestNeverLostWhileBeatingProperty(t *testing.T) {
+	f := func(sweepOffsets []uint8) bool {
+		const interval = 10 * time.Second
+		m := NewMonitor(interval, 3)
+		m.Track("n1", t0)
+		now := t0
+		for i, off := range sweepOffsets {
+			// Beat every 2 intervals (less than the 3-interval deadline).
+			now = t0.Add(time.Duration(i) * 2 * interval)
+			m.Beat("n1", now)
+			sweep := now.Add(time.Duration(off%20) * time.Second)
+			if sweep.Sub(now) < 3*interval {
+				if lost := m.Lost(sweep); len(lost) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

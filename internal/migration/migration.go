@@ -1,0 +1,349 @@
+// Package migration implements GPUnion's resilient-execution mechanism
+// (§3.5): when a provider departs — gracefully, silently, or temporarily
+// — the workloads it hosted are relaunched elsewhere from their latest
+// application-level checkpoints; stateless work is simply requeued.
+// When a temporarily-departed provider returns, displaced workloads can
+// be migrated back to their original node.
+//
+// The package separates planning (pure decision: target node, restore
+// point, bytes to move) from execution (the coordinator drives agents),
+// and keeps the per-scenario statistics that reproduce the paper's
+// Fig. 3.
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/db"
+	"gpunion/internal/gpu"
+	"gpunion/internal/netsim"
+	"gpunion/internal/scheduler"
+)
+
+// Reason classifies why a migration happened, matching the paper's three
+// interruption scenarios plus the migrate-back path.
+type Reason string
+
+// Migration reasons.
+const (
+	ReasonScheduled   Reason = "scheduled" // graceful provider shutdown
+	ReasonEmergency   Reason = "emergency" // heartbeat loss
+	ReasonTemporary   Reason = "temporary" // provider pause with return intent
+	ReasonMigrateBack Reason = "migrate-back"
+)
+
+// ErrNoTarget is returned when no node can host the displaced job.
+var ErrNoTarget = errors.New("migration: no compatible target node")
+
+// Plan is a computed migration decision, ready for execution.
+type Plan struct {
+	JobID string
+	// From is the node the job is leaving (may be gone already).
+	From string
+	// Placement is the chosen target.
+	Placement scheduler.Placement
+	// HasCheckpoint reports whether state is being restored; stateless
+	// jobs restart from step 0.
+	HasCheckpoint bool
+	// RestoreSeq / RestoreStep locate the resume point.
+	RestoreSeq  int
+	RestoreStep int64
+	// TransferBytes is the restore-chain payload that must move to the
+	// target node.
+	TransferBytes int64
+	// TransferTime is the modelled LAN transfer duration (zero without
+	// a network model).
+	TransferTime time.Duration
+	Reason       Reason
+}
+
+// Engine plans migrations and accumulates outcome statistics.
+type Engine struct {
+	sched *scheduler.Scheduler
+	ckpts *checkpoint.Store
+	// net and storageNode model the LAN transfer of checkpoint data
+	// from the storage location to the target; both optional.
+	net         *netsim.Network
+	storageNode string
+
+	stats Stats
+	mu    sync.Mutex
+}
+
+// New creates an engine. net may be nil (no transfer-time modelling);
+// storageNode names the netsim node holding checkpoint data.
+func New(sched *scheduler.Scheduler, ckpts *checkpoint.Store, net *netsim.Network, storageNode string) *Engine {
+	return &Engine{
+		sched:       sched,
+		ckpts:       ckpts,
+		net:         net,
+		storageNode: storageNode,
+		stats:       newStats(),
+	}
+}
+
+// Plan computes where and how to relaunch one displaced job. nodes is
+// the current node set (the departed node may be included; it is
+// excluded via AvoidNodes). reason drives statistics and the preference
+// for the original node on migrate-back.
+func (e *Engine) Plan(job db.JobRecord, nodes []db.NodeRecord, reason Reason, now time.Time) (Plan, error) {
+	p := Plan{JobID: job.ID, From: job.NodeID, Reason: reason}
+
+	if ck, err := e.ckpts.Latest(job.ID); err == nil {
+		p.HasCheckpoint = true
+		p.RestoreSeq = ck.Seq
+		p.RestoreStep = ck.Progress.Step
+		if bytes, err := e.ckpts.RestoreBytes(job.ID); err == nil {
+			p.TransferBytes = bytes
+		}
+	}
+
+	req := scheduler.Request{
+		JobID:       job.ID,
+		GPUMemMiB:   job.GPUMemMiB,
+		Capability:  gpu.ComputeCapability{Major: job.CapabilityMajor, Minor: job.CapabilityMinor},
+		Priority:    job.Priority,
+		LongRunning: true,
+		AvoidNodes:  []string{job.NodeID},
+	}
+	if reason == ReasonMigrateBack {
+		req.AvoidNodes = nil
+		req.PreferNode = job.PreferredNode
+	}
+	placement, err := e.sched.Schedule(req, nodes, now)
+	if err != nil {
+		return Plan{}, fmt.Errorf("%w: job %s (%v)", ErrNoTarget, job.ID, err)
+	}
+	p.Placement = placement
+
+	if e.net != nil && p.TransferBytes > 0 && e.storageNode != "" {
+		end, terr := e.net.Transfer(e.storageNode, placement.NodeID, p.TransferBytes,
+			netsim.TrafficMigration, now)
+		if terr == nil {
+			p.TransferTime = end.Sub(now)
+		}
+	}
+	return p, nil
+}
+
+// BatchItem is one job's outcome within a PlanBatch call.
+type BatchItem struct {
+	Plan Plan
+	Err  error
+}
+
+// PlanBatch plans migrations for all jobs displaced by one departure
+// event. Unlike sequential Plan calls, the batch (i) tracks device
+// assignments across decisions so two jobs never land on the same free
+// device, and (ii) overlaps the restore transfers on the network model,
+// so concurrent migrations contend for link bandwidth — the effect that
+// produces the heavy tail in migration downtime.
+func (e *Engine) PlanBatch(jobs []db.JobRecord, nodes []db.NodeRecord, reason Reason, now time.Time) []BatchItem {
+	// Work on a private copy of the node view so in-batch device
+	// assignments are visible to later decisions.
+	view := make([]db.NodeRecord, len(nodes))
+	for i, n := range nodes {
+		view[i] = n
+		view[i].GPUs = append([]db.GPUInfo(nil), n.GPUs...)
+	}
+
+	out := make([]BatchItem, len(jobs))
+	var flows []*netsim.Flow
+	flowIdx := make([]int, 0, len(jobs))
+
+	for i, job := range jobs {
+		p := Plan{JobID: job.ID, From: job.NodeID, Reason: reason}
+		if ck, err := e.ckpts.Latest(job.ID); err == nil {
+			p.HasCheckpoint = true
+			p.RestoreSeq = ck.Seq
+			p.RestoreStep = ck.Progress.Step
+			if bytes, berr := e.ckpts.RestoreBytes(job.ID); berr == nil {
+				p.TransferBytes = bytes
+			}
+		}
+		req := scheduler.Request{
+			JobID:       job.ID,
+			GPUMemMiB:   job.GPUMemMiB,
+			Capability:  gpu.ComputeCapability{Major: job.CapabilityMajor, Minor: job.CapabilityMinor},
+			Priority:    job.Priority,
+			LongRunning: true,
+			AvoidNodes:  []string{job.NodeID},
+		}
+		placement, err := e.sched.Schedule(req, view, now)
+		if err != nil {
+			out[i] = BatchItem{Err: fmt.Errorf("%w: job %s (%v)", ErrNoTarget, job.ID, err)}
+			continue
+		}
+		p.Placement = placement
+		// Mark the chosen device taken for the rest of the batch.
+		for vi := range view {
+			if view[vi].ID != placement.NodeID {
+				continue
+			}
+			for di := range view[vi].GPUs {
+				if view[vi].GPUs[di].DeviceID == placement.DeviceID {
+					view[vi].GPUs[di].Allocated = true
+				}
+			}
+		}
+		out[i] = BatchItem{Plan: p}
+		if e.net != nil && p.TransferBytes > 0 && e.storageNode != "" {
+			f, ferr := e.net.StartFlow(e.storageNode, placement.NodeID, p.TransferBytes,
+				netsim.TrafficMigration, now)
+			if ferr == nil {
+				flows = append(flows, f)
+				flowIdx = append(flowIdx, i)
+			}
+		}
+	}
+
+	// All flows of the event overlap: durations reflect shared links.
+	for k, f := range flows {
+		d := f.Duration()
+		out[flowIdx[k]].Plan.TransferTime = d
+		_ = e.net.FinishFlow(f, now.Add(d))
+	}
+	return out
+}
+
+// Stats returns a snapshot of accumulated outcomes.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats.clone()
+}
+
+// RecordAttempt notes that a migration was initiated.
+func (e *Engine) RecordAttempt(reason Reason) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Attempts[reason]++
+}
+
+// RecordSuccess notes a completed migration with the work lost (steps
+// redone from the checkpoint) and the downtime until the job ran again.
+func (e *Engine) RecordSuccess(reason Reason, lostSteps int64, downtime time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Successes[reason]++
+	e.stats.LostSteps[reason] += lostSteps
+	e.stats.Downtime[reason] += downtime
+	e.stats.downtimes[reason] = append(e.stats.downtimes[reason], downtime)
+}
+
+// RecordFailure notes a migration that could not complete (no target).
+func (e *Engine) RecordFailure(reason Reason) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Failures[reason]++
+}
+
+// Stats aggregates migration outcomes per reason — the data behind the
+// paper's Fig. 3.
+type Stats struct {
+	Attempts  map[Reason]int
+	Successes map[Reason]int
+	Failures  map[Reason]int
+	// LostSteps is total work redone after restores.
+	LostSteps map[Reason]int64
+	// Downtime is the cumulative out-of-service time.
+	Downtime  map[Reason]time.Duration
+	downtimes map[Reason][]time.Duration
+}
+
+func newStats() Stats {
+	return Stats{
+		Attempts:  make(map[Reason]int),
+		Successes: make(map[Reason]int),
+		Failures:  make(map[Reason]int),
+		LostSteps: make(map[Reason]int64),
+		Downtime:  make(map[Reason]time.Duration),
+		downtimes: make(map[Reason][]time.Duration),
+	}
+}
+
+func (s Stats) clone() Stats {
+	out := newStats()
+	for k, v := range s.Attempts {
+		out.Attempts[k] = v
+	}
+	for k, v := range s.Successes {
+		out.Successes[k] = v
+	}
+	for k, v := range s.Failures {
+		out.Failures[k] = v
+	}
+	for k, v := range s.LostSteps {
+		out.LostSteps[k] = v
+	}
+	for k, v := range s.Downtime {
+		out.Downtime[k] = v
+	}
+	for k, v := range s.downtimes {
+		out.downtimes[k] = append([]time.Duration(nil), v...)
+	}
+	return out
+}
+
+// SuccessRate returns successes/attempts for a reason (0 when no
+// attempts were made).
+func (s Stats) SuccessRate(reason Reason) float64 {
+	a := s.Attempts[reason]
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Successes[reason]) / float64(a)
+}
+
+// MeanDowntime returns the average downtime for a reason.
+func (s Stats) MeanDowntime(reason Reason) time.Duration {
+	n := s.Successes[reason]
+	if n == 0 {
+		return 0
+	}
+	return s.Downtime[reason] / time.Duration(n)
+}
+
+// P95Downtime returns the 95th-percentile downtime for a reason.
+func (s Stats) P95Downtime(reason Reason) time.Duration {
+	ds := append([]time.Duration(nil), s.downtimes[reason]...)
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(0.95 * float64(len(ds)-1))
+	return ds[idx]
+}
+
+// RateWithin returns the fraction of attempted migrations of the reason
+// that completed with downtime at most d. Failed migrations count
+// against the rate — this is the paper's "successfully migrated within
+// the specified time" metric.
+func (s Stats) RateWithin(reason Reason, d time.Duration) float64 {
+	attempts := s.Attempts[reason]
+	if attempts == 0 {
+		return 0
+	}
+	within := 0
+	for _, dt := range s.downtimes[reason] {
+		if dt <= d {
+			within++
+		}
+	}
+	return float64(within) / float64(attempts)
+}
+
+// MeanLostSteps returns the average steps redone per successful
+// migration for a reason.
+func (s Stats) MeanLostSteps(reason Reason) float64 {
+	n := s.Successes[reason]
+	if n == 0 {
+		return 0
+	}
+	return float64(s.LostSteps[reason]) / float64(n)
+}

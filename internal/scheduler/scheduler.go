@@ -1,0 +1,285 @@
+// Package scheduler implements GPUnion's central allocation logic
+// (§3.2, §3.5): pending requests are drained from a priority queue and
+// placed onto provider nodes by a pluggable strategy (round-robin for
+// fairness, best-fit for memory packing, least-loaded for spreading),
+// subject to GPU memory and CUDA compute-capability constraints and
+// weighted by provider-reliability predictions.
+//
+// Unlike a data-center scheduler, node volatility is an input, not an
+// error: unreliable providers are degraded (placed last), never excluded
+// outright — a flaky GPU is still better than no GPU.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"gpunion/internal/db"
+	"gpunion/internal/gpu"
+)
+
+// ErrNoPlacement is returned when no active node can satisfy a request.
+var ErrNoPlacement = errors.New("scheduler: no node satisfies the request")
+
+// Request is one pending resource request.
+type Request struct {
+	// JobID identifies the job being placed.
+	JobID string
+	// GPUMemMiB is the device-memory requirement.
+	GPUMemMiB int64
+	// Capability is the minimum CUDA compute capability.
+	Capability gpu.ComputeCapability
+	// Priority mirrors the queue priority (informational here; the
+	// queue itself is ordered by the database).
+	Priority int
+	// LongRunning hints that the job will hold the device for many
+	// hours, making provider reliability matter more.
+	LongRunning bool
+	// AvoidNodes lists nodes the job must not land on (e.g. the node it
+	// is being migrated away from).
+	AvoidNodes []string
+	// PreferNode, when set, wins ties (used for migrate-back).
+	PreferNode string
+}
+
+// Placement is a scheduling decision.
+type Placement struct {
+	JobID    string
+	NodeID   string
+	DeviceID string
+	// Reliability is the predicted reliability of the chosen provider.
+	Reliability float64
+}
+
+// candidate is one feasible (node, device) pair under consideration.
+type candidate struct {
+	node        db.NodeRecord
+	device      db.GPUInfo
+	reliability float64
+}
+
+// ReliabilityModel predicts the probability that a provider stays
+// available over the next scheduling horizon, from its history
+// (§3.2: "incorporating provider reliability predictions").
+type ReliabilityModel struct {
+	// HalfLife controls how strongly departures depress the score: each
+	// departure multiplies the score by HalfLife (0..1).
+	HalfLife float64
+	// UptimeWeight blends in the node's observed uptime ratio.
+	UptimeWeight float64
+}
+
+// DefaultReliability returns the model used by the coordinator.
+func DefaultReliability() ReliabilityModel {
+	return ReliabilityModel{HalfLife: 0.85, UptimeWeight: 0.5}
+}
+
+// Predict scores a node in (0, 1]. New nodes with no history get the
+// benefit of the doubt (1.0), matching the trust-first campus setting.
+func (m ReliabilityModel) Predict(n db.NodeRecord, now time.Time) float64 {
+	score := 1.0
+	for i := 0; i < n.Departures; i++ {
+		score *= m.HalfLife
+	}
+	if m.UptimeWeight > 0 && !n.RegisteredAt.IsZero() {
+		lifetime := now.Sub(n.RegisteredAt)
+		if lifetime > 0 {
+			up := n.TotalUptime
+			if n.Status == db.NodeActive && !n.LastJoin.IsZero() && now.After(n.LastJoin) {
+				up += now.Sub(n.LastJoin)
+			}
+			ratio := float64(up) / float64(lifetime)
+			if ratio > 1 {
+				ratio = 1
+			}
+			score = (1-m.UptimeWeight)*score + m.UptimeWeight*ratio*score
+			// Blend keeps score ≤ the departure-only score.
+			_ = ratio
+		}
+	}
+	if score <= 0 {
+		score = 1e-6
+	}
+	return score
+}
+
+// Strategy orders feasible candidates; the scheduler picks the first.
+type Strategy interface {
+	// Name identifies the strategy for logging and metrics.
+	Name() string
+	// Order sorts candidates in decreasing preference, in place.
+	Order(req Request, cands []candidate)
+}
+
+// RoundRobin cycles through nodes for fairness: each decision starts
+// from the node after the previously chosen one (§3.5: "a round-robin
+// scheduler which processes pending resource requests from a priority
+// queue").
+type RoundRobin struct {
+	lastNode string
+}
+
+// Name implements Strategy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Order implements Strategy: node IDs are cycled starting after the last
+// placement, with device index order within a node.
+func (r *RoundRobin) Order(_ Request, cands []candidate) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		ki := rrKey(cands[i].node.ID, r.lastNode)
+		kj := rrKey(cands[j].node.ID, r.lastNode)
+		if ki != kj {
+			return ki < kj
+		}
+		if cands[i].node.ID != cands[j].node.ID {
+			return cands[i].node.ID < cands[j].node.ID
+		}
+		return cands[i].device.DeviceID < cands[j].device.DeviceID
+	})
+}
+
+// rrKey maps node IDs to a cyclic ordering: IDs strictly greater than
+// last come first (0), the rest after (1).
+func rrKey(id, last string) int {
+	if last == "" || id > last {
+		return 0
+	}
+	return 1
+}
+
+// note records the chosen node so the next decision rotates onward.
+func (r *RoundRobin) note(nodeID string) { r.lastNode = nodeID }
+
+// BestFit picks the smallest device that satisfies the request,
+// preserving large-memory GPUs for large jobs.
+type BestFit struct{}
+
+// Name implements Strategy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Order implements Strategy.
+func (BestFit) Order(_ Request, cands []candidate) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].device.MemoryMiB != cands[j].device.MemoryMiB {
+			return cands[i].device.MemoryMiB < cands[j].device.MemoryMiB
+		}
+		if cands[i].node.ID != cands[j].node.ID {
+			return cands[i].node.ID < cands[j].node.ID
+		}
+		return cands[i].device.DeviceID < cands[j].device.DeviceID
+	})
+}
+
+// LeastLoaded spreads work across providers: nodes with more free
+// devices come first (fair distribution across labs).
+type LeastLoaded struct{}
+
+// Name implements Strategy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Order implements Strategy.
+func (LeastLoaded) Order(_ Request, cands []candidate) {
+	free := make(map[string]int)
+	for _, c := range cands {
+		free[c.node.ID]++
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		fi, fj := free[cands[i].node.ID], free[cands[j].node.ID]
+		if fi != fj {
+			return fi > fj
+		}
+		if cands[i].node.ID != cands[j].node.ID {
+			return cands[i].node.ID < cands[j].node.ID
+		}
+		return cands[i].device.DeviceID < cands[j].device.DeviceID
+	})
+}
+
+// Scheduler combines a strategy with the reliability model.
+type Scheduler struct {
+	strategy Strategy
+	model    ReliabilityModel
+	// DegradeBelow pushes providers scoring under this threshold to the
+	// back of the preference order for long-running jobs.
+	DegradeBelow float64
+}
+
+// New creates a scheduler. A nil strategy defaults to round-robin.
+func New(strategy Strategy, model ReliabilityModel) *Scheduler {
+	if strategy == nil {
+		strategy = &RoundRobin{}
+	}
+	return &Scheduler{strategy: strategy, model: model, DegradeBelow: 0.5}
+}
+
+// StrategyName returns the active strategy's name.
+func (s *Scheduler) StrategyName() string { return s.strategy.Name() }
+
+// Schedule places one request against the current node set. Nodes must
+// be NodeActive; devices must be free and satisfy memory/capability;
+// avoid-listed nodes are excluded. Returns ErrNoPlacement when nothing
+// fits.
+func (s *Scheduler) Schedule(req Request, nodes []db.NodeRecord, now time.Time) (Placement, error) {
+	avoid := make(map[string]bool, len(req.AvoidNodes))
+	for _, id := range req.AvoidNodes {
+		avoid[id] = true
+	}
+	var cands []candidate
+	for _, n := range nodes {
+		if n.Status != db.NodeActive || avoid[n.ID] {
+			continue
+		}
+		rel := s.model.Predict(n, now)
+		for _, d := range n.GPUs {
+			if d.Allocated {
+				continue
+			}
+			if d.MemoryMiB < req.GPUMemMiB {
+				continue
+			}
+			cap := gpu.ComputeCapability{Major: d.CapabilityMajor, Minor: d.CapabilityMinor}
+			if !cap.AtLeast(req.Capability) {
+				continue
+			}
+			cands = append(cands, candidate{node: n, device: d, reliability: rel})
+		}
+	}
+	if len(cands) == 0 {
+		return Placement{}, fmt.Errorf("%w: job %s (mem %d MiB, cc >= %s)",
+			ErrNoPlacement, req.JobID, req.GPUMemMiB, req.Capability)
+	}
+
+	s.strategy.Order(req, cands)
+
+	// Migrate-back preference: the job's original node wins outright.
+	if req.PreferNode != "" {
+		sort.SliceStable(cands, func(i, j int) bool {
+			pi := cands[i].node.ID == req.PreferNode
+			pj := cands[j].node.ID == req.PreferNode
+			return pi && !pj
+		})
+	}
+
+	// Reliability degradation for long-running jobs: unreliable
+	// providers sink to the back, but remain eligible.
+	if req.LongRunning {
+		sort.SliceStable(cands, func(i, j int) bool {
+			di := cands[i].reliability < s.DegradeBelow
+			dj := cands[j].reliability < s.DegradeBelow
+			return !di && dj
+		})
+	}
+
+	chosen := cands[0]
+	if rr, ok := s.strategy.(*RoundRobin); ok {
+		rr.note(chosen.node.ID)
+	}
+	return Placement{
+		JobID:       req.JobID,
+		NodeID:      chosen.node.ID,
+		DeviceID:    chosen.device.DeviceID,
+		Reliability: chosen.reliability,
+	}, nil
+}

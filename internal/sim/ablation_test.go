@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCheckpointIntervalSweepTradeoff(t *testing.T) {
+	pts, err := RunCheckpointIntervalSweep(
+		[]time.Duration{5 * time.Minute, 30 * time.Minute}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	short, long := pts[0], pts[1]
+	// Shorter intervals bound work loss tighter...
+	if short.MeanEmergencyLoss >= long.MeanEmergencyLoss {
+		t.Errorf("loss should grow with interval: 5m=%v 30m=%v",
+			short.MeanEmergencyLoss, long.MeanEmergencyLoss)
+	}
+	// ...at the cost of more backup traffic.
+	if short.CheckpointBytes <= long.CheckpointBytes {
+		t.Errorf("traffic should shrink with interval: 5m=%d 30m=%d",
+			short.CheckpointBytes, long.CheckpointBytes)
+	}
+	// Loss stays bounded by the interval in both arms.
+	for _, p := range pts {
+		if p.MeanEmergencyLoss > p.Interval {
+			t.Errorf("interval %v: loss %v exceeds the interval", p.Interval, p.MeanEmergencyLoss)
+		}
+	}
+}
+
+func TestStrategyAblationBestFitProtectsBigGPUs(t *testing.T) {
+	rows, err := RunStrategyAblation(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]StrategyResult{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	for _, name := range []string{"round-robin", "best-fit", "least-loaded"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("strategy %s missing", name)
+		}
+		if r.LargeJobsPlaced == 0 {
+			t.Errorf("%s placed no large jobs", name)
+		}
+		if r.Utilization <= 0 || r.Utilization > 1 {
+			t.Errorf("%s utilization = %v", name, r.Utilization)
+		}
+	}
+	// Best-fit keeps the A100s free for the jobs that need them, so
+	// large jobs wait less than under round-robin.
+	if byName["best-fit"].MeanLargeJobWait >= byName["round-robin"].MeanLargeJobWait {
+		t.Errorf("best-fit wait %v should beat round-robin %v",
+			byName["best-fit"].MeanLargeJobWait, byName["round-robin"].MeanLargeJobWait)
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"gpunion/internal/db"
+	"gpunion/internal/gpu"
+	"gpunion/internal/workload"
+)
+
+func TestPaperCampusTopology(t *testing.T) {
+	defs := PaperCampus()
+	if len(defs) != 11 {
+		t.Fatalf("nodes = %d, want 11 (paper: 11 GPU servers)", len(defs))
+	}
+	if TotalGPUs(defs) != 22 {
+		t.Fatalf("GPUs = %d, want 22 (8×3090 + 8×4090 + 2×A100 + 4×A6000)", TotalGPUs(defs))
+	}
+	counts := map[string]int{}
+	for _, d := range defs {
+		for _, g := range d.GPUs {
+			counts[g.Model]++
+		}
+	}
+	want := map[string]int{"RTX 3090": 8, "RTX 4090": 8, "A100": 2, "A6000": 4}
+	for model, n := range want {
+		if counts[model] != n {
+			t.Errorf("%s count = %d, want %d", model, counts[model], n)
+		}
+	}
+}
+
+func TestNewCampusRegistersAllNodes(t *testing.T) {
+	campus, err := NewCampus(PaperCampus(), CampusConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	nodes := campus.Coord.Nodes()
+	if len(nodes) != 11 {
+		t.Fatalf("registered nodes = %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.Status != db.NodeActive {
+			t.Errorf("node %s status = %s", n.ID, n.Status)
+		}
+	}
+}
+
+func TestCampusHeartbeatsKeepNodesAlive(t *testing.T) {
+	campus, err := NewCampus(PaperCampus()[:3], CampusConfig{HeartbeatInterval: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	campus.Run(time.Hour)
+	for _, n := range campus.Coord.Nodes() {
+		if n.Status != db.NodeActive {
+			t.Fatalf("node %s became %s despite heartbeats", n.ID, n.Status)
+		}
+	}
+}
+
+func TestCampusJobRunsToCompletion(t *testing.T) {
+	campus, err := NewCampus(PaperCampus()[:2], CampusConfig{ProgressTick: 15 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	spec := workload.SmallCNN
+	id, err := campus.Coord.SubmitJob(TrainingJobSubmission("u", spec, 10*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	campus.Run(3 * time.Hour)
+	st, _ := campus.Coord.JobStatus(id)
+	if st.State != db.JobCompleted {
+		t.Fatalf("state = %s", st.State)
+	}
+	// Busy accounting reflects the run.
+	if campus.BusyGPUTime(campus.Clock.Now()) <= 0 {
+		t.Fatal("no busy GPU time recorded")
+	}
+	u := campus.Utilization(campus.Clock.Now())
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestUtilizationZeroAtEpoch(t *testing.T) {
+	campus, err := NewCampus(PaperCampus()[:1], CampusConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	if u := campus.Utilization(Epoch); u != 0 {
+		t.Fatalf("utilization at epoch = %v", u)
+	}
+}
+
+func TestDiurnalFactorShape(t *testing.T) {
+	// Wednesday 2025-09-03.
+	wedDay := time.Date(2025, 9, 3, 14, 0, 0, 0, time.UTC)
+	wedNight := time.Date(2025, 9, 3, 3, 0, 0, 0, time.UTC)
+	sat := time.Date(2025, 9, 6, 14, 0, 0, 0, time.UTC)
+	if diurnalFactor(wedDay) <= diurnalFactor(wedNight) {
+		t.Fatal("daytime should outweigh night")
+	}
+	if diurnalFactor(wedDay) <= diurnalFactor(sat) {
+		t.Fatal("weekday should outweigh weekend")
+	}
+}
+
+func TestOffPeakFactorInverse(t *testing.T) {
+	wedDay := time.Date(2025, 9, 3, 14, 0, 0, 0, time.UTC)
+	wedNight := time.Date(2025, 9, 3, 3, 0, 0, 0, time.UTC)
+	if OffPeakFactor(wedNight) <= OffPeakFactor(wedDay) {
+		t.Fatal("off-peak factor should favour nights")
+	}
+}
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	count := func() int {
+		d := NewDemand(7)
+		clock := newSimClock()
+		n := d.PoissonArrivals(clock, Epoch, 7*24*time.Hour, 10, func(time.Time) {})
+		return n
+	}
+	if count() != count() {
+		t.Fatal("same seed produced different arrival counts")
+	}
+}
+
+func TestPoissonArrivalsRateScales(t *testing.T) {
+	d1 := NewDemand(1)
+	d2 := NewDemand(1)
+	n1 := d1.PoissonArrivals(newSimClock(), Epoch, 14*24*time.Hour, 5, func(time.Time) {})
+	n2 := d2.PoissonArrivals(newSimClock(), Epoch, 14*24*time.Hour, 50, func(time.Time) {})
+	if n2 < n1*5 {
+		t.Fatalf("rate 50 produced %d vs rate 5's %d — scaling broken", n2, n1)
+	}
+}
+
+func TestPoissonArrivalsFireOnClock(t *testing.T) {
+	d := NewDemand(3)
+	clock := newSimClock()
+	fired := 0
+	n := d.PoissonArrivals(clock, Epoch, 24*time.Hour, 20, func(time.Time) { fired++ })
+	clock.Advance(24 * time.Hour)
+	if fired != n {
+		t.Fatalf("fired %d of %d scheduled arrivals", fired, n)
+	}
+}
+
+func TestSubmissionBuilders(t *testing.T) {
+	spec := workload.SmallCNN
+	req := TrainingJobSubmission("alice", spec, 5*time.Minute)
+	if req.Kind != "batch" || req.Training == nil || req.CheckpointIntervalSec != 300 {
+		t.Fatalf("training submission = %+v", req)
+	}
+	if req.GPUMemMiB != spec.GPUMemMiB {
+		t.Fatalf("memory constraint not propagated")
+	}
+	s := workload.Session{Duration: time.Hour, GPUMemMiB: 4096}
+	sreq := SessionSubmission("bob", s)
+	if sreq.Kind != "interactive" || sreq.SessionSeconds != 3600 || sreq.Priority <= 0 {
+		t.Fatalf("session submission = %+v", sreq)
+	}
+}
+
+func TestRepeatSpec(t *testing.T) {
+	specs := repeatSpec(gpu.A100, 3)
+	if len(specs) != 3 || specs[2].Model != "A100" {
+		t.Fatalf("repeatSpec = %+v", specs)
+	}
+}

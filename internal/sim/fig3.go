@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/core"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/migration"
+	"gpunion/internal/workload"
+)
+
+// Fig3Config parameterises the migration experiment (paper Fig. 3 and
+// §4 "Interruption Scenarios"): 20 deep-learning training jobs on
+// volunteer provider nodes over one week, with provider interruptions at
+// 0.5–3.2 events/day/node across three scenario classes.
+type Fig3Config struct {
+	// Days is the experiment horizon (paper: 7).
+	Days int
+	// Jobs is the size of the training corpus (paper: 20).
+	Jobs int
+	// InterruptionsPerDay is the per-volunteer-node event rate
+	// (paper range: 0.5–3.2).
+	InterruptionsPerDay float64
+	// CheckpointInterval is the periodic ALC cadence (default 10 min).
+	CheckpointInterval time.Duration
+	// Seed drives the stochastic processes.
+	Seed int64
+	// ScenarioWeights orders [scheduled, emergency, temporary]
+	// probabilities; zero value means uniform thirds.
+	ScenarioWeights [3]float64
+	// Deadline is the time bound for "successfully migrated within the
+	// specified time" (default 30 s of restore-transfer delay).
+	Deadline time.Duration
+}
+
+// ScenarioResult aggregates one interruption class.
+type ScenarioResult struct {
+	// Events is the number of provider interruptions of this class.
+	Events int
+	// Displaced is how many running jobs those events hit.
+	Displaced int
+	// MigrationSuccessRate is the fraction of displaced jobs relaunched
+	// within the configured deadline (the paper's 94% for scheduled
+	// departures). Failed migrations count against it.
+	MigrationSuccessRate float64
+	// MeanWorkLost is the average compute time redone per displaced
+	// job (emergency: ≈ the checkpoint interval; scheduled: ≈ 0).
+	MeanWorkLost time.Duration
+	// MeanDowntime is the average checkpoint-transfer delay before the
+	// job ran again.
+	MeanDowntime time.Duration
+}
+
+// Fig3Result is the full experiment outcome.
+type Fig3Result struct {
+	Scheduled ScenarioResult
+	Emergency ScenarioResult
+	Temporary ScenarioResult
+	// MigratedBackFraction is the share of temporarily-displaced jobs
+	// that returned to their original node when the provider
+	// reconnected (paper: 67%).
+	MigratedBackFraction float64
+	// CheckpointInterval echoes the configured cadence for reporting.
+	CheckpointInterval time.Duration
+}
+
+// repeatSpec builds n copies of a GPU spec.
+func repeatSpec(s gpu.Spec, n int) []gpu.Spec {
+	out := make([]gpu.Spec, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+// fig3Campus is the migration-experiment topology: two volunteer
+// provider nodes (the paper's interruption subjects) and two stable
+// nodes that absorb displaced work.
+func fig3Campus() []NodeDef {
+	return []NodeDef{
+		{ID: "vol-1", GPUs: repeatSpec(gpu.RTX3090, 6), Lab: "volunteer"},
+		{ID: "vol-2", GPUs: repeatSpec(gpu.RTX3090, 6), Lab: "volunteer"},
+		{ID: "stable-1", GPUs: repeatSpec(gpu.RTX4090, 8), Lab: "stable"},
+		{ID: "stable-2", GPUs: repeatSpec(gpu.A6000, 12), Lab: "stable"},
+	}
+}
+
+// fig3Spec draws one hours-scale training job (CNN and transformer mix,
+// roughly 2–6 h on a 3090) that fits the volunteer nodes' 24 GiB
+// devices. The corpus turns over during the week, so fresh placements
+// keep landing across every node, volunteers included.
+func fig3Spec(rng interface{ Float64() float64 }, i int) workload.TrainingSpec {
+	bases := []workload.TrainingSpec{workload.SmallCNN, workload.SmallTransformer, workload.LargeCNN}
+	base := bases[i%len(bases)]
+	s := base
+	if base.StateBytes < 1e9 {
+		s.TotalSteps = base.TotalSteps * 3 // stretch SmallCNN into the band
+	}
+	f := 0.8 + rng.Float64()*0.4
+	s.TotalSteps = int64(float64(s.TotalSteps) * f)
+	s.StateBytes = int64(float64(base.StateBytes) * f)
+	if s.StateBytes > 1_800_000_000 {
+		s.StateBytes = 1_800_000_000
+	}
+	return s
+}
+
+// RunFig3 executes the interruption experiment.
+func RunFig3(cfg Fig3Config) (Fig3Result, error) {
+	if cfg.Days <= 0 {
+		cfg.Days = 7
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 20
+	}
+	if cfg.InterruptionsPerDay <= 0 {
+		cfg.InterruptionsPerDay = 1.6
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 10 * time.Minute
+	}
+	if cfg.ScenarioWeights == [3]float64{} {
+		cfg.ScenarioWeights = [3]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 30 * time.Second
+	}
+	span := time.Duration(cfg.Days) * 24 * time.Hour
+
+	campus, err := NewCampus(fig3Campus(), CampusConfig{
+		HeartbeatInterval: 30 * time.Second,
+		ProgressTick:      30 * time.Second,
+		WithNetwork:       true,
+	})
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	defer campus.Stop()
+
+	tracker := &fig3Tracker{campus: campus}
+	demand := NewDemand(cfg.Seed + 77)
+	rng := demand.Rand()
+
+	// Maintain a population of cfg.Jobs concurrent training jobs: each
+	// completion is followed by a fresh submission, so the experiment
+	// observes a steadily loaded platform with natural turnover.
+	corpusRng := NewDemand(cfg.Seed + 99).Rand()
+	corpusN := 0
+	submitNext := func() {
+		spec := fig3Spec(corpusRng, corpusN)
+		corpusN++
+		_, _ = campus.Coord.SubmitJob(TrainingJobSubmission("researcher", spec, cfg.CheckpointInterval))
+	}
+	campus.Bus.SubscribeFunc(func(eventbus.Event) {
+		if !campus.Clock.Now().Before(Epoch.Add(span - time.Hour)) {
+			return
+		}
+		// Population control: completions are announced by both the
+		// agent and the coordinator, so top up against the live count
+		// instead of submitting once per event.
+		d := campus.Coord.DB()
+		active := d.CountJobsInState(db.JobPending) +
+			d.CountJobsInState(db.JobRunning) +
+			d.CountJobsInState(db.JobMigrating)
+		for ; active < cfg.Jobs; active++ {
+			submitNext()
+		}
+	}, eventbus.JobCompleted)
+	for i := 0; i < cfg.Jobs; i++ {
+		submitNext()
+	}
+
+	// Interruption process per volunteer node: exponential inter-event
+	// times at the configured rate, scenario drawn by weight, provider
+	// returning after 30 min – 3 h.
+	for _, nodeID := range []string{"vol-1", "vol-2"} {
+		nodeID := nodeID
+		var arm func()
+		arm = func() {
+			gap := time.Duration(rng.ExpFloat64() / cfg.InterruptionsPerDay * float64(24*time.Hour))
+			if gap < 5*time.Minute {
+				gap = 5 * time.Minute
+			}
+			campus.Clock.AfterFunc(gap, func() {
+				if campus.Clock.Now().After(Epoch.Add(span)) {
+					return
+				}
+				ag := campus.Agents[nodeID]
+				if !ag.Departed() {
+					scenario := drawScenario(rng.Float64(), cfg.ScenarioWeights)
+					tracker.interrupt(nodeID, scenario)
+					ret := 30*time.Minute + time.Duration(rng.Int63n(int64(90*time.Minute)))
+					campus.Clock.AfterFunc(ret, func() { tracker.bringBack(nodeID, scenario) })
+				}
+				arm()
+			})
+		}
+		arm()
+	}
+
+	campus.Run(span)
+	return tracker.result(campus, cfg), nil
+}
+
+func drawScenario(x float64, w [3]float64) api.DepartReason {
+	total := w[0] + w[1] + w[2]
+	x *= total
+	if x < w[0] {
+		return api.DepartScheduled
+	}
+	if x < w[0]+w[1] {
+		return api.DepartEmergency
+	}
+	return api.DepartTemporary
+}
+
+// fig3Tracker instruments interruptions: it records, per event, the
+// true progress of each displaced job just before the departure, and
+// the checkpointed progress available afterwards — the difference is
+// the work lost.
+type fig3Tracker struct {
+	campus *Campus
+
+	events            map[api.DepartReason]int
+	displaced         map[api.DepartReason]int
+	lost              map[api.DepartReason]time.Duration
+	tempDisplacedJobs int
+}
+
+func (t *fig3Tracker) init() {
+	if t.events == nil {
+		t.events = make(map[api.DepartReason]int)
+		t.displaced = make(map[api.DepartReason]int)
+		t.lost = make(map[api.DepartReason]time.Duration)
+	}
+}
+
+// interrupt executes one provider departure and accounts its damage.
+func (t *fig3Tracker) interrupt(nodeID string, scenario api.DepartReason) {
+	t.init()
+	t.events[scenario]++
+	ag := t.campus.Agents[nodeID]
+
+	// Pre-departure truth: each running job's actual step.
+	preSteps := make(map[string]int64)
+	stepTimes := make(map[string]time.Duration)
+	for _, job := range t.campus.Coord.DB().JobsOnNode(nodeID) {
+		if wj, ok := ag.RunningJob(job.ID); ok {
+			preSteps[job.ID] = wj.Step()
+			stepTimes[job.ID] = wj.Spec.StepTime(gpu.RTX3090)
+		}
+	}
+
+	grace := 5 * time.Minute
+	if scenario == api.DepartEmergency {
+		grace = 0
+	}
+	ag.Depart(scenario, grace)
+
+	// Post-departure accounting: lost work = true progress minus the
+	// progress recoverable from the latest checkpoint.
+	for jobID, pre := range preSteps {
+		t.displaced[scenario]++
+		if scenario == api.DepartTemporary {
+			t.tempDisplacedJobs++
+		}
+		var ckStep int64
+		if ck, err := t.campus.Ckpts.Latest(jobID); err == nil {
+			ckStep = ck.Progress.Step
+		}
+		lostSteps := pre - ckStep
+		if lostSteps < 0 {
+			lostSteps = 0
+		}
+		t.lost[scenario] += time.Duration(lostSteps) * stepTimes[jobID]
+	}
+}
+
+// bringBack returns the provider to the platform.
+func (t *fig3Tracker) bringBack(nodeID string, scenario api.DepartReason) {
+	ag := t.campus.Agents[nodeID]
+	if !ag.Departed() {
+		return // already back
+	}
+	ag.Return()
+	if scenario != api.DepartTemporary {
+		// Scheduled/emergency exits re-join via fresh registration.
+		resp, err := t.campus.Coord.Register(
+			ag.RegisterRequest("inproc://"+nodeID, 1<<40),
+			core.LocalAgent{A: ag})
+		if err == nil {
+			ag.SetToken(resp.Token)
+		}
+	}
+	// Temporary departures resume via their next heartbeat, which the
+	// standing heartbeat loop sends automatically.
+}
+
+func (t *fig3Tracker) result(campus *Campus, cfg Fig3Config) Fig3Result {
+	t.init()
+	stats := campus.Coord.Migration().Stats()
+	build := func(scenario api.DepartReason, reason migration.Reason) ScenarioResult {
+		r := ScenarioResult{
+			Events:               t.events[scenario],
+			Displaced:            t.displaced[scenario],
+			MigrationSuccessRate: stats.RateWithin(reason, cfg.Deadline),
+			MeanDowntime:         stats.MeanDowntime(reason),
+		}
+		if n := t.displaced[scenario]; n > 0 {
+			r.MeanWorkLost = t.lost[scenario] / time.Duration(n)
+		}
+		return r
+	}
+	res := Fig3Result{
+		Scheduled:          build(api.DepartScheduled, migration.ReasonScheduled),
+		Emergency:          build(api.DepartEmergency, migration.ReasonEmergency),
+		Temporary:          build(api.DepartTemporary, migration.ReasonTemporary),
+		CheckpointInterval: cfg.CheckpointInterval,
+	}
+	if t.tempDisplacedJobs > 0 {
+		res.MigratedBackFraction = float64(stats.Successes[migration.ReasonMigrateBack]) /
+			float64(t.tempDisplacedJobs)
+	}
+	return res
+}

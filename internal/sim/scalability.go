@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpunion/internal/db"
+	"gpunion/internal/gpu"
+	"gpunion/internal/heartbeat"
+	"gpunion/internal/scheduler"
+)
+
+// ScalabilityConfig parameterises the §5.3 study: "the central
+// coordinator handles up to 50 nodes with sub-second scheduling
+// latency. However, beyond 200 nodes, heartbeat monitoring and database
+// contention could become bottlenecks."
+type ScalabilityConfig struct {
+	// NodeCounts is the sweep (default 10, 25, 50, 100, 200, 400).
+	NodeCounts []int
+	// DecisionsPerPoint is how many scheduling decisions to time.
+	DecisionsPerPoint int
+	// DBOpDelay models per-operation database latency (default 50 µs),
+	// the §5.3 contention source.
+	DBOpDelay time.Duration
+	// Seed varies request shapes.
+	Seed int64
+}
+
+// ScalabilityRow is one sweep point.
+type ScalabilityRow struct {
+	Nodes int
+	// MeanSchedulingLatency / P95SchedulingLatency time one placement
+	// decision against the full node view.
+	MeanSchedulingLatency time.Duration
+	P95SchedulingLatency  time.Duration
+	// SubSecond reports the paper's operating criterion.
+	SubSecond bool
+	// HeartbeatSweepLatency is one full failure-detection pass.
+	HeartbeatSweepLatency time.Duration
+	// DBOpsPerSecond is contended throughput on the central database
+	// with 8 concurrent writers.
+	DBOpsPerSecond float64
+	// RequiredDBOpsPerSecond is what N nodes' heartbeat processing
+	// demands (≈4 database operations per beat at a 10 s interval).
+	RequiredDBOpsPerSecond float64
+	// Headroom is capacity over demand; below ~1 the coordinator's
+	// database is the bottleneck (the paper's §5.3 concern beyond 200
+	// nodes on modest hardware).
+	Headroom float64
+}
+
+// RunScalability measures coordinator-side costs across node counts.
+// These are real wall-clock measurements of the actual scheduler,
+// heartbeat monitor and database — not simulated time.
+func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
+	if len(cfg.NodeCounts) == 0 {
+		cfg.NodeCounts = []int{10, 25, 50, 100, 200, 400}
+	}
+	if cfg.DecisionsPerPoint <= 0 {
+		cfg.DecisionsPerPoint = 200
+	}
+	if cfg.DBOpDelay <= 0 {
+		cfg.DBOpDelay = 50 * time.Microsecond
+	}
+	now := Epoch
+	var rows []ScalabilityRow
+	for _, n := range cfg.NodeCounts {
+		nodes := syntheticNodes(n)
+
+		// --- Scheduling latency over the full node view. ---
+		sched := scheduler.New(&scheduler.RoundRobin{}, scheduler.DefaultReliability())
+		lat := make([]time.Duration, 0, cfg.DecisionsPerPoint)
+		for i := 0; i < cfg.DecisionsPerPoint; i++ {
+			req := scheduler.Request{
+				JobID:      fmt.Sprintf("bench-%d", i),
+				GPUMemMiB:  8192,
+				Capability: gpu.ComputeCapability{Major: 7, Minor: 0},
+			}
+			start := time.Now()
+			_, _ = sched.Schedule(req, nodes, now)
+			lat = append(lat, time.Since(start))
+		}
+		mean, p95 := latencyStats(lat)
+
+		// --- Heartbeat sweep over n tracked nodes. ---
+		hb := heartbeat.NewMonitor(10*time.Second, 3)
+		for _, rec := range nodes {
+			hb.Track(rec.ID, now)
+		}
+		for _, rec := range nodes {
+			hb.Beat(rec.ID, now.Add(5*time.Second))
+		}
+		hbStart := time.Now()
+		_ = hb.Lost(now.Add(time.Minute))
+		hbLat := time.Since(hbStart)
+
+		// --- Contended database throughput. ---
+		store := db.New(0)
+		for _, rec := range nodes {
+			store.UpsertNode(rec)
+		}
+		store.SetOpDelay(cfg.DBOpDelay)
+		ops := contendedOps(store, nodes, 8, 50*time.Millisecond)
+
+		// Heartbeat demand: one beat per node per 10 s, ~4 database
+		// operations per beat (node update, telemetry samples, queue
+		// check).
+		required := float64(n) / 10 * 4
+		rows = append(rows, ScalabilityRow{
+			Nodes:                  n,
+			MeanSchedulingLatency:  mean,
+			P95SchedulingLatency:   p95,
+			SubSecond:              p95 < time.Second,
+			HeartbeatSweepLatency:  hbLat,
+			DBOpsPerSecond:         ops,
+			RequiredDBOpsPerSecond: required,
+			Headroom:               ops / required,
+		})
+	}
+	return rows, nil
+}
+
+// syntheticNodes builds n single-3090 node records, a fraction of them
+// busy, paused or flaky so the scheduler does real filtering work.
+func syntheticNodes(n int) []db.NodeRecord {
+	nodes := make([]db.NodeRecord, 0, n)
+	for i := 0; i < n; i++ {
+		rec := db.NodeRecord{
+			ID:     fmt.Sprintf("node-%04d", i),
+			Status: db.NodeActive,
+			GPUs: []db.GPUInfo{{
+				DeviceID: "gpu0", Model: "RTX 3090", Arch: "ampere",
+				MemoryMiB: 24576, CapabilityMajor: 8, CapabilityMinor: 6,
+				Allocated: i%3 == 0,
+			}},
+			Kernel:       "5.15",
+			RegisteredAt: Epoch.Add(-30 * 24 * time.Hour),
+			LastJoin:     Epoch.Add(-24 * time.Hour),
+			Departures:   i % 5,
+		}
+		if i%11 == 0 {
+			rec.Status = db.NodePaused
+		}
+		nodes = append(nodes, rec)
+	}
+	return nodes
+}
+
+func latencyStats(lat []time.Duration) (mean, p95 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	mean = sum / time.Duration(len(sorted))
+	p95 = sorted[int(0.95*float64(len(sorted)-1))]
+	return mean, p95
+}
+
+// contendedOps hammers the database from workers goroutines for the
+// given duration and returns achieved operations per second.
+func contendedOps(store *db.DB, nodes []db.NodeRecord, workers int, d time.Duration) float64 {
+	var wg sync.WaitGroup
+	stop := time.Now().Add(d)
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for time.Now().Before(stop) {
+				id := nodes[(w*31+n)%len(nodes)].ID
+				_ = store.UpdateNode(id, func(rec *db.NodeRecord) {
+					rec.LastHeartbeat = rec.LastHeartbeat.Add(time.Second)
+				})
+				n++
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return float64(total) / d.Seconds()
+}

@@ -1,0 +1,238 @@
+// Package simclock provides a clock abstraction that lets every
+// time-dependent component in GPUnion run against either the real wall
+// clock or a deterministic simulated clock.
+//
+// The simulated clock is the backbone of the discrete-event campus
+// simulation: a six-week deployment scenario advances in milliseconds of
+// real time, and unit tests exercise timeout paths without sleeping.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout GPUnion. Components
+// must never call time.Now or time.After directly; they accept a Clock so
+// that simulations and tests control time.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that delivers the clock's time after d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+	// AfterFunc schedules f to run after d and returns a handle that can
+	// cancel the pending call.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a cancellable pending call created by AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call was prevented
+	// from firing.
+	Stop() bool
+}
+
+// Real returns a Clock backed by the system wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// Sim is a deterministic simulated clock. Time advances only when Advance
+// or Run is called; pending timers fire in timestamp order. Sim is safe
+// for concurrent use.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	pending timerHeap
+	seq     uint64 // tie-break so equal deadlines fire in creation order
+}
+
+// NewSim returns a simulated clock starting at the given time.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After returns a channel that receives the simulated time once the clock
+// has advanced past d.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.AfterFunc(d, func() {
+		s.mu.Lock()
+		now := s.now
+		s.mu.Unlock()
+		ch <- now
+	})
+	return ch
+}
+
+// Sleep blocks the calling goroutine until the simulated clock advances
+// past d. Another goroutine must drive Advance, otherwise Sleep blocks
+// forever.
+func (s *Sim) Sleep(d time.Duration) {
+	<-s.After(d)
+}
+
+// AfterFunc schedules f to run when the clock advances past d. f runs on
+// the goroutine that calls Advance.
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &timerEvent{
+		when: s.now.Add(d),
+		seq:  s.seq,
+		fn:   f,
+		sim:  s,
+	}
+	s.seq++
+	heap.Push(&s.pending, ev)
+	return ev
+}
+
+// Advance moves simulated time forward by d, firing every timer whose
+// deadline falls inside the window, in order. Timer callbacks run
+// synchronously on the caller's goroutine; callbacks may schedule further
+// timers, which also fire if they land inside the window.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.mu.Unlock()
+	s.advanceTo(target)
+}
+
+// AdvanceTo moves simulated time forward to t (no-op if t is in the past).
+func (s *Sim) AdvanceTo(t time.Time) { s.advanceTo(t) }
+
+func (s *Sim) advanceTo(target time.Time) {
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 || s.pending[0].when.After(target) {
+			if target.After(s.now) {
+				s.now = target
+			}
+			s.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&s.pending).(*timerEvent)
+		if ev.when.After(s.now) {
+			s.now = ev.when
+		}
+		fn := ev.fn
+		ev.fired = true
+		s.mu.Unlock()
+		fn()
+	}
+}
+
+// Run advances the clock until no pending timers remain or until the
+// horizon is reached, whichever comes first. It returns the number of
+// timers fired. Run is how the discrete-event simulation drains its event
+// queue.
+func (s *Sim) Run(horizon time.Time) int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 || s.pending[0].when.After(horizon) {
+			if horizon.After(s.now) {
+				s.now = horizon
+			}
+			s.mu.Unlock()
+			return fired
+		}
+		ev := heap.Pop(&s.pending).(*timerEvent)
+		if ev.when.After(s.now) {
+			s.now = ev.when
+		}
+		fn := ev.fn
+		ev.fired = true
+		s.mu.Unlock()
+		fn()
+		fired++
+	}
+}
+
+// PendingTimers reports how many timers are waiting to fire.
+func (s *Sim) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+type timerEvent struct {
+	when  time.Time
+	seq   uint64
+	fn    func()
+	index int
+	fired bool
+	sim   *Sim
+}
+
+// Stop cancels the pending timer.
+func (ev *timerEvent) Stop() bool {
+	ev.sim.mu.Lock()
+	defer ev.sim.mu.Unlock()
+	if ev.fired || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&ev.sim.pending, ev.index)
+	return true
+}
+
+// timerHeap is a min-heap ordered by (when, seq).
+type timerHeap []*timerEvent
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when.Equal(h[j].when) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].when.Before(h[j].when)
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	ev := x.(*timerEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,369 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemStorePutGetRoundTrip(t *testing.T) {
+	s := NewMemStore(0)
+	if err := s.Put("a/b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b")
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestMemStoreGetMissing(t *testing.T) {
+	s := NewMemStore(0)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemStoreOverwriteAdjustsUsage(t *testing.T) {
+	s := NewMemStore(0)
+	if err := s.Put("k", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedBytes() != 40 {
+		t.Fatalf("UsedBytes = %d, want 40", s.UsedBytes())
+	}
+}
+
+func TestMemStoreDelete(t *testing.T) {
+	s := NewMemStore(0)
+	if err := s.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("key survived delete")
+	}
+	if s.UsedBytes() != 0 {
+		t.Fatalf("UsedBytes = %d after delete", s.UsedBytes())
+	}
+	if err := s.Delete("missing"); err != nil {
+		t.Fatalf("deleting missing key: %v", err)
+	}
+}
+
+func TestMemStoreCapacityEnforced(t *testing.T) {
+	s := NewMemStore(100)
+	if err := s.Put("a", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", make([]byte, 30)); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-capacity Put err = %v, want ErrCapacity", err)
+	}
+	// Overwriting within capacity is fine even when near the bound.
+	if err := s.Put("a", make([]byte, 100)); err != nil {
+		t.Fatalf("in-place overwrite to exactly capacity: %v", err)
+	}
+	if s.Capacity() != 100 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+}
+
+func TestMemStoreFailedPutLeavesStateIntact(t *testing.T) {
+	s := NewMemStore(50)
+	if err := s.Put("a", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", make([]byte, 60)); !errors.Is(err, ErrCapacity) {
+		t.Fatal("expected capacity error")
+	}
+	got, err := s.Get("a")
+	if err != nil || string(got) != "old" {
+		t.Fatalf("value after failed Put = %q, %v", got, err)
+	}
+}
+
+func TestMemStoreListPrefix(t *testing.T) {
+	s := NewMemStore(0)
+	for _, k := range []string{"ckpt/j1/1", "ckpt/j1/2", "ckpt/j2/1", "out/j1"} {
+		if err := s.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List("ckpt/j1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "ckpt/j1/1" || keys[1] != "ckpt/j1/2" {
+		t.Fatalf("List = %v", keys)
+	}
+	all, _ := s.List("")
+	if len(all) != 4 {
+		t.Fatalf("List(\"\") = %v", all)
+	}
+}
+
+func TestMemStoreGetReturnsCopy(t *testing.T) {
+	s := NewMemStore(0)
+	if err := s.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	again, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("Get exposed internal buffer")
+	}
+}
+
+func TestMemStorePutCopiesInput(t *testing.T) {
+	s := NewMemStore(0)
+	buf := []byte("abc")
+	if err := s.Put("k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatal("Put aliased caller buffer")
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMemStore(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			for j := 0; j < 50; j++ {
+				if err := s.Put(key, []byte{byte(j)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.UsedBytes() != 16 {
+		t.Fatalf("UsedBytes = %d, want 16", s.UsedBytes())
+	}
+}
+
+func TestReplicatedNeedsReplica(t *testing.T) {
+	if _, err := NewReplicated(1); err == nil {
+		t.Fatal("NewReplicated with no replicas succeeded")
+	}
+}
+
+func TestReplicatedPutFansOut(t *testing.T) {
+	a, b := NewMemStore(0), NewMemStore(0)
+	r, err := NewReplicated(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range []*MemStore{a, b} {
+		if v, err := rep.Get("k"); err != nil || string(v) != "v" {
+			t.Fatalf("replica %d missing value: %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestReplicatedQuorum(t *testing.T) {
+	a := NewMemStore(0)
+	full := NewMemStore(1) // too small: every Put fails
+	r, err := NewReplicated(1, a, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quorum 1: succeeds via a.
+	if err := r.Put("k", []byte("value")); err != nil {
+		t.Fatalf("quorum-1 Put: %v", err)
+	}
+	// Quorum 2: fails because full rejects.
+	r2, _ := NewReplicated(2, a, full)
+	if err := r2.Put("k2", []byte("value")); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("quorum-2 Put err = %v, want ErrQuorumFailed", err)
+	}
+}
+
+func TestReplicatedGetFallsBack(t *testing.T) {
+	a, b := NewMemStore(0), NewMemStore(0)
+	r, _ := NewReplicated(0, a, b)
+	// Write only to the second replica (simulates a lost first replica).
+	if err := b.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := r.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing err = %v", err)
+	}
+}
+
+func TestReplicatedListUnion(t *testing.T) {
+	a, b := NewMemStore(0), NewMemStore(0)
+	r, _ := NewReplicated(0, a, b)
+	_ = a.Put("x/1", []byte("1"))
+	_ = b.Put("x/2", []byte("2"))
+	keys, err := r.List("x/")
+	if err != nil || len(keys) != 2 || keys[0] != "x/1" || keys[1] != "x/2" {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+}
+
+func TestReplicatedDeleteAll(t *testing.T) {
+	a, b := NewMemStore(0), NewMemStore(0)
+	r, _ := NewReplicated(0, a, b)
+	_ = r.Put("k", []byte("v"))
+	if err := r.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("replica a still has key")
+	}
+	if _, err := b.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("replica b still has key")
+	}
+}
+
+func TestReplicatedUsedBytesLogical(t *testing.T) {
+	a, b := NewMemStore(0), NewMemStore(0)
+	r, _ := NewReplicated(0, a, b)
+	_ = r.Put("k", make([]byte, 10))
+	if r.UsedBytes() != 10 {
+		t.Fatalf("UsedBytes = %d, want 10 (logical, not 20)", r.UsedBytes())
+	}
+}
+
+func TestPlacementResolveOrder(t *testing.T) {
+	p := NewPlacement()
+	p.Register("nas", NewMemStore(0))
+	p.Register("scratch", NewMemStore(0))
+	_, name, err := p.Resolve([]string{"nas", "scratch"})
+	if err != nil || name != "nas" {
+		t.Fatalf("Resolve = %q, %v", name, err)
+	}
+}
+
+func TestPlacementSkipsDeadNodes(t *testing.T) {
+	p := NewPlacement()
+	p.Register("nas", NewMemStore(0))
+	p.Register("scratch", NewMemStore(0))
+	p.SetLive("nas", false)
+	_, name, err := p.Resolve([]string{"nas", "scratch"})
+	if err != nil || name != "scratch" {
+		t.Fatalf("Resolve = %q, %v", name, err)
+	}
+	if p.Live("nas") || !p.Live("scratch") {
+		t.Fatal("liveness flags wrong")
+	}
+}
+
+func TestPlacementNoTarget(t *testing.T) {
+	p := NewPlacement()
+	p.Register("nas", NewMemStore(0))
+	p.SetLive("nas", false)
+	if _, _, err := p.Resolve([]string{"nas", "unknown"}); !errors.Is(err, ErrNoTarget) {
+		t.Fatalf("err = %v, want ErrNoTarget", err)
+	}
+}
+
+func TestPlacementSetLiveUnknownIgnored(t *testing.T) {
+	p := NewPlacement()
+	p.SetLive("ghost", true)
+	if p.Live("ghost") {
+		t.Fatal("unregistered node marked live")
+	}
+}
+
+func TestPlacementNamesSorted(t *testing.T) {
+	p := NewPlacement()
+	p.Register("z", NewMemStore(0))
+	p.Register("a", NewMemStore(0))
+	names := p.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestPlacementNodeReturns(t *testing.T) {
+	p := NewPlacement()
+	p.Register("nas", NewMemStore(0))
+	p.SetLive("nas", false)
+	p.SetLive("nas", true)
+	_, name, err := p.Resolve([]string{"nas"})
+	if err != nil || name != "nas" {
+		t.Fatalf("Resolve after return = %q, %v", name, err)
+	}
+}
+
+// Property: UsedBytes always equals the sum of current value lengths.
+func TestMemStoreUsageInvariantProperty(t *testing.T) {
+	type op struct {
+		Key  uint8
+		Size uint8
+		Del  bool
+	}
+	f := func(ops []op) bool {
+		s := NewMemStore(0)
+		shadow := make(map[string]int64)
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%8)
+			if o.Del {
+				if err := s.Delete(k); err != nil {
+					return false
+				}
+				delete(shadow, k)
+			} else {
+				if err := s.Put(k, make([]byte, o.Size)); err != nil {
+					return false
+				}
+				shadow[k] = int64(o.Size)
+			}
+		}
+		var want int64
+		for _, n := range shadow {
+			want += n
+		}
+		return s.UsedBytes() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a capacity-bounded store never reports usage above capacity.
+func TestMemStoreCapacityInvariantProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		const capBytes = 200
+		s := NewMemStore(capBytes)
+		for i, n := range sizes {
+			_ = s.Put(fmt.Sprintf("k%d", i), make([]byte, n)) // errors allowed
+			if s.UsedBytes() > capBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gpunion/internal/gpu"
+)
+
+// This file implements the paper's §5.2 "User-Transparent Resource
+// Invocation" direction: instead of forcing users to hand-estimate GPU
+// memory and compute requirements (where over-estimates waste devices
+// and under-estimates fail placements), the platform derives them from
+// what users actually know — their model's parameter count, batch size
+// and precision.
+
+// Precision is the numeric format of model parameters and activations.
+type Precision string
+
+// Supported precisions.
+const (
+	FP32 Precision = "fp32"
+	FP16 Precision = "fp16"
+)
+
+// bytesPer returns the parameter width in bytes.
+func (p Precision) bytesPer() (int64, error) {
+	switch p {
+	case FP32:
+		return 4, nil
+	case FP16:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("workload: unknown precision %q", p)
+}
+
+// ModelDescription is what a user can state about their training run
+// without knowing anything about GPUs.
+type ModelDescription struct {
+	// Class is the model family (affects activation footprint).
+	Class Class
+	// Parameters is the trainable parameter count.
+	Parameters int64
+	// BatchSize is the per-device training batch size.
+	BatchSize int
+	// Precision of parameters/activations (default FP32).
+	Precision Precision
+	// StepsPlanned is the total optimizer steps (for runtime estimates).
+	StepsPlanned int64
+}
+
+// Estimate is the derived resource request.
+type Estimate struct {
+	// GPUMemMiB is the device memory to request: parameters, gradients,
+	// optimizer moments (Adam: 2× parameters), and activation headroom.
+	GPUMemMiB int64
+	// StateBytes is the ALC checkpoint size (weights + optimizer).
+	StateBytes int64
+	// StepFLOPs approximates per-step compute: forward + backward ≈ 6 ×
+	// parameters per token, at ≈128 tokens (or spatial positions) per
+	// sample.
+	StepFLOPs float64
+	// MinCapability reflects precision support requirements.
+	MinCapability gpu.ComputeCapability
+}
+
+// EstimateResources derives a resource request from a model description
+// (§5.2: "incorporating intelligent mechanisms for resource estimation,
+// requesting, and scheduling").
+func EstimateResources(m ModelDescription) (Estimate, error) {
+	if m.Parameters <= 0 {
+		return Estimate{}, errors.New("workload: parameter count must be positive")
+	}
+	if m.BatchSize <= 0 {
+		m.BatchSize = 32
+	}
+	if m.Precision == "" {
+		m.Precision = FP32
+	}
+	width, err := m.Precision.bytesPer()
+	if err != nil {
+		return Estimate{}, err
+	}
+
+	// Memory model: weights + gradients (1× each) + Adam moments (2×),
+	// all at parameter precision except moments (fp32), plus an
+	// activation term that scales with batch size and model class.
+	weights := m.Parameters * width
+	grads := m.Parameters * width
+	moments := m.Parameters * 8 // two fp32 moments
+	activationPerSample := int64(float64(m.Parameters) * 0.25 * float64(width) / 32)
+	if m.Class == Transformer {
+		// Attention activations are heavier per sample.
+		activationPerSample *= 3
+	}
+	activations := activationPerSample * int64(m.BatchSize)
+
+	totalBytes := weights + grads + moments + activations
+	// 20% fragmentation/workspace headroom, floor of 2 GiB.
+	memMiB := int64(float64(totalBytes)*1.2) / (1 << 20)
+	if memMiB < 2048 {
+		memMiB = 2048
+	}
+
+	est := Estimate{
+		GPUMemMiB:  memMiB,
+		StateBytes: weights + moments, // what an ALC checkpoint persists
+		StepFLOPs:  6 * float64(m.Parameters) * float64(m.BatchSize) * 128,
+		MinCapability: gpu.ComputeCapability{
+			Major: 7, Minor: 0,
+		},
+	}
+	if m.Precision == FP16 {
+		// Efficient fp16 training wants tensor cores (Volta+ has them,
+		// but campus policy targets Turing 7.5 or newer).
+		est.MinCapability = gpu.ComputeCapability{Major: 7, Minor: 5}
+	}
+	return est, nil
+}
+
+// ToTrainingSpec converts an estimate into a runnable spec.
+func (e Estimate) ToTrainingSpec(m ModelDescription) TrainingSpec {
+	steps := m.StepsPlanned
+	if steps <= 0 {
+		steps = 10000
+	}
+	return TrainingSpec{
+		Class:            m.Class,
+		TotalSteps:       steps,
+		StepFLOPs:        e.StepFLOPs,
+		StateBytes:       e.StateBytes,
+		GPUMemMiB:        e.GPUMemMiB,
+		MinCapability:    e.MinCapability,
+		DirtyFracPerStep: 2e-5,
+		LogBytesPerStep:  2048,
+	}
+}
+
+// SuggestDevice returns the smallest catalog GPU that satisfies the
+// estimate, or an error when nothing on campus fits.
+func (e Estimate) SuggestDevice() (gpu.Spec, error) {
+	candidates := []gpu.Spec{gpu.RTX3090, gpu.RTX4090, gpu.A6000, gpu.A100}
+	var best gpu.Spec
+	found := false
+	for _, c := range candidates {
+		if c.MemoryMiB < e.GPUMemMiB || !c.Capability.AtLeast(e.MinCapability) {
+			continue
+		}
+		if !found || c.MemoryMiB < best.MemoryMiB {
+			best = c
+			found = true
+		}
+	}
+	if !found {
+		return gpu.Spec{}, fmt.Errorf("workload: no campus GPU fits %d MiB", e.GPUMemMiB)
+	}
+	return best, nil
+}
+
+// EstimatedRunTime predicts wall time on the suggested device.
+func (e Estimate) EstimatedRunTime(m ModelDescription) (time.Duration, error) {
+	dev, err := e.SuggestDevice()
+	if err != nil {
+		return 0, err
+	}
+	return e.ToTrainingSpec(m).RunTime(dev), nil
+}

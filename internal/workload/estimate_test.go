@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpunion/internal/gpu"
+)
+
+func resnet50() ModelDescription {
+	return ModelDescription{
+		Class: CNN, Parameters: 25_600_000, BatchSize: 64,
+		Precision: FP32, StepsPlanned: 20000,
+	}
+}
+
+func bertBase() ModelDescription {
+	return ModelDescription{
+		Class: Transformer, Parameters: 110_000_000, BatchSize: 32,
+		Precision: FP32, StepsPlanned: 30000,
+	}
+}
+
+func gpt3b() ModelDescription {
+	return ModelDescription{
+		Class: Transformer, Parameters: 3_000_000_000, BatchSize: 8,
+		Precision: FP16, StepsPlanned: 60000,
+	}
+}
+
+func TestEstimateResNet50Plausible(t *testing.T) {
+	est, err := EstimateResources(resnet50())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ResNet-50 training fits comfortably in a consumer GPU.
+	if est.GPUMemMiB < 1024 || est.GPUMemMiB > 12000 {
+		t.Fatalf("ResNet-50 estimate = %d MiB, implausible", est.GPUMemMiB)
+	}
+	dev, err := est.SuggestDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Model != "RTX 3090" {
+		t.Fatalf("suggested %s, want the smallest fitting GPU", dev.Model)
+	}
+}
+
+func TestEstimateBERTNeedsMoreThanResNet(t *testing.T) {
+	r, err := EstimateResources(resnet50())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateResources(bertBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GPUMemMiB <= r.GPUMemMiB {
+		t.Fatalf("BERT (%d MiB) should need more than ResNet (%d MiB)", b.GPUMemMiB, r.GPUMemMiB)
+	}
+	if b.StateBytes <= r.StateBytes {
+		t.Fatal("BERT checkpoint should be larger")
+	}
+}
+
+func TestEstimateLargeModelRequiresBigGPU(t *testing.T) {
+	est, err := EstimateResources(gpt3b())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := est.SuggestDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3B with Adam moments (24 GB alone) exceeds every 24 GiB card.
+	if dev.MemoryMiB <= 24576 {
+		t.Fatalf("3B model suggested %s (%d MiB)", dev.Model, dev.MemoryMiB)
+	}
+}
+
+func TestEstimateFP16RequiresTensorCores(t *testing.T) {
+	est, err := EstimateResources(gpt3b())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(est.MinCapability.Major > 7 || (est.MinCapability.Major == 7 && est.MinCapability.Minor >= 5)) {
+		t.Fatalf("fp16 capability = %v, want >= 7.5", est.MinCapability)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := EstimateResources(ModelDescription{Parameters: 0}); err == nil {
+		t.Fatal("zero parameters accepted")
+	}
+	if _, err := EstimateResources(ModelDescription{Parameters: 1e6, Precision: "int4"}); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+}
+
+func TestEstimateDefaults(t *testing.T) {
+	est, err := EstimateResources(ModelDescription{Class: CNN, Parameters: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.GPUMemMiB < 2048 {
+		t.Fatalf("floor not applied: %d MiB", est.GPUMemMiB)
+	}
+}
+
+func TestToTrainingSpecRunnable(t *testing.T) {
+	m := bertBase()
+	est, err := EstimateResources(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := est.ToTrainingSpec(m)
+	if spec.TotalSteps != m.StepsPlanned || spec.Class != Transformer {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.StepTime(gpu.RTX3090) <= 0 {
+		t.Fatal("derived spec has zero step time")
+	}
+	// The derived job actually runs.
+	j := NewJob("estimated", spec)
+	j.Advance(100)
+	if j.Step() != 100 {
+		t.Fatal("derived job does not advance")
+	}
+}
+
+func TestEstimatedRunTimePositive(t *testing.T) {
+	m := resnet50()
+	est, err := EstimateResources(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := est.EstimatedRunTime(m)
+	if err != nil || d <= 0 {
+		t.Fatalf("run time = %v, %v", d, err)
+	}
+}
+
+func TestSuggestDeviceNothingFits(t *testing.T) {
+	est := Estimate{GPUMemMiB: 10_000_000} // 10 TB: nothing on campus
+	if _, err := est.SuggestDevice(); err == nil {
+		t.Fatal("impossible estimate got a device")
+	}
+}
+
+// Property: memory estimates are monotone in parameter count and batch
+// size, and always above the floor.
+func TestEstimateMonotoneProperty(t *testing.T) {
+	f := func(p1, p2 uint32, b1, b2 uint8) bool {
+		if p1 == 0 || p2 == 0 {
+			return true
+		}
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		small, err1 := EstimateResources(ModelDescription{
+			Class: CNN, Parameters: int64(p1) * 1000, BatchSize: int(b1) + 1})
+		big, err2 := EstimateResources(ModelDescription{
+			Class: CNN, Parameters: int64(p2) * 1000, BatchSize: int(b2) + 1})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return small.GPUMemMiB <= big.GPUMemMiB && small.GPUMemMiB >= 2048
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+# GPUnion build targets. Each target mirrors one CI job in
+# .github/workflows/ci.yml — `make ci` runs the full gate locally.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark, no unit tests: a smoke run that keeps
+# bench_test.go compiling and executable without burning CI minutes.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt test race bench

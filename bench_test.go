@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -180,13 +181,16 @@ func BenchmarkScalability(b *testing.B) {
 		}
 		if r.Nodes == 400 {
 			b.ReportMetric(r.Headroom, "db_headroom_at_400")
+			b.ReportMetric(r.SingleMutexHeadroom, "mutex_headroom_at_400")
+			b.ReportMetric(r.BatchSpeedup, "batch_speedup_at_400")
 		}
 	}
 	onceScalability.Do(func() {
 		fmt.Println("\n--- Scalability (paper: sub-second to 50 nodes; bottlenecks beyond 200) ---")
 		for _, r := range rows {
-			fmt.Printf("  n=%-4d sched p95=%-12v sub-second=%-5v db headroom=%.1fx\n",
-				r.Nodes, r.P95SchedulingLatency, r.SubSecond, r.Headroom)
+			fmt.Printf("  n=%-4d sched p95=%-12v batch/decision=%-10v sub-second=%-5v db headroom sharded=%.1fx mutex=%.1fx\n",
+				r.Nodes, r.P95SchedulingLatency, r.BatchMeanPerDecision, r.SubSecond,
+				r.Headroom, r.SingleMutexHeadroom)
 		}
 	})
 }
@@ -400,6 +404,145 @@ func BenchmarkDBJobQueueQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = store.JobsInState(db.JobPending)
+	}
+}
+
+// heartbeatStore seeds a store with n nodes for the heartbeat benches.
+func heartbeatStore(store db.Store, n int) []string {
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("node-%03d", i)
+		ids[i] = id
+		store.UpsertNode(db.NodeRecord{
+			ID: id, Status: db.NodeActive,
+			GPUs: []db.GPUInfo{{DeviceID: "gpu0", Model: "RTX 3090",
+				MemoryMiB: 24576, CapabilityMajor: 8, CapabilityMinor: 6}},
+			RegisteredAt: benchEpoch,
+		})
+	}
+	return ids
+}
+
+// storeContentionCases are the two operating points the store benches
+// measure: pure in-memory map cost, and the §5.3 model where each
+// operation carries I/O latency held under the lock (the same model the
+// scalability experiment uses via SetOpDelay). The second is the
+// contention point sharding removes: per-shard RWMutexes let modelled
+// I/O delays overlap where the single mutex serializes them — even on
+// a single CPU, since sleeping operations yield the processor.
+var storeContentionCases = []struct {
+	name  string
+	delay time.Duration
+}{
+	{"inmem", 0},
+	{"iodelay20us", 20 * time.Microsecond},
+}
+
+// benchConcurrentHeartbeats runs the coordinator's per-heartbeat write
+// mix (node update + two telemetry samples) from parallel goroutines —
+// the hot path the sharded store parallelizes.
+func benchConcurrentHeartbeats(b *testing.B, mk func() db.Store) {
+	for _, tc := range storeContentionCases {
+		b.Run(tc.name, func(b *testing.B) {
+			store := mk()
+			ids := heartbeatStore(store, 200)
+			store.SetOpDelay(tc.delay)
+			var seq atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					id := ids[i%len(ids)]
+					_ = store.UpdateNode(id, func(n *db.NodeRecord) {
+						n.LastHeartbeat = n.LastHeartbeat.Add(time.Second)
+					})
+					store.AppendSample(db.Sample{Time: benchEpoch, NodeID: id,
+						Metric: "gpu_utilization", Value: 0.5})
+					store.AppendSample(db.Sample{Time: benchEpoch, NodeID: id,
+						Metric: "gpu_memory_used_mib", Value: 1024})
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkConcurrentHeartbeatsSharded(b *testing.B) {
+	benchConcurrentHeartbeats(b, func() db.Store { return db.New(0) })
+}
+
+func BenchmarkConcurrentHeartbeatsSingleMutex(b *testing.B) {
+	benchConcurrentHeartbeats(b, func() db.Store { return db.NewSingleMutex(0) })
+}
+
+// benchConcurrentReads measures parallel read-path throughput (point
+// lookups plus the scheduler's ActiveNodes scan) against each store.
+func benchConcurrentReads(b *testing.B, mk func() db.Store) {
+	for _, tc := range storeContentionCases {
+		b.Run(tc.name, func(b *testing.B) {
+			store := mk()
+			ids := heartbeatStore(store, 200)
+			store.SetOpDelay(tc.delay)
+			var seq atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					if _, err := store.GetNode(ids[i%len(ids)]); err != nil {
+						b.Error(err) // Fatal must not run off the test goroutine
+						return
+					}
+					if i%8 == 0 {
+						_ = store.ActiveNodes()
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkConcurrentReadsSharded(b *testing.B) {
+	benchConcurrentReads(b, func() db.Store { return db.New(0) })
+}
+
+func BenchmarkConcurrentReadsSingleMutex(b *testing.B) {
+	benchConcurrentReads(b, func() db.Store { return db.NewSingleMutex(0) })
+}
+
+// BenchmarkBatchPlacement32 places 32 requests per cycle through
+// PlaceBatch: one candidate-pool build serves the whole batch.
+func BenchmarkBatchPlacement32(b *testing.B) {
+	s := scheduler.New(&scheduler.RoundRobin{}, scheduler.DefaultReliability())
+	nodes := benchNodes(50)
+	reqs := make([]scheduler.Request, 32)
+	for i := range reqs {
+		reqs[i] = scheduler.Request{JobID: fmt.Sprintf("j%02d", i), GPUMemMiB: 8192,
+			Capability: gpu.ComputeCapability{Major: 7, Minor: 0}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := s.PlaceBatch(reqs, nodes, benchEpoch)
+		if results[0].Err != nil {
+			b.Fatal(results[0].Err)
+		}
+	}
+}
+
+// BenchmarkSinglePlacement32 is the same 32 decisions made one at a
+// time — the pre-batching coordinator behaviour, for comparison.
+func BenchmarkSinglePlacement32(b *testing.B) {
+	s := scheduler.New(&scheduler.RoundRobin{}, scheduler.DefaultReliability())
+	nodes := benchNodes(50)
+	req := scheduler.Request{JobID: "j", GPUMemMiB: 8192,
+		Capability: gpu.ComputeCapability{Major: 7, Minor: 0}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 32; k++ {
+			if _, err := s.Schedule(req, nodes, benchEpoch); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -75,6 +75,7 @@ func main() {
 		HeartbeatInterval: cfg.HeartbeatInterval(),
 		MissedThreshold:   cfg.MissedThreshold,
 		Strategy:          strategy,
+		BatchSize:         cfg.SchedulerBatchSize,
 	}, simclock.Real(), database, ckpts, bus)
 	if err != nil {
 		log.Fatalf("creating coordinator: %v", err)

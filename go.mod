@@ -1,0 +1,3 @@
+module gpunion
+
+go 1.24

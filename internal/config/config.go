@@ -25,6 +25,9 @@ type Coordinator struct {
 	MissedThreshold int `json:"missed_threshold"`
 	// Strategy is "round-robin" (default), "best-fit" or "least-loaded".
 	Strategy string `json:"strategy"`
+	// SchedulerBatchSize caps how many pending requests one scheduling
+	// cycle drains as a batch (default 32).
+	SchedulerBatchSize int `json:"scheduler_batch_size"`
 	// SnapshotPath, when set, persists the system database there.
 	SnapshotPath string `json:"snapshot_path"`
 }
@@ -44,6 +47,9 @@ func (c *Coordinator) Validate() error {
 	}
 	if c.MissedThreshold <= 0 {
 		c.MissedThreshold = 3
+	}
+	if c.SchedulerBatchSize <= 0 {
+		c.SchedulerBatchSize = 32
 	}
 	switch c.Strategy {
 	case "":

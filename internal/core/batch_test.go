@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gpunion/internal/api"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+)
+
+// fakeAgent is a scriptable AgentHandle: launches succeed on free
+// devices unless the agent is set to refuse, tracking what ran.
+type fakeAgent struct {
+	mu       sync.Mutex
+	devices  []string
+	inUse    map[string]bool
+	refuse   bool
+	launched []string
+}
+
+func newFakeAgent(devices ...string) *fakeAgent {
+	return &fakeAgent{devices: devices, inUse: make(map[string]bool)}
+}
+
+func (f *fakeAgent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.refuse {
+		return api.LaunchResponse{}, errors.New("fake: node refuses launches")
+	}
+	for _, d := range f.devices {
+		if !f.inUse[d] {
+			f.inUse[d] = true
+			f.launched = append(f.launched, req.JobID)
+			return api.LaunchResponse{ContainerID: "ctr-" + req.JobID, DeviceID: d}, nil
+		}
+	}
+	return api.LaunchResponse{}, errors.New("fake: no free device")
+}
+
+func (f *fakeAgent) Kill(jobID string) error { return nil }
+
+func (f *fakeAgent) Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error) {
+	return api.CheckpointResponse{}, errors.New("fake: no checkpoints")
+}
+
+// batchRig is a coordinator wired to fakeAgents, bypassing the full
+// agent stack so launch failures can be scripted.
+type batchRig struct {
+	coord *Coordinator
+	fakes map[string]*fakeAgent
+}
+
+func newBatchRig(t *testing.T, batchSize int, nodeIDs ...string) *batchRig {
+	t.Helper()
+	clock := simclock.NewSim(t0)
+	coord, err := New(Config{HeartbeatInterval: 10 * time.Second, BatchSize: batchSize},
+		clock, db.New(0), checkpoint.NewStore(storage.NewMemStore(0)), eventbus.New(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+	r := &batchRig{coord: coord, fakes: make(map[string]*fakeAgent)}
+	for _, id := range nodeIDs {
+		fake := newFakeAgent("gpu0")
+		r.fakes[id] = fake
+		_, err := coord.Register(api.RegisterRequest{
+			MachineID: id, Addr: "fake://" + id,
+			GPUs: []db.GPUInfo{{DeviceID: "gpu0", Model: "RTX 3090",
+				MemoryMiB: 24576, CapabilityMajor: 8, CapabilityMinor: 6}},
+		}, fake)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func (r *batchRig) submit(t *testing.T, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := r.coord.SubmitJob(api.SubmitJobRequest{
+			User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+			GPUMemMiB: 8192,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TestBatchSchedulingDrainsQueue: one submission burst larger than the
+// batch size still drains fully across cycles.
+func TestBatchSchedulingDrainsQueue(t *testing.T) {
+	nodes := make([]string, 6)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%d", i)
+	}
+	r := newBatchRig(t, 2, nodes...) // batch of 2, queue of 6
+	ids := r.submit(t, 6)
+	for _, id := range ids {
+		st, err := r.coord.JobStatus(id)
+		if err != nil || st.State != db.JobRunning {
+			t.Fatalf("job %s = %+v, %v (want running)", id, st, err)
+		}
+	}
+	// Each node got exactly one job — batching didn't pile onto one.
+	for id, fake := range r.fakes {
+		if len(fake.launched) != 1 {
+			t.Fatalf("node %s launched %v, want exactly 1", id, fake.launched)
+		}
+	}
+}
+
+// TestBatchMemberFailureRollsBack: a node that accepts a placement but
+// refuses the launch must not strand the job or any device — the job
+// stays pending with no node recorded, the refusing node's device
+// stays unallocated in the resource view, and other batch members
+// commit normally.
+func TestBatchMemberFailureRollsBack(t *testing.T) {
+	r := newBatchRig(t, 8, "good", "bad")
+	r.fakes["bad"].refuse = true
+	ids := r.submit(t, 2)
+
+	running, pending := 0, 0
+	for _, id := range ids {
+		st, err := r.coord.JobStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case db.JobRunning:
+			running++
+			if st.NodeID != "good" {
+				t.Fatalf("running job on %s, want good", st.NodeID)
+			}
+		case db.JobPending:
+			pending++
+			if st.NodeID != "" {
+				t.Fatalf("pending job still bound to node %s", st.NodeID)
+			}
+		default:
+			t.Fatalf("job %s in state %s", id, st.State)
+		}
+	}
+	if running != 1 || pending != 1 {
+		t.Fatalf("running=%d pending=%d, want 1/1", running, pending)
+	}
+	// The refusing node's device must not be marked allocated: the
+	// failed member's reservation died with the batch.
+	for _, n := range r.coord.Nodes() {
+		if n.ID == "bad" && n.GPUs[0].Allocated {
+			t.Fatal("failed launch stranded a device reservation on bad")
+		}
+	}
+	// Capacity returning later picks the pending job up.
+	r.fakes["bad"].mu.Lock()
+	r.fakes["bad"].refuse = false
+	r.fakes["bad"].mu.Unlock()
+	r.coord.TrySchedule()
+	for _, id := range ids {
+		st, _ := r.coord.JobStatus(id)
+		if st.State != db.JobRunning {
+			t.Fatalf("job %s = %s after capacity returned, want running", id, st.State)
+		}
+	}
+}
+
+// TestBatchRespectsPriorityOrder: higher-priority submissions win the
+// devices when the batch is bigger than capacity.
+func TestBatchRespectsPriorityOrder(t *testing.T) {
+	r := newBatchRig(t, 8, "n0")
+	// Stop the single node from scheduling during submission by pausing
+	// launches, so all jobs queue and one batch decides the order.
+	r.fakes["n0"].refuse = true
+	var low, high string
+	var err error
+	if low, err = r.coord.SubmitJob(api.SubmitJobRequest{
+		User: "alice", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: 8192, Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if high, err = r.coord.SubmitJob(api.SubmitJobRequest{
+		User: "bob", Kind: "batch", ImageName: "pytorch/pytorch:2.3-cuda12",
+		GPUMemMiB: 8192, Priority: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.fakes["n0"].mu.Lock()
+	r.fakes["n0"].refuse = false
+	r.fakes["n0"].mu.Unlock()
+	r.coord.TrySchedule()
+	st, _ := r.coord.JobStatus(high)
+	if st.State != db.JobRunning {
+		t.Fatalf("high-priority job = %s, want running", st.State)
+	}
+	st, _ = r.coord.JobStatus(low)
+	if st.State != db.JobPending {
+		t.Fatalf("low-priority job = %s, want pending", st.State)
+	}
+}

@@ -54,6 +54,10 @@ type Config struct {
 	MissedThreshold int
 	// Strategy picks the scheduling strategy (nil = round-robin).
 	Strategy scheduler.Strategy
+	// BatchSize caps how many pending requests one scheduling cycle
+	// drains as a single batch (0 = 32). The feasible candidate set is
+	// built once per batch, not once per request.
+	BatchSize int
 	// TokenTTL bounds issued credentials (0 = 30 days).
 	TokenTTL time.Duration
 	// Net optionally models LAN transfer timing for migrations;
@@ -107,6 +111,9 @@ func New(cfg Config, clock simclock.Clock, database *db.DB, ckpts *checkpoint.St
 	}
 	if cfg.MissedThreshold <= 0 {
 		cfg.MissedThreshold = heartbeat.DefaultMissedThreshold
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
 	}
 	if bus == nil {
 		bus = eventbus.New(0)
@@ -478,19 +485,41 @@ func (c *Coordinator) KillJob(jobID string) error {
 	return err
 }
 
-// TrySchedule drains the pending queue in priority order, placing every
-// job that fits the current resource view.
+// DefaultBatchSize is how many pending requests one scheduling cycle
+// drains when Config.BatchSize is unset.
+const DefaultBatchSize = 32
+
+// TrySchedule drains the pending queue in priority order, placing jobs
+// batch by batch: each cycle takes up to BatchSize requests, runs one
+// PlaceBatch over a candidate set built once, and commits the
+// placements. Cycles repeat while they make progress, so a deep queue
+// still drains fully; a cycle that commits nothing stops the loop (the
+// cluster is effectively full for this queue shape).
 func (c *Coordinator) TrySchedule() {
-	if c.db.CountJobsInState(db.JobPending) == 0 {
-		return
+	for c.scheduleBatch() {
 	}
-	// Bound the work of one pass: once several placements in a row have
-	// failed, the cluster is effectively full for this queue shape.
-	const maxConsecutiveFailures = 16
-	failures := 0
+}
+
+// scheduleBatch runs one batch-scheduling cycle and reports whether any
+// placement was committed. Placements are transactional per member: the
+// database is only mutated after the agent's Launch succeeds, so a
+// failing member leaves no stranded device reservation — its in-batch
+// reservation dies with the batch and the job simply stays pending.
+func (c *Coordinator) scheduleBatch() bool {
+	if c.db.CountJobsInState(db.JobPending) == 0 {
+		return false
+	}
 	now := c.clock.Now()
+
+	// Assemble the batch: the head of the priority queue, skipping jobs
+	// whose relaunch metadata is gone (e.g. restored from a snapshot).
+	var (
+		jobs  []db.JobRecord
+		metas []*jobMeta
+		reqs  []scheduler.Request
+	)
 	for _, job := range c.db.JobsInState(db.JobPending) {
-		if failures >= maxConsecutiveFailures {
+		if len(reqs) >= c.cfg.BatchSize {
 			break
 		}
 		c.mu.Lock()
@@ -499,37 +528,54 @@ func (c *Coordinator) TrySchedule() {
 		if meta == nil {
 			continue
 		}
-		start := time.Now() // real time: scheduling latency is a real cost
-		placement, err := c.sched.Schedule(scheduler.Request{
+		jobs = append(jobs, job)
+		metas = append(metas, meta)
+		reqs = append(reqs, scheduler.Request{
 			JobID:      job.ID,
 			GPUMemMiB:  job.GPUMemMiB,
 			Capability: api.CapabilityOf(job.CapabilityMajor, job.CapabilityMinor),
 			Priority:   job.Priority,
 			LongRunning: meta.training != nil &&
 				meta.training.TotalSteps > 10000,
-		}, c.db.ListNodes(), now)
-		c.schedLatency.Observe(time.Since(start).Seconds())
-		if err != nil {
-			failures++
+		})
+	}
+	if len(reqs) == 0 {
+		return false
+	}
+
+	// Real time, per decision: scheduling latency is a real cost, and
+	// each member's own latency feeds the histogram so batching cannot
+	// flatten the tail quantiles.
+	results := c.sched.PlaceBatch(reqs, c.db.ListNodes(), now)
+
+	progressed := false
+	for i, res := range results {
+		c.schedLatency.Observe(res.Latency.Seconds())
+		if res.Err != nil {
 			continue // stays pending
 		}
-		failures = 0
 		// A requeued job resumes from its latest checkpoint, if any.
 		var restoreSeq int
 		var restoreStep int64
-		if ck, cerr := c.ckpts.Latest(job.ID); cerr == nil {
+		if ck, cerr := c.ckpts.Latest(jobs[i].ID); cerr == nil {
 			restoreSeq = ck.Seq
 			restoreStep = ck.Progress.Step
 		}
-		c.place(job, meta, placement, restoreSeq, restoreStep, now)
+		if c.place(jobs[i], metas[i], res.Placement, restoreSeq, restoreStep, now) {
+			progressed = true
+		}
 	}
+	return progressed
 }
 
-// place launches a (possibly restored) job per a placement decision.
-func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placement, restoreSeq int, restoreStep int64, now time.Time) {
+// place launches a (possibly restored) job per a placement decision and
+// reports whether the placement committed. On any failure nothing has
+// been written to the database, so the decision rolls back to "job
+// still pending" with no device held.
+func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placement, restoreSeq int, restoreStep int64, now time.Time) bool {
 	h := c.handle(p.NodeID)
 	if h == nil {
-		return
+		return false
 	}
 	resp, err := h.Launch(api.LaunchRequest{
 		JobID: job.ID, ImageName: meta.image, Kind: meta.kind,
@@ -543,7 +589,7 @@ func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placeme
 	if err != nil {
 		// Node said no (paused, race on capacity): reflect reality and
 		// leave the job pending.
-		return
+		return false
 	}
 
 	_ = c.db.UpdateJob(job.ID, func(j *db.JobRecord) {
@@ -570,6 +616,7 @@ func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placeme
 	c.bus.Publish(eventbus.Event{Type: eventbus.JobScheduled, Time: now,
 		Job: job.ID, Node: p.NodeID,
 		Detail: map[string]any{"device": resp.DeviceID, "reliability": p.Reliability}})
+	return true
 }
 
 // --- Agent notifications (core implements agent.Notifier) ---

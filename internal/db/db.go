@@ -3,17 +3,27 @@
 // monitoring samples, "enabling both operational decision making and
 // capacity planning".
 //
-// The store is an in-memory, mutex-guarded database with JSON
-// snapshot/restore. A configurable per-operation delay models the
-// contention the paper predicts beyond ~200 nodes (§5.3), which the
-// scalability benchmark measures.
+// The store is in-memory with JSON snapshot/restore. State is hash-
+// sharded per table (nodes, jobs, allocations, monitoring samples) so
+// that heartbeat bursts, job mutations and metric appends on different
+// records proceed in parallel: every shard carries its own
+// sync.RWMutex, point operations touch exactly one shard, read-mostly
+// scans take read locks shard by shard, and only Save/Load acquire all
+// shards at once (in a fixed order, so snapshots stay consistent).
+//
+// A configurable per-operation delay models the contention the paper
+// predicts beyond ~200 nodes (§5.3), which the scalability benchmark
+// measures; the single-mutex baseline it is compared against is
+// preserved as SingleMutex.
 package db
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"io"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -129,81 +139,200 @@ type Sample struct {
 	Value  float64   `json:"value"`
 }
 
-// DB is the central database. All methods are safe for concurrent use.
+// Store is the system-database surface shared by the sharded DB and the
+// preserved SingleMutex baseline, so benchmarks and experiments can
+// compare the two under identical workloads.
+type Store interface {
+	SetOpDelay(delay time.Duration)
+	Ops() int64
+
+	UpsertNode(n NodeRecord)
+	GetNode(id string) (NodeRecord, error)
+	UpdateNode(id string, fn func(*NodeRecord)) error
+	ListNodes() []NodeRecord
+	ActiveNodes() []NodeRecord
+
+	InsertJob(j JobRecord) error
+	GetJob(id string) (JobRecord, error)
+	UpdateJob(id string, fn func(*JobRecord)) error
+	CountJobsInState(state JobState) int
+	ListJobs() []JobRecord
+	JobsInState(state JobState) []JobRecord
+	JobsOnNode(nodeID string) []JobRecord
+
+	RecordAllocation(a AllocationRecord)
+	CloseAllocation(jobID string, end time.Time) error
+	Allocations() []AllocationRecord
+
+	AppendSample(s Sample)
+	SamplesInRange(metric, nodeID string, from, to time.Time) []Sample
+
+	Save(w io.Writer) error
+	Load(r io.Reader) error
+}
+
+// Compile-time interface checks.
+var (
+	_ Store = (*DB)(nil)
+	_ Store = (*SingleMutex)(nil)
+)
+
+// DefaultShards is the shard count used by New. Sixteen is enough to
+// spread a few hundred heartbeating nodes with negligible memory cost.
+const DefaultShards = 16
+
+// hashSeed makes the shard assignment stable for the process lifetime.
+var hashSeed = maphash.MakeSeed()
+
+// shardOf hashes a record key onto a shard index (shards is a power of
+// two).
+func shardOf(key string, shards int) int {
+	return int(maphash.String(hashSeed, key)) & (shards - 1)
+}
+
+// nodeShard is one partition of the node table.
+type nodeShard struct {
+	mu   sync.RWMutex
+	recs map[string]*NodeRecord
+}
+
+// jobShard is one partition of the job table. Each shard maintains its
+// own per-state counts; CountJobsInState sums them.
+type jobShard struct {
+	mu         sync.RWMutex
+	recs       map[string]*JobRecord
+	stateCount map[JobState]int
+}
+
+// allocShard is one partition of the allocation history, keyed by job.
+type allocShard struct {
+	mu       sync.RWMutex
+	episodes []AllocationRecord
+}
+
+// sampleShard is one partition of the monitoring history, keyed by node.
+type sampleShard struct {
+	mu  sync.RWMutex
+	buf []Sample
+}
+
+// DB is the central database. All methods are safe for concurrent use;
+// operations on records that hash to different shards do not contend.
 type DB struct {
-	mu          sync.Mutex
-	nodes       map[string]*NodeRecord
-	jobs        map[string]*JobRecord
-	stateCount  map[JobState]int
-	allocations []AllocationRecord
-	samples     []Sample
+	shardCount int
+	nodes      []*nodeShard
+	jobs       []*jobShard
+	allocs     []*allocShard
+	samples    []*sampleShard
+	// maxSamples bounds the monitoring history across all shards;
+	// sampleCount tracks the global total so eviction matches the
+	// single-mutex semantics without a global lock.
 	maxSamples  int
-	// opDelay models per-operation I/O latency for contention studies.
-	opDelay time.Duration
+	sampleCount atomic.Int64
+	// opDelay models per-operation I/O latency for contention studies
+	// (nanoseconds; applied while holding the target shard's lock).
+	opDelay atomic.Int64
 	ops     atomic.Int64
 }
 
-// New creates a database retaining at most maxSamples monitoring points
-// (0 means a generous default).
+// New creates a sharded database retaining at most maxSamples monitoring
+// points (0 means a generous default).
 func New(maxSamples int) *DB {
+	return NewWithShards(maxSamples, DefaultShards)
+}
+
+// NewWithShards creates a database with an explicit shard count, rounded
+// up to a power of two. One shard degenerates to a single-RWMutex store.
+func NewWithShards(maxSamples, shards int) *DB {
 	if maxSamples <= 0 {
 		maxSamples = 1 << 20
 	}
-	return &DB{
-		nodes:      make(map[string]*NodeRecord),
-		jobs:       make(map[string]*JobRecord),
-		stateCount: make(map[JobState]int),
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	pow := 1
+	for pow < shards {
+		pow <<= 1
+	}
+	d := &DB{
+		shardCount: pow,
+		nodes:      make([]*nodeShard, pow),
+		jobs:       make([]*jobShard, pow),
+		allocs:     make([]*allocShard, pow),
+		samples:    make([]*sampleShard, pow),
 		maxSamples: maxSamples,
 	}
+	for i := 0; i < pow; i++ {
+		d.nodes[i] = &nodeShard{recs: make(map[string]*NodeRecord)}
+		d.jobs[i] = &jobShard{recs: make(map[string]*JobRecord), stateCount: make(map[JobState]int)}
+		d.allocs[i] = &allocShard{}
+		d.samples[i] = &sampleShard{}
+	}
+	return d
 }
+
+// Shards reports the shard count (diagnostics and benchmarks).
+func (d *DB) Shards() int { return d.shardCount }
 
 // SetOpDelay configures an artificial per-operation latency, modelling a
 // disk-backed database under load. Used by the scalability experiment.
 func (d *DB) SetOpDelay(delay time.Duration) {
-	d.mu.Lock()
-	d.opDelay = delay
-	d.mu.Unlock()
+	d.opDelay.Store(int64(delay))
 }
 
 // Ops reports the total operations served (contention instrumentation).
 func (d *DB) Ops() int64 { return d.ops.Load() }
 
-// lockOp acquires the database for one operation, applying the modelled
-// latency while holding the lock (the contention point).
-func (d *DB) lockOp() {
-	d.mu.Lock()
-	d.ops.Add(1)
-	if d.opDelay > 0 {
-		time.Sleep(d.opDelay)
+// delay applies the modelled latency; callers hold the target shard's
+// lock so the sleep is a genuine (per-shard) contention point.
+func (d *DB) delay() {
+	if dl := d.opDelay.Load(); dl > 0 {
+		time.Sleep(time.Duration(dl))
 	}
+}
+
+func (d *DB) nodeShard(id string) *nodeShard   { return d.nodes[shardOf(id, d.shardCount)] }
+func (d *DB) jobShard(id string) *jobShard     { return d.jobs[shardOf(id, d.shardCount)] }
+func (d *DB) allocShard(id string) *allocShard { return d.allocs[shardOf(id, d.shardCount)] }
+func (d *DB) sampleShard(id string) *sampleShard {
+	return d.samples[shardOf(id, d.shardCount)]
 }
 
 // --- Nodes ---
 
 // UpsertNode inserts or replaces a node record.
 func (d *DB) UpsertNode(n NodeRecord) {
-	d.lockOp()
-	defer d.mu.Unlock()
+	d.ops.Add(1)
+	s := d.nodeShard(n.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.delay()
 	cp := n
-	d.nodes[n.ID] = &cp
+	s.recs[n.ID] = &cp
 }
 
 // GetNode returns a copy of the node record.
 func (d *DB) GetNode(id string) (NodeRecord, error) {
-	d.lockOp()
-	defer d.mu.Unlock()
-	n, ok := d.nodes[id]
+	d.ops.Add(1)
+	s := d.nodeShard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d.delay()
+	n, ok := s.recs[id]
 	if !ok {
 		return NodeRecord{}, fmt.Errorf("%w: node %s", ErrNotFound, id)
 	}
 	return *n, nil
 }
 
-// UpdateNode applies fn to the node record under the lock.
+// UpdateNode applies fn to the node record under the shard lock.
 func (d *DB) UpdateNode(id string, fn func(*NodeRecord)) error {
-	d.lockOp()
-	defer d.mu.Unlock()
-	n, ok := d.nodes[id]
+	d.ops.Add(1)
+	s := d.nodeShard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.delay()
+	n, ok := s.recs[id]
 	if !ok {
 		return fmt.Errorf("%w: node %s", ErrNotFound, id)
 	}
@@ -211,13 +340,21 @@ func (d *DB) UpdateNode(id string, fn func(*NodeRecord)) error {
 	return nil
 }
 
-// ListNodes returns copies of all nodes, sorted by ID.
+// ListNodes returns copies of all nodes, sorted by ID. Shards are read-
+// locked one at a time — readers never stop the whole store.
 func (d *DB) ListNodes() []NodeRecord {
-	d.lockOp()
-	defer d.mu.Unlock()
-	out := make([]NodeRecord, 0, len(d.nodes))
-	for _, n := range d.nodes {
-		out = append(out, *n)
+	d.ops.Add(1)
+	var out []NodeRecord
+	for i, s := range d.nodes {
+		s.mu.RLock()
+		if i == 0 {
+			d.delay()
+		}
+		out = slices.Grow(out, len(s.recs))
+		for _, n := range s.recs {
+			out = append(out, *n)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -238,59 +375,84 @@ func (d *DB) ActiveNodes() []NodeRecord {
 
 // InsertJob adds a new job record; the ID must be unused.
 func (d *DB) InsertJob(j JobRecord) error {
-	d.lockOp()
-	defer d.mu.Unlock()
-	if _, exists := d.jobs[j.ID]; exists {
+	d.ops.Add(1)
+	s := d.jobShard(j.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.delay()
+	if _, exists := s.recs[j.ID]; exists {
 		return fmt.Errorf("%w: job %s", ErrConflict, j.ID)
 	}
 	cp := j
-	d.jobs[j.ID] = &cp
-	d.stateCount[j.State]++
+	s.recs[j.ID] = &cp
+	s.stateCount[j.State]++
 	return nil
 }
 
 // GetJob returns a copy of the job record.
 func (d *DB) GetJob(id string) (JobRecord, error) {
-	d.lockOp()
-	defer d.mu.Unlock()
-	j, ok := d.jobs[id]
+	d.ops.Add(1)
+	s := d.jobShard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d.delay()
+	j, ok := s.recs[id]
 	if !ok {
 		return JobRecord{}, fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
 	return *j, nil
 }
 
-// UpdateJob applies fn to the job record under the lock.
+// UpdateJob applies fn to the job record under the shard lock.
 func (d *DB) UpdateJob(id string, fn func(*JobRecord)) error {
-	d.lockOp()
-	defer d.mu.Unlock()
-	j, ok := d.jobs[id]
+	d.ops.Add(1)
+	s := d.jobShard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.delay()
+	j, ok := s.recs[id]
 	if !ok {
 		return fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
 	before := j.State
 	fn(j)
 	if j.State != before {
-		d.stateCount[before]--
-		d.stateCount[j.State]++
+		s.stateCount[before]--
+		s.stateCount[j.State]++
 	}
 	return nil
 }
 
-// CountJobsInState returns the number of jobs in the state in O(1).
+// CountJobsInState sums the per-shard state counters — O(shards), far
+// cheaper than scanning jobs.
 func (d *DB) CountJobsInState(state JobState) int {
-	d.lockOp()
-	defer d.mu.Unlock()
-	return d.stateCount[state]
+	d.ops.Add(1)
+	total := 0
+	for i, s := range d.jobs {
+		s.mu.RLock()
+		if i == 0 {
+			d.delay()
+		}
+		total += s.stateCount[state]
+		s.mu.RUnlock()
+	}
+	return total
 }
 
 // ListJobs returns copies of all jobs, sorted by ID.
 func (d *DB) ListJobs() []JobRecord {
-	d.lockOp()
-	defer d.mu.Unlock()
-	out := make([]JobRecord, 0, len(d.jobs))
-	for _, j := range d.jobs {
-		out = append(out, *j)
+	d.ops.Add(1)
+	var out []JobRecord
+	for i, s := range d.jobs {
+		s.mu.RLock()
+		if i == 0 {
+			d.delay()
+		}
+		out = slices.Grow(out, len(s.recs))
+		for _, j := range s.recs {
+			out = append(out, *j)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -305,15 +467,7 @@ func (d *DB) JobsInState(state JobState) []JobRecord {
 			out = append(out, j)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Priority != out[j].Priority {
-			return out[i].Priority > out[j].Priority
-		}
-		if !out[i].SubmittedAt.Equal(out[j].SubmittedAt) {
-			return out[i].SubmittedAt.Before(out[j].SubmittedAt)
-		}
-		return out[i].ID < out[j].ID
-	})
+	sortQueueOrder(out)
 	return out
 }
 
@@ -329,22 +483,42 @@ func (d *DB) JobsOnNode(nodeID string) []JobRecord {
 	return out
 }
 
+// sortQueueOrder sorts jobs into pending-queue order: priority
+// descending, submission time ascending, ID as the final tiebreak.
+func sortQueueOrder(jobs []JobRecord) {
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].Priority != jobs[j].Priority {
+			return jobs[i].Priority > jobs[j].Priority
+		}
+		if !jobs[i].SubmittedAt.Equal(jobs[j].SubmittedAt) {
+			return jobs[i].SubmittedAt.Before(jobs[j].SubmittedAt)
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
+}
+
 // --- Allocations ---
 
 // RecordAllocation appends a placement episode.
 func (d *DB) RecordAllocation(a AllocationRecord) {
-	d.lockOp()
-	defer d.mu.Unlock()
-	d.allocations = append(d.allocations, a)
+	d.ops.Add(1)
+	s := d.allocShard(a.JobID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.delay()
+	s.episodes = append(s.episodes, a)
 }
 
 // CloseAllocation sets the End time of the job's most recent open
-// allocation episode.
+// allocation episode. Only the job's own shard is touched.
 func (d *DB) CloseAllocation(jobID string, end time.Time) error {
-	d.lockOp()
-	defer d.mu.Unlock()
-	for i := len(d.allocations) - 1; i >= 0; i-- {
-		a := &d.allocations[i]
+	d.ops.Add(1)
+	s := d.allocShard(jobID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.delay()
+	for i := len(s.episodes) - 1; i >= 0; i-- {
+		a := &s.episodes[i]
 		if a.JobID == jobID && a.End.IsZero() {
 			a.End = end
 			return nil
@@ -353,46 +527,91 @@ func (d *DB) CloseAllocation(jobID string, end time.Time) error {
 	return fmt.Errorf("%w: open allocation for job %s", ErrNotFound, jobID)
 }
 
-// Allocations returns a copy of the allocation history.
+// Allocations returns a copy of the allocation history, ordered by start
+// time (then job then node, for determinism across shards).
 func (d *DB) Allocations() []AllocationRecord {
-	d.lockOp()
-	defer d.mu.Unlock()
-	out := make([]AllocationRecord, len(d.allocations))
-	copy(out, d.allocations)
+	d.ops.Add(1)
+	var out []AllocationRecord
+	for i, s := range d.allocs {
+		s.mu.RLock()
+		if i == 0 {
+			d.delay()
+		}
+		out = append(out, s.episodes...)
+		s.mu.RUnlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		if out[i].JobID != out[j].JobID {
+			return out[i].JobID < out[j].JobID
+		}
+		return out[i].NodeID < out[j].NodeID
+	})
 	return out
 }
 
 // --- Monitoring samples ---
 
-// AppendSample stores a monitoring data point, evicting the oldest when
-// the retention bound is hit.
+// AppendSample stores a monitoring data point. The retention bound is
+// global, like the single-mutex baseline's: when the total exceeds
+// maxSamples, the appending shard evicts its oldest point, so the
+// store's footprint stays bounded without a cross-shard lock. Eviction
+// order is per-shard FIFO (approximately global FIFO); a shard always
+// keeps its newest point so a fresh node's telemetry is never starved
+// by other shards' history, which lets the total overshoot by at most
+// one point per shard.
 func (d *DB) AppendSample(s Sample) {
-	d.lockOp()
-	defer d.mu.Unlock()
-	d.samples = append(d.samples, s)
-	if len(d.samples) > d.maxSamples {
-		d.samples = d.samples[len(d.samples)-d.maxSamples:]
+	d.ops.Add(1)
+	sh := d.sampleShard(s.NodeID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d.delay()
+	sh.buf = append(sh.buf, s)
+	if d.sampleCount.Add(1) > int64(d.maxSamples) && len(sh.buf) > 1 {
+		sh.buf = sh.buf[1:]
+		d.sampleCount.Add(-1)
 	}
 }
 
 // SamplesInRange returns samples for metric within [from, to), all nodes
-// if nodeID is empty.
+// if nodeID is empty, ordered by time. A node-scoped query touches only
+// that node's shard.
 func (d *DB) SamplesInRange(metric, nodeID string, from, to time.Time) []Sample {
-	d.lockOp()
-	defer d.mu.Unlock()
+	d.ops.Add(1)
 	var out []Sample
-	for _, s := range d.samples {
-		if s.Metric != metric {
-			continue
+	filter := func(buf []Sample) {
+		for _, s := range buf {
+			if s.Metric != metric {
+				continue
+			}
+			if nodeID != "" && s.NodeID != nodeID {
+				continue
+			}
+			if s.Time.Before(from) || !s.Time.Before(to) {
+				continue
+			}
+			out = append(out, s)
 		}
-		if nodeID != "" && s.NodeID != nodeID {
-			continue
-		}
-		if s.Time.Before(from) || !s.Time.Before(to) {
-			continue
-		}
-		out = append(out, s)
 	}
+	if nodeID != "" {
+		sh := d.sampleShard(nodeID)
+		sh.mu.RLock()
+		d.delay()
+		filter(sh.buf)
+		sh.mu.RUnlock()
+		return out
+	}
+	for i, sh := range d.samples {
+		sh.mu.RLock()
+		if i == 0 {
+			d.delay()
+		}
+		filter(sh.buf)
+		sh.mu.RUnlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
 	return out
 }
 
@@ -406,44 +625,145 @@ type snapshot struct {
 	Samples     []Sample           `json:"samples"`
 }
 
-// Save writes a JSON snapshot of the whole database.
-func (d *DB) Save(w io.Writer) error {
-	snap := snapshot{
-		Nodes:       d.ListNodes(),
-		Jobs:        d.ListJobs(),
-		Allocations: d.Allocations(),
+// lockAll acquires every shard in fixed order (nodes, jobs, allocations,
+// samples; ascending index), read or write. The single ordering rules
+// out deadlock between concurrent Save/Load calls.
+func (d *DB) lockAll(write bool) {
+	for _, s := range d.nodes {
+		if write {
+			s.mu.Lock()
+		} else {
+			s.mu.RLock()
+		}
 	}
-	d.mu.Lock()
-	snap.Samples = append(snap.Samples, d.samples...)
-	d.mu.Unlock()
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(snap); err != nil {
+	for _, s := range d.jobs {
+		if write {
+			s.mu.Lock()
+		} else {
+			s.mu.RLock()
+		}
+	}
+	for _, s := range d.allocs {
+		if write {
+			s.mu.Lock()
+		} else {
+			s.mu.RLock()
+		}
+	}
+	for _, s := range d.samples {
+		if write {
+			s.mu.Lock()
+		} else {
+			s.mu.RLock()
+		}
+	}
+}
+
+func (d *DB) unlockAll(write bool) {
+	for _, s := range d.nodes {
+		if write {
+			s.mu.Unlock()
+		} else {
+			s.mu.RUnlock()
+		}
+	}
+	for _, s := range d.jobs {
+		if write {
+			s.mu.Unlock()
+		} else {
+			s.mu.RUnlock()
+		}
+	}
+	for _, s := range d.allocs {
+		if write {
+			s.mu.Unlock()
+		} else {
+			s.mu.RUnlock()
+		}
+	}
+	for _, s := range d.samples {
+		if write {
+			s.mu.Unlock()
+		} else {
+			s.mu.RUnlock()
+		}
+	}
+}
+
+// Save writes a JSON snapshot of the whole database. All shards are
+// read-locked together so the snapshot is a consistent cut; encoding
+// happens after the locks are released.
+func (d *DB) Save(w io.Writer) error {
+	d.ops.Add(1)
+	var snap snapshot
+	d.lockAll(false)
+	for _, s := range d.nodes {
+		for _, n := range s.recs {
+			snap.Nodes = append(snap.Nodes, *n)
+		}
+	}
+	for _, s := range d.jobs {
+		for _, j := range s.recs {
+			snap.Jobs = append(snap.Jobs, *j)
+		}
+	}
+	for _, s := range d.allocs {
+		snap.Allocations = append(snap.Allocations, s.episodes...)
+	}
+	for _, s := range d.samples {
+		snap.Samples = append(snap.Samples, s.buf...)
+	}
+	d.unlockAll(false)
+
+	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].ID < snap.Nodes[j].ID })
+	sort.Slice(snap.Jobs, func(i, j int) bool { return snap.Jobs[i].ID < snap.Jobs[j].ID })
+	sort.SliceStable(snap.Allocations, func(i, j int) bool {
+		return snap.Allocations[i].Start.Before(snap.Allocations[j].Start)
+	})
+	sort.SliceStable(snap.Samples, func(i, j int) bool {
+		return snap.Samples[i].Time.Before(snap.Samples[j].Time)
+	})
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("db: saving snapshot: %w", err)
 	}
 	return nil
 }
 
-// Load replaces the database contents from a JSON snapshot.
+// Load replaces the database contents from a JSON snapshot, write-
+// locking every shard for the swap.
 func (d *DB) Load(r io.Reader) error {
+	d.ops.Add(1)
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("db: loading snapshot: %w", err)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.nodes = make(map[string]*NodeRecord, len(snap.Nodes))
+	d.lockAll(true)
+	defer d.unlockAll(true)
+	for i := 0; i < d.shardCount; i++ {
+		d.nodes[i].recs = make(map[string]*NodeRecord)
+		d.jobs[i].recs = make(map[string]*JobRecord)
+		d.jobs[i].stateCount = make(map[JobState]int)
+		d.allocs[i].episodes = nil
+		d.samples[i].buf = nil
+	}
 	for _, n := range snap.Nodes {
 		cp := n
-		d.nodes[n.ID] = &cp
+		d.nodeShard(n.ID).recs[n.ID] = &cp
 	}
-	d.jobs = make(map[string]*JobRecord, len(snap.Jobs))
-	d.stateCount = make(map[JobState]int)
 	for _, j := range snap.Jobs {
 		cp := j
-		d.jobs[j.ID] = &cp
-		d.stateCount[j.State]++
+		s := d.jobShard(j.ID)
+		s.recs[j.ID] = &cp
+		s.stateCount[j.State]++
 	}
-	d.allocations = snap.Allocations
-	d.samples = snap.Samples
+	for _, a := range snap.Allocations {
+		s := d.allocShard(a.JobID)
+		s.episodes = append(s.episodes, a)
+	}
+	for _, smp := range snap.Samples {
+		s := d.sampleShard(smp.NodeID)
+		s.buf = append(s.buf, smp)
+	}
+	d.sampleCount.Store(int64(len(snap.Samples)))
 	return nil
 }

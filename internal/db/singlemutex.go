@@ -1,0 +1,304 @@
+package db
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SingleMutex is the original mutex-guarded store: every operation —
+// read or write, any table — serializes on one sync.Mutex. It is kept
+// as the measured baseline for the sharded DB (the §5.3 contention
+// bottleneck the sharding removes); production code paths use DB.
+type SingleMutex struct {
+	mu          sync.Mutex
+	nodes       map[string]*NodeRecord
+	jobs        map[string]*JobRecord
+	stateCount  map[JobState]int
+	allocations []AllocationRecord
+	samples     []Sample
+	maxSamples  int
+	// opDelay models per-operation I/O latency for contention studies.
+	opDelay time.Duration
+	ops     atomic.Int64
+}
+
+// NewSingleMutex creates a single-mutex database retaining at most
+// maxSamples monitoring points (0 means a generous default).
+func NewSingleMutex(maxSamples int) *SingleMutex {
+	if maxSamples <= 0 {
+		maxSamples = 1 << 20
+	}
+	return &SingleMutex{
+		nodes:      make(map[string]*NodeRecord),
+		jobs:       make(map[string]*JobRecord),
+		stateCount: make(map[JobState]int),
+		maxSamples: maxSamples,
+	}
+}
+
+// SetOpDelay configures an artificial per-operation latency.
+func (d *SingleMutex) SetOpDelay(delay time.Duration) {
+	d.mu.Lock()
+	d.opDelay = delay
+	d.mu.Unlock()
+}
+
+// Ops reports the total operations served.
+func (d *SingleMutex) Ops() int64 { return d.ops.Load() }
+
+// lockOp acquires the database for one operation, applying the modelled
+// latency while holding the lock (the contention point).
+func (d *SingleMutex) lockOp() {
+	d.mu.Lock()
+	d.ops.Add(1)
+	if d.opDelay > 0 {
+		time.Sleep(d.opDelay)
+	}
+}
+
+// UpsertNode inserts or replaces a node record.
+func (d *SingleMutex) UpsertNode(n NodeRecord) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	cp := n
+	d.nodes[n.ID] = &cp
+}
+
+// GetNode returns a copy of the node record.
+func (d *SingleMutex) GetNode(id string) (NodeRecord, error) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[id]
+	if !ok {
+		return NodeRecord{}, fmt.Errorf("%w: node %s", ErrNotFound, id)
+	}
+	return *n, nil
+}
+
+// UpdateNode applies fn to the node record under the lock.
+func (d *SingleMutex) UpdateNode(id string, fn func(*NodeRecord)) error {
+	d.lockOp()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: node %s", ErrNotFound, id)
+	}
+	fn(n)
+	return nil
+}
+
+// ListNodes returns copies of all nodes, sorted by ID.
+func (d *SingleMutex) ListNodes() []NodeRecord {
+	d.lockOp()
+	defer d.mu.Unlock()
+	out := make([]NodeRecord, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ActiveNodes returns nodes in NodeActive status, sorted by ID.
+func (d *SingleMutex) ActiveNodes() []NodeRecord {
+	var out []NodeRecord
+	for _, n := range d.ListNodes() {
+		if n.Status == NodeActive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// InsertJob adds a new job record; the ID must be unused.
+func (d *SingleMutex) InsertJob(j JobRecord) error {
+	d.lockOp()
+	defer d.mu.Unlock()
+	if _, exists := d.jobs[j.ID]; exists {
+		return fmt.Errorf("%w: job %s", ErrConflict, j.ID)
+	}
+	cp := j
+	d.jobs[j.ID] = &cp
+	d.stateCount[j.State]++
+	return nil
+}
+
+// GetJob returns a copy of the job record.
+func (d *SingleMutex) GetJob(id string) (JobRecord, error) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return JobRecord{}, fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	return *j, nil
+}
+
+// UpdateJob applies fn to the job record under the lock.
+func (d *SingleMutex) UpdateJob(id string, fn func(*JobRecord)) error {
+	d.lockOp()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	before := j.State
+	fn(j)
+	if j.State != before {
+		d.stateCount[before]--
+		d.stateCount[j.State]++
+	}
+	return nil
+}
+
+// CountJobsInState returns the number of jobs in the state in O(1).
+func (d *SingleMutex) CountJobsInState(state JobState) int {
+	d.lockOp()
+	defer d.mu.Unlock()
+	return d.stateCount[state]
+}
+
+// ListJobs returns copies of all jobs, sorted by ID.
+func (d *SingleMutex) ListJobs() []JobRecord {
+	d.lockOp()
+	defer d.mu.Unlock()
+	out := make([]JobRecord, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// JobsInState returns jobs in the given state in pending-queue order.
+func (d *SingleMutex) JobsInState(state JobState) []JobRecord {
+	var out []JobRecord
+	for _, j := range d.ListJobs() {
+		if j.State == state {
+			out = append(out, j)
+		}
+	}
+	sortQueueOrder(out)
+	return out
+}
+
+// JobsOnNode returns jobs currently placed on the node in Running or
+// Migrating state.
+func (d *SingleMutex) JobsOnNode(nodeID string) []JobRecord {
+	var out []JobRecord
+	for _, j := range d.ListJobs() {
+		if j.NodeID == nodeID && (j.State == JobRunning || j.State == JobMigrating) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// RecordAllocation appends a placement episode.
+func (d *SingleMutex) RecordAllocation(a AllocationRecord) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	d.allocations = append(d.allocations, a)
+}
+
+// CloseAllocation sets the End time of the job's most recent open
+// allocation episode.
+func (d *SingleMutex) CloseAllocation(jobID string, end time.Time) error {
+	d.lockOp()
+	defer d.mu.Unlock()
+	for i := len(d.allocations) - 1; i >= 0; i-- {
+		a := &d.allocations[i]
+		if a.JobID == jobID && a.End.IsZero() {
+			a.End = end
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: open allocation for job %s", ErrNotFound, jobID)
+}
+
+// Allocations returns a copy of the allocation history.
+func (d *SingleMutex) Allocations() []AllocationRecord {
+	d.lockOp()
+	defer d.mu.Unlock()
+	out := make([]AllocationRecord, len(d.allocations))
+	copy(out, d.allocations)
+	return out
+}
+
+// AppendSample stores a monitoring data point, evicting the oldest when
+// the retention bound is hit.
+func (d *SingleMutex) AppendSample(s Sample) {
+	d.lockOp()
+	defer d.mu.Unlock()
+	d.samples = append(d.samples, s)
+	if len(d.samples) > d.maxSamples {
+		d.samples = d.samples[len(d.samples)-d.maxSamples:]
+	}
+}
+
+// SamplesInRange returns samples for metric within [from, to), all nodes
+// if nodeID is empty.
+func (d *SingleMutex) SamplesInRange(metric, nodeID string, from, to time.Time) []Sample {
+	d.lockOp()
+	defer d.mu.Unlock()
+	var out []Sample
+	for _, s := range d.samples {
+		if s.Metric != metric {
+			continue
+		}
+		if nodeID != "" && s.NodeID != nodeID {
+			continue
+		}
+		if s.Time.Before(from) || !s.Time.Before(to) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Save writes a JSON snapshot of the whole database.
+func (d *SingleMutex) Save(w io.Writer) error {
+	snap := snapshot{
+		Nodes:       d.ListNodes(),
+		Jobs:        d.ListJobs(),
+		Allocations: d.Allocations(),
+	}
+	d.mu.Lock()
+	snap.Samples = append(snap.Samples, d.samples...)
+	d.mu.Unlock()
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("db: saving snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database contents from a JSON snapshot.
+func (d *SingleMutex) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("db: loading snapshot: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nodes = make(map[string]*NodeRecord, len(snap.Nodes))
+	for _, n := range snap.Nodes {
+		cp := n
+		d.nodes[n.ID] = &cp
+	}
+	d.jobs = make(map[string]*JobRecord, len(snap.Jobs))
+	d.stateCount = make(map[JobState]int)
+	for _, j := range snap.Jobs {
+		cp := j
+		d.jobs[j.ID] = &cp
+		d.stateCount[j.State]++
+	}
+	d.allocations = snap.Allocations
+	d.samples = snap.Samples
+	return nil
+}

@@ -222,13 +222,68 @@ func (s *Scheduler) StrategyName() string { return s.strategy.Name() }
 // avoid-listed nodes are excluded. Returns ErrNoPlacement when nothing
 // fits.
 func (s *Scheduler) Schedule(req Request, nodes []db.NodeRecord, now time.Time) (Placement, error) {
-	avoid := make(map[string]bool, len(req.AvoidNodes))
-	for _, id := range req.AvoidNodes {
-		avoid[id] = true
+	pool := s.buildPool(nodes, now)
+	return s.placeOne(req, pool, nil)
+}
+
+// BatchResult is one request's outcome within a batch cycle.
+type BatchResult struct {
+	Placement Placement
+	Err       error
+	// Latency is this decision's real cost: its filter/order/pick time
+	// plus an equal share of the batch's one-time pool build. Callers
+	// feed it to the scheduling-latency histogram so batching does not
+	// flatten the tail.
+	Latency time.Duration
+}
+
+// PlaceBatch drains up to len(reqs) pending requests in one cycle. The
+// feasible pool (active nodes × free devices, with per-node reliability
+// predictions) is built once for the whole batch instead of once per
+// request — the §5.3 scheduling-throughput lever — and devices chosen
+// for earlier batch members are reserved so later members cannot
+// double-book them. Reservations live only in this call: committing a
+// placement (and rolling it back when a launch fails) is the caller's
+// job, so a failed member strands nothing.
+func (s *Scheduler) PlaceBatch(reqs []Request, nodes []db.NodeRecord, now time.Time) []BatchResult {
+	if len(reqs) == 0 {
+		return nil
 	}
-	var cands []candidate
+	poolStart := time.Now()
+	pool := s.buildPool(nodes, now)
+	poolShare := time.Since(poolStart) / time.Duration(len(reqs))
+	reserved := make(map[deviceKey]bool)
+	out := make([]BatchResult, len(reqs))
+	for i, req := range reqs {
+		start := time.Now()
+		p, err := s.placeOne(req, pool, reserved)
+		if err == nil {
+			reserved[deviceKey{p.NodeID, p.DeviceID}] = true
+		}
+		out[i] = BatchResult{Placement: p, Err: err, Latency: time.Since(start) + poolShare}
+	}
+	return out
+}
+
+// deviceKey identifies one device for in-batch reservations.
+type deviceKey struct {
+	nodeID   string
+	deviceID string
+}
+
+// poolEntry is one schedulable free device with its node's prediction.
+type poolEntry struct {
+	node        db.NodeRecord
+	device      db.GPUInfo
+	reliability float64
+}
+
+// buildPool collects every free device on every active node, scoring
+// each node's reliability exactly once.
+func (s *Scheduler) buildPool(nodes []db.NodeRecord, now time.Time) []poolEntry {
+	var pool []poolEntry
 	for _, n := range nodes {
-		if n.Status != db.NodeActive || avoid[n.ID] {
+		if n.Status != db.NodeActive {
 			continue
 		}
 		rel := s.model.Predict(n, now)
@@ -236,15 +291,36 @@ func (s *Scheduler) Schedule(req Request, nodes []db.NodeRecord, now time.Time) 
 			if d.Allocated {
 				continue
 			}
-			if d.MemoryMiB < req.GPUMemMiB {
-				continue
-			}
-			cap := gpu.ComputeCapability{Major: d.CapabilityMajor, Minor: d.CapabilityMinor}
-			if !cap.AtLeast(req.Capability) {
-				continue
-			}
-			cands = append(cands, candidate{node: n, device: d, reliability: rel})
+			pool = append(pool, poolEntry{node: n, device: d, reliability: rel})
 		}
+	}
+	return pool
+}
+
+// placeOne filters the pool against one request's constraints, orders
+// the survivors and picks the winner. reserved (may be nil) excludes
+// devices already claimed by earlier members of the same batch.
+func (s *Scheduler) placeOne(req Request, pool []poolEntry, reserved map[deviceKey]bool) (Placement, error) {
+	avoid := make(map[string]bool, len(req.AvoidNodes))
+	for _, id := range req.AvoidNodes {
+		avoid[id] = true
+	}
+	var cands []candidate
+	for _, e := range pool {
+		if avoid[e.node.ID] {
+			continue
+		}
+		if reserved != nil && reserved[deviceKey{e.node.ID, e.device.DeviceID}] {
+			continue
+		}
+		if e.device.MemoryMiB < req.GPUMemMiB {
+			continue
+		}
+		cap := gpu.ComputeCapability{Major: e.device.CapabilityMajor, Minor: e.device.CapabilityMinor}
+		if !cap.AtLeast(req.Capability) {
+			continue
+		}
+		cands = append(cands, candidate{node: e.node, device: e.device, reliability: e.reliability})
 	}
 	if len(cands) == 0 {
 		return Placement{}, fmt.Errorf("%w: job %s (mem %d MiB, cc >= %s)",

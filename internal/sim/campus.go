@@ -102,6 +102,9 @@ type CampusConfig struct {
 	TrackCheckpointTraffic bool
 	// Strategy selects the scheduling strategy (nil = round-robin).
 	Strategy scheduler.Strategy
+	// SchedulerBatchSize caps one scheduling cycle's batch (0 = the
+	// coordinator default).
+	SchedulerBatchSize int
 }
 
 // NewCampus builds a deployment from node definitions. All agents share
@@ -132,6 +135,7 @@ func NewCampus(defs []NodeDef, cfg CampusConfig) (*Campus, error) {
 	coord, err := core.New(core.Config{
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		Strategy:          cfg.Strategy,
+		BatchSize:         cfg.SchedulerBatchSize,
 		Net:               net,
 		StorageNode:       storageNode,
 	}, clock, db.New(0), ckpts, bus)

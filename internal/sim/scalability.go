@@ -34,20 +34,30 @@ type ScalabilityRow struct {
 	// decision against the full node view.
 	MeanSchedulingLatency time.Duration
 	P95SchedulingLatency  time.Duration
+	// BatchMeanPerDecision is the per-decision cost when decisions are
+	// drained through PlaceBatch (candidate set built once per batch).
+	BatchMeanPerDecision time.Duration
+	// BatchSpeedup is MeanSchedulingLatency / BatchMeanPerDecision.
+	BatchSpeedup float64
 	// SubSecond reports the paper's operating criterion.
 	SubSecond bool
 	// HeartbeatSweepLatency is one full failure-detection pass.
 	HeartbeatSweepLatency time.Duration
-	// DBOpsPerSecond is contended throughput on the central database
-	// with 8 concurrent writers.
+	// DBOpsPerSecond is contended throughput on the sharded central
+	// database with 8 concurrent writers.
 	DBOpsPerSecond float64
+	// SingleMutexOpsPerSecond is the same workload on the preserved
+	// single-mutex baseline — the §5.3 bottleneck the sharding removes.
+	SingleMutexOpsPerSecond float64
 	// RequiredDBOpsPerSecond is what N nodes' heartbeat processing
 	// demands (≈4 database operations per beat at a 10 s interval).
 	RequiredDBOpsPerSecond float64
-	// Headroom is capacity over demand; below ~1 the coordinator's
-	// database is the bottleneck (the paper's §5.3 concern beyond 200
-	// nodes on modest hardware).
+	// Headroom is sharded capacity over demand; below ~1 the
+	// coordinator's database is the bottleneck (the paper's §5.3 concern
+	// beyond 200 nodes on modest hardware).
 	Headroom float64
+	// SingleMutexHeadroom is the baseline's capacity over demand.
+	SingleMutexHeadroom float64
 }
 
 // RunScalability measures coordinator-side costs across node counts.
@@ -83,6 +93,50 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 		}
 		mean, p95 := latencyStats(lat)
 
+		// --- Batch scheduling: the same decisions drained through
+		// PlaceBatch, candidate pool built once per batch. The batch is
+		// capped at the free-device count so every member does the full
+		// filter-and-order work the single-decision baseline does — an
+		// exhausted batch tail would early-exit cheaply and flatter the
+		// comparison.
+		free := 0
+		for _, rec := range nodes {
+			if rec.Status != db.NodeActive {
+				continue
+			}
+			for _, g := range rec.GPUs {
+				if !g.Allocated {
+					free++
+				}
+			}
+		}
+		batchSize := 32
+		if free < batchSize {
+			batchSize = free
+		}
+		if batchSize < 1 {
+			batchSize = 1
+		}
+		batchSched := scheduler.New(&scheduler.RoundRobin{}, scheduler.DefaultReliability())
+		reqs := make([]scheduler.Request, 0, batchSize)
+		batchStart := time.Now()
+		for i := 0; i < cfg.DecisionsPerPoint; i++ {
+			reqs = append(reqs, scheduler.Request{
+				JobID:      fmt.Sprintf("batch-%d", i),
+				GPUMemMiB:  8192,
+				Capability: gpu.ComputeCapability{Major: 7, Minor: 0},
+			})
+			if len(reqs) == batchSize || i == cfg.DecisionsPerPoint-1 {
+				_ = batchSched.PlaceBatch(reqs, nodes, now)
+				reqs = reqs[:0]
+			}
+		}
+		batchPerDecision := time.Since(batchStart) / time.Duration(cfg.DecisionsPerPoint)
+		speedup := 0.0
+		if batchPerDecision > 0 {
+			speedup = float64(mean) / float64(batchPerDecision)
+		}
+
 		// --- Heartbeat sweep over n tracked nodes. ---
 		hb := heartbeat.NewMonitor(10*time.Second, 3)
 		for _, rec := range nodes {
@@ -95,27 +149,36 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 		_ = hb.Lost(now.Add(time.Minute))
 		hbLat := time.Since(hbStart)
 
-		// --- Contended database throughput. ---
-		store := db.New(0)
+		// --- Contended database throughput: sharded store vs the
+		// preserved single-mutex baseline under the same writer load. ---
+		sharded := db.New(0)
+		single := db.NewSingleMutex(0)
 		for _, rec := range nodes {
-			store.UpsertNode(rec)
+			sharded.UpsertNode(rec)
+			single.UpsertNode(rec)
 		}
-		store.SetOpDelay(cfg.DBOpDelay)
-		ops := contendedOps(store, nodes, 8, 50*time.Millisecond)
+		sharded.SetOpDelay(cfg.DBOpDelay)
+		single.SetOpDelay(cfg.DBOpDelay)
+		ops := contendedOps(sharded, nodes, 8, 50*time.Millisecond)
+		singleOps := contendedOps(single, nodes, 8, 50*time.Millisecond)
 
 		// Heartbeat demand: one beat per node per 10 s, ~4 database
 		// operations per beat (node update, telemetry samples, queue
 		// check).
 		required := float64(n) / 10 * 4
 		rows = append(rows, ScalabilityRow{
-			Nodes:                  n,
-			MeanSchedulingLatency:  mean,
-			P95SchedulingLatency:   p95,
-			SubSecond:              p95 < time.Second,
-			HeartbeatSweepLatency:  hbLat,
-			DBOpsPerSecond:         ops,
-			RequiredDBOpsPerSecond: required,
-			Headroom:               ops / required,
+			Nodes:                   n,
+			MeanSchedulingLatency:   mean,
+			P95SchedulingLatency:    p95,
+			BatchMeanPerDecision:    batchPerDecision,
+			BatchSpeedup:            speedup,
+			SubSecond:               p95 < time.Second,
+			HeartbeatSweepLatency:   hbLat,
+			DBOpsPerSecond:          ops,
+			SingleMutexOpsPerSecond: singleOps,
+			RequiredDBOpsPerSecond:  required,
+			Headroom:                ops / required,
+			SingleMutexHeadroom:     singleOps / required,
 		})
 	}
 	return rows, nil
@@ -166,9 +229,11 @@ func latencyStats(lat []time.Duration) (mean, p95 time.Duration) {
 	return mean, p95
 }
 
-// contendedOps hammers the database from workers goroutines for the
-// given duration and returns achieved operations per second.
-func contendedOps(store *db.DB, nodes []db.NodeRecord, workers int, d time.Duration) float64 {
+// contendedOps hammers a database from workers goroutines for the
+// given duration and returns achieved operations per second. It takes
+// the Store interface so sharded and single-mutex implementations run
+// the identical workload.
+func contendedOps(store db.Store, nodes []db.NodeRecord, workers int, d time.Duration) float64 {
 	var wg sync.WaitGroup
 	stop := time.Now().Add(d)
 	var mu sync.Mutex

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench fmt vet verify-recovery ci
 
 all: build
 
@@ -30,4 +30,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race bench
+# Coordinator crash/restart acceptance: kill the coordinator mid-run,
+# recover from snapshot + WAL, verify the fleet state survived and the
+# recovered queue drains without resubmission.
+verify-recovery:
+	$(GO) test ./internal/sim -run 'CrashRecovery' -count=1 -v
+
+ci: build vet fmt test race bench verify-recovery

@@ -12,6 +12,7 @@ package gpunion_test
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,7 @@ import (
 	"gpunion/internal/scheduler"
 	"gpunion/internal/sim"
 	"gpunion/internal/storage"
+	"gpunion/internal/wal"
 	"gpunion/internal/workload"
 )
 
@@ -627,3 +629,119 @@ func BenchmarkWorkloadAdvance(b *testing.B) {
 		j.Advance(10)
 	}
 }
+
+// --- WAL durability: group commit vs per-record fsync ---
+
+// benchWALAppend measures concurrent append throughput against the
+// write-ahead log. Group commit coalesces the parallel appenders into
+// one fsync per batch; the per-record baseline pays one fsync per
+// mutation — the contrast behind wal_group_commit_ms.
+func benchWALAppend(b *testing.B, opts wal.Options) {
+	w, err := wal.OpenWriter(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	var lsn atomic.Uint64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := lsn.Add(1)
+			m := db.Mutation{LSN: n, Type: db.MutNodePut,
+				Node: &db.NodeRecord{ID: fmt.Sprintf("node-%03d", n%200), Status: db.NodeActive,
+					GPUs:         []db.GPUInfo{{DeviceID: "gpu0", Model: "RTX 3090", MemoryMiB: 24576}},
+					RegisteredAt: benchEpoch, LastHeartbeat: benchEpoch}}
+			if err := w.Append(m); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkWALGroupCommit(b *testing.B) {
+	benchWALAppend(b, wal.Options{})
+}
+
+func BenchmarkWALPerRecordFsync(b *testing.B) {
+	benchWALAppend(b, wal.Options{PerRecordSync: true})
+}
+
+// --- Snapshot under load: per-shard export vs global-quiesce Save ---
+
+// benchSnapshotUnderLoad measures heartbeat-commit throughput while a
+// snapshot loop runs continuously in the background. ExportState takes
+// per-shard read locks one at a time, so commits on other shards keep
+// flowing; the legacy Save quiesces every shard at once and stalls
+// them — the stop-the-world cost the WAL + async snapshotter removes
+// from the coordinator path.
+func benchSnapshotUnderLoad(b *testing.B, snap func(store *db.DB)) {
+	store := db.New(0)
+	ids := heartbeatStore(store, 200)
+	store.SetOpDelay(20 * time.Microsecond)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var snapshots int64
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap(store)
+			snapshots++
+		}
+	}()
+	var seq atomic.Int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1))
+			id := ids[i%len(ids)]
+			_ = store.UpdateNode(id, func(n *db.NodeRecord) {
+				n.LastHeartbeat = n.LastHeartbeat.Add(time.Second)
+			})
+			store.AppendSample(db.Sample{Time: benchEpoch, NodeID: id,
+				Metric: "gpu_utilization", Value: 0.5})
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(snapshots), "snapshots")
+}
+
+func BenchmarkHeartbeatsDuringShardedExport(b *testing.B) {
+	benchSnapshotUnderLoad(b, func(store *db.DB) { _ = store.ExportState() })
+}
+
+func BenchmarkHeartbeatsDuringLegacySave(b *testing.B) {
+	benchSnapshotUnderLoad(b, func(store *db.DB) { _ = store.Save(io.Discard) })
+}
+
+// BenchmarkCrashRecovery measures a full kill/recover/verify cycle of
+// the coordinator (the sim scenario behind `make verify-recovery`).
+func BenchmarkCrashRecovery(b *testing.B) {
+	var last sim.CrashRecoveryResult
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunCrashRecovery(sim.CrashRecoveryConfig{PostRecovery: time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.JobsIntact || res.LostJobs != 0 {
+			b.Fatalf("recovery lost state: %+v", res)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Recovery.Replayed), "replayed_records")
+	onceRecovery.Do(func() {
+		fmt.Printf("\n--- Crash recovery: %d jobs intact across coordinator restart (%d WAL records replayed, snapshot=%v) ---\n",
+			last.RecoveredJobs, last.Recovery.Replayed, last.Recovery.SnapshotLoaded)
+	})
+}
+
+var onceRecovery sync.Once

@@ -5,19 +5,30 @@
 // Usage:
 //
 //	coordinator [-listen :8080] [-config coordinator.json]
+//	            [-wal-dir DIR] [-wal-group-commit-ms N] [-snapshot-interval-sec N]
 //
-// The flags override the config file; with neither, built-in defaults
-// apply. On SIGINT/SIGTERM the daemon snapshots its database (when
-// snapshot_path is configured) and exits.
+// Flags override environment variables (GPUNION_WAL_DIR,
+// GPUNION_WAL_GROUP_COMMIT_MS, GPUNION_SNAPSHOT_INTERVAL_SEC), which
+// override the config file; with none, built-in defaults apply.
+//
+// With a WAL directory configured the daemon is crash-safe: every
+// database mutation is group-committed to the write-ahead log before it
+// is acknowledged, a background snapshotter checkpoints the store
+// without pausing it, and on boot the daemon recovers nodes, jobs and
+// allocations from snapshot + log and re-arms failure detection — jobs
+// survive a coordinator restart instead of needing resubmission. The
+// legacy snapshot_path (a JSON dump written only on clean shutdown) is
+// still honored when no WAL directory is set, but is deprecated.
 package main
 
 import (
+	"crypto/rand"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"gpunion/internal/checkpoint"
@@ -28,11 +39,34 @@ import (
 	"gpunion/internal/scheduler"
 	"gpunion/internal/simclock"
 	"gpunion/internal/storage"
+	"gpunion/internal/wal"
 )
+
+// loadOrCreateSecret reads the token-signing secret, minting one on
+// first boot. 0600: it is a credential.
+func loadOrCreateSecret(path string) ([]byte, error) {
+	if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+		return b, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	b := make([]byte, 32)
+	if _, err := rand.Read(b); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, b, 0o600); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
 
 func main() {
 	listen := flag.String("listen", "", "HTTP bind address (overrides config)")
 	cfgPath := flag.String("config", "", "path to coordinator.json")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory (overrides config/env)")
+	walGroupMS := flag.Int("wal-group-commit-ms", 0, "WAL group-commit window in ms (overrides config/env)")
+	snapSec := flag.Int("snapshot-interval-sec", 0, "background snapshot period in seconds (overrides config/env)")
 	flag.Parse()
 
 	var cfg config.Coordinator
@@ -42,11 +76,24 @@ func main() {
 		if err != nil {
 			log.Fatalf("loading config: %v", err)
 		}
-	} else if err := cfg.Validate(); err != nil {
-		log.Fatalf("config defaults: %v", err)
+	}
+	if err := cfg.ApplyEnv(os.LookupEnv); err != nil {
+		log.Fatalf("environment config: %v", err)
 	}
 	if *listen != "" {
 		cfg.Listen = *listen
+	}
+	if *walDir != "" {
+		cfg.WALDir = *walDir
+	}
+	if *walGroupMS > 0 {
+		cfg.WALGroupCommitMS = *walGroupMS
+	}
+	if *snapSec > 0 {
+		cfg.SnapshotIntervalSec = *snapSec
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("config: %v", err)
 	}
 
 	var strategy scheduler.Strategy
@@ -60,10 +107,40 @@ func main() {
 	}
 
 	database := db.New(0)
-	if cfg.SnapshotPath != "" {
+
+	// Durable persistence: recover the store from snapshot + WAL, then
+	// log every mutation from here on. The token-signing secret lives
+	// next to the log so credentials issued before a restart still
+	// verify after it.
+	var (
+		mgr        *wal.Manager
+		authSecret []byte
+	)
+	if cfg.WALDir != "" {
+		var err error
+		authSecret, err = loadOrCreateSecret(filepath.Join(cfg.WALDir, "auth.key"))
+		if err != nil {
+			log.Fatalf("auth secret: %v", err)
+		}
+		mgr, err = wal.Open(cfg.WALDir, database, wal.Config{
+			GroupWindow:      cfg.WALGroupCommit(),
+			SnapshotInterval: cfg.SnapshotInterval(),
+		})
+		if err != nil {
+			log.Fatalf("opening WAL: %v", err)
+		}
+		r := mgr.Recovery
+		log.Printf("recovered from %s: snapshot=%v watermark=%d replayed=%d torn=%d",
+			cfg.WALDir, r.SnapshotLoaded, r.Watermark, r.Replayed, r.TornTails)
+	}
+	restored := mgr != nil
+	if mgr == nil && cfg.SnapshotPath != "" {
+		// Deprecated one-shot snapshot path (no WAL): best-effort load.
 		if f, err := os.Open(cfg.SnapshotPath); err == nil {
 			if err := database.Load(f); err != nil {
 				log.Printf("warning: could not load snapshot: %v", err)
+			} else {
+				restored = true
 			}
 			f.Close()
 		}
@@ -76,9 +153,15 @@ func main() {
 		MissedThreshold:   cfg.MissedThreshold,
 		Strategy:          strategy,
 		BatchSize:         cfg.SchedulerBatchSize,
+		AuthSecret:        authSecret,
 	}, simclock.Real(), database, ckpts, bus)
 	if err != nil {
 		log.Fatalf("creating coordinator: %v", err)
+	}
+	if restored {
+		// Resume the job-ID sequence, requeue mid-migration jobs and
+		// re-arm failure detection around whatever was restored.
+		coord.RecoverState()
 	}
 
 	srv := &http.Server{Addr: cfg.Listen, Handler: coord.Handler(nil)}
@@ -95,7 +178,18 @@ func main() {
 	log.Printf("shutting down")
 	coord.Stop()
 	_ = srv.Close()
-	if cfg.SnapshotPath != "" {
+	switch {
+	case mgr != nil:
+		// Final checkpoint so the next boot replays an empty tail; the
+		// WAL already holds everything if this fails mid-write.
+		if err := mgr.Checkpoint(); err != nil {
+			log.Printf("warning: final snapshot: %v", err)
+		}
+		if err := mgr.Close(); err != nil {
+			log.Printf("warning: closing WAL: %v", err)
+		}
+		log.Printf("WAL closed; state checkpointed in %s", cfg.WALDir)
+	case cfg.SnapshotPath != "":
 		f, err := os.Create(cfg.SnapshotPath)
 		if err != nil {
 			log.Fatalf("creating snapshot: %v", err)
@@ -104,6 +198,6 @@ func main() {
 			log.Fatalf("saving snapshot: %v", err)
 		}
 		f.Close()
-		fmt.Printf("database snapshot saved to %s\n", cfg.SnapshotPath)
+		log.Printf("database snapshot saved to %s", cfg.SnapshotPath)
 	}
 }

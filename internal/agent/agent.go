@@ -158,6 +158,22 @@ func (a *Agent) SetToken(tok string) {
 	a.mu.Unlock()
 }
 
+// SetNotifier repoints the agent at a (new) coordinator — the
+// reconnect path after a coordinator restart: the node and its running
+// workloads survived, only the notification target changed.
+func (a *Agent) SetNotifier(n Notifier) {
+	a.mu.Lock()
+	a.notify = n
+	a.mu.Unlock()
+}
+
+// notifier reads the current notification target.
+func (a *Agent) notifier() Notifier {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.notify
+}
+
 // Token returns the stored credential.
 func (a *Agent) Token() string {
 	a.mu.Lock()
@@ -514,7 +530,7 @@ func (a *Agent) Depart(reason api.DepartReason, grace time.Duration) {
 
 	a.runtime.KillAll(now)
 	if reason != api.DepartEmergency {
-		a.notify.Departing(a.cfg.MachineID, reason)
+		a.notifier().Departing(a.cfg.MachineID, reason)
 	}
 	a.bus.Publish(eventbus.Event{
 		Type: eventbus.NodeDeparted, Time: now, Node: a.cfg.MachineID,
@@ -691,7 +707,7 @@ func (a *Agent) finishJob(run *jobRun, state db.JobState, now time.Time) {
 		Type: eventbus.JobCompleted, Time: now,
 		Node: a.cfg.MachineID, Job: run.jobID, Container: run.containerID,
 	})
-	a.notify.JobUpdate(a.cfg.MachineID, run.jobID, state, step)
+	a.notifier().JobUpdate(a.cfg.MachineID, run.jobID, state, step)
 }
 
 // RunningJob returns the live training job object (tests, telemetry).

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"gpunion/internal/gpu"
@@ -28,13 +29,41 @@ type Coordinator struct {
 	// SchedulerBatchSize caps how many pending requests one scheduling
 	// cycle drains as a batch (default 32).
 	SchedulerBatchSize int `json:"scheduler_batch_size"`
-	// SnapshotPath, when set, persists the system database there.
+	// SnapshotPath, when set, persists the system database there as a
+	// one-shot JSON dump on shutdown.
+	//
+	// Deprecated: use WALDir — it is crash-safe (append-only log +
+	// background snapshots) where SnapshotPath loses everything since
+	// the last clean shutdown. SnapshotPath is ignored when WALDir is
+	// set.
 	SnapshotPath string `json:"snapshot_path"`
+	// WALDir, when set, enables durable persistence: every database
+	// mutation is group-committed to a write-ahead log in this
+	// directory, a background snapshotter checkpoints the store, and
+	// the daemon recovers nodes/jobs/allocations from it on boot.
+	WALDir string `json:"wal_dir"`
+	// WALGroupCommitMS is the group-commit accumulation window in
+	// milliseconds (default 2; 0 also means the default — use the
+	// internal/wal API directly for pure natural batching).
+	WALGroupCommitMS int `json:"wal_group_commit_ms"`
+	// SnapshotIntervalSec is the background checkpoint period in
+	// seconds when WALDir is set (default 300).
+	SnapshotIntervalSec int `json:"snapshot_interval_sec"`
 }
 
 // HeartbeatInterval returns the configured interval as a duration.
 func (c Coordinator) HeartbeatInterval() time.Duration {
 	return time.Duration(c.HeartbeatIntervalSec) * time.Second
+}
+
+// WALGroupCommit returns the group-commit window as a duration.
+func (c Coordinator) WALGroupCommit() time.Duration {
+	return time.Duration(c.WALGroupCommitMS) * time.Millisecond
+}
+
+// SnapshotInterval returns the checkpoint period as a duration.
+func (c Coordinator) SnapshotInterval() time.Duration {
+	return time.Duration(c.SnapshotIntervalSec) * time.Second
 }
 
 // Validate applies defaults and checks invariants.
@@ -57,6 +86,52 @@ func (c *Coordinator) Validate() error {
 	case "round-robin", "best-fit", "least-loaded":
 	default:
 		return fmt.Errorf("config: unknown strategy %q", c.Strategy)
+	}
+	if c.WALGroupCommitMS < 0 {
+		return fmt.Errorf("config: wal_group_commit_ms is negative (%d)", c.WALGroupCommitMS)
+	}
+	if c.WALGroupCommitMS == 0 {
+		c.WALGroupCommitMS = 2
+	}
+	if c.SnapshotIntervalSec < 0 {
+		return fmt.Errorf("config: snapshot_interval_sec is negative (%d)", c.SnapshotIntervalSec)
+	}
+	if c.SnapshotIntervalSec == 0 {
+		c.SnapshotIntervalSec = 300
+	}
+	return nil
+}
+
+// Environment variables overriding the coordinator's persistence
+// settings (useful in containers, where rewriting a config file is
+// awkward).
+const (
+	EnvWALDir              = "GPUNION_WAL_DIR"
+	EnvWALGroupCommitMS    = "GPUNION_WAL_GROUP_COMMIT_MS"
+	EnvSnapshotIntervalSec = "GPUNION_SNAPSHOT_INTERVAL_SEC"
+)
+
+// ApplyEnv overlays persistence settings from the environment: set
+// variables win over the file, unset ones leave it untouched. lookup is
+// os.LookupEnv in the daemon and an injected map in tests. Call before
+// Validate.
+func (c *Coordinator) ApplyEnv(lookup func(string) (string, bool)) error {
+	if v, ok := lookup(EnvWALDir); ok {
+		c.WALDir = v
+	}
+	if v, ok := lookup(EnvWALGroupCommitMS); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("config: %s=%q: %w", EnvWALGroupCommitMS, v, err)
+		}
+		c.WALGroupCommitMS = n
+	}
+	if v, ok := lookup(EnvSnapshotIntervalSec); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("config: %s=%q: %w", EnvSnapshotIntervalSec, v, err)
+		}
+		c.SnapshotIntervalSec = n
 	}
 	return nil
 }

@@ -138,3 +138,80 @@ func TestLoadFromFiles(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+func TestCoordinatorWALDefaults(t *testing.T) {
+	var c Coordinator
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.WALDir != "" {
+		t.Fatalf("WAL enabled by default: %q", c.WALDir)
+	}
+	if c.WALGroupCommitMS != 2 || c.SnapshotIntervalSec != 300 {
+		t.Fatalf("WAL defaults = %+v", c)
+	}
+	if c.WALGroupCommit() != 2*time.Millisecond || c.SnapshotInterval() != 5*time.Minute {
+		t.Fatalf("durations = %v / %v", c.WALGroupCommit(), c.SnapshotInterval())
+	}
+}
+
+func TestCoordinatorWALValidation(t *testing.T) {
+	c := Coordinator{WALGroupCommitMS: -1}
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative wal_group_commit_ms accepted")
+	}
+	c = Coordinator{SnapshotIntervalSec: -5}
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative snapshot_interval_sec accepted")
+	}
+	c = Coordinator{WALDir: "/var/lib/gpunion/wal", WALGroupCommitMS: 10, SnapshotIntervalSec: 60}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.WALGroupCommitMS != 10 || c.SnapshotIntervalSec != 60 {
+		t.Fatalf("explicit values clobbered: %+v", c)
+	}
+}
+
+func TestCoordinatorParseWALFields(t *testing.T) {
+	c, err := ParseCoordinator(strings.NewReader(
+		`{"wal_dir": "/data/wal", "wal_group_commit_ms": 5, "snapshot_interval_sec": 120}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WALDir != "/data/wal" || c.WALGroupCommitMS != 5 || c.SnapshotIntervalSec != 120 {
+		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestCoordinatorApplyEnv(t *testing.T) {
+	env := map[string]string{
+		EnvWALDir:              "/env/wal",
+		EnvWALGroupCommitMS:    "7",
+		EnvSnapshotIntervalSec: "45",
+	}
+	lookup := func(k string) (string, bool) { v, ok := env[k]; return v, ok }
+
+	c := Coordinator{WALDir: "/file/wal", WALGroupCommitMS: 3}
+	if err := c.ApplyEnv(lookup); err != nil {
+		t.Fatal(err)
+	}
+	if c.WALDir != "/env/wal" || c.WALGroupCommitMS != 7 || c.SnapshotIntervalSec != 45 {
+		t.Fatalf("env overlay = %+v", c)
+	}
+
+	// Unset variables leave file values untouched.
+	c = Coordinator{WALDir: "/file/wal", WALGroupCommitMS: 3}
+	if err := c.ApplyEnv(func(string) (string, bool) { return "", false }); err != nil {
+		t.Fatal(err)
+	}
+	if c.WALDir != "/file/wal" || c.WALGroupCommitMS != 3 {
+		t.Fatalf("unset env clobbered file config: %+v", c)
+	}
+
+	// Garbage numerics are an error, not silently ignored.
+	env[EnvWALGroupCommitMS] = "soon"
+	if err := c.ApplyEnv(lookup); err == nil {
+		t.Fatal("non-numeric env value accepted")
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	BatchSize int
 	// TokenTTL bounds issued credentials (0 = 30 days).
 	TokenTTL time.Duration
+	// AuthSecret seeds the token authority. Persisting it (the WAL-
+	// enabled daemon keeps it next to the log) lets credentials issued
+	// before a coordinator restart verify after it; nil generates an
+	// ephemeral secret, invalidating all tokens on restart.
+	AuthSecret []byte
 	// Net optionally models LAN transfer timing for migrations;
 	// StorageNode names the netsim node holding checkpoint data.
 	Net         *netsim.Network
@@ -81,7 +86,7 @@ type jobMeta struct {
 type Coordinator struct {
 	cfg     Config
 	clock   simclock.Clock
-	db      *db.DB
+	db      db.Store
 	authy   *auth.Authority
 	sched   *scheduler.Scheduler
 	hb      *heartbeat.Monitor
@@ -104,8 +109,10 @@ type Coordinator struct {
 }
 
 // New creates a coordinator. database and ckpts may be shared with other
-// components (the simulation inspects them).
-func New(cfg Config, clock simclock.Clock, database *db.DB, ckpts *checkpoint.Store, bus *eventbus.Bus) (*Coordinator, error) {
+// components (the simulation inspects them); a database that was
+// recovered from a snapshot + write-ahead log should be followed by
+// RecoverState before traffic is admitted.
+func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.Store, bus *eventbus.Bus) (*Coordinator, error) {
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = heartbeat.DefaultInterval
 	}
@@ -118,7 +125,7 @@ func New(cfg Config, clock simclock.Clock, database *db.DB, ckpts *checkpoint.St
 	if bus == nil {
 		bus = eventbus.New(0)
 	}
-	authy, err := auth.NewAuthority(nil, cfg.TokenTTL)
+	authy, err := auth.NewAuthority(cfg.AuthSecret, cfg.TokenTTL)
 	if err != nil {
 		return nil, fmt.Errorf("core: creating token authority: %w", err)
 	}
@@ -151,7 +158,7 @@ func New(cfg Config, clock simclock.Clock, database *db.DB, ckpts *checkpoint.St
 }
 
 // DB exposes the system database (read paths for tools and tests).
-func (c *Coordinator) DB() *db.DB { return c.db }
+func (c *Coordinator) DB() db.Store { return c.db }
 
 // Checkpoints exposes the checkpoint store.
 func (c *Coordinator) Checkpoints() *checkpoint.Store { return c.ckpts }
@@ -171,6 +178,53 @@ func (c *Coordinator) InteractiveSessions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.interactiveCount
+}
+
+// RecoverState re-arms a coordinator whose database was restored from
+// a snapshot + write-ahead log (see internal/wal):
+//
+//   - the job-ID sequence resumes past every recovered job, so new
+//     submissions cannot collide with recovered ones;
+//   - jobs caught mid-migration are requeued — their in-flight
+//     checkpoint transfers died with the old process, and the pending
+//     queue re-places them from their last durable checkpoint;
+//   - failure detection is re-armed for every node that was active or
+//     paused before the crash, dated from its last recorded heartbeat:
+//     a node that outlived the coordinator keeps beating and is simply
+//     re-adopted; one that died during the outage exceeds the missed
+//     threshold and takes the normal emergency-migration path;
+//   - relaunch metadata is rebuilt from the records' persisted specs
+//     and a scheduling pass drains whatever the restored queue holds
+//     (placements need agents, which re-attach as nodes re-register).
+//
+// Call it once, after New and before admitting traffic.
+func (c *Coordinator) RecoverState() {
+	now := c.clock.Now()
+	maxSeq := 0
+	for _, job := range c.db.ListJobs() {
+		var n int
+		if _, err := fmt.Sscanf(job.ID, "job-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+		switch job.State {
+		case db.JobMigrating:
+			c.requeueFromCheckpoint(job.ID, now)
+			_ = c.metaFor(job)
+		case db.JobPending, db.JobRunning:
+			_ = c.metaFor(job)
+		}
+	}
+	c.mu.Lock()
+	if maxSeq > c.jobSeq {
+		c.jobSeq = maxSeq
+	}
+	c.mu.Unlock()
+	for _, n := range c.db.ListNodes() {
+		if n.Status == db.NodeActive || n.Status == db.NodePaused {
+			c.hb.Track(n.ID, n.LastHeartbeat)
+		}
+	}
+	c.TrySchedule()
 }
 
 // Stop halts the background sweep timer.
@@ -255,6 +309,12 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 	}
 	rec, err := c.db.GetNode(req.MachineID)
 	if err != nil {
+		return api.HeartbeatResponse{Reregister: true}, nil
+	}
+	if c.handle(req.MachineID) == nil {
+		// The record survived (e.g. restored from snapshot + WAL) but
+		// the transport to the agent died with the old process: ask the
+		// node to re-register so the handle is re-established.
 		return api.HeartbeatResponse{Reregister: true}, nil
 	}
 
@@ -412,6 +472,12 @@ func (c *Coordinator) SubmitJob(req api.SubmitJobRequest) (string, error) {
 		Priority: req.Priority, GPUMemMiB: req.GPUMemMiB,
 		CapabilityMajor: req.CapabilityMajor, CapabilityMinor: req.CapabilityMinor,
 		StoragePrefs: req.StoragePrefs, SubmittedAt: now,
+		// The relaunch spec rides in the record so a coordinator
+		// recovered from snapshot + WAL can reschedule this job without
+		// a resubmission.
+		ImageName: req.ImageName, Entrypoint: req.Entrypoint,
+		CheckpointIntervalSec: req.CheckpointIntervalSec,
+		SessionSeconds:        req.SessionSeconds, Training: req.Training,
 	}
 	if err := c.db.InsertJob(rec); err != nil {
 		return "", err
@@ -511,8 +577,10 @@ func (c *Coordinator) scheduleBatch() bool {
 	}
 	now := c.clock.Now()
 
-	// Assemble the batch: the head of the priority queue, skipping jobs
-	// whose relaunch metadata is gone (e.g. restored from a snapshot).
+	// Assemble the batch: the head of the priority queue. Relaunch
+	// metadata lives in the record itself, so jobs restored from a
+	// snapshot + WAL are as schedulable as freshly submitted ones; only
+	// legacy records without a spec are skipped.
 	var (
 		jobs  []db.JobRecord
 		metas []*jobMeta
@@ -522,9 +590,7 @@ func (c *Coordinator) scheduleBatch() bool {
 		if len(reqs) >= c.cfg.BatchSize {
 			break
 		}
-		c.mu.Lock()
-		meta := c.meta[job.ID]
-		c.mu.Unlock()
+		meta := c.metaFor(job)
 		if meta == nil {
 			continue
 		}
@@ -665,15 +731,13 @@ func (c *Coordinator) migrateJobsFrom(nodeID string, reason migration.Reason) {
 	metas := make([]*jobMeta, len(jobs))
 	planned := make([]db.JobRecord, 0, len(jobs))
 	for _, job := range jobs {
-		c.mu.Lock()
-		meta := c.meta[job.ID]
-		if meta != nil {
-			meta.lostAt = now
-		}
-		c.mu.Unlock()
+		meta := c.metaFor(job)
 		if meta == nil {
 			continue
 		}
+		c.mu.Lock()
+		meta.lostAt = now
+		c.mu.Unlock()
 		metas[len(planned)] = meta
 		planned = append(planned, job)
 		_ = c.db.UpdateJob(job.ID, func(j *db.JobRecord) { j.State = db.JobMigrating })
@@ -765,9 +829,7 @@ func (c *Coordinator) MigrateBack(nodeID string) {
 		if job.PreferredNode != nodeID || job.NodeID == nodeID || job.State != db.JobRunning {
 			continue
 		}
-		c.mu.Lock()
-		meta := c.meta[job.ID]
-		c.mu.Unlock()
+		meta := c.metaFor(job)
 		if meta == nil || meta.training == nil {
 			continue // only stateful batch jobs migrate back
 		}
@@ -799,6 +861,32 @@ func (c *Coordinator) MigrateBack(nodeID string) {
 }
 
 // --- helpers ---
+
+// metaFor returns the relaunch metadata for a job, rebuilding (and
+// caching) it from the record's persisted spec when the in-memory entry
+// is missing — the case for every job that crossed a coordinator
+// restart. Nil means the record carries no spec (a legacy snapshot) and
+// the job cannot be relaunched.
+func (c *Coordinator) metaFor(job db.JobRecord) *jobMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.meta[job.ID]; m != nil {
+		return m
+	}
+	if job.ImageName == "" {
+		return nil
+	}
+	m := &jobMeta{
+		image:          job.ImageName,
+		kind:           job.Kind,
+		entrypoint:     job.Entrypoint,
+		ckptSec:        job.CheckpointIntervalSec,
+		training:       job.Training,
+		sessionSeconds: job.SessionSeconds,
+	}
+	c.meta[job.ID] = m
+	return m
+}
 
 func (c *Coordinator) handle(nodeID string) AgentHandle {
 	c.mu.Lock()

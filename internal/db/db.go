@@ -3,13 +3,20 @@
 // monitoring samples, "enabling both operational decision making and
 // capacity planning".
 //
-// The store is in-memory with JSON snapshot/restore. State is hash-
-// sharded per table (nodes, jobs, allocations, monitoring samples) so
-// that heartbeat bursts, job mutations and metric appends on different
-// records proceed in parallel: every shard carries its own
-// sync.RWMutex, point operations touch exactly one shard, read-mostly
-// scans take read locks shard by shard, and only Save/Load acquire all
-// shards at once (in a fixed order, so snapshots stay consistent).
+// The store is in-memory. State is hash-sharded per table (nodes,
+// jobs, allocations, monitoring samples) so that heartbeat bursts, job
+// mutations and metric appends on different records proceed in
+// parallel: every shard carries its own sync.RWMutex, point operations
+// touch exactly one shard, and read-mostly scans take read locks shard
+// by shard.
+//
+// Durability is layered on top through mutation records: every write
+// emits a typed, LSN-stamped Mutation to an installed MutationHook
+// (the write-ahead log in internal/wal), ExportState checkpoints the
+// store shard by shard without ever quiescing it, and Apply replays
+// logged mutations idempotently during recovery. The legacy Save/Load
+// stop-the-world JSON snapshot is retained only for tooling and as the
+// measured baseline; the coordinator path persists via snapshot + WAL.
 //
 // A configurable per-operation delay models the contention the paper
 // predicts beyond ~200 nodes (§5.3), which the scalability benchmark
@@ -28,6 +35,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gpunion/internal/workload"
 )
 
 // Errors returned by the database.
@@ -120,6 +129,16 @@ type JobRecord struct {
 	StartedAt   time.Time `json:"started_at,omitempty"`
 	FinishedAt  time.Time `json:"finished_at,omitempty"`
 	Migrations  int       `json:"migrations"`
+
+	// Relaunch spec: everything the coordinator needs to (re)launch the
+	// job. Persisting it with the record is what lets a recovered
+	// coordinator reschedule pending and displaced jobs instead of
+	// forcing users to resubmit.
+	ImageName             string                 `json:"image_name,omitempty"`
+	Entrypoint            []string               `json:"entrypoint,omitempty"`
+	CheckpointIntervalSec int                    `json:"checkpoint_interval_sec,omitempty"`
+	SessionSeconds        int                    `json:"session_seconds,omitempty"`
+	Training              *workload.TrainingSpec `json:"training,omitempty"`
 }
 
 // AllocationRecord is one placement episode of a job on a device.
@@ -167,6 +186,17 @@ type Store interface {
 	AppendSample(s Sample)
 	SamplesInRange(metric, nodeID string, from, to time.Time) []Sample
 
+	// Persistence. SetMutationHook observes every committed mutation
+	// (the WAL append point); ExportState/ImportState checkpoint and
+	// restore without a global quiesce; Apply replays logged mutations
+	// idempotently; CurrentLSN reads the mutation sequence counter.
+	// Save/Load are the legacy stop-the-world JSON snapshot, retained
+	// for tooling and benchmarks.
+	SetMutationHook(h MutationHook)
+	CurrentLSN() uint64
+	Apply(m Mutation) error
+	ExportState() State
+	ImportState(st State)
 	Save(w io.Writer) error
 	Load(r io.Reader) error
 }
@@ -233,6 +263,11 @@ type DB struct {
 	// (nanoseconds; applied while holding the target shard's lock).
 	opDelay atomic.Int64
 	ops     atomic.Int64
+	// lsn stamps every mutation; assigned inside the target shard's
+	// critical section so an ExportState watermark read before a shard
+	// is serialized bounds exactly what that shard's copy contains.
+	lsn  atomic.Uint64
+	hook atomic.Pointer[MutationHook]
 }
 
 // New creates a sharded database retaining at most maxSamples monitoring
@@ -305,10 +340,13 @@ func (d *DB) UpsertNode(n NodeRecord) {
 	d.ops.Add(1)
 	s := d.nodeShard(n.ID)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d.delay()
-	cp := n
+	cp := cloneNode(n)
 	s.recs[n.ID] = &cp
+	lsn := d.lsn.Add(1)
+	s.mu.Unlock()
+	image := cloneNode(n)
+	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &image})
 }
 
 // GetNode returns a copy of the node record.
@@ -330,13 +368,17 @@ func (d *DB) UpdateNode(id string, fn func(*NodeRecord)) error {
 	d.ops.Add(1)
 	s := d.nodeShard(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d.delay()
 	n, ok := s.recs[id]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: node %s", ErrNotFound, id)
 	}
 	fn(n)
+	image := cloneNode(*n)
+	lsn := d.lsn.Add(1)
+	s.mu.Unlock()
+	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &image})
 	return nil
 }
 
@@ -378,14 +420,18 @@ func (d *DB) InsertJob(j JobRecord) error {
 	d.ops.Add(1)
 	s := d.jobShard(j.ID)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d.delay()
 	if _, exists := s.recs[j.ID]; exists {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: job %s", ErrConflict, j.ID)
 	}
-	cp := j
+	cp := cloneJob(j)
 	s.recs[j.ID] = &cp
 	s.stateCount[j.State]++
+	lsn := d.lsn.Add(1)
+	s.mu.Unlock()
+	image := cloneJob(j)
+	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &image})
 	return nil
 }
 
@@ -408,10 +454,10 @@ func (d *DB) UpdateJob(id string, fn func(*JobRecord)) error {
 	d.ops.Add(1)
 	s := d.jobShard(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d.delay()
 	j, ok := s.recs[id]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
 	before := j.State
@@ -420,6 +466,10 @@ func (d *DB) UpdateJob(id string, fn func(*JobRecord)) error {
 		s.stateCount[before]--
 		s.stateCount[j.State]++
 	}
+	image := cloneJob(*j)
+	lsn := d.lsn.Add(1)
+	s.mu.Unlock()
+	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &image})
 	return nil
 }
 
@@ -504,9 +554,12 @@ func (d *DB) RecordAllocation(a AllocationRecord) {
 	d.ops.Add(1)
 	s := d.allocShard(a.JobID)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d.delay()
 	s.episodes = append(s.episodes, a)
+	lsn := d.lsn.Add(1)
+	s.mu.Unlock()
+	image := a
+	d.emit(Mutation{LSN: lsn, Type: MutAllocOpen, Alloc: &image})
 }
 
 // CloseAllocation sets the End time of the job's most recent open
@@ -515,15 +568,19 @@ func (d *DB) CloseAllocation(jobID string, end time.Time) error {
 	d.ops.Add(1)
 	s := d.allocShard(jobID)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d.delay()
 	for i := len(s.episodes) - 1; i >= 0; i-- {
 		a := &s.episodes[i]
 		if a.JobID == jobID && a.End.IsZero() {
 			a.End = end
+			closed := *a
+			lsn := d.lsn.Add(1)
+			s.mu.Unlock()
+			d.emit(Mutation{LSN: lsn, Type: MutAllocClose, Alloc: &closed})
 			return nil
 		}
 	}
+	s.mu.Unlock()
 	return fmt.Errorf("%w: open allocation for job %s", ErrNotFound, jobID)
 }
 
@@ -566,13 +623,16 @@ func (d *DB) AppendSample(s Sample) {
 	d.ops.Add(1)
 	sh := d.sampleShard(s.NodeID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	d.delay()
 	sh.buf = append(sh.buf, s)
 	if d.sampleCount.Add(1) > int64(d.maxSamples) && len(sh.buf) > 1 {
 		sh.buf = sh.buf[1:]
 		d.sampleCount.Add(-1)
 	}
+	lsn := d.lsn.Add(1)
+	sh.mu.Unlock()
+	image := s
+	d.emit(Mutation{LSN: lsn, Type: MutSamplePut, Sample: &image})
 }
 
 // SamplesInRange returns samples for metric within [from, to), all nodes
@@ -616,14 +676,6 @@ func (d *DB) SamplesInRange(metric, nodeID string, from, to time.Time) []Sample 
 }
 
 // --- Persistence ---
-
-// snapshot is the JSON persistence envelope.
-type snapshot struct {
-	Nodes       []NodeRecord       `json:"nodes"`
-	Jobs        []JobRecord        `json:"jobs"`
-	Allocations []AllocationRecord `json:"allocations"`
-	Samples     []Sample           `json:"samples"`
-}
 
 // lockAll acquires every shard in fixed order (nodes, jobs, allocations,
 // samples; ascending index), read or write. The single ordering rules
@@ -693,37 +745,39 @@ func (d *DB) unlockAll(write bool) {
 // Save writes a JSON snapshot of the whole database. All shards are
 // read-locked together so the snapshot is a consistent cut; encoding
 // happens after the locks are released.
+//
+// Deprecated: Save quiesces every shard at once — a stop-the-world
+// pause that grows with store size and stalls heartbeat commits. The
+// coordinator path persists through internal/wal instead (ExportState
+// snapshots shard by shard; the WAL covers the tail). Save remains for
+// tooling, one-shot dumps, and as the measured quiesce baseline.
 func (d *DB) Save(w io.Writer) error {
 	d.ops.Add(1)
-	var snap snapshot
+	st := State{Watermark: d.lsn.Load()}
 	d.lockAll(false)
 	for _, s := range d.nodes {
 		for _, n := range s.recs {
-			snap.Nodes = append(snap.Nodes, *n)
+			// Deep copies: encoding happens after the locks drop, and
+			// live records mutate their GPUs/Entrypoint storage in
+			// place.
+			st.Nodes = append(st.Nodes, cloneNode(*n))
 		}
 	}
 	for _, s := range d.jobs {
 		for _, j := range s.recs {
-			snap.Jobs = append(snap.Jobs, *j)
+			st.Jobs = append(st.Jobs, cloneJob(*j))
 		}
 	}
 	for _, s := range d.allocs {
-		snap.Allocations = append(snap.Allocations, s.episodes...)
+		st.Allocations = append(st.Allocations, s.episodes...)
 	}
 	for _, s := range d.samples {
-		snap.Samples = append(snap.Samples, s.buf...)
+		st.Samples = append(st.Samples, s.buf...)
 	}
 	d.unlockAll(false)
 
-	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].ID < snap.Nodes[j].ID })
-	sort.Slice(snap.Jobs, func(i, j int) bool { return snap.Jobs[i].ID < snap.Jobs[j].ID })
-	sort.SliceStable(snap.Allocations, func(i, j int) bool {
-		return snap.Allocations[i].Start.Before(snap.Allocations[j].Start)
-	})
-	sort.SliceStable(snap.Samples, func(i, j int) bool {
-		return snap.Samples[i].Time.Before(snap.Samples[j].Time)
-	})
-	if err := json.NewEncoder(w).Encode(snap); err != nil {
+	sortState(&st)
+	if err := json.NewEncoder(w).Encode(st); err != nil {
 		return fmt.Errorf("db: saving snapshot: %w", err)
 	}
 	return nil
@@ -731,39 +785,17 @@ func (d *DB) Save(w io.Writer) error {
 
 // Load replaces the database contents from a JSON snapshot, write-
 // locking every shard for the swap.
+//
+// Deprecated: the coordinator path recovers through internal/wal
+// (snapshot + logged-mutation replay); Load remains for tooling and
+// for restoring legacy Save dumps, which decode as a State with a zero
+// watermark.
 func (d *DB) Load(r io.Reader) error {
 	d.ops.Add(1)
-	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	var st State
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return fmt.Errorf("db: loading snapshot: %w", err)
 	}
-	d.lockAll(true)
-	defer d.unlockAll(true)
-	for i := 0; i < d.shardCount; i++ {
-		d.nodes[i].recs = make(map[string]*NodeRecord)
-		d.jobs[i].recs = make(map[string]*JobRecord)
-		d.jobs[i].stateCount = make(map[JobState]int)
-		d.allocs[i].episodes = nil
-		d.samples[i].buf = nil
-	}
-	for _, n := range snap.Nodes {
-		cp := n
-		d.nodeShard(n.ID).recs[n.ID] = &cp
-	}
-	for _, j := range snap.Jobs {
-		cp := j
-		s := d.jobShard(j.ID)
-		s.recs[j.ID] = &cp
-		s.stateCount[j.State]++
-	}
-	for _, a := range snap.Allocations {
-		s := d.allocShard(a.JobID)
-		s.episodes = append(s.episodes, a)
-	}
-	for _, smp := range snap.Samples {
-		s := d.sampleShard(smp.NodeID)
-		s.buf = append(s.buf, smp)
-	}
-	d.sampleCount.Store(int64(len(snap.Samples)))
+	d.ImportState(st)
 	return nil
 }

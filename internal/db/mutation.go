@@ -1,0 +1,447 @@
+package db
+
+import (
+	"fmt"
+	"slices"
+	"sync/atomic"
+)
+
+// MutationType tags one typed mutation record emitted by a Store. The
+// write-ahead log (internal/wal) persists these records; recovery
+// replays them through Apply.
+type MutationType string
+
+// Mutation types. Every mutating Store operation maps onto exactly one
+// of them; node and job mutations carry full after-images so replay is
+// idempotent (last write wins).
+const (
+	// MutNodePut is a node after-image: registration, heartbeat-state
+	// change, departure bookkeeping, device allocation flips.
+	MutNodePut MutationType = "node_put"
+	// MutJobPut is a job after-image: submission, every state
+	// transition (scheduled, migrating, completed, …).
+	MutJobPut MutationType = "job_put"
+	// MutAllocOpen records a new placement episode.
+	MutAllocOpen MutationType = "alloc_open"
+	// MutAllocClose records the closing of a placement episode; the
+	// Alloc payload is the closed episode's after-image (End set), so
+	// replay targets exactly the episode that was closed.
+	MutAllocClose MutationType = "alloc_close"
+	// MutSamplePut records one monitoring data point.
+	MutSamplePut MutationType = "sample_put"
+)
+
+// Mutation is the typed record a Store emits for every state change.
+// LSN is a store-wide monotone sequence number assigned under the
+// target shard's lock, so sorting a batch of mutations by LSN recovers
+// the per-record mutation order even when the hook observed them out of
+// order.
+type Mutation struct {
+	LSN    uint64            `json:"lsn"`
+	Type   MutationType      `json:"type"`
+	Node   *NodeRecord       `json:"node,omitempty"`
+	Job    *JobRecord        `json:"job,omitempty"`
+	Alloc  *AllocationRecord `json:"alloc,omitempty"`
+	Sample *Sample           `json:"sample,omitempty"`
+}
+
+// MutationHook observes committed mutations. It is invoked after the
+// shard lock is released, with deep-copied payloads, so a hook may
+// block (e.g. on a group-commit fsync) without stalling other shards.
+// The store's acknowledgement of the operation to its caller happens
+// only after the hook returns — a durable hook therefore gives
+// durable-before-ack semantics without holding any lock across I/O.
+type MutationHook func(Mutation)
+
+// State is the serializable full-store image used by snapshots,
+// Save/Load, and recovery. Watermark is the store's LSN at the moment
+// the export began: every mutation with LSN ≤ Watermark is fully
+// contained in the State, and any mutation with a higher LSN may or may
+// not be — replaying those on top of the State (in LSN order, through
+// the idempotent Apply) converges to the live store's content.
+type State struct {
+	Watermark   uint64             `json:"watermark"`
+	Nodes       []NodeRecord       `json:"nodes"`
+	Jobs        []JobRecord        `json:"jobs"`
+	Allocations []AllocationRecord `json:"allocations"`
+	Samples     []Sample           `json:"samples"`
+}
+
+// cloneNode deep-copies the record's slice fields so an emitted or
+// exported image cannot race with in-place updates to the stored one.
+func cloneNode(n NodeRecord) NodeRecord {
+	n.GPUs = slices.Clone(n.GPUs)
+	return n
+}
+
+// cloneJob deep-copies the record's slice and pointer fields.
+func cloneJob(j JobRecord) JobRecord {
+	j.StoragePrefs = slices.Clone(j.StoragePrefs)
+	j.Entrypoint = slices.Clone(j.Entrypoint)
+	if j.Training != nil {
+		cp := *j.Training
+		j.Training = &cp
+	}
+	return j
+}
+
+// sameAllocIdentity compares allocation episodes by identity — job,
+// placement and start instant — using time.Time.Equal so JSON
+// round-trips (which normalize monotonic clock readings and locations)
+// still compare equal. End is deliberately excluded: a replayed open
+// whose episode was meanwhile closed must still match it.
+func sameAllocIdentity(a, b AllocationRecord) bool {
+	return a.JobID == b.JobID && a.NodeID == b.NodeID && a.DeviceID == b.DeviceID &&
+		a.Start.Equal(b.Start)
+}
+
+// sameSample compares monitoring points field by field.
+func sameSample(a, b Sample) bool {
+	return a.NodeID == b.NodeID && a.Metric == b.Metric && a.Value == b.Value &&
+		a.Time.Equal(b.Time)
+}
+
+// raiseLSN advances the counter to at least lsn (replay keeps the
+// counter ahead of every durable mutation).
+func raiseLSN(ctr *atomic.Uint64, lsn uint64) {
+	for {
+		cur := ctr.Load()
+		if lsn <= cur || ctr.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// --- DB (sharded store) hook, export and replay ---
+
+// SetMutationHook installs (or, with nil, removes) the hook observing
+// every committed mutation. Replay via Apply does not invoke the hook.
+func (d *DB) SetMutationHook(h MutationHook) {
+	if h == nil {
+		d.hook.Store(nil)
+		return
+	}
+	d.hook.Store(&h)
+}
+
+// CurrentLSN reports the store's mutation sequence counter.
+func (d *DB) CurrentLSN() uint64 { return d.lsn.Load() }
+
+// emit invokes the installed mutation hook, if any. Callers must not
+// hold any shard lock and must pass deep-copied payloads.
+func (d *DB) emit(m Mutation) {
+	if h := d.hook.Load(); h != nil {
+		(*h)(m)
+	}
+}
+
+// ExportState collects a snapshot image shard by shard: each shard is
+// read-locked briefly and one at a time, so concurrent commits on other
+// shards proceed while the export is in flight — unlike the legacy
+// Save, nothing quiesces the whole store. The result is a *fuzzy*
+// checkpoint: consistent per record, with Watermark bounding what it is
+// guaranteed to contain (see State).
+func (d *DB) ExportState() State {
+	st := State{Watermark: d.lsn.Load()}
+	for _, s := range d.nodes {
+		s.mu.RLock()
+		for _, n := range s.recs {
+			st.Nodes = append(st.Nodes, cloneNode(*n))
+		}
+		s.mu.RUnlock()
+	}
+	for _, s := range d.jobs {
+		s.mu.RLock()
+		for _, j := range s.recs {
+			st.Jobs = append(st.Jobs, cloneJob(*j))
+		}
+		s.mu.RUnlock()
+	}
+	for _, s := range d.allocs {
+		s.mu.RLock()
+		st.Allocations = append(st.Allocations, s.episodes...)
+		s.mu.RUnlock()
+	}
+	for _, s := range d.samples {
+		s.mu.RLock()
+		st.Samples = append(st.Samples, s.buf...)
+		s.mu.RUnlock()
+	}
+	sortState(&st)
+	return st
+}
+
+// ImportState replaces the store's contents with the given image,
+// write-locking every shard for the swap (recovery runs before the
+// store is shared, so the quiesce is free there).
+func (d *DB) ImportState(st State) {
+	d.lockAll(true)
+	defer d.unlockAll(true)
+	for i := 0; i < d.shardCount; i++ {
+		d.nodes[i].recs = make(map[string]*NodeRecord)
+		d.jobs[i].recs = make(map[string]*JobRecord)
+		d.jobs[i].stateCount = make(map[JobState]int)
+		d.allocs[i].episodes = nil
+		d.samples[i].buf = nil
+	}
+	for _, n := range st.Nodes {
+		cp := cloneNode(n)
+		d.nodeShard(n.ID).recs[n.ID] = &cp
+	}
+	for _, j := range st.Jobs {
+		cp := cloneJob(j)
+		s := d.jobShard(j.ID)
+		s.recs[j.ID] = &cp
+		s.stateCount[j.State]++
+	}
+	for _, a := range st.Allocations {
+		s := d.allocShard(a.JobID)
+		s.episodes = append(s.episodes, a)
+	}
+	for _, smp := range st.Samples {
+		s := d.sampleShard(smp.NodeID)
+		s.buf = append(s.buf, smp)
+	}
+	d.sampleCount.Store(int64(len(st.Samples)))
+	raiseLSN(&d.lsn, st.Watermark)
+}
+
+// Apply replays one mutation record. It is idempotent — a record whose
+// effect is already present (because a fuzzy snapshot captured it) is a
+// no-op — and does not invoke the mutation hook, so recovery never
+// re-logs what it replays. Records must be applied in ascending LSN
+// order for after-images to land last-writer-wins.
+func (d *DB) Apply(m Mutation) error {
+	defer raiseLSN(&d.lsn, m.LSN)
+	switch m.Type {
+	case MutNodePut:
+		if m.Node == nil {
+			return fmt.Errorf("db: %s mutation without node payload", m.Type)
+		}
+		s := d.nodeShard(m.Node.ID)
+		s.mu.Lock()
+		cp := cloneNode(*m.Node)
+		s.recs[cp.ID] = &cp
+		s.mu.Unlock()
+	case MutJobPut:
+		if m.Job == nil {
+			return fmt.Errorf("db: %s mutation without job payload", m.Type)
+		}
+		s := d.jobShard(m.Job.ID)
+		s.mu.Lock()
+		if old, ok := s.recs[m.Job.ID]; ok {
+			s.stateCount[old.State]--
+		}
+		cp := cloneJob(*m.Job)
+		s.recs[cp.ID] = &cp
+		s.stateCount[cp.State]++
+		s.mu.Unlock()
+	case MutAllocOpen:
+		if m.Alloc == nil {
+			return fmt.Errorf("db: %s mutation without alloc payload", m.Type)
+		}
+		s := d.allocShard(m.Alloc.JobID)
+		s.mu.Lock()
+		if !slices.ContainsFunc(s.episodes, func(e AllocationRecord) bool { return sameAllocIdentity(e, *m.Alloc) }) {
+			s.episodes = append(s.episodes, *m.Alloc)
+		}
+		s.mu.Unlock()
+	case MutAllocClose:
+		if m.Alloc == nil {
+			return fmt.Errorf("db: %s mutation without alloc payload", m.Type)
+		}
+		s := d.allocShard(m.Alloc.JobID)
+		s.mu.Lock()
+		applyAllocClose(&s.episodes, *m.Alloc)
+		s.mu.Unlock()
+	case MutSamplePut:
+		if m.Sample == nil {
+			return fmt.Errorf("db: %s mutation without sample payload", m.Type)
+		}
+		sh := d.sampleShard(m.Sample.NodeID)
+		sh.mu.Lock()
+		if !slices.ContainsFunc(sh.buf, func(s Sample) bool { return sameSample(s, *m.Sample) }) {
+			sh.buf = append(sh.buf, *m.Sample)
+			if d.sampleCount.Add(1) > int64(d.maxSamples) && len(sh.buf) > 1 {
+				sh.buf = sh.buf[1:]
+				d.sampleCount.Add(-1)
+			}
+		}
+		sh.mu.Unlock()
+	default:
+		return fmt.Errorf("db: unknown mutation type %q", m.Type)
+	}
+	return nil
+}
+
+// applyAllocClose replays a close record against an episode list: it
+// finds the exact episode the close targeted (same identity, End still
+// zero) and stamps its End. An already-closed identical episode means
+// the effect is present (no-op); a missing episode gets the closed
+// after-image appended so no history is lost.
+func applyAllocClose(episodes *[]AllocationRecord, closed AllocationRecord) {
+	for i := len(*episodes) - 1; i >= 0; i-- {
+		e := &(*episodes)[i]
+		if e.JobID != closed.JobID || e.NodeID != closed.NodeID ||
+			e.DeviceID != closed.DeviceID || !e.Start.Equal(closed.Start) {
+			continue
+		}
+		if e.End.IsZero() {
+			e.End = closed.End
+		}
+		return // identity matched: effect present either way
+	}
+	*episodes = append(*episodes, closed)
+}
+
+// sortState orders every table deterministically (the same orders
+// Save always used), so exported images are directly comparable.
+func sortState(st *State) {
+	slices.SortFunc(st.Nodes, func(a, b NodeRecord) int {
+		return compareStrings(a.ID, b.ID)
+	})
+	slices.SortFunc(st.Jobs, func(a, b JobRecord) int {
+		return compareStrings(a.ID, b.ID)
+	})
+	slices.SortStableFunc(st.Allocations, func(a, b AllocationRecord) int {
+		if !a.Start.Equal(b.Start) {
+			if a.Start.Before(b.Start) {
+				return -1
+			}
+			return 1
+		}
+		if a.JobID != b.JobID {
+			return compareStrings(a.JobID, b.JobID)
+		}
+		return compareStrings(a.NodeID, b.NodeID)
+	})
+	slices.SortStableFunc(st.Samples, func(a, b Sample) int {
+		if a.Time.Before(b.Time) {
+			return -1
+		}
+		if b.Time.Before(a.Time) {
+			return 1
+		}
+		return 0
+	})
+}
+
+func compareStrings(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// --- SingleMutex hook, export and replay ---
+
+// SetMutationHook installs (or removes) the mutation hook.
+func (d *SingleMutex) SetMutationHook(h MutationHook) {
+	if h == nil {
+		d.hook.Store(nil)
+		return
+	}
+	d.hook.Store(&h)
+}
+
+// CurrentLSN reports the store's mutation sequence counter.
+func (d *SingleMutex) CurrentLSN() uint64 { return d.lsn.Load() }
+
+func (d *SingleMutex) emit(m Mutation) {
+	if h := d.hook.Load(); h != nil {
+		(*h)(m)
+	}
+}
+
+// ExportState collects a snapshot image under the single lock (this
+// store has no shards to walk; it quiesces by construction).
+func (d *SingleMutex) ExportState() State {
+	d.mu.Lock()
+	st := State{Watermark: d.lsn.Load()}
+	for _, n := range d.nodes {
+		st.Nodes = append(st.Nodes, cloneNode(*n))
+	}
+	for _, j := range d.jobs {
+		st.Jobs = append(st.Jobs, cloneJob(*j))
+	}
+	st.Allocations = append(st.Allocations, d.allocations...)
+	st.Samples = append(st.Samples, d.samples...)
+	d.mu.Unlock()
+	sortState(&st)
+	return st
+}
+
+// ImportState replaces the store's contents with the given image.
+func (d *SingleMutex) ImportState(st State) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nodes = make(map[string]*NodeRecord, len(st.Nodes))
+	for _, n := range st.Nodes {
+		cp := cloneNode(n)
+		d.nodes[n.ID] = &cp
+	}
+	d.jobs = make(map[string]*JobRecord, len(st.Jobs))
+	d.stateCount = make(map[JobState]int)
+	for _, j := range st.Jobs {
+		cp := cloneJob(j)
+		d.jobs[j.ID] = &cp
+		d.stateCount[j.State]++
+	}
+	d.allocations = append([]AllocationRecord(nil), st.Allocations...)
+	d.samples = append([]Sample(nil), st.Samples...)
+	raiseLSN(&d.lsn, st.Watermark)
+}
+
+// Apply replays one mutation record idempotently (see DB.Apply).
+func (d *SingleMutex) Apply(m Mutation) error {
+	defer raiseLSN(&d.lsn, m.LSN)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch m.Type {
+	case MutNodePut:
+		if m.Node == nil {
+			return fmt.Errorf("db: %s mutation without node payload", m.Type)
+		}
+		cp := cloneNode(*m.Node)
+		d.nodes[cp.ID] = &cp
+	case MutJobPut:
+		if m.Job == nil {
+			return fmt.Errorf("db: %s mutation without job payload", m.Type)
+		}
+		if old, ok := d.jobs[m.Job.ID]; ok {
+			d.stateCount[old.State]--
+		}
+		cp := cloneJob(*m.Job)
+		d.jobs[cp.ID] = &cp
+		d.stateCount[cp.State]++
+	case MutAllocOpen:
+		if m.Alloc == nil {
+			return fmt.Errorf("db: %s mutation without alloc payload", m.Type)
+		}
+		if !slices.ContainsFunc(d.allocations, func(e AllocationRecord) bool { return sameAllocIdentity(e, *m.Alloc) }) {
+			d.allocations = append(d.allocations, *m.Alloc)
+		}
+	case MutAllocClose:
+		if m.Alloc == nil {
+			return fmt.Errorf("db: %s mutation without alloc payload", m.Type)
+		}
+		applyAllocClose(&d.allocations, *m.Alloc)
+	case MutSamplePut:
+		if m.Sample == nil {
+			return fmt.Errorf("db: %s mutation without sample payload", m.Type)
+		}
+		if !slices.ContainsFunc(d.samples, func(s Sample) bool { return sameSample(s, *m.Sample) }) {
+			d.samples = append(d.samples, *m.Sample)
+			if len(d.samples) > d.maxSamples {
+				d.samples = d.samples[len(d.samples)-d.maxSamples:]
+			}
+		}
+	default:
+		return fmt.Errorf("db: unknown mutation type %q", m.Type)
+	}
+	return nil
+}

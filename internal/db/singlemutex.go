@@ -25,6 +25,8 @@ type SingleMutex struct {
 	// opDelay models per-operation I/O latency for contention studies.
 	opDelay time.Duration
 	ops     atomic.Int64
+	lsn     atomic.Uint64
+	hook    atomic.Pointer[MutationHook]
 }
 
 // NewSingleMutex creates a single-mutex database retaining at most
@@ -64,9 +66,12 @@ func (d *SingleMutex) lockOp() {
 // UpsertNode inserts or replaces a node record.
 func (d *SingleMutex) UpsertNode(n NodeRecord) {
 	d.lockOp()
-	defer d.mu.Unlock()
-	cp := n
+	cp := cloneNode(n)
 	d.nodes[n.ID] = &cp
+	lsn := d.lsn.Add(1)
+	d.mu.Unlock()
+	image := cloneNode(n)
+	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &image})
 }
 
 // GetNode returns a copy of the node record.
@@ -83,12 +88,16 @@ func (d *SingleMutex) GetNode(id string) (NodeRecord, error) {
 // UpdateNode applies fn to the node record under the lock.
 func (d *SingleMutex) UpdateNode(id string, fn func(*NodeRecord)) error {
 	d.lockOp()
-	defer d.mu.Unlock()
 	n, ok := d.nodes[id]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: node %s", ErrNotFound, id)
 	}
 	fn(n)
+	image := cloneNode(*n)
+	lsn := d.lsn.Add(1)
+	d.mu.Unlock()
+	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &image})
 	return nil
 }
 
@@ -118,13 +127,17 @@ func (d *SingleMutex) ActiveNodes() []NodeRecord {
 // InsertJob adds a new job record; the ID must be unused.
 func (d *SingleMutex) InsertJob(j JobRecord) error {
 	d.lockOp()
-	defer d.mu.Unlock()
 	if _, exists := d.jobs[j.ID]; exists {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: job %s", ErrConflict, j.ID)
 	}
-	cp := j
+	cp := cloneJob(j)
 	d.jobs[j.ID] = &cp
 	d.stateCount[j.State]++
+	lsn := d.lsn.Add(1)
+	d.mu.Unlock()
+	image := cloneJob(j)
+	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &image})
 	return nil
 }
 
@@ -142,9 +155,9 @@ func (d *SingleMutex) GetJob(id string) (JobRecord, error) {
 // UpdateJob applies fn to the job record under the lock.
 func (d *SingleMutex) UpdateJob(id string, fn func(*JobRecord)) error {
 	d.lockOp()
-	defer d.mu.Unlock()
 	j, ok := d.jobs[id]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
 	before := j.State
@@ -153,6 +166,10 @@ func (d *SingleMutex) UpdateJob(id string, fn func(*JobRecord)) error {
 		d.stateCount[before]--
 		d.stateCount[j.State]++
 	}
+	image := cloneJob(*j)
+	lsn := d.lsn.Add(1)
+	d.mu.Unlock()
+	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &image})
 	return nil
 }
 
@@ -202,22 +219,29 @@ func (d *SingleMutex) JobsOnNode(nodeID string) []JobRecord {
 // RecordAllocation appends a placement episode.
 func (d *SingleMutex) RecordAllocation(a AllocationRecord) {
 	d.lockOp()
-	defer d.mu.Unlock()
 	d.allocations = append(d.allocations, a)
+	lsn := d.lsn.Add(1)
+	d.mu.Unlock()
+	image := a
+	d.emit(Mutation{LSN: lsn, Type: MutAllocOpen, Alloc: &image})
 }
 
 // CloseAllocation sets the End time of the job's most recent open
 // allocation episode.
 func (d *SingleMutex) CloseAllocation(jobID string, end time.Time) error {
 	d.lockOp()
-	defer d.mu.Unlock()
 	for i := len(d.allocations) - 1; i >= 0; i-- {
 		a := &d.allocations[i]
 		if a.JobID == jobID && a.End.IsZero() {
 			a.End = end
+			closed := *a
+			lsn := d.lsn.Add(1)
+			d.mu.Unlock()
+			d.emit(Mutation{LSN: lsn, Type: MutAllocClose, Alloc: &closed})
 			return nil
 		}
 	}
+	d.mu.Unlock()
 	return fmt.Errorf("%w: open allocation for job %s", ErrNotFound, jobID)
 }
 
@@ -234,11 +258,14 @@ func (d *SingleMutex) Allocations() []AllocationRecord {
 // the retention bound is hit.
 func (d *SingleMutex) AppendSample(s Sample) {
 	d.lockOp()
-	defer d.mu.Unlock()
 	d.samples = append(d.samples, s)
 	if len(d.samples) > d.maxSamples {
 		d.samples = d.samples[len(d.samples)-d.maxSamples:]
 	}
+	lsn := d.lsn.Add(1)
+	d.mu.Unlock()
+	image := s
+	d.emit(Mutation{LSN: lsn, Type: MutSamplePut, Sample: &image})
 }
 
 // SamplesInRange returns samples for metric within [from, to), all nodes
@@ -263,42 +290,24 @@ func (d *SingleMutex) SamplesInRange(metric, nodeID string, from, to time.Time) 
 }
 
 // Save writes a JSON snapshot of the whole database.
+//
+// Deprecated: see DB.Save — the coordinator path persists via
+// internal/wal; Save remains for tooling and benchmarks.
 func (d *SingleMutex) Save(w io.Writer) error {
-	snap := snapshot{
-		Nodes:       d.ListNodes(),
-		Jobs:        d.ListJobs(),
-		Allocations: d.Allocations(),
-	}
-	d.mu.Lock()
-	snap.Samples = append(snap.Samples, d.samples...)
-	d.mu.Unlock()
-	if err := json.NewEncoder(w).Encode(snap); err != nil {
+	if err := json.NewEncoder(w).Encode(d.ExportState()); err != nil {
 		return fmt.Errorf("db: saving snapshot: %w", err)
 	}
 	return nil
 }
 
 // Load replaces the database contents from a JSON snapshot.
+//
+// Deprecated: see DB.Load — recovery goes through internal/wal.
 func (d *SingleMutex) Load(r io.Reader) error {
-	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	var st State
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return fmt.Errorf("db: loading snapshot: %w", err)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.nodes = make(map[string]*NodeRecord, len(snap.Nodes))
-	for _, n := range snap.Nodes {
-		cp := n
-		d.nodes[n.ID] = &cp
-	}
-	d.jobs = make(map[string]*JobRecord, len(snap.Jobs))
-	d.stateCount = make(map[JobState]int)
-	for _, j := range snap.Jobs {
-		cp := j
-		d.jobs[j.ID] = &cp
-		d.stateCount[j.State]++
-	}
-	d.allocations = snap.Allocations
-	d.samples = snap.Samples
+	d.ImportState(st)
 	return nil
 }

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"gpunion/internal/agent"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/container"
+	"gpunion/internal/core"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+	"gpunion/internal/wal"
+	"gpunion/internal/workload"
+)
+
+// CrashRecoveryConfig tunes the coordinator crash/restart scenario.
+type CrashRecoveryConfig struct {
+	// Dir is the WAL directory; empty means a temp dir removed when the
+	// run finishes.
+	Dir string
+	// Nodes is how many 2×RTX3090 provider nodes join (default 4).
+	Nodes int
+	// Jobs is how many training jobs are submitted — choose more than
+	// 2×Nodes so a tail is still pending when the coordinator dies
+	// (default 12).
+	Jobs int
+	// MidSnapshot also takes an async checkpoint partway through, so
+	// recovery exercises snapshot + tail replay rather than a pure log
+	// replay (default true; see NoSnapshot).
+	NoSnapshot bool
+	// PostRecovery is how long the simulation runs after the restart
+	// (default 4h — enough for every SmallCNN job to finish).
+	PostRecovery time.Duration
+}
+
+// CrashRecoveryResult is what the scenario measured.
+type CrashRecoveryResult struct {
+	SubmittedJobs  int
+	PendingAtCrash int
+	RunningAtCrash int
+
+	// Recovery fidelity: the restored store versus the pre-crash store.
+	RecoveredJobs  int
+	RecoveredNodes int
+	NodesIntact    bool
+	JobsIntact     bool
+	AllocsIntact   bool
+	Recovery       wal.RecoveryResult
+
+	// Post-restart liveness: the recovered queue must drain without any
+	// resubmission.
+	CompletedAfterRecovery int
+	LostJobs               int
+	NewJobID               string
+}
+
+// RunCrashRecovery builds a small campus persisted through a write-ahead
+// log, kills the coordinator mid-run (the process state — agent
+// handles, relaunch metadata, timers — is discarded; only the WAL
+// directory and the LAN checkpoint store survive, as they would a real
+// crash), then boots a fresh coordinator from snapshot + log, re-arms
+// failure detection, lets the agents re-register, and verifies that
+// the job table survived byte-for-byte and that the recovered pending
+// queue drains to completion without any job being resubmitted.
+func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
+	var res CrashRecoveryResult
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 12
+	}
+	if cfg.PostRecovery <= 0 {
+		cfg.PostRecovery = 4 * time.Hour
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "gpunion-wal-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	clock := simclock.NewSim(Epoch)
+	// The checkpoint store models the LAN-accessible file system: it
+	// outlives the coordinator process, like the WAL directory.
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	bus := eventbus.New(4096)
+
+	store1 := db.New(0)
+	mgr1, err := wal.Open(dir, store1, wal.Config{})
+	if err != nil {
+		return res, err
+	}
+	coordCfg := core.Config{HeartbeatInterval: time.Minute, BatchSize: 8}
+	coord1, err := core.New(coordCfg, clock, store1, ckpts, bus)
+	if err != nil {
+		return res, err
+	}
+
+	// ref lets the agents' heartbeat loops survive the coordinator they
+	// were started under: beats are dropped while the coordinator is
+	// down and resume against its successor — exactly what a real node
+	// daemon's retry loop does.
+	ref := &coordRef{}
+	ref.set(coord1)
+
+	agents := make([]*agent.Agent, cfg.Nodes)
+	for i := range agents {
+		id := fmt.Sprintf("node-%02d", i+1)
+		rt := container.NewRuntime(container.DefaultImages(),
+			gpu.NewMixedInventory(gpu.RTX3090, gpu.RTX3090), 0, 0)
+		ag := agent.New(agent.Config{MachineID: id, Kernel: "5.15", ProgressTick: 30 * time.Second},
+			clock, rt, ckpts, bus, coord1)
+		if err := registerAgent(ref, ag); err != nil {
+			return res, err
+		}
+		agents[i] = ag
+		heartbeatVia(clock, ref, ag, time.Minute)
+	}
+
+	for i := 0; i < cfg.Jobs; i++ {
+		spec := workload.SmallCNN
+		req := TrainingJobSubmission(fmt.Sprintf("user-%d", i%3), spec, 5*time.Minute)
+		if _, err := coord1.SubmitJob(req); err != nil {
+			return res, err
+		}
+	}
+	res.SubmittedJobs = cfg.Jobs
+
+	clock.Advance(10 * time.Minute)
+	if !cfg.NoSnapshot {
+		// Async checkpoint under live traffic; the log keeps the tail.
+		if err := mgr1.Checkpoint(); err != nil {
+			return res, err
+		}
+	}
+	clock.Advance(5 * time.Minute)
+
+	res.PendingAtCrash = store1.CountJobsInState(db.JobPending)
+	res.RunningAtCrash = store1.CountJobsInState(db.JobRunning)
+	before := store1.ExportState()
+
+	// --- Crash. Only what fsync guaranteed survives: no final
+	// snapshot, no handover. The old coordinator's in-memory world
+	// (agent handles, relaunch metadata, sweep timers) dies here.
+	ref.set(nil)
+	coord1.Stop()
+	if err := mgr1.Close(); err != nil {
+		return res, err
+	}
+
+	// --- Restart: recover a fresh store from snapshot + WAL tail.
+	store2 := db.New(0)
+	mgr2, err := wal.Open(dir, store2, wal.Config{})
+	if err != nil {
+		return res, err
+	}
+	res.Recovery = mgr2.Recovery
+	after := store2.ExportState()
+	res.RecoveredJobs = len(after.Jobs)
+	res.RecoveredNodes = len(after.Nodes)
+	res.NodesIntact = jsonEqual(before.Nodes, after.Nodes)
+	res.JobsIntact = jsonEqual(before.Jobs, after.Jobs)
+	res.AllocsIntact = jsonEqual(before.Allocations, after.Allocations)
+
+	coord2, err := core.New(coordCfg, clock, store2, ckpts, bus)
+	if err != nil {
+		return res, err
+	}
+	coord2.RecoverState()
+	defer coord2.Stop()
+	defer mgr2.Close()
+	ref.set(coord2)
+
+	// Agents notice the restart and re-register (their running
+	// workloads never stopped).
+	for _, ag := range agents {
+		ag.SetNotifier(coord2)
+		if err := registerAgent(ref, ag); err != nil {
+			return res, err
+		}
+	}
+
+	// A post-restart submission must not collide with recovered IDs.
+	newID, err := coord2.SubmitJob(TrainingJobSubmission("user-new", workload.SmallCNN, 5*time.Minute))
+	if err != nil {
+		return res, err
+	}
+	res.NewJobID = newID
+
+	clock.Advance(cfg.PostRecovery)
+
+	res.CompletedAfterRecovery = store2.CountJobsInState(db.JobCompleted)
+	res.LostJobs = cfg.Jobs + 1 - len(store2.ListJobs())
+	return res, nil
+}
+
+// coordRef is a swappable coordinator handle for loops that outlive one
+// coordinator process.
+type coordRef struct {
+	mu sync.Mutex
+	c  *core.Coordinator
+}
+
+func (r *coordRef) set(c *core.Coordinator) {
+	r.mu.Lock()
+	r.c = c
+	r.mu.Unlock()
+}
+
+func (r *coordRef) get() *core.Coordinator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c
+}
+
+// registerAgent registers ag with the current coordinator and stores
+// the issued credential.
+func registerAgent(ref *coordRef, ag *agent.Agent) error {
+	coord := ref.get()
+	resp, err := coord.Register(ag.RegisterRequest("inproc://"+ag.MachineID(), 1<<40), core.LocalAgent{A: ag})
+	if err != nil {
+		return err
+	}
+	ag.SetToken(resp.Token)
+	return nil
+}
+
+// heartbeatVia arms a recurring heartbeat that follows the coordinator
+// reference; beats during an outage are silently dropped, and an
+// expired or unknown credential triggers re-registration.
+func heartbeatVia(clock *simclock.Sim, ref *coordRef, ag *agent.Agent, interval time.Duration) {
+	var loop func()
+	loop = func() {
+		if coord := ref.get(); coord != nil && !ag.Departed() {
+			resp, err := coord.Heartbeat(ag.HeartbeatRequest())
+			if err == nil && resp.Reregister {
+				_ = registerAgent(ref, ag)
+			}
+		}
+		clock.AfterFunc(interval, loop)
+	}
+	clock.AfterFunc(interval, loop)
+}
+
+// jsonEqual compares two values by their canonical JSON encoding — the
+// "byte-equal" check of the recovery acceptance criterion.
+func jsonEqual(a, b any) bool {
+	ja, err1 := json.Marshal(a)
+	jb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && string(ja) == string(jb)
+}

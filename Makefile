@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet verify-recovery ci
+# Coverage floor (percent of statements, whole-repo `go tool cover -func`
+# total). Raise it as coverage grows; never lower it below the seed.
+COVER_FLOOR ?= 70.0
+
+.PHONY: all build test race bench fmt vet verify-recovery verify-chaos cover ci
 
 all: build
 
@@ -13,8 +17,11 @@ build:
 test:
 	$(GO) test ./...
 
+# Race lane: full suite under the race detector, minus the long
+# discrete-event simulations (they are single-driver deterministic runs
+# with their own dedicated lanes: test, verify-recovery, verify-chaos).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # One iteration per benchmark, no unit tests: a smoke run that keeps
 # bench_test.go compiling and executable without burning CI minutes.
@@ -36,4 +43,23 @@ vet:
 verify-recovery:
 	$(GO) test ./internal/sim -run 'CrashRecovery' -count=1 -v
 
-ci: build vet fmt test race bench verify-recovery
+# Chaos acceptance: three seeded fault schedules (400-node churn,
+# partition + coordinator kill/restart, WAL disk faults) must finish
+# with zero invariant violations, and the sabotage tests must prove the
+# checker catches deliberately broken invariants.
+verify-chaos:
+	$(GO) test ./internal/sim -run 'Chaos' -count=1 -v -timeout 300s
+
+# Coverage with a floor: fail if total statement coverage drops below
+# COVER_FLOOR. The profile is left in coverage.out for upload.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	echo "total statement coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the floor $(COVER_FLOOR)%"; exit 1; }
+
+# cover runs the full test suite (with profiling), so ci does not also
+# run a bare `test` pass — the long simulations already execute once
+# there and once more under verify-chaos.
+ci: build vet fmt race bench verify-recovery verify-chaos cover

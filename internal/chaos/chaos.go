@@ -1,0 +1,453 @@
+// Package chaos is GPUnion's deterministic fault-injection engine: it
+// composes seeded schedules of node churn, network partitions, latency
+// spikes, WAL disk faults and coordinator crashes, executes them on the
+// simulated clock against a live platform, and audits the system
+// database's invariants (internal/invariant) after every injected
+// event.
+//
+// The engine is platform-agnostic: internal/sim assembles the real
+// coordinator, agents and WAL, implements the Platform interface, and
+// exposes the result as RunChaos scenarios. Everything here is
+// deterministic — same seed, same schedule, same event interleaving —
+// so any invariant violation a run finds is replayable from its seed.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gpunion/internal/db"
+	"gpunion/internal/invariant"
+	"gpunion/internal/simclock"
+)
+
+// Kind enumerates fault types. Adding a new fault type means adding a
+// Kind, teaching Generate to draw it, and giving Platform (and its sim
+// implementation) the matching action — see README "Chaos harness".
+type Kind string
+
+// Fault kinds.
+const (
+	// KindNodeCrash is a power-loss emergency: workloads die, heartbeats
+	// stop, the coordinator is not told.
+	KindNodeCrash Kind = "node-crash"
+	// KindNodeDepart is an announced departure (scheduled, or temporary
+	// when the fault's Temporary flag is set).
+	KindNodeDepart Kind = "node-depart"
+	// KindNodeReturn brings a crashed or departed node back.
+	KindNodeReturn Kind = "node-return"
+	// KindPartition cuts the control plane to a set of nodes for Dur:
+	// heartbeats are dropped, workloads keep running.
+	KindPartition Kind = "partition"
+	// KindLatencySpike degrades a node's access link for Dur.
+	KindLatencySpike Kind = "latency-spike"
+	// KindWALSyncError makes log fsyncs fail for Dur.
+	KindWALSyncError Kind = "wal-sync-error"
+	// KindWALShortWrite tears log writes mid-frame for Dur.
+	KindWALShortWrite Kind = "wal-short-write"
+	// KindCoordCrash kills the coordinator process and restarts it from
+	// snapshot + WAL.
+	KindCoordCrash Kind = "coord-crash"
+)
+
+// Fault is one scheduled injection.
+type Fault struct {
+	// At is the injection time, as an offset from scenario start.
+	At time.Duration
+	// Kind selects the fault type.
+	Kind Kind
+	// Node targets single-node faults.
+	Node string
+	// Nodes targets partitions.
+	Nodes []string
+	// Dur is the fault window for partition/latency/WAL faults; the
+	// engine schedules the matching heal at At+Dur.
+	Dur time.Duration
+	// Temporary marks a departure as return-intending.
+	Temporary bool
+}
+
+// describe renders the fault for reports.
+func (f Fault) describe() string {
+	switch {
+	case len(f.Nodes) > 0:
+		return fmt.Sprintf("%s %v for %v", f.Kind, f.Nodes, f.Dur)
+	case f.Node != "":
+		return fmt.Sprintf("%s %s", f.Kind, f.Node)
+	case f.Dur > 0:
+		return fmt.Sprintf("%s for %v", f.Kind, f.Dur)
+	default:
+		return string(f.Kind)
+	}
+}
+
+// Schedule is a time-ordered fault sequence.
+type Schedule []Fault
+
+// Spec parameterises schedule generation. Zero-valued rates disable
+// the corresponding fault type.
+type Spec struct {
+	// Duration is the injection horizon; faults land in [0, Duration).
+	Duration time.Duration
+	// Nodes are the injectable provider identities.
+	Nodes []string
+	// ChurnPerNodePerDay is the per-node rate of crash/departure events
+	// (the paper's 0.5–3.2 interruptions/day/node band).
+	ChurnPerNodePerDay float64
+	// MeanOutage is the mean down time before a churned node returns
+	// (default 30 min).
+	MeanOutage time.Duration
+	// PartitionsPerDay is the rate of control-plane partitions.
+	PartitionsPerDay float64
+	// MaxPartitionNodes bounds a partition's blast radius (default 3).
+	MaxPartitionNodes int
+	// MeanPartition is the mean partition length (default 10 min).
+	MeanPartition time.Duration
+	// LatencySpikesPerDay is the rate of access-link degradations.
+	LatencySpikesPerDay float64
+	// WALFaultsPerDay is the rate of disk-fault windows on the log.
+	WALFaultsPerDay float64
+	// MeanWALFault is the mean disk-fault window (default 5 min).
+	MeanWALFault time.Duration
+	// CoordCrashes is how many coordinator kill/restart events to
+	// inject. Each is placed shortly after a churn event when one
+	// exists, so restarts land mid-migration.
+	CoordCrashes int
+}
+
+// withDefaults fills unset knobs.
+func (s Spec) withDefaults() Spec {
+	if s.MeanOutage <= 0 {
+		s.MeanOutage = 30 * time.Minute
+	}
+	if s.MaxPartitionNodes <= 0 {
+		s.MaxPartitionNodes = 3
+	}
+	if s.MeanPartition <= 0 {
+		s.MeanPartition = 10 * time.Minute
+	}
+	if s.MeanWALFault <= 0 {
+		s.MeanWALFault = 5 * time.Minute
+	}
+	return s
+}
+
+// Generate composes a deterministic fault schedule from the spec: same
+// spec and seed, same schedule, independent of map iteration or wall
+// time.
+func Generate(spec Spec, seed int64) Schedule {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	var sched Schedule
+
+	// Per-node churn timelines: up → fault → down → return → up …
+	churnTimes := []time.Duration{}
+	for _, node := range spec.Nodes {
+		if spec.ChurnPerNodePerDay <= 0 {
+			break
+		}
+		t := expDur(rng, float64(24*time.Hour)/spec.ChurnPerNodePerDay)
+		for t < spec.Duration {
+			outage := expDur(rng, float64(spec.MeanOutage))
+			if outage < time.Minute {
+				outage = time.Minute
+			}
+			f := Fault{At: t, Node: node}
+			switch rng.Intn(3) {
+			case 0:
+				f.Kind = KindNodeCrash
+			case 1:
+				f.Kind = KindNodeDepart // scheduled
+			default:
+				f.Kind = KindNodeDepart
+				f.Temporary = true
+			}
+			sched = append(sched, f)
+			sched = append(sched, Fault{At: t + outage, Kind: KindNodeReturn, Node: node})
+			churnTimes = append(churnTimes, t)
+			t += outage + expDur(rng, float64(24*time.Hour)/spec.ChurnPerNodePerDay)
+		}
+	}
+
+	// Partitions: random subsets of the fleet.
+	for _, t := range poissonTimes(rng, spec.PartitionsPerDay, spec.Duration) {
+		n := 1 + rng.Intn(spec.MaxPartitionNodes)
+		if n > len(spec.Nodes) {
+			n = len(spec.Nodes)
+		}
+		if n == 0 {
+			break
+		}
+		perm := rng.Perm(len(spec.Nodes))[:n]
+		sort.Ints(perm)
+		members := make([]string, n)
+		for i, idx := range perm {
+			members[i] = spec.Nodes[idx]
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: KindPartition, Nodes: members,
+			Dur: clampDur(expDur(rng, float64(spec.MeanPartition)), time.Minute, 2*time.Hour),
+		})
+	}
+
+	// Latency spikes on single links.
+	for _, t := range poissonTimes(rng, spec.LatencySpikesPerDay, spec.Duration) {
+		if len(spec.Nodes) == 0 {
+			break
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: KindLatencySpike, Node: spec.Nodes[rng.Intn(len(spec.Nodes))],
+			Dur: clampDur(expDur(rng, float64(15*time.Minute)), time.Minute, time.Hour),
+		})
+	}
+
+	// WAL disk-fault windows, alternating failure modes.
+	for i, t := range poissonTimes(rng, spec.WALFaultsPerDay, spec.Duration) {
+		kind := KindWALSyncError
+		if i%2 == 1 {
+			kind = KindWALShortWrite
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: kind,
+			Dur: clampDur(expDur(rng, float64(spec.MeanWALFault)), 30*time.Second, time.Hour),
+		})
+	}
+
+	// Coordinator crashes: ride shortly after churn events so restarts
+	// catch migrations in flight; fall back to uniform placement.
+	for i := 0; i < spec.CoordCrashes; i++ {
+		var at time.Duration
+		if len(churnTimes) > 0 {
+			at = churnTimes[rng.Intn(len(churnTimes))] +
+				10*time.Second + time.Duration(rng.Int63n(int64(20*time.Second)))
+		} else {
+			at = time.Duration(float64(spec.Duration) * (float64(i) + 0.5) / float64(spec.CoordCrashes))
+		}
+		if at >= spec.Duration {
+			at = spec.Duration - time.Minute
+		}
+		sched = append(sched, Fault{At: at, Kind: KindCoordCrash})
+	}
+
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched
+}
+
+// expDur draws an exponential duration with the given mean (in
+// nanoseconds as float).
+func expDur(rng *rand.Rand, mean float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() * mean)
+}
+
+// poissonTimes draws event times at ratePerDay over [0, span).
+func poissonTimes(rng *rand.Rand, ratePerDay float64, span time.Duration) []time.Duration {
+	if ratePerDay <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	mean := float64(24*time.Hour) / ratePerDay
+	t := expDur(rng, mean)
+	for t < span {
+		out = append(out, t)
+		t += expDur(rng, mean)
+	}
+	return out
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// WALFaultMode is the injected disk behaviour.
+type WALFaultMode int
+
+// WAL fault modes.
+const (
+	WALHealthy WALFaultMode = iota
+	WALSyncError
+	WALShortWrite
+)
+
+// Platform is the set of actions the engine drives and audits. The sim
+// harness implements it over the real coordinator, agents, LAN model
+// and write-ahead log. Implementations must treat redundant actions
+// (crashing a node that is already down, healing a healthy link) as
+// no-ops: schedules are generated, not hand-checked.
+type Platform interface {
+	// Store exposes the system database the invariant checker audits.
+	Store() db.Store
+	// CrashNode kills a node's workloads and silences it.
+	CrashNode(id string)
+	// DepartNode announces a departure (temporary = return intent).
+	DepartNode(id string, temporary bool)
+	// ReturnNode brings a crashed or departed node back.
+	ReturnNode(id string)
+	// PartitionStart drops the control-plane path to the nodes;
+	// PartitionHeal restores it.
+	PartitionStart(ids []string)
+	PartitionHeal(ids []string)
+	// LatencySpikeStart degrades a node's access link; LatencySpikeHeal
+	// restores it.
+	LatencySpikeStart(id string)
+	LatencySpikeHeal(id string)
+	// SetWALFault switches the injected disk behaviour under the log.
+	SetWALFault(mode WALFaultMode)
+	// CrashCoordinator kills the coordinator and restarts it from
+	// snapshot + WAL, returning any recovery-equivalence violations.
+	CrashCoordinator() []invariant.Violation
+	// ExtraChecks lets the platform report invariants only it can see
+	// (e.g. agent-side phantom jobs). Called on periodic audits.
+	ExtraChecks() []invariant.Violation
+}
+
+// Observation is one audited point in a run: the fault (or audit tick)
+// and the violations found right after it.
+type Observation struct {
+	// At is the simulated time of the event.
+	At time.Time
+	// Fault describes what was injected ("audit" for periodic checks).
+	Fault string
+	// Violations are the invariant breaches found by the audit.
+	Violations []invariant.Violation
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	// Executed counts injected faults by kind.
+	Executed map[Kind]int
+	// Observations lists every audited point that found violations,
+	// plus every injected fault (with or without violations).
+	Observations []Observation
+	// Violations is the flattened list of all invariant breaches.
+	Violations []invariant.Violation
+	// Audits is how many invariant checks ran.
+	Audits int
+}
+
+// Engine executes a schedule against a platform on the simulated
+// clock, auditing invariants after every fault and at a periodic
+// cadence in between.
+type Engine struct {
+	clock   *simclock.Sim
+	plat    Platform
+	checker *invariant.Checker
+	rep     Report
+	// walWindows counts currently-open WAL fault windows: overlapping
+	// windows must not heal each other early, so the disk only returns
+	// to healthy when the last window closes.
+	walWindows int
+}
+
+// NewEngine creates an engine. The checker persists across coordinator
+// crashes within the run, so LSN monotonicity is audited through
+// recovery boundaries.
+func NewEngine(clock *simclock.Sim, plat Platform) *Engine {
+	return &Engine{
+		clock:   clock,
+		plat:    plat,
+		checker: invariant.NewChecker(),
+		rep:     Report{Executed: make(map[Kind]int)},
+	}
+}
+
+// Execute arms every fault in the schedule, runs the clock through the
+// horizon plus a drain period, audits after every event (and every
+// auditEvery in between, including platform-level extra checks), and
+// returns the report. A final audit runs at the very end.
+func (e *Engine) Execute(sched Schedule, auditEvery, drain time.Duration) *Report {
+	horizon := time.Duration(0)
+	for _, f := range sched {
+		if end := f.At + f.Dur; end > horizon {
+			horizon = end
+		}
+	}
+	for _, f := range sched {
+		f := f
+		e.clock.AfterFunc(f.At, func() { e.apply(f) })
+	}
+	if auditEvery > 0 {
+		e.armAudit(auditEvery, horizon+drain)
+	}
+	e.clock.Advance(horizon + drain)
+	e.audit("final", e.plat.ExtraChecks())
+	return &e.rep
+}
+
+// armAudit schedules recurring audits until the horizon.
+func (e *Engine) armAudit(every, remaining time.Duration) {
+	if remaining < every {
+		return
+	}
+	e.clock.AfterFunc(every, func() {
+		e.audit("audit", e.plat.ExtraChecks())
+		e.armAudit(every, remaining-every)
+	})
+}
+
+// apply injects one fault, schedules its heal if it has a window, and
+// audits the store.
+func (e *Engine) apply(f Fault) {
+	e.rep.Executed[f.Kind]++
+	var extra []invariant.Violation
+	switch f.Kind {
+	case KindNodeCrash:
+		e.plat.CrashNode(f.Node)
+	case KindNodeDepart:
+		e.plat.DepartNode(f.Node, f.Temporary)
+	case KindNodeReturn:
+		e.plat.ReturnNode(f.Node)
+	case KindPartition:
+		e.plat.PartitionStart(f.Nodes)
+		nodes := f.Nodes
+		e.clock.AfterFunc(f.Dur, func() {
+			e.plat.PartitionHeal(nodes)
+			e.audit("partition-heal "+fmt.Sprint(nodes), nil)
+		})
+	case KindLatencySpike:
+		e.plat.LatencySpikeStart(f.Node)
+		node := f.Node
+		e.clock.AfterFunc(f.Dur, func() { e.plat.LatencySpikeHeal(node) })
+	case KindWALSyncError:
+		e.openWALWindow(WALSyncError, f.Dur)
+	case KindWALShortWrite:
+		e.openWALWindow(WALShortWrite, f.Dur)
+	case KindCoordCrash:
+		extra = e.plat.CrashCoordinator()
+	}
+	e.audit(f.describe(), extra)
+}
+
+// openWALWindow starts one disk-fault window. The engine runs on the
+// driver goroutine (simclock callbacks are sequential), so the window
+// counter needs no lock. When windows overlap, the later mode wins for
+// the overlap and the disk heals only when the last window closes.
+func (e *Engine) openWALWindow(mode WALFaultMode, dur time.Duration) {
+	e.walWindows++
+	e.plat.SetWALFault(mode)
+	e.clock.AfterFunc(dur, func() {
+		e.walWindows--
+		if e.walWindows == 0 {
+			e.plat.SetWALFault(WALHealthy)
+		}
+	})
+}
+
+// audit runs one invariant check, folding in any platform-provided
+// violations, and records the observation.
+func (e *Engine) audit(label string, extra []invariant.Violation) {
+	vs := append(extra, e.checker.Check(e.plat.Store())...)
+	e.rep.Audits++
+	obs := Observation{At: e.clock.Now(), Fault: label, Violations: vs}
+	if len(vs) > 0 || label != "audit" {
+		e.rep.Observations = append(e.rep.Observations, obs)
+	}
+	e.rep.Violations = append(e.rep.Violations, vs...)
+}

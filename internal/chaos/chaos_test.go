@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gpunion/internal/db"
+	"gpunion/internal/invariant"
+	"gpunion/internal/simclock"
+	"gpunion/internal/wal"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Duration:           12 * time.Hour,
+		Nodes:              []string{"n1", "n2", "n3", "n4"},
+		ChurnPerNodePerDay: 8,
+		PartitionsPerDay:   12,
+		WALFaultsPerDay:    12,
+		CoordCrashes:       2,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testSpec(), 42)
+	b := Generate(testSpec(), 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Generate(testSpec(), 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	last := time.Duration(-1)
+	kinds := map[Kind]int{}
+	for _, f := range a {
+		if f.At < last {
+			t.Fatalf("schedule not time-ordered at %v", f.At)
+		}
+		last = f.At
+		kinds[f.Kind]++
+	}
+	for _, k := range []Kind{KindNodeCrash, KindNodeReturn, KindPartition, KindCoordCrash} {
+		if kinds[k] == 0 {
+			t.Errorf("schedule composed no %s faults (%v)", k, kinds)
+		}
+	}
+	if kinds[KindWALSyncError]+kinds[KindWALShortWrite] == 0 {
+		t.Errorf("schedule composed no WAL faults (%v)", kinds)
+	}
+}
+
+func TestGenerateRespectsRates(t *testing.T) {
+	sched := Generate(Spec{
+		Duration: 12 * time.Hour,
+		Nodes:    []string{"a", "b"},
+		// Everything else zero: no faults at all.
+	}, 7)
+	if len(sched) != 0 {
+		t.Fatalf("zero-rate spec produced %d faults", len(sched))
+	}
+}
+
+// fakePlatform records actions and serves a real store so the engine's
+// audits run for real.
+type fakePlatform struct {
+	store   *db.DB
+	actions []string
+	// sabotage, when set, corrupts the store on the next CrashNode —
+	// proving the engine surfaces checker findings.
+	sabotage bool
+	walMode  WALFaultMode
+}
+
+func newFakePlatform() *fakePlatform {
+	s := db.New(0)
+	s.UpsertNode(db.NodeRecord{ID: "n1", Status: db.NodeActive,
+		GPUs: []db.GPUInfo{{DeviceID: "gpu0", MemoryMiB: 24576, Allocated: true}}})
+	_ = s.InsertJob(db.JobRecord{ID: "j1", State: db.JobRunning,
+		NodeID: "n1", DeviceID: "gpu0", ImageName: "img"})
+	s.RecordAllocation(db.AllocationRecord{JobID: "j1", NodeID: "n1", DeviceID: "gpu0",
+		Start: time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC)})
+	return &fakePlatform{store: s}
+}
+
+func (p *fakePlatform) Store() db.Store { return p.store }
+func (p *fakePlatform) CrashNode(id string) {
+	p.actions = append(p.actions, "crash:"+id)
+	if p.sabotage {
+		// Break running-node-live: the node dies but its job record
+		// stays Running.
+		_ = p.store.UpdateNode("n1", func(n *db.NodeRecord) { n.Status = db.NodeUnreachable })
+	}
+}
+func (p *fakePlatform) DepartNode(id string, tmp bool) { p.actions = append(p.actions, "depart:"+id) }
+func (p *fakePlatform) ReturnNode(id string)           { p.actions = append(p.actions, "return:"+id) }
+func (p *fakePlatform) PartitionStart(ids []string)    { p.actions = append(p.actions, "part-start") }
+func (p *fakePlatform) PartitionHeal(ids []string)     { p.actions = append(p.actions, "part-heal") }
+func (p *fakePlatform) LatencySpikeStart(id string)    { p.actions = append(p.actions, "lat-start") }
+func (p *fakePlatform) LatencySpikeHeal(id string)     { p.actions = append(p.actions, "lat-heal") }
+func (p *fakePlatform) SetWALFault(m WALFaultMode)     { p.walMode = m }
+func (p *fakePlatform) CrashCoordinator() []invariant.Violation {
+	p.actions = append(p.actions, "coord-crash")
+	return nil
+}
+func (p *fakePlatform) ExtraChecks() []invariant.Violation { return nil }
+
+func TestEngineExecutesAndHeals(t *testing.T) {
+	clock := simclock.NewSim(time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC))
+	plat := newFakePlatform()
+	eng := NewEngine(clock, plat)
+	sched := Schedule{
+		{At: time.Minute, Kind: KindPartition, Nodes: []string{"n1"}, Dur: 2 * time.Minute},
+		{At: 2 * time.Minute, Kind: KindWALSyncError, Dur: time.Minute},
+		{At: 5 * time.Minute, Kind: KindCoordCrash},
+	}
+	rep := eng.Execute(sched, time.Minute, 10*time.Minute)
+	if rep.Executed[KindPartition] != 1 || rep.Executed[KindCoordCrash] != 1 {
+		t.Fatalf("executed = %v", rep.Executed)
+	}
+	want := []string{"part-start", "part-heal", "coord-crash"}
+	if !reflect.DeepEqual(plat.actions, want) {
+		t.Fatalf("actions = %v, want %v", plat.actions, want)
+	}
+	if plat.walMode != WALHealthy {
+		t.Fatal("WAL fault window never healed")
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("healthy run reported violations: %v", rep.Violations)
+	}
+	if rep.Audits < 5 {
+		t.Fatalf("audits = %d, want fault + periodic + final", rep.Audits)
+	}
+}
+
+func TestEngineSurfacesViolations(t *testing.T) {
+	clock := simclock.NewSim(time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC))
+	plat := newFakePlatform()
+	plat.sabotage = true
+	eng := NewEngine(clock, plat)
+	rep := eng.Execute(Schedule{{At: time.Minute, Kind: KindNodeCrash, Node: "n1"}}, 0, time.Minute)
+	if len(rep.Violations) == 0 {
+		t.Fatal("sabotaged platform produced no violations")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == "running-node-live" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing running-node-live violation: %v", rep.Violations)
+	}
+}
+
+func TestFaultFSInjectsRealDamage(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS()
+	w, err := wal.OpenWriter(dir, wal.Options{FS: fs, PerRecordSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(lsn uint64) db.Mutation {
+		return db.Mutation{LSN: lsn, Type: db.MutNodePut, Node: &db.NodeRecord{ID: "n"}}
+	}
+	if err := w.Append(mut(1)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetMode(WALShortWrite)
+	if err := w.Append(mut(2)); err == nil {
+		t.Fatal("short write acked")
+	}
+	fs.SetMode(WALSyncError)
+	if err := w.Append(mut(3)); err == nil {
+		t.Fatal("failed sync acked")
+	}
+	fs.SetMode(WALHealthy)
+	if err := w.Append(mut(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Injected() < 2 {
+		t.Fatalf("injected = %d", fs.Injected())
+	}
+	recs, stats, err := wal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]bool{}
+	for _, r := range recs {
+		got[r.LSN] = true
+	}
+	// Acked records 1 and 4 must survive; the torn record 2 must not
+	// block later segments (stats counts its tear).
+	if !got[1] || !got[4] {
+		t.Fatalf("acked records lost: %v (stats %+v)", recs, stats)
+	}
+	if stats.TornTails == 0 {
+		t.Fatal("short write left no torn tail")
+	}
+}

@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+
+	"gpunion/internal/wal"
+)
+
+// ErrInjected is the error surfaced by injected disk faults.
+var ErrInjected = errors.New("chaos: injected disk fault")
+
+// FaultFS implements wal.FS over the real filesystem with switchable
+// fault modes: fsync errors (the disk lies about durability) and short
+// writes (a frame is torn mid-write). The faulty bytes really land in
+// the segment files — exactly the damage the WAL reader and the
+// writer's poisoned-segment rotation must absorb.
+type FaultFS struct {
+	mu   sync.Mutex
+	mode WALFaultMode
+	// Injected counts faults actually delivered, so scenarios can
+	// assert the window did damage.
+	injected int
+}
+
+// NewFaultFS returns a healthy FaultFS.
+func NewFaultFS() *FaultFS { return &FaultFS{} }
+
+// SetMode switches the injected behaviour.
+func (fs *FaultFS) SetMode(m WALFaultMode) {
+	fs.mu.Lock()
+	fs.mode = m
+	fs.mu.Unlock()
+}
+
+// Mode reads the current behaviour.
+func (fs *FaultFS) Mode() WALFaultMode {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mode
+}
+
+// Injected reports how many faults were delivered.
+func (fs *FaultFS) Injected() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.injected
+}
+
+func (fs *FaultFS) hit() {
+	fs.mu.Lock()
+	fs.injected++
+	fs.mu.Unlock()
+}
+
+// OpenAppend implements wal.FS.
+func (fs *FaultFS) OpenAppend(name string) (wal.File, error) {
+	f, err := wal.OSFS{}.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, fs: fs}, nil
+}
+
+// faultFile wraps one segment file with the shared fault mode.
+type faultFile struct {
+	wal.File
+	fs *FaultFS
+}
+
+// Write tears the frame in half under WALShortWrite.
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.Mode() == WALShortWrite && len(p) > 1 {
+		f.fs.hit()
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, ErrInjected
+	}
+	return f.File.Write(p)
+}
+
+// Sync fails under WALSyncError.
+func (f *faultFile) Sync() error {
+	if f.fs.Mode() == WALSyncError {
+		f.fs.hit()
+		return ErrInjected
+	}
+	return f.File.Sync()
+}

@@ -20,6 +20,7 @@ import (
 	"gpunion/internal/checkpoint"
 	"gpunion/internal/db"
 	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
 	"gpunion/internal/heartbeat"
 	"gpunion/internal/migration"
 	"gpunion/internal/monitor"
@@ -227,7 +228,13 @@ func (c *Coordinator) RecoverState() {
 	c.TrySchedule()
 }
 
-// Stop halts the background sweep timer.
+// Stop halts the background sweep timer and fences every deferred
+// callback: a stopped coordinator must never touch agents or the
+// database again, even if migration-transfer timers it armed earlier
+// still fire. Without the fence, a crashed-and-replaced coordinator
+// would keep launching jobs as a zombie while its successor owns the
+// fleet — exactly the split-brain the chaos harness's kill/restart
+// scenario watches for.
 func (c *Coordinator) Stop() {
 	c.mu.Lock()
 	c.stopped = true
@@ -235,6 +242,13 @@ func (c *Coordinator) Stop() {
 		c.sweeper.Stop()
 	}
 	c.mu.Unlock()
+}
+
+// isStopped reports whether Stop was called.
+func (c *Coordinator) isStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
 }
 
 func (c *Coordinator) scheduleSweep() {
@@ -323,16 +337,62 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 	if req.Paused {
 		newStatus = db.NodePaused
 	}
+
+	// Database-side orphan detection: a node that lost power and came
+	// back inside the missed-heartbeat window (so the sweep never
+	// fired) lost its workloads, but its job records still read
+	// Running. The scan over the node's jobs runs only when the cheap
+	// divergence signals fire — the report's job count disagreeing with
+	// the record's allocated-device count, or the telemetry flipping an
+	// allocated device to free — so steady-state heartbeats stay O(1)
+	// in the job table.
+	// Classify the report once: entries the platform cannot match to a
+	// placement on this node (unknown, stale or foreign jobs) force the
+	// lost-placement scan — such a job may be occupying a device and
+	// keeping the counts equal while a genuine placement went missing —
+	// and the provably stale ones are killed below. Pending and
+	// migrating records are never killed (a launch for that very job
+	// may be in flight to this node, committed only after the agent
+	// starts it), and neither is a placement elsewhere still inside the
+	// heartbeat grace: this report may simply predate it.
+	reported := make(map[string]bool, len(req.RunningJobs))
+	suspicious := false
+	var orphans []string
+	for _, jobID := range req.RunningJobs {
+		reported[jobID] = true
+		jrec, jerr := c.db.GetJob(jobID)
+		if jerr != nil {
+			suspicious = true // agent-local work the platform never tracked
+			continue
+		}
+		if jrec.NodeID == req.MachineID &&
+			(jrec.State == db.JobRunning || jrec.State == db.JobMigrating) {
+			continue // legitimate placement
+		}
+		suspicious = true
+		if jrec.State == db.JobPending || jrec.State == db.JobMigrating {
+			continue
+		}
+		if jrec.State == db.JobRunning && now.Sub(jrec.PlacedAt) < c.cfg.HeartbeatInterval {
+			continue
+		}
+		orphans = append(orphans, jobID)
+	}
+	lost, protected := c.lostPlacements(rec, reported, req.Telemetry, suspicious, now)
+
 	uerr := c.db.UpdateNode(req.MachineID, func(n *db.NodeRecord) {
 		n.LastHeartbeat = now
 		n.Status = newStatus
 		if wasAway {
 			n.LastJoin = now
 		}
-		// Refresh device allocation truth from the agent.
+		// Refresh device allocation truth from the agent. A device
+		// whose running job is inside the placement grace keeps its
+		// flag: the job may simply postdate the report, and the store
+		// must never show a running job on a free device.
 		for i := range n.GPUs {
 			for _, tel := range req.Telemetry {
-				if n.GPUs[i].DeviceID == tel.DeviceID {
+				if n.GPUs[i].DeviceID == tel.DeviceID && !protected[tel.DeviceID] {
 					n.GPUs[i].Allocated = tel.Allocated
 				}
 			}
@@ -351,11 +411,104 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 			Metric: "gpu_memory_used_mib", Value: float64(tel.UsedMemMiB)})
 	}
 
+	// The host no longer executes these placements: requeue them from
+	// their last checkpoints, exactly like an emergency displacement.
+	// The old episode is closed while the record still points at it —
+	// flipping to pending first would let a concurrent scheduling pass
+	// open a fresh episode that this CloseAllocation would then eat.
+	// The state re-check runs inside the record lock: a concurrent
+	// terminal update (the agent's completion racing this heartbeat on
+	// the HTTP path) must win, not be flipped back to pending.
+	for _, job := range lost {
+		c.freeDevice(job.NodeID, job.DeviceID)
+		// Identity-scoped close: a duplicate heartbeat racing this one
+		// may already have requeued and re-placed the job — the fresh
+		// episode on the new device must not be the one that closes.
+		_ = c.db.CloseAllocationEpisode(job.ID, job.NodeID, job.DeviceID, now)
+		requeued := false
+		_ = c.db.UpdateJob(job.ID, func(j *db.JobRecord) {
+			if j.State != db.JobRunning || j.NodeID != req.MachineID {
+				return
+			}
+			j.State = db.JobPending
+			j.NodeID, j.DeviceID = "", ""
+			requeued = true
+		})
+		if requeued {
+			c.bus.Publish(eventbus.Event{Type: eventbus.JobRequeued, Time: now, Job: job.ID})
+		}
+	}
+	c.killOrphans(req.MachineID, orphans, now)
+
 	if wasAway {
 		c.handleNodeReturn(req.MachineID, now)
 	}
 	c.TrySchedule()
 	return api.HeartbeatResponse{Acknowledged: true}, nil
+}
+
+// lostPlacements compares the heartbeat report against the node's
+// recorded placements. It returns the running jobs the node has
+// stopped reporting (to be requeued) and the devices of just-placed
+// jobs whose absence from the report is not yet meaningful (their
+// allocation flags must not be refreshed from this report). rec is the
+// node record as read before this heartbeat's updates; suspicious
+// forces the scan regardless of the cheap count/flip signals.
+func (c *Coordinator) lostPlacements(rec db.NodeRecord, reported map[string]bool, tel []gpu.Telemetry, suspicious bool, now time.Time) (lost []db.JobRecord, protected map[string]bool) {
+	allocatedNow := make(map[string]bool, len(tel))
+	for _, t := range tel {
+		allocatedNow[t.DeviceID] = t.Allocated
+	}
+	expected, flipped := 0, false
+	for _, g := range rec.GPUs {
+		if !g.Allocated {
+			continue
+		}
+		expected++
+		if alloc, ok := allocatedNow[g.DeviceID]; ok && !alloc {
+			flipped = true
+		}
+	}
+	if !suspicious && !flipped && expected == len(reported) {
+		return nil, nil
+	}
+	protected = make(map[string]bool)
+	for _, job := range c.db.JobsOnNode(rec.ID) {
+		if job.State != db.JobRunning || reported[job.ID] {
+			continue
+		}
+		if !job.PlacedAt.IsZero() && now.Sub(job.PlacedAt) < c.cfg.HeartbeatInterval {
+			// Placed after the agent built this report; the next
+			// report decides.
+			protected[job.DeviceID] = true
+			continue
+		}
+		lost = append(lost, job)
+	}
+	return lost, protected
+}
+
+// killOrphans is the agent-side half of heartbeat anti-entropy: a node
+// that kept executing through a partition or a coordinator outage may
+// still hold jobs the platform has since migrated elsewhere or
+// resolved. The caller has already classified which reported jobs are
+// provably stale; those copies are killed at the reporting node — one
+// job must never run twice.
+func (c *Coordinator) killOrphans(machineID string, orphans []string, now time.Time) {
+	if len(orphans) == 0 {
+		return
+	}
+	h := c.handle(machineID)
+	if h == nil {
+		return
+	}
+	for _, jobID := range orphans {
+		if kerr := h.Kill(jobID); kerr == nil {
+			c.bus.Publish(eventbus.Event{Type: eventbus.JobKilled, Time: now,
+				Job: jobID, Node: machineID,
+				Detail: map[string]any{"reason": "orphan-reconciliation"}})
+		}
+	}
 }
 
 // Depart processes an announced departure (scheduled or temporary). The
@@ -412,6 +565,9 @@ func (c *Coordinator) HandleDeparture(machineID string, reason api.DepartReason)
 // path). Daemons run this automatically; simulations may call it
 // directly.
 func (c *Coordinator) Sweep() {
+	if c.isStopped() {
+		return
+	}
 	now := c.clock.Now()
 	for _, nodeID := range c.hb.Lost(now) {
 		_ = c.db.UpdateNode(nodeID, func(n *db.NodeRecord) {
@@ -572,6 +728,9 @@ func (c *Coordinator) TrySchedule() {
 // failing member leaves no stranded device reservation — its in-batch
 // reservation dies with the batch and the job simply stays pending.
 func (c *Coordinator) scheduleBatch() bool {
+	if c.isStopped() {
+		return false
+	}
 	if c.db.CountJobsInState(db.JobPending) == 0 {
 		return false
 	}
@@ -663,6 +822,7 @@ func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placeme
 		j.NodeID = p.NodeID
 		j.DeviceID = resp.DeviceID
 		j.ContainerID = resp.ContainerID
+		j.PlacedAt = now
 		if j.PreferredNode == "" {
 			j.PreferredNode = p.NodeID
 		}
@@ -687,21 +847,36 @@ func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placeme
 
 // --- Agent notifications (core implements agent.Notifier) ---
 
-// JobUpdate receives job state changes from agents.
+// JobUpdate receives job state changes from agents. Updates from a
+// node the job is no longer placed on are dropped: after a partition,
+// the old host may still be running a copy the platform has since
+// migrated elsewhere, and letting its stale completion close the new
+// placement's allocation would corrupt the resource view (heartbeat
+// reconciliation kills such orphans).
 func (c *Coordinator) JobUpdate(machineID, jobID string, state db.JobState, step int64) {
 	now := c.clock.Now()
-	rec, err := c.db.GetJob(jobID)
-	if err != nil {
-		return
-	}
 	switch state {
 	case db.JobCompleted, db.JobFailed:
-		_ = c.db.UpdateJob(jobID, func(j *db.JobRecord) {
+		// The stale-node check runs inside the record lock: on the
+		// concurrent HTTP path the job may be requeued and re-placed
+		// between any snapshot read and this update, and a report from
+		// the old host must lose that race, not resolve the new copy.
+		var nodeID, deviceID string
+		applied := false
+		err := c.db.UpdateJob(jobID, func(j *db.JobRecord) {
+			if machineID != "" && j.NodeID != machineID {
+				return
+			}
+			nodeID, deviceID = j.NodeID, j.DeviceID
 			j.State = state
 			j.FinishedAt = now
+			applied = true
 		})
+		if err != nil || !applied {
+			return
+		}
 		_ = c.db.CloseAllocation(jobID, now)
-		c.freeDevice(rec.NodeID, rec.DeviceID)
+		c.freeDevice(nodeID, deviceID)
 		evType := eventbus.JobCompleted
 		if state == db.JobFailed {
 			evType = eventbus.JobFailed
@@ -774,6 +949,11 @@ func (c *Coordinator) executePlan(job db.JobRecord, meta *jobMeta, plan migratio
 
 // finishMigration performs the relaunch once restore data is in place.
 func (c *Coordinator) finishMigration(job db.JobRecord, meta *jobMeta, plan migration.Plan, reason migration.Reason) {
+	if c.isStopped() {
+		// The transfer timer outlived the coordinator (kill/restart):
+		// the successor's RecoverState requeues this job.
+		return
+	}
 	now := c.clock.Now()
 	// The job may have been killed (or otherwise resolved) while its
 	// checkpoint was in flight.

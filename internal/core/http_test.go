@@ -19,10 +19,13 @@ import (
 )
 
 // httpRig runs a coordinator and agents as real HTTP servers on
-// localhost, with the real wall clock: the full REST path the daemons
-// use, exercised end to end.
+// localhost — the full REST path the daemons use — but on a shared
+// simulated clock: tests advance time explicitly instead of sleeping,
+// so the suite is deterministic and fast. HTTP round trips are
+// synchronous, so every request completes before the clock moves on.
 type httpRig struct {
 	t        *testing.T
+	clock    *simclock.Sim
 	coord    *Coordinator
 	coordSrv *httptest.Server
 	client   *Client
@@ -31,8 +34,9 @@ type httpRig struct {
 
 func newHTTPRig(t *testing.T) *httpRig {
 	t.Helper()
+	clock := simclock.NewSim(t0)
 	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
-	coord, err := New(Config{HeartbeatInterval: 100 * time.Millisecond}, simclock.Real(),
+	coord, err := New(Config{HeartbeatInterval: 100 * time.Millisecond}, clock,
 		db.New(0), ckpts, eventbus.New(256))
 	if err != nil {
 		t.Fatal(err)
@@ -41,19 +45,20 @@ func newHTTPRig(t *testing.T) *httpRig {
 	srv := httptest.NewServer(coord.Handler(nil))
 	t.Cleanup(srv.Close)
 	return &httpRig{
-		t: t, coord: coord, coordSrv: srv,
+		t: t, clock: clock, coord: coord, coordSrv: srv,
 		client: NewClient(srv.URL), ckpts: ckpts,
 	}
 }
 
 // addHTTPNode starts an agent HTTP server, registers it through the
-// coordinator's REST API, and runs a real-time heartbeat loop.
+// coordinator's REST API, and arms a heartbeat loop on the simulated
+// clock.
 func (r *httpRig) addHTTPNode(id string, specs ...gpu.Spec) (*agent.Agent, *Client) {
 	r.t.Helper()
 	rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(specs...), 0, 0)
 	coordClient := NewClient(r.coordSrv.URL)
 	ag := agent.New(agent.Config{MachineID: id, Kernel: "5.15"},
-		simclock.Real(), rt, r.ckpts, nil, coordClient)
+		r.clock, rt, r.ckpts, nil, coordClient)
 	r.t.Cleanup(ag.Stop)
 
 	agSrv := httptest.NewServer(ag.Handler())
@@ -65,35 +70,32 @@ func (r *httpRig) addHTTPNode(id string, specs ...gpu.Spec) (*agent.Agent, *Clie
 	}
 	ag.SetToken(resp.Token)
 
-	stop := make(chan struct{})
-	r.t.Cleanup(func() { close(stop) })
-	go func() {
-		tick := time.NewTicker(resp.HeartbeatInterval)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				if !ag.Departed() {
-					_, _ = coordClient.Heartbeat(ag.HeartbeatRequest())
-				}
-			}
+	var beat func()
+	beat = func() {
+		if !ag.Departed() {
+			_, _ = coordClient.Heartbeat(ag.HeartbeatRequest())
 		}
-	}()
+		r.clock.AfterFunc(resp.HeartbeatInterval, beat)
+	}
+	r.clock.AfterFunc(resp.HeartbeatInterval, beat)
 	return ag, coordClient
 }
 
-func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+// waitFor advances simulated time in small steps until cond holds or
+// the simulated budget runs out. No wall-clock sleeping.
+func (r *httpRig) waitFor(budget time.Duration, cond func() bool) {
+	r.t.Helper()
+	const step = 100 * time.Millisecond
+	for elapsed := time.Duration(0); ; elapsed += step {
 		if cond() {
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		if elapsed >= budget {
+			break
+		}
+		r.clock.Advance(step)
 	}
-	t.Fatal("condition not met within timeout")
+	r.t.Fatal("condition not met within the simulated budget")
 }
 
 func TestHTTPEndToEndJobLifecycle(t *testing.T) {
@@ -113,7 +115,7 @@ func TestHTTPEndToEndJobLifecycle(t *testing.T) {
 	if err != nil || st.State != db.JobRunning {
 		t.Fatalf("status = %+v, %v", st, err)
 	}
-	waitFor(t, 30*time.Second, func() bool {
+	r.waitFor(30*time.Second, func() bool {
 		st, err := r.client.JobStatus(jobID)
 		return err == nil && st.State == db.JobCompleted
 	})
@@ -204,14 +206,14 @@ func TestHTTPScheduledDepartureMigration(t *testing.T) {
 		t.Fatal("job not placed")
 	}
 	// Let it run and checkpoint, then gracefully depart its host.
-	time.Sleep(1500 * time.Millisecond)
+	r.clock.Advance(1500 * time.Millisecond)
 	if firstNode == "n1" {
 		ag1.Depart(api.DepartScheduled, time.Minute)
 	} else {
 		t.Skip("job placed on n2 by rotation; scenario covered in sim tests")
 	}
 
-	waitFor(t, 10*time.Second, func() bool {
+	r.waitFor(10*time.Second, func() bool {
 		st, err := r.client.JobStatus(jobID)
 		return err == nil && st.State == db.JobRunning && st.NodeID == "n2"
 	})

@@ -127,8 +127,13 @@ type JobRecord struct {
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
-	FinishedAt  time.Time `json:"finished_at,omitempty"`
-	Migrations  int       `json:"migrations"`
+	// PlacedAt is when the job's *current* placement committed (unlike
+	// StartedAt, it moves on every migration). Heartbeat reconciliation
+	// uses it to distinguish "the host lost this job" from "this job
+	// was placed after the host built its report".
+	PlacedAt   time.Time `json:"placed_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+	Migrations int       `json:"migrations"`
 
 	// Relaunch spec: everything the coordinator needs to (re)launch the
 	// job. Persisting it with the record is what lets a recovered
@@ -181,6 +186,11 @@ type Store interface {
 
 	RecordAllocation(a AllocationRecord)
 	CloseAllocation(jobID string, end time.Time) error
+	// CloseAllocationEpisode closes the open episode matching the full
+	// placement identity. Callers racing a re-placement use it so a
+	// duplicate close can never eat the job's fresh episode on another
+	// device.
+	CloseAllocationEpisode(jobID, nodeID, deviceID string, end time.Time) error
 	Allocations() []AllocationRecord
 
 	AppendSample(s Sample)
@@ -582,6 +592,30 @@ func (d *DB) CloseAllocation(jobID string, end time.Time) error {
 	}
 	s.mu.Unlock()
 	return fmt.Errorf("%w: open allocation for job %s", ErrNotFound, jobID)
+}
+
+// CloseAllocationEpisode sets the End time of the job's most recent
+// open episode on the given node and device. Unlike CloseAllocation,
+// an open episode of the same job on a *different* placement is left
+// alone — the guarantee concurrent reconciliation paths rely on.
+func (d *DB) CloseAllocationEpisode(jobID, nodeID, deviceID string, end time.Time) error {
+	d.ops.Add(1)
+	s := d.allocShard(jobID)
+	s.mu.Lock()
+	d.delay()
+	for i := len(s.episodes) - 1; i >= 0; i-- {
+		a := &s.episodes[i]
+		if a.JobID == jobID && a.NodeID == nodeID && a.DeviceID == deviceID && a.End.IsZero() {
+			a.End = end
+			closed := *a
+			lsn := d.lsn.Add(1)
+			s.mu.Unlock()
+			d.emit(Mutation{LSN: lsn, Type: MutAllocClose, Alloc: &closed})
+			return nil
+		}
+	}
+	s.mu.Unlock()
+	return fmt.Errorf("%w: open allocation for job %s on %s/%s", ErrNotFound, jobID, nodeID, deviceID)
 }
 
 // Allocations returns a copy of the allocation history, ordered by start

@@ -193,6 +193,41 @@ func TestCloseAllocationMissing(t *testing.T) {
 	}
 }
 
+func TestCloseAllocationEpisodeMatchesIdentity(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() Store
+	}{
+		{"sharded", func() Store { return New(0) }},
+		{"singlemutex", func() Store { return NewSingleMutex(0) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			d := mk.new()
+			// An old episode on n1 and a fresh one on n2 — the shape a
+			// requeue-then-re-place race leaves behind.
+			d.RecordAllocation(AllocationRecord{JobID: "j1", NodeID: "n1", DeviceID: "gpu0", Start: t0})
+			d.RecordAllocation(AllocationRecord{JobID: "j1", NodeID: "n2", DeviceID: "gpu1", Start: t0.Add(time.Hour)})
+
+			// Closing by the n1 identity must not touch the n2 episode,
+			// even though n2's is the most recent open one.
+			if err := d.CloseAllocationEpisode("j1", "n1", "gpu0", t0.Add(2*time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+			allocs := d.Allocations()
+			if allocs[0].End.IsZero() || !allocs[1].End.IsZero() {
+				t.Fatalf("wrong episode closed: %+v", allocs)
+			}
+			// A second close of the same identity finds nothing open.
+			if err := d.CloseAllocationEpisode("j1", "n1", "gpu0", t0.Add(3*time.Hour)); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("duplicate close err = %v", err)
+			}
+			if err := d.CloseAllocationEpisode("ghost", "n1", "gpu0", t0); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing job err = %v", err)
+			}
+		})
+	}
+}
+
 func TestSamplesRangeQuery(t *testing.T) {
 	d := New(0)
 	for i := 0; i < 10; i++ {

@@ -245,6 +245,25 @@ func (d *SingleMutex) CloseAllocation(jobID string, end time.Time) error {
 	return fmt.Errorf("%w: open allocation for job %s", ErrNotFound, jobID)
 }
 
+// CloseAllocationEpisode closes the open episode matching the full
+// placement identity (see DB.CloseAllocationEpisode).
+func (d *SingleMutex) CloseAllocationEpisode(jobID, nodeID, deviceID string, end time.Time) error {
+	d.lockOp()
+	for i := len(d.allocations) - 1; i >= 0; i-- {
+		a := &d.allocations[i]
+		if a.JobID == jobID && a.NodeID == nodeID && a.DeviceID == deviceID && a.End.IsZero() {
+			a.End = end
+			closed := *a
+			lsn := d.lsn.Add(1)
+			d.mu.Unlock()
+			d.emit(Mutation{LSN: lsn, Type: MutAllocClose, Alloc: &closed})
+			return nil
+		}
+	}
+	d.mu.Unlock()
+	return fmt.Errorf("%w: open allocation for job %s on %s/%s", ErrNotFound, jobID, nodeID, deviceID)
+}
+
 // Allocations returns a copy of the allocation history.
 func (d *SingleMutex) Allocations() []AllocationRecord {
 	d.lockOp()

@@ -1,0 +1,278 @@
+// Package invariant audits the system database for the structural
+// properties every GPUnion deployment must preserve, no matter what
+// sequence of node churn, partitions, disk faults and coordinator
+// crashes the platform absorbs. The chaos harness (internal/chaos,
+// internal/sim.RunChaos) runs the checker after every injected fault;
+// any violation is a platform bug, not a tolerable degradation.
+//
+// The invariants checked:
+//
+//   - device-double-allocation: no two running jobs occupy the same
+//     (node, device) pair;
+//   - running-device-allocated: a running job's device exists on its
+//     node and is marked allocated;
+//   - running-node-live: a running job's node is Active or Paused —
+//     work never "runs" on a departed or unreachable provider;
+//   - job-node-referential: a running or migrating job's NodeID
+//     resolves to a registered node;
+//   - pending-detached: a pending job holds no placement;
+//   - alloc-referential: every allocation episode belongs to a known
+//     job;
+//   - alloc-open-unique: a job has at most one open allocation episode;
+//   - alloc-matches-job: a running job has exactly one open episode and
+//     it matches the job's current placement; a non-running job has
+//     none;
+//   - state-count-consistent: the store's per-state counters agree
+//     with a full job scan (validates the sharded counters across
+//     snapshot import and WAL replay);
+//   - lsn-monotonic: the store's mutation sequence never moves
+//     backwards — including across a crash/recovery boundary, when the
+//     checker outlives the store instance.
+//
+// Recovery byte-equivalence (a restored store matching the pre-crash
+// one) is checked separately via CheckEquivalence at crash/restart
+// points, where both images exist.
+package invariant
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gpunion/internal/db"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Rule names the invariant (stable identifier, kebab-case).
+	Rule string
+	// Detail is a human-readable description of the evidence.
+	Detail string
+}
+
+// String renders the violation for logs and test failures.
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Checker audits a Store. The zero value is usable; the checker carries
+// state across calls (the LSN high-water mark), so one Checker should
+// observe a deployment for its whole lifetime — including across
+// coordinator restarts, where LSN monotonicity is exactly the property
+// worth checking.
+type Checker struct {
+	lastLSN uint64
+	// checks counts audits performed (reporting).
+	checks int
+}
+
+// NewChecker returns a fresh checker.
+func NewChecker() *Checker { return &Checker{} }
+
+// Checks reports how many audits this checker has run.
+func (c *Checker) Checks() int { return c.checks }
+
+// Check audits the store once and returns every violation found. It
+// must be called at a quiescent point (between discrete-event
+// callbacks, not mid-operation): the store's methods are individually
+// consistent but a multi-step transition observed halfway through is
+// not a platform bug.
+func (c *Checker) Check(s db.Store) []Violation {
+	c.checks++
+	var vs []Violation
+
+	nodes := s.ListNodes()
+	jobs := s.ListJobs()
+	allocs := s.Allocations()
+
+	nodeByID := make(map[string]db.NodeRecord, len(nodes))
+	for _, n := range nodes {
+		nodeByID[n.ID] = n
+	}
+	jobByID := make(map[string]db.JobRecord, len(jobs))
+	for _, j := range jobs {
+		jobByID[j.ID] = j
+	}
+
+	// --- Placement invariants over the job table. ---
+	deviceOwner := make(map[string]string) // "node/device" -> jobID
+	stateTally := make(map[db.JobState]int)
+	for _, j := range jobs {
+		stateTally[j.State]++
+		switch j.State {
+		case db.JobRunning:
+			key := j.NodeID + "/" + j.DeviceID
+			if owner, taken := deviceOwner[key]; taken {
+				vs = append(vs, Violation{
+					Rule:   "device-double-allocation",
+					Detail: fmt.Sprintf("jobs %s and %s both run on %s", owner, j.ID, key),
+				})
+			}
+			deviceOwner[key] = j.ID
+			n, ok := nodeByID[j.NodeID]
+			if !ok {
+				vs = append(vs, Violation{
+					Rule:   "job-node-referential",
+					Detail: fmt.Sprintf("running job %s placed on unknown node %q", j.ID, j.NodeID),
+				})
+				continue
+			}
+			if n.Status != db.NodeActive && n.Status != db.NodePaused {
+				vs = append(vs, Violation{
+					Rule:   "running-node-live",
+					Detail: fmt.Sprintf("job %s runs on node %s in status %s", j.ID, j.NodeID, n.Status),
+				})
+			}
+			found := false
+			for _, g := range n.GPUs {
+				if g.DeviceID != j.DeviceID {
+					continue
+				}
+				found = true
+				if !g.Allocated {
+					vs = append(vs, Violation{
+						Rule:   "running-device-allocated",
+						Detail: fmt.Sprintf("job %s runs on %s/%s but the device is marked free", j.ID, j.NodeID, j.DeviceID),
+					})
+				}
+			}
+			if !found {
+				vs = append(vs, Violation{
+					Rule:   "running-device-allocated",
+					Detail: fmt.Sprintf("job %s runs on %s/%s but the node has no such device", j.ID, j.NodeID, j.DeviceID),
+				})
+			}
+		case db.JobMigrating:
+			// A migrating job's NodeID is its last placement (the source
+			// it is being moved away from); it must still resolve.
+			if j.NodeID != "" {
+				if _, ok := nodeByID[j.NodeID]; !ok {
+					vs = append(vs, Violation{
+						Rule:   "job-node-referential",
+						Detail: fmt.Sprintf("migrating job %s references unknown node %q", j.ID, j.NodeID),
+					})
+				}
+			}
+		case db.JobPending:
+			if j.NodeID != "" || j.DeviceID != "" {
+				vs = append(vs, Violation{
+					Rule:   "pending-detached",
+					Detail: fmt.Sprintf("pending job %s still holds placement %s/%s", j.ID, j.NodeID, j.DeviceID),
+				})
+			}
+		}
+	}
+
+	// --- Allocation-history invariants. ---
+	openByJob := make(map[string]db.AllocationRecord)
+	for _, a := range allocs {
+		if _, ok := jobByID[a.JobID]; !ok {
+			vs = append(vs, Violation{
+				Rule:   "alloc-referential",
+				Detail: fmt.Sprintf("allocation on %s/%s belongs to unknown job %q", a.NodeID, a.DeviceID, a.JobID),
+			})
+			continue
+		}
+		if !a.End.IsZero() {
+			continue
+		}
+		if prev, dup := openByJob[a.JobID]; dup {
+			vs = append(vs, Violation{
+				Rule: "alloc-open-unique",
+				Detail: fmt.Sprintf("job %s has two open episodes: %s/%s and %s/%s",
+					a.JobID, prev.NodeID, prev.DeviceID, a.NodeID, a.DeviceID),
+			})
+			continue
+		}
+		openByJob[a.JobID] = a
+	}
+	for _, j := range jobs {
+		open, has := openByJob[j.ID]
+		if j.State == db.JobRunning {
+			switch {
+			case !has:
+				vs = append(vs, Violation{
+					Rule:   "alloc-matches-job",
+					Detail: fmt.Sprintf("running job %s has no open allocation episode", j.ID),
+				})
+			case open.NodeID != j.NodeID || open.DeviceID != j.DeviceID:
+				vs = append(vs, Violation{
+					Rule: "alloc-matches-job",
+					Detail: fmt.Sprintf("job %s runs on %s/%s but its open episode is on %s/%s",
+						j.ID, j.NodeID, j.DeviceID, open.NodeID, open.DeviceID),
+				})
+			}
+		} else if has {
+			vs = append(vs, Violation{
+				Rule: "alloc-matches-job",
+				Detail: fmt.Sprintf("job %s is %s but still holds an open episode on %s/%s",
+					j.ID, j.State, open.NodeID, open.DeviceID),
+			})
+		}
+	}
+
+	// --- Counter consistency (sharded per-state counters vs scan). ---
+	for _, state := range []db.JobState{
+		db.JobPending, db.JobRunning, db.JobMigrating,
+		db.JobCompleted, db.JobFailed, db.JobKilled,
+	} {
+		if got, want := s.CountJobsInState(state), stateTally[state]; got != want {
+			vs = append(vs, Violation{
+				Rule:   "state-count-consistent",
+				Detail: fmt.Sprintf("CountJobsInState(%s) = %d, scan finds %d", state, got, want),
+			})
+		}
+	}
+
+	// --- LSN monotonicity across the checker's lifetime. ---
+	if lsn := s.CurrentLSN(); lsn < c.lastLSN {
+		vs = append(vs, Violation{
+			Rule:   "lsn-monotonic",
+			Detail: fmt.Sprintf("mutation sequence moved backwards: %d after %d", lsn, c.lastLSN),
+		})
+	} else {
+		c.lastLSN = lsn
+	}
+	return vs
+}
+
+// CheckEquivalence compares two store images table by table (nodes,
+// jobs, allocations) via their canonical JSON encodings — the recovery
+// byte-equivalence criterion. Monitoring samples are excluded: their
+// bounded-retention eviction order is approximate across shards by
+// design. Watermarks are compared by ordering only (a recovered store
+// may not regress the mutation sequence).
+func CheckEquivalence(before, after db.State) []Violation {
+	var vs []Violation
+	tables := []struct {
+		name string
+		a, b any
+	}{
+		{"nodes", before.Nodes, after.Nodes},
+		{"jobs", before.Jobs, after.Jobs},
+		{"allocations", before.Allocations, after.Allocations},
+	}
+	for _, tb := range tables {
+		ja, err1 := json.Marshal(tb.a)
+		jb, err2 := json.Marshal(tb.b)
+		if err1 != nil || err2 != nil {
+			vs = append(vs, Violation{
+				Rule:   "recovery-equivalence",
+				Detail: fmt.Sprintf("table %s failed to encode: %v / %v", tb.name, err1, err2),
+			})
+			continue
+		}
+		if string(ja) != string(jb) {
+			vs = append(vs, Violation{
+				Rule: "recovery-equivalence",
+				Detail: fmt.Sprintf("table %s diverged after recovery (%d vs %d bytes)",
+					tb.name, len(ja), len(jb)),
+			})
+		}
+	}
+	if after.Watermark < before.Watermark {
+		vs = append(vs, Violation{
+			Rule: "recovery-equivalence",
+			Detail: fmt.Sprintf("recovered watermark %d regressed below %d",
+				after.Watermark, before.Watermark),
+		})
+	}
+	return vs
+}

@@ -1,0 +1,732 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gpunion/internal/agent"
+	"gpunion/internal/api"
+	"gpunion/internal/chaos"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/container"
+	"gpunion/internal/core"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/invariant"
+	"gpunion/internal/netsim"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+	"gpunion/internal/wal"
+	"gpunion/internal/workload"
+)
+
+// ChaosConfig assembles a full platform — coordinator, agents, LAN
+// model, optionally a write-ahead log — and subjects it to a seeded
+// fault schedule while auditing the invariants in internal/invariant.
+type ChaosConfig struct {
+	// Defs is the fleet (default: the paper campus).
+	Defs []NodeDef
+	// Seed drives schedule generation and traffic.
+	Seed int64
+	// Spec parameterises fault composition. Duration defaults to 8 h;
+	// Nodes is filled from Defs.
+	Spec chaos.Spec
+	// Jobs is the sustained training-job population (default 16).
+	Jobs int
+	// HeartbeatInterval between agent reports (default 1 min).
+	HeartbeatInterval time.Duration
+	// ProgressTick is the agent work-advance granularity (default 1 min).
+	ProgressTick time.Duration
+	// EnableWAL attaches a write-ahead log (required for WAL-fault and
+	// coordinator-crash injections).
+	EnableWAL bool
+	// WALDir is the log directory (empty = temp dir, removed after).
+	WALDir string
+	// AuditEvery is the periodic invariant-audit cadence (default 5 min).
+	AuditEvery time.Duration
+	// Drain runs the platform past the last fault so in-flight
+	// migrations settle before the final audit (default 2 h).
+	Drain time.Duration
+	// WithNetwork attaches the LAN model; it is also enabled
+	// automatically when the spec sets a latency-spike rate.
+	WithNetwork bool
+}
+
+// ChaosResult is what one chaos run observed.
+type ChaosResult struct {
+	// Schedule is the injected fault sequence (replayable evidence).
+	Schedule chaos.Schedule
+	// Report carries per-fault observations and every invariant
+	// violation, including the final post-drain audit.
+	Report *chaos.Report
+	// Violations flattens Report.Violations plus end-of-run liveness
+	// checks (stuck migrations).
+	Violations []invariant.Violation
+	// SubmittedJobs / CompletedJobs measure useful work done under
+	// chaos.
+	SubmittedJobs int
+	CompletedJobs int
+	// Recoveries counts coordinator kill/restart cycles performed.
+	Recoveries int
+	// WALFaultsInjected counts disk faults actually delivered.
+	WALFaultsInjected int
+	// DurabilityLost reports whether any mutation failed to log during
+	// a fault window (expected under WAL-fault schedules; recovery
+	// equivalence is then checked via a post-heal checkpoint).
+	DurabilityLost bool
+}
+
+// RunChaos executes one seeded chaos scenario.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	var res ChaosResult
+	if len(cfg.Defs) == 0 {
+		cfg.Defs = PaperCampus()
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 16
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Minute
+	}
+	if cfg.ProgressTick <= 0 {
+		cfg.ProgressTick = time.Minute
+	}
+	if cfg.Spec.Duration <= 0 {
+		cfg.Spec.Duration = 8 * time.Hour
+	}
+	if cfg.AuditEvery <= 0 {
+		cfg.AuditEvery = 5 * time.Minute
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 2 * time.Hour
+	}
+	if len(cfg.Spec.Nodes) == 0 {
+		for _, d := range cfg.Defs {
+			cfg.Spec.Nodes = append(cfg.Spec.Nodes, d.ID)
+		}
+	}
+
+	h, err := newChaosHarness(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer h.stop()
+
+	sched := chaos.Generate(cfg.Spec, cfg.Seed)
+	h.startTraffic(cfg.Seed + 1)
+	eng := chaos.NewEngine(h.clock, h)
+	rep := eng.Execute(sched, cfg.AuditEvery, cfg.Drain)
+
+	res.Schedule = sched
+	res.Report = rep
+	res.Violations = append(res.Violations, rep.Violations...)
+	// End-of-run liveness: after the drain, no job may be wedged in
+	// Migrating — a failed transfer must have requeued it.
+	store := h.currentStore()
+	for _, j := range store.JobsInState(db.JobMigrating) {
+		res.Violations = append(res.Violations, invariant.Violation{
+			Rule:   "stuck-migrating",
+			Detail: fmt.Sprintf("job %s still migrating %v after the last fault", j.ID, cfg.Drain),
+		})
+	}
+	res.SubmittedJobs = h.submitted
+	res.CompletedJobs = store.CountJobsInState(db.JobCompleted)
+	res.Recoveries = h.recoveries
+	if h.fs != nil {
+		res.WALFaultsInjected = h.fs.Injected()
+	}
+	res.DurabilityLost = h.sawDurabilityLoss
+	return res, nil
+}
+
+// chaosHarness implements chaos.Platform over the real components. It
+// also implements agent.Notifier, routing notifications to whichever
+// coordinator currently leads (and dropping announcements from
+// partitioned nodes).
+type chaosHarness struct {
+	cfg      ChaosConfig
+	clock    *simclock.Sim
+	bus      *eventbus.Bus
+	ckpts    *checkpoint.Store
+	net      *netsim.Network
+	fs       *chaos.FaultFS
+	dir      string
+	ownDir   bool
+	coordCfg core.Config
+	nodeIDs  []string
+
+	mu          sync.Mutex
+	store       db.Store
+	coord       *core.Coordinator
+	mgr         *wal.Manager
+	agents      map[string]*agent.Agent
+	crashed     map[string]bool
+	partitioned map[string]bool
+	origLinks   map[string]netsim.NodeLink
+	// graceUntil suppresses agent-vs-store phantom checks right after a
+	// heal or restart, while reconciliation heartbeats are in flight.
+	graceUntil        time.Time
+	recoveries        int
+	submitted         int
+	sawDurabilityLoss bool
+}
+
+// chaosAuthSecret keeps issued credentials valid across coordinator
+// restarts, as the real daemon does by persisting its secret next to
+// the log.
+var chaosAuthSecret = []byte("gpunion-chaos-harness-auth-secret")
+
+func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
+	h := &chaosHarness{
+		cfg:         cfg,
+		clock:       simclock.NewSim(Epoch),
+		bus:         eventbus.New(4096),
+		ckpts:       checkpoint.NewStore(storage.NewMemStore(0)),
+		agents:      make(map[string]*agent.Agent),
+		crashed:     make(map[string]bool),
+		partitioned: make(map[string]bool),
+		origLinks:   make(map[string]netsim.NodeLink),
+	}
+	for _, d := range cfg.Defs {
+		h.nodeIDs = append(h.nodeIDs, d.ID)
+	}
+	sort.Strings(h.nodeIDs)
+
+	if cfg.WithNetwork || cfg.Spec.LatencySpikesPerDay > 0 {
+		h.net = netsim.New(10 * netsim.Gbps)
+		h.net.AddNode(netsim.NodeLink{Name: "coordinator", Access: 10 * netsim.Gbps, Latency: 150 * time.Microsecond})
+		for _, d := range cfg.Defs {
+			link := netsim.NodeLink{Name: d.ID, Access: netsim.Gbps, Latency: 250 * time.Microsecond}
+			h.net.AddNode(link)
+			h.origLinks[d.ID] = link
+		}
+	}
+	storageNode := ""
+	if h.net != nil {
+		storageNode = "coordinator"
+	}
+	h.coordCfg = core.Config{
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		BatchSize:         8,
+		AuthSecret:        chaosAuthSecret,
+		Net:               h.net,
+		StorageNode:       storageNode,
+	}
+
+	store := db.New(0)
+	if cfg.EnableWAL {
+		dir := cfg.WALDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "gpunion-chaos-wal-*")
+			if err != nil {
+				return nil, err
+			}
+			dir = tmp
+			h.ownDir = true
+		}
+		h.dir = dir
+		h.fs = chaos.NewFaultFS()
+		mgr, err := wal.Open(dir, store, wal.Config{
+			FS:            h.fs,
+			OnAppendError: func(error) { h.noteDurabilityLoss() },
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.mgr = mgr
+		// Async checkpoints on the simulated clock (the Snapshotter's
+		// own ticker is wall-clock): one per simulated hour.
+		var checkpointLoop func()
+		checkpointLoop = func() {
+			if m := h.currentMgr(); m != nil {
+				_ = m.Checkpoint()
+			}
+			if h.clock.Now().Before(Epoch.Add(cfg.Spec.Duration + cfg.Drain)) {
+				h.clock.AfterFunc(time.Hour, checkpointLoop)
+			}
+		}
+		h.clock.AfterFunc(time.Hour, checkpointLoop)
+	}
+
+	coord, err := core.New(h.coordCfg, h.clock, store, h.ckpts, h.bus)
+	if err != nil {
+		return nil, err
+	}
+	h.store, h.coord = store, coord
+
+	for _, d := range cfg.Defs {
+		rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(d.GPUs...), 0, 0)
+		ag := agent.New(agent.Config{
+			MachineID: d.ID, Kernel: "5.15", ProgressTick: cfg.ProgressTick,
+		}, h.clock, rt, h.ckpts, h.bus, h)
+		h.agents[d.ID] = ag
+		if err := h.register(ag); err != nil {
+			return nil, err
+		}
+		h.heartbeatLoop(ag)
+	}
+	return h, nil
+}
+
+func (h *chaosHarness) stop() {
+	h.currentCoord().Stop()
+	for _, id := range h.nodeIDs {
+		h.agents[id].Stop()
+	}
+	if m := h.currentMgr(); m != nil {
+		_ = m.Close()
+	}
+	if h.ownDir {
+		os.RemoveAll(h.dir)
+	}
+}
+
+func (h *chaosHarness) currentCoord() *core.Coordinator {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.coord
+}
+
+func (h *chaosHarness) currentStore() db.Store {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.store
+}
+
+func (h *chaosHarness) currentMgr() *wal.Manager {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mgr
+}
+
+func (h *chaosHarness) noteDurabilityLoss() {
+	h.mu.Lock()
+	h.sawDurabilityLoss = true
+	h.mu.Unlock()
+}
+
+// silenced reports whether the node's control-plane path is cut.
+func (h *chaosHarness) silenced(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.crashed[id] || h.partitioned[id]
+}
+
+// register (re-)registers an agent with the current coordinator.
+func (h *chaosHarness) register(ag *agent.Agent) error {
+	resp, err := h.currentCoord().Register(
+		ag.RegisterRequest("inproc://"+ag.MachineID(), 1<<40),
+		chaosHandle{h: h, id: ag.MachineID(), inner: core.LocalAgent{A: ag}})
+	if err != nil {
+		return err
+	}
+	ag.SetToken(resp.Token)
+	return nil
+}
+
+// chaosHandle is the coordinator's transport to one agent, with the
+// fault model applied: a crashed or partitioned node is unreachable
+// for launches, kills and checkpoints, exactly as its HTTP endpoint
+// would be.
+type chaosHandle struct {
+	h     *chaosHarness
+	id    string
+	inner core.AgentHandle
+}
+
+var errUnreachable = fmt.Errorf("chaos: node unreachable")
+
+func (c chaosHandle) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
+	if c.h.silenced(c.id) {
+		return api.LaunchResponse{}, errUnreachable
+	}
+	return c.inner.Launch(req)
+}
+
+func (c chaosHandle) Kill(jobID string) error {
+	if c.h.silenced(c.id) {
+		return errUnreachable
+	}
+	return c.inner.Kill(jobID)
+}
+
+func (c chaosHandle) Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error) {
+	if c.h.silenced(c.id) {
+		return api.CheckpointResponse{}, errUnreachable
+	}
+	return c.inner.Checkpoint(jobID, incremental)
+}
+
+// heartbeatLoop reports on the configured cadence; beats from silenced
+// (crashed or partitioned) and departed nodes are dropped — silence is
+// the platform's failure signal.
+func (h *chaosHarness) heartbeatLoop(ag *agent.Agent) {
+	var loop func()
+	loop = func() {
+		if !ag.Departed() && !h.silenced(ag.MachineID()) {
+			resp, err := h.currentCoord().Heartbeat(ag.HeartbeatRequest())
+			if err == nil && resp.Reregister {
+				_ = h.register(ag)
+			}
+		}
+		h.clock.AfterFunc(h.cfg.HeartbeatInterval, loop)
+	}
+	h.clock.AfterFunc(h.cfg.HeartbeatInterval, loop)
+}
+
+// startTraffic maintains a population of cfg.Jobs concurrent training
+// jobs: an initial burst, then periodic top-ups until the fault horizon.
+func (h *chaosHarness) startTraffic(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	specs := []workload.TrainingSpec{workload.SmallCNN, workload.SmallCNN, workload.SmallTransformer}
+	submit := func() {
+		spec := specs[rng.Intn(len(specs))]
+		req := TrainingJobSubmission(fmt.Sprintf("user-%d", rng.Intn(5)), spec, 10*time.Minute)
+		if _, err := h.currentCoord().SubmitJob(req); err == nil {
+			h.mu.Lock()
+			h.submitted++
+			h.mu.Unlock()
+		}
+	}
+	for i := 0; i < h.cfg.Jobs; i++ {
+		submit()
+	}
+	end := Epoch.Add(h.cfg.Spec.Duration)
+	var topUp func()
+	topUp = func() {
+		if !h.clock.Now().Before(end) {
+			return
+		}
+		store := h.currentStore()
+		active := store.CountJobsInState(db.JobPending) +
+			store.CountJobsInState(db.JobRunning) +
+			store.CountJobsInState(db.JobMigrating)
+		for ; active < h.cfg.Jobs; active++ {
+			submit()
+		}
+		h.clock.AfterFunc(15*time.Minute, topUp)
+	}
+	h.clock.AfterFunc(15*time.Minute, topUp)
+}
+
+// --- agent.Notifier (routed to the current coordinator) ---
+
+// JobUpdate forwards job state changes. Terminal reports are modelled
+// as retried-until-delivered, so they pass through partitions; the
+// coordinator's stale-node guard decides their fate.
+func (h *chaosHarness) JobUpdate(machineID, jobID string, state db.JobState, step int64) {
+	if c := h.currentCoord(); c != nil {
+		c.JobUpdate(machineID, jobID, state, step)
+	}
+}
+
+// Departing forwards announced departures — unless the node is
+// partitioned, in which case the announcement cannot reach the
+// coordinator and heartbeat loss must do the work.
+func (h *chaosHarness) Departing(machineID string, reason api.DepartReason) {
+	if h.silenced(machineID) {
+		return
+	}
+	if c := h.currentCoord(); c != nil {
+		c.Departing(machineID, reason)
+	}
+}
+
+// --- chaos.Platform ---
+
+// Store implements chaos.Platform.
+func (h *chaosHarness) Store() db.Store { return h.currentStore() }
+
+// CrashNode implements a power loss: workloads die instantly (no
+// checkpoints), heartbeats stop, nobody tells the coordinator.
+func (h *chaosHarness) CrashNode(id string) {
+	ag := h.agents[id]
+	if ag == nil || ag.Departed() {
+		return
+	}
+	h.mu.Lock()
+	if h.crashed[id] {
+		h.mu.Unlock()
+		return
+	}
+	h.crashed[id] = true
+	h.mu.Unlock()
+	ag.KillSwitch()
+}
+
+// DepartNode announces a departure with a 5-minute checkpoint grace.
+func (h *chaosHarness) DepartNode(id string, temporary bool) {
+	ag := h.agents[id]
+	if ag == nil || ag.Departed() || h.silenced(id) {
+		return
+	}
+	reason := api.DepartScheduled
+	if temporary {
+		reason = api.DepartTemporary
+	}
+	ag.Depart(reason, 5*time.Minute)
+}
+
+// ReturnNode brings a crashed or departed node back online.
+func (h *chaosHarness) ReturnNode(id string) {
+	ag := h.agents[id]
+	if ag == nil {
+		return
+	}
+	h.mu.Lock()
+	wasCrashed := h.crashed[id]
+	delete(h.crashed, id)
+	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
+	h.mu.Unlock()
+	if ag.Departed() {
+		ag.Return()
+		_ = h.register(ag)
+		return
+	}
+	_ = wasCrashed // a crashed node resumes via its next heartbeat
+}
+
+// PartitionStart cuts the control plane to the nodes.
+func (h *chaosHarness) PartitionStart(ids []string) {
+	h.mu.Lock()
+	for _, id := range ids {
+		h.partitioned[id] = true
+	}
+	h.mu.Unlock()
+}
+
+// PartitionHeal restores the control plane; reconciliation runs on the
+// next heartbeats.
+func (h *chaosHarness) PartitionHeal(ids []string) {
+	h.mu.Lock()
+	for _, id := range ids {
+		delete(h.partitioned, id)
+	}
+	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
+	h.mu.Unlock()
+}
+
+// LatencySpikeStart degrades the node's access link 20× with +5 ms
+// latency; new transfers see the degraded rate.
+func (h *chaosHarness) LatencySpikeStart(id string) {
+	if h.net == nil {
+		return
+	}
+	orig, ok := h.origLinks[id]
+	if !ok {
+		return
+	}
+	h.net.AddNode(netsim.NodeLink{
+		Name:    id,
+		Access:  orig.Access / 20,
+		Latency: orig.Latency + 5*time.Millisecond,
+	})
+}
+
+// LatencySpikeHeal restores the original link.
+func (h *chaosHarness) LatencySpikeHeal(id string) {
+	if h.net == nil {
+		return
+	}
+	if orig, ok := h.origLinks[id]; ok {
+		h.net.AddNode(orig)
+	}
+}
+
+// SetWALFault switches the injected disk behaviour under the log.
+func (h *chaosHarness) SetWALFault(mode chaos.WALFaultMode) {
+	if h.fs == nil {
+		return
+	}
+	h.fs.SetMode(mode)
+}
+
+// CrashCoordinator kills the coordinator process — in-memory state,
+// agent handles and pending timers die — and boots a successor from
+// snapshot + WAL, checking that the recovered image matches the
+// pre-crash store. If a disk-fault window left unlogged mutations, the
+// disk is considered healed by the reboot and a checkpoint captures
+// the in-memory truth first (the contract: fsync-error windows lose
+// nothing once a snapshot succeeds).
+func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
+	mgr := h.currentMgr()
+	if mgr == nil {
+		return nil // no WAL: a restart would legitimately lose everything
+	}
+	old := h.currentCoord()
+	store := h.currentStore()
+
+	weakEquivalence := false
+	if mgr.Err() != nil {
+		h.fs.SetMode(chaos.WALHealthy)
+		if err := mgr.Checkpoint(); err != nil {
+			weakEquivalence = true
+		}
+	}
+	before := store.ExportState()
+
+	old.Stop()
+	_ = mgr.Close()
+
+	store2 := db.New(0)
+	mgr2, err := wal.Open(h.dir, store2, wal.Config{
+		FS:            h.fs,
+		OnAppendError: func(error) { h.noteDurabilityLoss() },
+	})
+	if err != nil {
+		// The run is failing (the violation below ends the scenario in
+		// red); drop the closed manager so later sim-clock checkpoints
+		// stop touching it.
+		h.mu.Lock()
+		h.mgr = nil
+		h.mu.Unlock()
+		return []invariant.Violation{{Rule: "recovery-failed", Detail: err.Error()}}
+	}
+	var vs []invariant.Violation
+	if !weakEquivalence {
+		vs = invariant.CheckEquivalence(before, store2.ExportState())
+	}
+
+	coord2, err := core.New(h.coordCfg, h.clock, store2, h.ckpts, h.bus)
+	if err != nil {
+		_ = mgr2.Close()
+		h.mu.Lock()
+		h.mgr = nil
+		h.mu.Unlock()
+		return append(vs, invariant.Violation{Rule: "recovery-failed", Detail: err.Error()})
+	}
+	h.mu.Lock()
+	h.store, h.coord, h.mgr = store2, coord2, mgr2
+	h.recoveries++
+	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
+	h.mu.Unlock()
+
+	coord2.RecoverState()
+	// Reachable agents re-attach immediately; silenced ones re-register
+	// through the heartbeat Reregister path when they come back.
+	for _, id := range h.nodeIDs {
+		ag := h.agents[id]
+		if !ag.Departed() && !h.silenced(id) {
+			_ = h.register(ag)
+		}
+	}
+	return vs
+}
+
+// ExtraChecks audits what the database alone cannot show: no reachable
+// agent may be running a job the platform has placed elsewhere or
+// resolved. Suppressed inside the reconciliation grace window after a
+// heal or restart.
+func (h *chaosHarness) ExtraChecks() []invariant.Violation {
+	h.mu.Lock()
+	grace := h.graceUntil
+	h.mu.Unlock()
+	if h.clock.Now().Before(grace) {
+		return nil
+	}
+	store := h.currentStore()
+	var vs []invariant.Violation
+	for _, id := range h.nodeIDs {
+		ag := h.agents[id]
+		if ag.Departed() || h.silenced(id) {
+			continue
+		}
+		for _, jobID := range ag.Status().RunningJobs {
+			rec, err := store.GetJob(jobID)
+			if err != nil {
+				vs = append(vs, invariant.Violation{
+					Rule:   "agent-runs-unknown-job",
+					Detail: fmt.Sprintf("node %s executes %s, unknown to the platform", id, jobID),
+				})
+				continue
+			}
+			if rec.NodeID != id || (rec.State != db.JobRunning && rec.State != db.JobMigrating) {
+				vs = append(vs, invariant.Violation{
+					Rule: "agent-runs-unassigned-job",
+					Detail: fmt.Sprintf("node %s executes %s, which the platform has %s on %q",
+						id, jobID, rec.State, rec.NodeID),
+				})
+			}
+		}
+	}
+	return vs
+}
+
+// --- Canned scenarios (the CI gate: make verify-chaos) ---
+
+// chaosScaleDefs builds n single-3090 workstations.
+func chaosScaleDefs(n int) []NodeDef {
+	defs := make([]NodeDef, 0, n)
+	for i := 0; i < n; i++ {
+		defs = append(defs, NodeDef{
+			ID:   fmt.Sprintf("node-%04d", i),
+			GPUs: []gpu.Spec{gpu.RTX3090},
+			Lab:  fmt.Sprintf("lab-%02d", i%20),
+		})
+	}
+	return defs
+}
+
+// RunChaosChurnScale is the 400-node churn schedule: provider crashes
+// and announced departures at the paper's interruption rates, at the
+// scale the ROADMAP targets. No WAL — the subject is the sharded
+// store, scheduler and migration machinery under mass churn.
+func RunChaosChurnScale(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Defs: chaosScaleDefs(400),
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           90 * time.Minute,
+			ChurnPerNodePerDay: 6,
+			MeanOutage:         20 * time.Minute,
+		},
+		Jobs:       100,
+		AuditEvery: 10 * time.Minute,
+		Drain:      time.Hour,
+	})
+}
+
+// RunChaosPartitionCrash is the paper-campus schedule combining
+// control-plane partitions (long enough to trigger emergency
+// migration and split-brain reconciliation) with coordinator
+// kill/restart mid-migration, on a WAL-backed store.
+func RunChaosPartitionCrash(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           8 * time.Hour,
+			ChurnPerNodePerDay: 3,
+			PartitionsPerDay:   9,
+			MeanPartition:      12 * time.Minute,
+			MaxPartitionNodes:  3,
+			CoordCrashes:       2,
+		},
+		Jobs:        16,
+		EnableWAL:   true,
+		WithNetwork: true,
+	})
+}
+
+// RunChaosWALFaults is the disk-fault schedule: fsync-error and
+// short-write windows under live traffic, plus coordinator crashes
+// that force recovery from the damaged-but-quarantined log.
+func RunChaosWALFaults(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           6 * time.Hour,
+			ChurnPerNodePerDay: 2,
+			WALFaultsPerDay:    16,
+			MeanWALFault:       10 * time.Minute,
+			CoordCrashes:       2,
+		},
+		Jobs:        16,
+		EnableWAL:   true,
+		WithNetwork: true,
+	})
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"gpunion/internal/chaos"
+	"gpunion/internal/db"
+	"gpunion/internal/invariant"
+	"gpunion/internal/workload"
+)
+
+// requireClean asserts a chaos run finished with zero invariant
+// violations and actually did something.
+func requireClean(t *testing.T, res ChaosResult, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		for i, v := range res.Violations {
+			if i >= 10 {
+				t.Errorf("… and %d more", len(res.Violations)-10)
+				break
+			}
+			t.Errorf("violation: %s", v)
+		}
+		t.FailNow()
+	}
+	if len(res.Schedule) == 0 {
+		t.Fatal("schedule injected no faults")
+	}
+	if res.CompletedJobs == 0 {
+		t.Error("no job completed under chaos — the platform did no useful work")
+	}
+	t.Logf("faults=%d audits=%d submitted=%d completed=%d recoveries=%d walFaults=%d",
+		len(res.Schedule), res.Report.Audits, res.SubmittedJobs,
+		res.CompletedJobs, res.Recoveries, res.WALFaultsInjected)
+}
+
+// TestChaosChurnScale: 400 nodes under paper-rate provider churn. The
+// sharded store, batch scheduler and migration machinery must hold
+// every invariant while the fleet churns.
+func TestChaosChurnScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 400-node fleet for hours of simulated time")
+	}
+	res, err := RunChaosChurnScale(42)
+	requireClean(t, res, err)
+	if res.Report.Executed[chaos.KindNodeCrash]+res.Report.Executed[chaos.KindNodeDepart] < 20 {
+		t.Errorf("churn schedule too thin: %v", res.Report.Executed)
+	}
+}
+
+// TestChaosPartitionCrash: control-plane partitions past the missed-
+// heartbeat threshold (emergency migration + split-brain orphans) plus
+// coordinator kill/restart mid-migration on a WAL-backed store.
+func TestChaosPartitionCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full campus day with WAL fsyncs")
+	}
+	res, err := RunChaosPartitionCrash(42)
+	requireClean(t, res, err)
+	if res.Report.Executed[chaos.KindPartition] == 0 {
+		t.Errorf("no partitions executed: %v", res.Report.Executed)
+	}
+	if res.Recoveries == 0 {
+		t.Error("no coordinator kill/restart executed")
+	}
+}
+
+// TestChaosWALFaults: fsync-error and torn-write windows under live
+// traffic, then recovery from the damaged log. The poisoned-segment
+// rotation must keep every acknowledged record durable.
+func TestChaosWALFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full campus day with WAL fsyncs")
+	}
+	res, err := RunChaosWALFaults(42)
+	requireClean(t, res, err)
+	if res.WALFaultsInjected == 0 {
+		t.Error("no disk faults were actually delivered")
+	}
+	if res.Recoveries == 0 {
+		t.Error("no recovery exercised the damaged log")
+	}
+}
+
+// TestChaosDeterministicSchedule: the same seed must produce the same
+// fault schedule — a violation found in CI is replayable locally.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	spec := chaos.Spec{
+		Duration:           4 * time.Hour,
+		Nodes:              []string{"a", "b", "c"},
+		ChurnPerNodePerDay: 8,
+		PartitionsPerDay:   12,
+		CoordCrashes:       1,
+	}
+	a := chaos.Generate(spec, 7)
+	b := chaos.Generate(spec, 7)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedules differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Kind != b[i].Kind || a[i].Node != b[i].Node {
+			t.Fatalf("schedule diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChaosSabotageDetection: deliberately corrupt the store mid-run
+// and prove the checker catches it — the acceptance test for the
+// safety net itself. Each sabotage breaks a different invariant.
+func TestChaosSabotageDetection(t *testing.T) {
+	sabotages := []struct {
+		rule  string
+		wreck func(s db.Store)
+	}{
+		{"device-double-allocation", func(s db.Store) {
+			_ = s.InsertJob(db.JobRecord{ID: "evil-dup", State: db.JobRunning,
+				NodeID: "ws-1", DeviceID: "gpu0", ImageName: "img"})
+			s.RecordAllocation(db.AllocationRecord{JobID: "evil-dup",
+				NodeID: "ws-1", DeviceID: "gpu0", Start: Epoch})
+		}},
+		{"running-node-live", func(s db.Store) {
+			_ = s.UpdateNode("ws-1", func(n *db.NodeRecord) { n.Status = db.NodeDeparted })
+		}},
+		{"alloc-matches-job", func(s db.Store) {
+			for _, j := range s.JobsInState(db.JobRunning) {
+				_ = s.UpdateJob(j.ID, func(r *db.JobRecord) { r.State = db.JobCompleted })
+				return
+			}
+		}},
+		{"pending-detached", func(s db.Store) {
+			_ = s.InsertJob(db.JobRecord{ID: "evil-pend", State: db.JobPending,
+				NodeID: "ws-2", ImageName: "img"})
+		}},
+	}
+	for _, sab := range sabotages {
+		t.Run(sab.rule, func(t *testing.T) {
+			campus, err := NewCampus(PaperCampus(), CampusConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer campus.Stop()
+			for i := 0; i < 4; i++ {
+				if _, err := campus.Coord.SubmitJob(
+					TrainingJobSubmission("user", workload.SmallCNN, 10*time.Minute)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			campus.Run(30 * time.Minute)
+
+			checker := invariant.NewChecker()
+			if vs := checker.Check(campus.Coord.DB()); len(vs) != 0 {
+				t.Fatalf("campus unhealthy before sabotage: %v", vs)
+			}
+			sab.wreck(campus.Coord.DB())
+			vs := checker.Check(campus.Coord.DB())
+			found := false
+			for _, v := range vs {
+				if v.Rule == sab.rule {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("sabotage of %s went undetected (got %v)", sab.rule, vs)
+			}
+		})
+	}
+}

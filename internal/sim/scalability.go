@@ -23,6 +23,11 @@ type ScalabilityConfig struct {
 	// DBOpDelay models per-operation database latency (default 50 µs),
 	// the §5.3 contention source.
 	DBOpDelay time.Duration
+	// OpsPerWorker fixes the contended-throughput workload size per
+	// writer (default 120). A fixed op count — rather than a wall-clock
+	// window — makes the benchmark's work deterministic; only the
+	// measured elapsed time varies with the machine.
+	OpsPerWorker int
 	// Seed varies request shapes.
 	Seed int64
 }
@@ -72,6 +77,9 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 	}
 	if cfg.DBOpDelay <= 0 {
 		cfg.DBOpDelay = 50 * time.Microsecond
+	}
+	if cfg.OpsPerWorker <= 0 {
+		cfg.OpsPerWorker = 120
 	}
 	now := Epoch
 	var rows []ScalabilityRow
@@ -159,8 +167,8 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 		}
 		sharded.SetOpDelay(cfg.DBOpDelay)
 		single.SetOpDelay(cfg.DBOpDelay)
-		ops := contendedOps(sharded, nodes, 8, 50*time.Millisecond)
-		singleOps := contendedOps(single, nodes, 8, 50*time.Millisecond)
+		ops := contendedOps(sharded, nodes, 8, cfg.OpsPerWorker)
+		singleOps := contendedOps(single, nodes, 8, cfg.OpsPerWorker)
 
 		// Heartbeat demand: one beat per node per 10 s, ~4 database
 		// operations per beat (node update, telemetry samples, queue
@@ -229,32 +237,31 @@ func latencyStats(lat []time.Duration) (mean, p95 time.Duration) {
 	return mean, p95
 }
 
-// contendedOps hammers a database from workers goroutines for the
-// given duration and returns achieved operations per second. It takes
-// the Store interface so sharded and single-mutex implementations run
-// the identical workload.
-func contendedOps(store db.Store, nodes []db.NodeRecord, workers int, d time.Duration) float64 {
+// contendedOps hammers a database with a fixed number of heartbeat
+// commits per worker and returns achieved operations per second. The
+// workload is deterministic (same records, same order per worker) —
+// only the elapsed time is measured; no worker spins on the wall
+// clock. It takes the Store interface so sharded and single-mutex
+// implementations run the identical workload.
+func contendedOps(store db.Store, nodes []db.NodeRecord, workers, opsPerWorker int) float64 {
 	var wg sync.WaitGroup
-	stop := time.Now().Add(d)
-	var mu sync.Mutex
-	total := 0
+	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			n := 0
-			for time.Now().Before(stop) {
+			for n := 0; n < opsPerWorker; n++ {
 				id := nodes[(w*31+n)%len(nodes)].ID
 				_ = store.UpdateNode(id, func(rec *db.NodeRecord) {
 					rec.LastHeartbeat = rec.LastHeartbeat.Add(time.Second)
 				})
-				n++
 			}
-			mu.Lock()
-			total += n
-			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
-	return float64(total) / d.Seconds()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(workers*opsPerWorker) / elapsed
 }

@@ -1,0 +1,34 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the log writer needs. Keeping it an
+// interface is what lets the chaos harness inject disk faults — short
+// writes, fsync errors — into the exact I/O path production runs,
+// instead of testing a fork of the writer.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage; Append acknowledges a
+	// record only after Sync returns nil.
+	Sync() error
+	Close() error
+}
+
+// FS opens log segment files. The default implementation is the real
+// filesystem; fault-injecting implementations wrap it.
+type FS interface {
+	// OpenAppend opens (creating if needed) the named file for
+	// append-only writing.
+	OpenAppend(name string) (File, error)
+}
+
+// OSFS is the production filesystem.
+type OSFS struct{}
+
+// OpenAppend implements FS via os.OpenFile.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}

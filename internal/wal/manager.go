@@ -25,6 +25,9 @@ type Config struct {
 	// operator must know *now*, not at Close. Nil logs via the standard
 	// logger. The error also stays readable through Err.
 	OnAppendError func(error)
+	// FS opens log segment files (nil = the real filesystem); the
+	// chaos harness injects disk faults through it.
+	FS FS
 }
 
 // Manager ties a store to its WAL directory: Open recovers the store
@@ -50,7 +53,7 @@ func Open(dir string, store db.Store, cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := OpenWriter(dir, Options{GroupWindow: cfg.GroupWindow, PerRecordSync: cfg.PerRecordSync})
+	w, err := OpenWriter(dir, Options{GroupWindow: cfg.GroupWindow, PerRecordSync: cfg.PerRecordSync, FS: cfg.FS})
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,9 @@ type Options struct {
 	// baseline group commit is compared against; production uses group
 	// commit.
 	PerRecordSync bool
+	// FS opens segment files (nil = the real filesystem). The chaos
+	// harness injects disk faults here.
+	FS FS
 }
 
 // Writer appends mutation records to log segments with group-committed
@@ -34,9 +37,17 @@ type Options struct {
 // Append returns only after its record is durable — the property that
 // lets a store acknowledge a mutation as soon as (and only when) it
 // cannot be lost.
+//
+// The writer survives disk faults: a failed group write or sync marks
+// the current segment poisoned (its tail may be torn), and the next
+// write first rotates to a fresh segment. Records acknowledged after
+// the fault are therefore readable on recovery — the torn bytes stay
+// quarantined in the poisoned segment, whose tail the reader already
+// tolerates.
 type Writer struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	// ioMu serializes file I/O (flush, rotate) so a rotation never
 	// races a flush onto a closed segment. Held across fsync.
@@ -45,11 +56,14 @@ type Writer struct {
 	// appenders keep enqueueing while a group fsync is in flight —
 	// that queue *is* the next group.
 	mu      sync.Mutex
-	f       *os.File
+	f       File
 	seg     int
 	pending []byte
 	waiters []chan error
 	closed  bool
+	// poisoned records that the last I/O on f failed: its tail may hold
+	// a torn frame, so no further record may land behind it.
+	poisoned bool
 
 	flushC chan struct{}
 	doneC  chan struct{}
@@ -63,6 +77,10 @@ func OpenWriter(dir string, opts Options) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
 	idx, err := segmentIndexes(dir)
 	if err != nil {
 		return nil, err
@@ -71,13 +89,14 @@ func OpenWriter(dir string, opts Options) (*Writer, error) {
 	if len(idx) > 0 {
 		seg = idx[len(idx)-1] + 1
 	}
-	f, err := os.OpenFile(filepath.Join(dir, segmentName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenAppend(filepath.Join(dir, segmentName(seg)))
 	if err != nil {
 		return nil, fmt.Errorf("wal: opening segment %d: %w", seg, err)
 	}
 	w := &Writer{
 		dir:    dir,
 		opts:   opts,
+		fs:     fsys,
 		f:      f,
 		seg:    seg,
 		flushC: make(chan struct{}, 1),
@@ -114,12 +133,17 @@ func (w *Writer) Append(m db.Mutation) error {
 			w.mu.Unlock()
 			return ErrClosed
 		}
-		f := w.f
 		w.mu.Unlock()
+		f, err := w.healForWrite()
+		if err != nil {
+			return err
+		}
 		if _, err := f.Write(frame); err != nil {
+			w.markPoisoned()
 			return fmt.Errorf("wal: appending record: %w", err)
 		}
 		if err := f.Sync(); err != nil {
+			w.markPoisoned()
 			return fmt.Errorf("wal: syncing record: %w", err)
 		}
 		return nil
@@ -165,23 +189,64 @@ func (w *Writer) flush() {
 	w.ioMu.Lock()
 	defer w.ioMu.Unlock()
 	w.mu.Lock()
-	buf, waiters, f := w.pending, w.waiters, w.f
+	buf, waiters := w.pending, w.waiters
 	w.pending, w.waiters = nil, nil
 	w.mu.Unlock()
 	if len(buf) == 0 && len(waiters) == 0 {
 		return
 	}
-	var err error
-	if len(buf) > 0 {
+	f, err := w.healForWrite()
+	if err == nil && len(buf) > 0 {
 		if _, werr := f.Write(buf); werr != nil {
+			w.markPoisoned()
 			err = fmt.Errorf("wal: appending group: %w", werr)
 		} else if serr := f.Sync(); serr != nil {
+			w.markPoisoned()
 			err = fmt.Errorf("wal: syncing group: %w", serr)
 		}
 	}
 	for _, ch := range waiters {
 		ch <- err
 	}
+}
+
+// markPoisoned flags the current segment after a failed write or sync:
+// its tail may hold a torn frame, and nothing may be appended behind a
+// tear (the reader stops at the first bad frame, so later records would
+// be unreachable even if written intact).
+func (w *Writer) markPoisoned() {
+	w.mu.Lock()
+	w.poisoned = true
+	w.mu.Unlock()
+}
+
+// healForWrite returns the segment file to write to, first rotating
+// away from a poisoned segment so acknowledged records never land
+// behind a torn tail. If opening the next segment also fails, the
+// append must fail rather than fall back to the poisoned file: an
+// open can fail (fd or inode exhaustion) while writes to the already-
+// open file would still succeed — and a write that succeeds behind a
+// tear would be acknowledged yet unreadable on recovery. Caller holds
+// ioMu.
+func (w *Writer) healForWrite() (File, error) {
+	w.mu.Lock()
+	if !w.poisoned {
+		f := w.f
+		w.mu.Unlock()
+		return f, nil
+	}
+	next := w.seg + 1
+	w.mu.Unlock()
+	nf, err := w.fs.OpenAppend(filepath.Join(w.dir, segmentName(next)))
+	if err != nil {
+		return nil, fmt.Errorf("wal: healing onto segment %d: %w", next, err)
+	}
+	w.mu.Lock()
+	old := w.f
+	w.f, w.seg, w.poisoned = nf, next, false
+	w.mu.Unlock()
+	_ = old.Close()
+	return nf, nil
 }
 
 // Rotate flushes and closes the current segment and starts the next
@@ -198,20 +263,45 @@ func (w *Writer) Rotate() (int, error) {
 		return 0, ErrClosed
 	}
 	buf, waiters, old := w.pending, w.waiters, w.f
+	poisoned := w.poisoned
 	w.pending, w.waiters = nil, nil
 	next := w.seg + 1
-	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fs.OpenAppend(filepath.Join(w.dir, segmentName(next)))
 	if err != nil {
+		w.mu.Unlock()
+		rerr := fmt.Errorf("wal: rotating to segment %d: %w", next, err)
+		if poisoned {
+			// No fresh segment and the current one has a torn tail:
+			// nothing may be written behind the tear, so the drained
+			// group fails without touching the disk (its records were
+			// never acknowledged).
+			for _, ch := range waiters {
+				ch <- rerr
+			}
+			return 0, rerr
+		}
 		// Keep writing the old segment; re-queue nothing (the pending
 		// group stays drained below).
-		w.mu.Unlock()
-		w.finishGroup(old, buf, waiters)
-		return 0, fmt.Errorf("wal: rotating to segment %d: %w", next, err)
+		if gerr := w.finishGroup(old, buf, waiters); gerr != nil {
+			w.markPoisoned() // the old segment stays current — quarantine its tear
+		}
+		return 0, rerr
 	}
-	w.f, w.seg = f, next
+	w.f, w.seg, w.poisoned = f, next, false
 	w.mu.Unlock()
 
-	err = w.finishGroup(old, buf, waiters)
+	// The drained group normally lands in the retiring segment, below
+	// the cut. A poisoned segment ends in a torn frame the reader stops
+	// at, so its group goes into the fresh segment instead — records at
+	// or above the cut simply replay idempotently on recovery.
+	target := old
+	if poisoned {
+		target = f
+	}
+	err = w.finishGroup(target, buf, waiters)
+	if err != nil && poisoned {
+		w.markPoisoned() // the failed write hit the new, current segment
+	}
 	if cerr := old.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("wal: closing rotated segment: %w", cerr)
 	}
@@ -222,8 +312,10 @@ func (w *Writer) Rotate() (int, error) {
 }
 
 // finishGroup writes a drained group to the given (old) segment and
-// releases its waiters. Caller holds ioMu.
-func (w *Writer) finishGroup(f *os.File, buf []byte, waiters []chan error) error {
+// releases its waiters. Caller holds ioMu. Errors are not recorded as
+// poison: they concern a segment that is being retired, not the one
+// subsequent writes target.
+func (w *Writer) finishGroup(f File, buf []byte, waiters []chan error) error {
 	var err error
 	if len(buf) > 0 {
 		if _, werr := f.Write(buf); werr != nil {

@@ -1,0 +1,250 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// stubFS wraps OSFS with switchable write/sync faults, mirroring what
+// the chaos harness injects in production scenarios.
+type stubFS struct {
+	mu         sync.Mutex
+	syncErr    bool
+	shortWrite bool
+}
+
+func (s *stubFS) set(syncErr, shortWrite bool) {
+	s.mu.Lock()
+	s.syncErr, s.shortWrite = syncErr, shortWrite
+	s.mu.Unlock()
+}
+
+func (s *stubFS) OpenAppend(name string) (File, error) {
+	f, err := OSFS{}.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &stubFile{File: f, fs: s}, nil
+}
+
+type stubFile struct {
+	File
+	fs *stubFS
+}
+
+var errInjected = errors.New("injected disk fault")
+
+func (f *stubFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	short := f.fs.shortWrite
+	f.fs.mu.Unlock()
+	if short && len(p) > 1 {
+		n, _ := f.File.Write(p[:len(p)/2]) // torn frame hits the disk
+		return n, errInjected
+	}
+	return f.File.Write(p)
+}
+
+func (f *stubFile) Sync() error {
+	f.fs.mu.Lock()
+	bad := f.fs.syncErr
+	f.fs.mu.Unlock()
+	if bad {
+		return errInjected
+	}
+	return f.File.Sync()
+}
+
+// TestWriterHealsAfterDiskFault proves the durability contract the
+// chaos harness audits: every Append that returned nil is recoverable,
+// even when earlier Appends failed with torn writes or fsync errors —
+// the writer quarantines the poisoned segment and rotates before the
+// next group.
+func TestWriterHealsAfterDiskFault(t *testing.T) {
+	for _, mode := range []struct {
+		name               string
+		syncErr, shortWrit bool
+		perRecord          bool
+	}{
+		{"sync-error-group", true, false, false},
+		{"short-write-group", false, true, false},
+		{"sync-error-per-record", true, false, true},
+		{"short-write-per-record", false, true, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fs := &stubFS{}
+			w := openWriter(t, dir, Options{FS: fs, PerRecordSync: mode.perRecord})
+
+			var acked []uint64
+			append1 := func(lsn uint64) error {
+				err := w.Append(nodeMut(lsn, fmt.Sprintf("n%03d", lsn)))
+				if err == nil {
+					acked = append(acked, lsn)
+				}
+				return err
+			}
+
+			for lsn := uint64(1); lsn <= 5; lsn++ {
+				if err := append1(lsn); err != nil {
+					t.Fatalf("healthy append %d: %v", lsn, err)
+				}
+			}
+			// Fault window: these appends must fail (never falsely acked).
+			fs.set(mode.syncErr, mode.shortWrit)
+			for lsn := uint64(6); lsn <= 8; lsn++ {
+				if err := append1(lsn); err == nil {
+					t.Fatalf("append %d acked during disk fault", lsn)
+				}
+			}
+			// Disk heals: appends succeed again and must be recoverable
+			// despite the poisoned segment tail in between.
+			fs.set(false, false)
+			for lsn := uint64(9); lsn <= 12; lsn++ {
+				if err := append1(lsn); err != nil {
+					t.Fatalf("post-heal append %d: %v", lsn, err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			recs, stats, err := ReadAll(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[uint64]bool, len(recs))
+			for _, r := range recs {
+				got[r.LSN] = true
+			}
+			for _, lsn := range acked {
+				if !got[lsn] {
+					t.Errorf("acknowledged record %d lost (stats %+v)", lsn, stats)
+				}
+			}
+			if stats.Segments < 2 {
+				t.Errorf("expected a healing rotation, read %d segment(s)", stats.Segments)
+			}
+		})
+	}
+}
+
+// TestRotateNeverWritesBehindTear: a Rotate that drains a pending
+// group while the current segment is poisoned must not write that
+// group behind the torn frame — the reader would stop at the tear and
+// silently lose records Rotate acknowledged.
+func TestRotateNeverWritesBehindTear(t *testing.T) {
+	dir := t.TempDir()
+	fs := &stubFS{}
+	w := openWriter(t, dir, Options{FS: fs})
+
+	if err := w.Append(nodeMut(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	// Poison segment 0 with a genuinely torn frame.
+	fs.set(false, true)
+	if err := w.Append(nodeMut(2, "torn")); err == nil {
+		t.Fatal("torn append acked")
+	}
+	fs.set(false, false)
+
+	// Stage a pending group exactly as racing appenders would leave it
+	// when Rotate wins the I/O lock before the flusher runs.
+	frame, err := encodeRecord(nodeMut(3, "staged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	w.mu.Lock()
+	w.pending = append(w.pending, frame...)
+	w.waiters = append(w.waiters, done)
+	w.mu.Unlock()
+
+	if _, err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("staged group not acked: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]bool{}
+	for _, r := range recs {
+		got[r.LSN] = true
+	}
+	if !got[1] || !got[3] {
+		t.Fatalf("acknowledged records lost behind the tear: got %v (stats %+v)", recs, stats)
+	}
+	if got[2] {
+		t.Fatal("torn, unacknowledged record resurrected")
+	}
+}
+
+// TestWriterStaysDownWhileFSDown: when even opening a fresh segment
+// fails, appends keep failing (no false acks) and the writer recovers
+// once the filesystem comes back.
+func TestWriterStaysDownWhileFSDown(t *testing.T) {
+	dir := t.TempDir()
+	fs := &downFS{inner: &stubFS{}}
+	w := openWriter(t, dir, Options{FS: fs, PerRecordSync: true})
+	if err := w.Append(nodeMut(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	fs.inner.set(true, false) // current segment fails
+	fs.setDown(true)          // and no new segment can be opened
+	for lsn := uint64(2); lsn <= 4; lsn++ {
+		if err := w.Append(nodeMut(lsn, "b")); err == nil {
+			t.Fatalf("append %d acked with filesystem down", lsn)
+		}
+	}
+	fs.inner.set(false, false)
+	fs.setDown(false)
+	if err := w.Append(nodeMut(5, "c")); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []uint64
+	for _, r := range recs {
+		lsns = append(lsns, r.LSN)
+	}
+	if len(recs) < 2 || recs[0].LSN != 1 || recs[len(recs)-1].LSN != 5 {
+		t.Fatalf("recovered LSNs %v, want first=1 last=5", lsns)
+	}
+}
+
+// downFS also fails OpenAppend while down.
+type downFS struct {
+	mu    sync.Mutex
+	down  bool
+	inner *stubFS
+}
+
+func (d *downFS) setDown(v bool) {
+	d.mu.Lock()
+	d.down = v
+	d.mu.Unlock()
+}
+
+func (d *downFS) OpenAppend(name string) (File, error) {
+	d.mu.Lock()
+	down := d.down
+	d.mu.Unlock()
+	if down {
+		return nil, errInjected
+	}
+	return d.inner.OpenAppend(name)
+}

@@ -7,7 +7,7 @@ GO ?= go
 # total). Raise it as coverage grows; never lower it below the seed.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all build test race bench fmt vet verify-recovery verify-chaos cover ci
+.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos cover ci
 
 all: build
 
@@ -27,6 +27,16 @@ race:
 # bench_test.go compiling and executable without burning CI minutes.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Regression gate on the stable single-goroutine hot-path benchmarks:
+# >25% ns/op regression vs BENCH_baseline.json fails the build. The
+# highly parallel benches (ConcurrentHeartbeats/Reads, WAL appends) are
+# too noisy for a hard threshold and are deliberately excluded. After a
+# deliberate perf change, re-record the baseline with the command in
+# BENCH_baseline.json's comment field.
+BENCH_CHECK_FILTER ?= DBJobQueueQuery$$|DBJobsOnNode$$|BatchPlacement32$$|SinglePlacement32$$|SchedulerDecision50Nodes$$
+bench-check:
+	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json -bench '$(BENCH_CHECK_FILTER)' -threshold 25
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -62,4 +72,4 @@ cover:
 # cover runs the full test suite (with profiling), so ci does not also
 # run a bare `test` pass — the long simulations already execute once
 # there and once more under verify-chaos.
-ci: build vet fmt race bench verify-recovery verify-chaos cover
+ci: build vet fmt race bench bench-check verify-recovery verify-chaos cover

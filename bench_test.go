@@ -409,6 +409,90 @@ func BenchmarkDBJobQueueQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathCalibration is a fixed, allocation-free, pure-CPU
+// workload (xorshift over 4096 rounds). scripts/benchcheck measures it
+// alongside the gated hot-path benchmarks and rescales the recorded
+// baseline by the calibration ratio, so the regression threshold
+// compares code, not the speed of the machine the baseline happened to
+// be recorded on.
+func BenchmarkHotPathCalibration(b *testing.B) {
+	var acc uint64 = 88172645463325252
+	for i := 0; i < b.N; i++ {
+		x := acc
+		for k := 0; k < 4096; k++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		acc = x
+	}
+	if acc == 0 {
+		b.Fatal("calibration loop collapsed")
+	}
+}
+
+// BenchmarkDBJobsOnNode measures the heartbeat anti-entropy lookup: the
+// jobs currently placed on one node, out of a store holding many more.
+func BenchmarkDBJobsOnNode(b *testing.B) {
+	store := db.New(0)
+	for i := 0; i < 200; i++ {
+		store.UpsertNode(db.NodeRecord{
+			ID: fmt.Sprintf("node-%03d", i), Status: db.NodeActive,
+			GPUs: []db.GPUInfo{{DeviceID: "gpu0", Model: "RTX 3090",
+				MemoryMiB: 24576, CapabilityMajor: 8, CapabilityMinor: 6, Allocated: true}},
+			RegisteredAt: benchEpoch,
+		})
+	}
+	for i := 0; i < 1000; i++ {
+		rec := db.JobRecord{
+			ID: fmt.Sprintf("job-%04d", i), Priority: i % 7,
+			SubmittedAt: benchEpoch.Add(time.Duration(i) * time.Second),
+		}
+		switch i % 4 {
+		case 0, 1:
+			rec.State = db.JobRunning
+			rec.NodeID = fmt.Sprintf("node-%03d", i%200)
+			rec.DeviceID = "gpu0"
+		case 2:
+			rec.State = db.JobCompleted
+		default:
+			rec.State = db.JobPending
+		}
+		_ = store.InsertJob(rec)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if jobs := store.JobsOnNode("node-048"); len(jobs) == 0 {
+			b.Fatal("no jobs on node")
+		}
+	}
+}
+
+// BenchmarkDBActiveNodesAllocs tracks the allocation cost of the
+// read-mostly node scans (scheduler pool rebuilds, dashboards).
+func BenchmarkDBActiveNodesAllocs(b *testing.B) {
+	store := db.New(0)
+	for i := 0; i < 200; i++ {
+		status := db.NodeActive
+		if i%4 == 0 {
+			status = db.NodePaused
+		}
+		store.UpsertNode(db.NodeRecord{
+			ID: fmt.Sprintf("node-%03d", i), Status: status,
+			GPUs: []db.GPUInfo{{DeviceID: "gpu0", Model: "RTX 3090",
+				MemoryMiB: 24576, CapabilityMajor: 8, CapabilityMinor: 6}},
+			RegisteredAt: benchEpoch,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nodes := store.ActiveNodes(); len(nodes) != 150 {
+			b.Fatalf("active nodes = %d", len(nodes))
+		}
+	}
+}
+
 // heartbeatStore seeds a store with n nodes for the heartbeat benches.
 func heartbeatStore(store db.Store, n int) []string {
 	ids := make([]string, n)
@@ -528,6 +612,35 @@ func BenchmarkBatchPlacement32(b *testing.B) {
 		if results[0].Err != nil {
 			b.Fatal(results[0].Err)
 		}
+	}
+}
+
+// BenchmarkBatchPlacementPooled32 is the coordinator's actual cycle
+// shape: 32 requests against the incrementally maintained NodePool,
+// with one store mutation per cycle (the committed placement's device
+// flip) invalidating exactly one cached node between batches.
+func BenchmarkBatchPlacementPooled32(b *testing.B) {
+	store := db.New(0)
+	heartbeatStore(store, 50)
+	s := scheduler.New(&scheduler.RoundRobin{}, scheduler.DefaultReliability())
+	pool := s.NewNodePool()
+	cancel := store.AddMutationObserver(pool.Observe)
+	defer cancel()
+	pool.Reset(store)
+	reqs := make([]scheduler.Request, 32)
+	for i := range reqs {
+		reqs[i] = scheduler.Request{JobID: fmt.Sprintf("j%02d", i), GPUMemMiB: 8192,
+			Capability: gpu.ComputeCapability{Major: 7, Minor: 0}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := s.PlaceBatchPooled(reqs, pool, benchEpoch)
+		if results[0].Err != nil {
+			b.Fatal(results[0].Err)
+		}
+		_ = store.UpdateNode(fmt.Sprintf("node-%03d", i%50), func(n *db.NodeRecord) {
+			n.LastHeartbeat = n.LastHeartbeat.Add(time.Second)
+		})
 	}
 }
 

@@ -85,16 +85,20 @@ type jobMeta struct {
 
 // Coordinator is the central scheduler and coordination hub.
 type Coordinator struct {
-	cfg     Config
-	clock   simclock.Clock
-	db      db.Store
-	authy   *auth.Authority
-	sched   *scheduler.Scheduler
-	hb      *heartbeat.Monitor
-	ckpts   *checkpoint.Store
-	mig     *migration.Engine
-	bus     *eventbus.Bus
-	metrics *monitor.Registry
+	cfg   Config
+	clock simclock.Clock
+	db    db.Store
+	authy *auth.Authority
+	sched *scheduler.Scheduler
+	// pool is the scheduler's incremental candidate cache, fed by the
+	// store's mutation stream; poolCancel detaches the feed on Stop.
+	pool       *scheduler.NodePool
+	poolCancel func()
+	hb         *heartbeat.Monitor
+	ckpts      *checkpoint.Store
+	mig        *migration.Engine
+	bus        *eventbus.Bus
+	metrics    *monitor.Registry
 
 	mu               sync.Mutex
 	agents           map[string]AgentHandle
@@ -154,6 +158,13 @@ func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.
 		temporary:    make(map[string]bool),
 		schedLatency: latency,
 	}
+	// Subscribe the scheduler pool before the seeding scan: Reset
+	// holds the pool lock across its watermark read + scan, so every
+	// concurrent mutation is either contained in the scan or applied
+	// afterwards through the observer's LSN guard.
+	c.pool = sched.NewNodePool()
+	c.poolCancel = database.AddMutationObserver(c.pool.Observe)
+	c.pool.Reset(database)
 	c.scheduleSweep()
 	return c, nil
 }
@@ -163,6 +174,11 @@ func (c *Coordinator) DB() db.Store { return c.db }
 
 // Checkpoints exposes the checkpoint store.
 func (c *Coordinator) Checkpoints() *checkpoint.Store { return c.ckpts }
+
+// AuditSchedulerPool verifies the scheduler's cached node pool against
+// a fresh store scan (see scheduler.NodePool.Audit). The chaos harness
+// calls it at every audit point; any discrepancy is a platform bug.
+func (c *Coordinator) AuditSchedulerPool() []string { return c.pool.Audit(c.db) }
 
 // Migration exposes the migration engine (statistics).
 func (c *Coordinator) Migration() *migration.Engine { return c.mig }
@@ -200,6 +216,9 @@ func (c *Coordinator) InteractiveSessions() int {
 //
 // Call it once, after New and before admitting traffic.
 func (c *Coordinator) RecoverState() {
+	// The restored state arrived via ImportState + Apply, outside the
+	// live mutation stream; rebuild the derived scheduler pool from it.
+	c.pool.Reset(c.db)
 	now := c.clock.Now()
 	maxSeq := 0
 	for _, job := range c.db.ListJobs() {
@@ -242,6 +261,9 @@ func (c *Coordinator) Stop() {
 		c.sweeper.Stop()
 	}
 	c.mu.Unlock()
+	// Detach the scheduler-pool feed: a replaced coordinator must not
+	// keep consuming its successor's store mutations.
+	c.poolCancel()
 }
 
 // isStopped reports whether Stop was called.
@@ -770,8 +792,9 @@ func (c *Coordinator) scheduleBatch() bool {
 
 	// Real time, per decision: scheduling latency is a real cost, and
 	// each member's own latency feeds the histogram so batching cannot
-	// flatten the tail quantiles.
-	results := c.sched.PlaceBatch(reqs, c.db.ListNodes(), now)
+	// flatten the tail quantiles. The candidate pool comes from the
+	// incrementally maintained cache, not a fresh store scan.
+	results := c.sched.PlaceBatchPooled(reqs, c.pool, now)
 
 	progressed := false
 	for i, res := range results {

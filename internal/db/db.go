@@ -10,6 +10,18 @@
 // touch exactly one shard, and read-mostly scans take read locks shard
 // by shard.
 //
+// Records are copy-on-write: mutators install a freshly cloned record
+// and never modify an installed one, so read paths hand out shallow
+// copies that safely share slice storage (GPUs, Entrypoint) with the
+// store. Callers that want to mutate a returned record's slices must
+// clone it first (CloneNode, CloneJob).
+//
+// The job table additionally maintains materialized per-shard indexes
+// (see index.go): per-state queue-ordered lists and a node→jobs map,
+// kept in the same critical sections as the record map, so the hot
+// control-plane queries — JobsInState, JobsOnNode, CountJobsInState —
+// cost O(result), not O(all jobs).
+//
 // Durability is layered on top through mutation records: every write
 // emits a typed, LSN-stamped Mutation to an installed MutationHook
 // (the write-ahead log in internal/wal), ExportState checkpoints the
@@ -203,6 +215,12 @@ type Store interface {
 	// Save/Load are the legacy stop-the-world JSON snapshot, retained
 	// for tooling and benchmarks.
 	SetMutationHook(h MutationHook)
+	// AddMutationObserver registers an additional read-only subscriber
+	// for committed mutations — the seam derived caches (e.g. the
+	// scheduler's node pool) are maintained through. Observers run
+	// after the durable hook, outside any shard lock, and must not
+	// mutate the payloads. The returned cancel detaches the observer.
+	AddMutationObserver(h MutationHook) (cancel func())
 	CurrentLSN() uint64
 	Apply(m Mutation) error
 	ExportState() State
@@ -237,11 +255,15 @@ type nodeShard struct {
 }
 
 // jobShard is one partition of the job table. Each shard maintains its
-// own per-state counts; CountJobsInState sums them.
+// own materialized indexes next to the record map — per-state counts,
+// per-state queue-ordered lists, and a node→jobs placement map (see
+// index.go) — all mutated only under mu.
 type jobShard struct {
 	mu         sync.RWMutex
 	recs       map[string]*JobRecord
 	stateCount map[JobState]int
+	queue      map[JobState][]*JobRecord
+	byNode     map[string]map[string]*JobRecord
 }
 
 // allocShard is one partition of the allocation history, keyed by job.
@@ -276,8 +298,9 @@ type DB struct {
 	// lsn stamps every mutation; assigned inside the target shard's
 	// critical section so an ExportState watermark read before a shard
 	// is serialized bounds exactly what that shard's copy contains.
-	lsn  atomic.Uint64
-	hook atomic.Pointer[MutationHook]
+	lsn       atomic.Uint64
+	hook      atomic.Pointer[MutationHook]
+	observers observerList
 }
 
 // New creates a sharded database retaining at most maxSamples monitoring
@@ -309,7 +332,9 @@ func NewWithShards(maxSamples, shards int) *DB {
 	}
 	for i := 0; i < pow; i++ {
 		d.nodes[i] = &nodeShard{recs: make(map[string]*NodeRecord)}
-		d.jobs[i] = &jobShard{recs: make(map[string]*JobRecord), stateCount: make(map[JobState]int)}
+		js := &jobShard{recs: make(map[string]*JobRecord)}
+		js.resetIndexes()
+		d.jobs[i] = js
 		d.allocs[i] = &allocShard{}
 		d.samples[i] = &sampleShard{}
 	}
@@ -355,8 +380,9 @@ func (d *DB) UpsertNode(n NodeRecord) {
 	s.recs[n.ID] = &cp
 	lsn := d.lsn.Add(1)
 	s.mu.Unlock()
-	image := cloneNode(n)
-	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &image})
+	// The installed record is immutable from here on (copy-on-write),
+	// so the emitted after-image can share it.
+	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &cp})
 }
 
 // GetNode returns a copy of the node record.
@@ -373,7 +399,10 @@ func (d *DB) GetNode(id string) (NodeRecord, error) {
 	return *n, nil
 }
 
-// UpdateNode applies fn to the node record under the shard lock.
+// UpdateNode applies fn to the node record under the shard lock. fn
+// runs on a private clone (copy-on-write): the previously installed
+// record — and every copy read paths handed out that shares its slice
+// storage — is left untouched.
 func (d *DB) UpdateNode(id string, fn func(*NodeRecord)) error {
 	d.ops.Add(1)
 	s := d.nodeShard(id)
@@ -384,16 +413,19 @@ func (d *DB) UpdateNode(id string, fn func(*NodeRecord)) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: node %s", ErrNotFound, id)
 	}
-	fn(n)
-	image := cloneNode(*n)
+	cp := cloneNode(*n)
+	fn(&cp)
+	s.recs[id] = &cp
 	lsn := d.lsn.Add(1)
 	s.mu.Unlock()
-	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &image})
+	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &cp})
 	return nil
 }
 
 // ListNodes returns copies of all nodes, sorted by ID. Shards are read-
-// locked one at a time — readers never stop the whole store.
+// locked one at a time — readers never stop the whole store. The copies
+// are shallow: installed records are copy-on-write, so sharing their
+// GPU slices is safe as long as the caller does not mutate them.
 func (d *DB) ListNodes() []NodeRecord {
 	d.ops.Add(1)
 	var out []NodeRecord
@@ -412,14 +444,24 @@ func (d *DB) ListNodes() []NodeRecord {
 	return out
 }
 
-// ActiveNodes returns nodes in NodeActive status, sorted by ID.
+// ActiveNodes returns nodes in NodeActive status, sorted by ID. Like
+// ListNodes it hands out shallow copies in a single filtered pass.
 func (d *DB) ActiveNodes() []NodeRecord {
+	d.ops.Add(1)
 	var out []NodeRecord
-	for _, n := range d.ListNodes() {
-		if n.Status == NodeActive {
-			out = append(out, n)
+	for i, s := range d.nodes {
+		s.mu.RLock()
+		if i == 0 {
+			d.delay()
 		}
+		for _, n := range s.recs {
+			if n.Status == NodeActive {
+				out = append(out, *n)
+			}
+		}
+		s.mu.RUnlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -437,11 +479,10 @@ func (d *DB) InsertJob(j JobRecord) error {
 	}
 	cp := cloneJob(j)
 	s.recs[j.ID] = &cp
-	s.stateCount[j.State]++
+	s.indexInsert(&cp)
 	lsn := d.lsn.Add(1)
 	s.mu.Unlock()
-	image := cloneJob(j)
-	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &image})
+	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &cp})
 	return nil
 }
 
@@ -459,27 +500,27 @@ func (d *DB) GetJob(id string) (JobRecord, error) {
 	return *j, nil
 }
 
-// UpdateJob applies fn to the job record under the shard lock.
+// UpdateJob applies fn to the job record under the shard lock. fn runs
+// on a private clone (copy-on-write); the indexes are re-keyed from the
+// old record to the new one in the same critical section.
 func (d *DB) UpdateJob(id string, fn func(*JobRecord)) error {
 	d.ops.Add(1)
 	s := d.jobShard(id)
 	s.mu.Lock()
 	d.delay()
-	j, ok := s.recs[id]
+	old, ok := s.recs[id]
 	if !ok {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
-	before := j.State
-	fn(j)
-	if j.State != before {
-		s.stateCount[before]--
-		s.stateCount[j.State]++
-	}
-	image := cloneJob(*j)
+	cp := cloneJob(*old)
+	fn(&cp)
+	s.indexRemove(old)
+	s.recs[id] = &cp
+	s.indexInsert(&cp)
 	lsn := d.lsn.Add(1)
 	s.mu.Unlock()
-	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &image})
+	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &cp})
 	return nil
 }
 
@@ -520,11 +561,38 @@ func (d *DB) ListJobs() []JobRecord {
 
 // JobsInState returns jobs in the given state, sorted by priority
 // descending then submission time ascending — the pending-queue order.
+// For the live states the per-shard queue indexes already hold each
+// shard's records in that order, so the query collects the sorted runs
+// under brief per-shard read locks and merges them: O(result), never a
+// full-table scan. Terminal-state slices are unordered (see
+// orderedState), so their — rare — listings sort at query time,
+// still touching only the matching records.
 func (d *DB) JobsInState(state JobState) []JobRecord {
-	var out []JobRecord
-	for _, j := range d.ListJobs() {
-		if j.State == state {
-			out = append(out, j)
+	d.ops.Add(1)
+	runs := make([][]*JobRecord, 0, d.shardCount)
+	total := 0
+	for i, s := range d.jobs {
+		s.mu.RLock()
+		if i == 0 {
+			d.delay()
+		}
+		if q := s.queue[state]; len(q) > 0 {
+			run := make([]*JobRecord, len(q))
+			copy(run, q)
+			runs = append(runs, run)
+			total += len(run)
+		}
+		s.mu.RUnlock()
+	}
+	// Installed records are copy-on-write, so dereferencing the run
+	// pointers after the locks drop reads immutable snapshots.
+	if orderedState(state) {
+		return mergeQueueRuns(runs, total)
+	}
+	out := make([]JobRecord, 0, total)
+	for _, run := range runs {
+		for _, rec := range run {
+			out = append(out, *rec)
 		}
 	}
 	sortQueueOrder(out)
@@ -532,29 +600,31 @@ func (d *DB) JobsInState(state JobState) []JobRecord {
 }
 
 // JobsOnNode returns jobs currently placed on the node in Running or
-// Migrating state.
+// Migrating state, sorted by ID. The per-shard byNode index makes this
+// O(shards + jobs-on-node) — the heartbeat anti-entropy path no longer
+// scans the job table.
 func (d *DB) JobsOnNode(nodeID string) []JobRecord {
+	d.ops.Add(1)
 	var out []JobRecord
-	for _, j := range d.ListJobs() {
-		if j.NodeID == nodeID && (j.State == JobRunning || j.State == JobMigrating) {
-			out = append(out, j)
+	for i, s := range d.jobs {
+		s.mu.RLock()
+		if i == 0 {
+			d.delay()
 		}
+		for _, rec := range s.byNode[nodeID] {
+			out = append(out, *rec)
+		}
+		s.mu.RUnlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// sortQueueOrder sorts jobs into pending-queue order: priority
-// descending, submission time ascending, ID as the final tiebreak.
+// sortQueueOrder sorts jobs into pending-queue order (the order the
+// queue indexes maintain incrementally; see queueLess). Used by the
+// scan-based SingleMutex baseline.
 func sortQueueOrder(jobs []JobRecord) {
-	sort.Slice(jobs, func(i, j int) bool {
-		if jobs[i].Priority != jobs[j].Priority {
-			return jobs[i].Priority > jobs[j].Priority
-		}
-		if !jobs[i].SubmittedAt.Equal(jobs[j].SubmittedAt) {
-			return jobs[i].SubmittedAt.Before(jobs[j].SubmittedAt)
-		}
-		return jobs[i].ID < jobs[j].ID
-	})
+	sort.Slice(jobs, func(i, j int) bool { return queueLess(&jobs[i], &jobs[j]) })
 }
 
 // --- Allocations ---
@@ -791,15 +861,15 @@ func (d *DB) Save(w io.Writer) error {
 	d.lockAll(false)
 	for _, s := range d.nodes {
 		for _, n := range s.recs {
-			// Deep copies: encoding happens after the locks drop, and
-			// live records mutate their GPUs/Entrypoint storage in
-			// place.
-			st.Nodes = append(st.Nodes, cloneNode(*n))
+			// Shallow copies suffice: installed records are copy-on-
+			// write, so their slice storage never mutates after the
+			// locks drop.
+			st.Nodes = append(st.Nodes, *n)
 		}
 	}
 	for _, s := range d.jobs {
 		for _, j := range s.recs {
-			st.Jobs = append(st.Jobs, cloneJob(*j))
+			st.Jobs = append(st.Jobs, *j)
 		}
 	}
 	for _, s := range d.allocs {

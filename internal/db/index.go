@@ -1,0 +1,235 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file maintains the job table's materialized indexes. Every
+// jobShard carries, next to its record map:
+//
+//   - queue: per-state record lists. For the live states (pending,
+//     running, migrating) they are kept permanently in pending-queue
+//     order (priority descending, submission time ascending, ID as the
+//     final tiebreak), so JobsInState merges sorted runs instead of
+//     scanning and re-sorting the whole table; terminal states are
+//     unordered so completions stay O(1) however long the campus
+//     history grows (see orderedState);
+//   - byNode: the records currently holding a placement (Running or
+//     Migrating with a node), keyed by node, so JobsOnNode — the
+//     heartbeat anti-entropy scan — touches only the jobs actually on
+//     the node;
+//   - stateCount: per-state totals behind CountJobsInState.
+//
+// All three are *derived* state: they are mutated only under the shard
+// write lock, in the same critical section as the record map, emit no
+// mutations of their own, and are rebuilt from scratch on ImportState.
+// Records are copy-on-write (mutators install a fresh clone, installed
+// records are never modified), so index entries are plain pointers into
+// the record map and readers may dereference them after the shard lock
+// drops. AuditIndexes verifies index ↔ record-map equivalence; the
+// invariant checker runs it after every injected chaos fault.
+
+// queueLess orders records by pending-queue precedence: priority
+// descending, submission time ascending, ID ascending. IDs are unique,
+// so the order is total — every record has exactly one queue position.
+func queueLess(a, b *JobRecord) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if !a.SubmittedAt.Equal(b.SubmittedAt) {
+		return a.SubmittedAt.Before(b.SubmittedAt)
+	}
+	return a.ID < b.ID
+}
+
+// orderedState reports whether the state's queue slice is kept sorted.
+// Only the live states are: their populations are bounded by cluster
+// capacity and their order is what the scheduler and reconciliation
+// consume. Terminal states grow with campus history — a sorted insert
+// there would make every completion an O(history) memmove (and
+// recovery import quadratic), so their slices are unordered and the
+// rare terminal-state listing sorts at query time.
+func orderedState(state JobState) bool {
+	return state == JobPending || state == JobRunning || state == JobMigrating
+}
+
+// indexed reports whether the record belongs in the byNode index.
+func indexedOnNode(rec *JobRecord) bool {
+	return rec.NodeID != "" && (rec.State == JobRunning || rec.State == JobMigrating)
+}
+
+// indexInsert adds a newly installed record to every index. Callers
+// hold the shard write lock and must not modify rec afterwards.
+func (s *jobShard) indexInsert(rec *JobRecord) {
+	q := s.queue[rec.State]
+	if orderedState(rec.State) {
+		i := sort.Search(len(q), func(i int) bool { return queueLess(rec, q[i]) })
+		q = append(q, nil)
+		copy(q[i+1:], q[i:])
+		q[i] = rec
+	} else {
+		q = append(q, rec)
+	}
+	s.queue[rec.State] = q
+
+	if indexedOnNode(rec) {
+		m := s.byNode[rec.NodeID]
+		if m == nil {
+			m = make(map[string]*JobRecord)
+			s.byNode[rec.NodeID] = m
+		}
+		m[rec.ID] = rec
+	}
+	s.stateCount[rec.State]++
+}
+
+// indexRemove drops a record from every index before it is replaced or
+// discarded. rec must be the pointer currently installed in the record
+// map (its key fields locate the exact queue slot).
+func (s *jobShard) indexRemove(rec *JobRecord) {
+	q := s.queue[rec.State]
+	if orderedState(rec.State) {
+		i := sort.Search(len(q), func(i int) bool { return !queueLess(q[i], rec) })
+		if i < len(q) && q[i] == rec {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			s.queue[rec.State] = q[:len(q)-1]
+		}
+	} else {
+		// Unordered slice: locate by pointer, remove by swap. Records
+		// rarely leave a terminal state (replayed after-images only).
+		for i, cur := range q {
+			if cur == rec {
+				q[i] = q[len(q)-1]
+				q[len(q)-1] = nil
+				s.queue[rec.State] = q[:len(q)-1]
+				break
+			}
+		}
+	}
+	if indexedOnNode(rec) {
+		if m := s.byNode[rec.NodeID]; m != nil {
+			delete(m, rec.ID)
+			if len(m) == 0 {
+				delete(s.byNode, rec.NodeID)
+			}
+		}
+	}
+	s.stateCount[rec.State]--
+	if s.stateCount[rec.State] == 0 {
+		delete(s.stateCount, rec.State)
+	}
+}
+
+// resetIndexes clears every index (ImportState rebuilds via
+// indexInsert).
+func (s *jobShard) resetIndexes() {
+	s.queue = make(map[JobState][]*JobRecord)
+	s.byNode = make(map[string]map[string]*JobRecord)
+	s.stateCount = make(map[JobState]int)
+}
+
+// mergeQueueRuns k-way-merges per-shard queue runs into one slice of
+// record copies in global queue order. Runs are already sorted, so the
+// merge is O(result × runs) cheap comparisons — no re-sort.
+func mergeQueueRuns(runs [][]*JobRecord, total int) []JobRecord {
+	out := make([]JobRecord, 0, total)
+	idx := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for r := range runs {
+			if idx[r] >= len(runs[r]) {
+				continue
+			}
+			if best < 0 || queueLess(runs[r][idx[r]], runs[best][idx[best]]) {
+				best = r
+			}
+		}
+		out = append(out, *runs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// AuditIndexes verifies every materialized index against a full scan of
+// the ground-truth record maps, shard by shard, and returns the
+// discrepancies found (empty means every index is exact). It exists for
+// the invariant checker: the indexes are derived state, and any drift
+// from the record maps is a platform bug no matter how the store got
+// there.
+func (d *DB) AuditIndexes() []string {
+	var probs []string
+	for si, s := range d.jobs {
+		s.mu.RLock()
+		tally := make(map[JobState]int, len(s.stateCount))
+		placed := 0
+		for _, rec := range s.recs {
+			tally[rec.State]++
+			if indexedOnNode(rec) {
+				placed++
+			}
+		}
+
+		queued := 0
+		for state, q := range s.queue {
+			queued += len(q)
+			for i, rec := range q {
+				if rec.State != state {
+					probs = append(probs, fmt.Sprintf(
+						"shard %d: queue[%s] holds job %s in state %s", si, state, rec.ID, rec.State))
+				}
+				if cur, ok := s.recs[rec.ID]; !ok || cur != rec {
+					probs = append(probs, fmt.Sprintf(
+						"shard %d: queue[%s] entry %s is not the installed record", si, state, rec.ID))
+				}
+				if orderedState(state) && i > 0 && !queueLess(q[i-1], rec) {
+					probs = append(probs, fmt.Sprintf(
+						"shard %d: queue[%s] out of order at %s", si, state, rec.ID))
+				}
+			}
+		}
+		if queued != len(s.recs) {
+			probs = append(probs, fmt.Sprintf(
+				"shard %d: queues hold %d records, map holds %d", si, queued, len(s.recs)))
+		}
+
+		indexed := 0
+		for nodeID, m := range s.byNode {
+			if len(m) == 0 {
+				probs = append(probs, fmt.Sprintf("shard %d: byNode[%s] is an empty bucket", si, nodeID))
+			}
+			for id, rec := range m {
+				indexed++
+				if cur, ok := s.recs[id]; !ok || cur != rec {
+					probs = append(probs, fmt.Sprintf(
+						"shard %d: byNode[%s] entry %s is not the installed record", si, nodeID, id))
+					continue
+				}
+				if !indexedOnNode(rec) || rec.NodeID != nodeID {
+					probs = append(probs, fmt.Sprintf(
+						"shard %d: byNode[%s] holds job %s (state %s on %q)", si, nodeID, id, rec.State, rec.NodeID))
+				}
+			}
+		}
+		if indexed != placed {
+			probs = append(probs, fmt.Sprintf(
+				"shard %d: byNode holds %d records, scan finds %d placed", si, indexed, placed))
+		}
+
+		for state, n := range s.stateCount {
+			if tally[state] != n {
+				probs = append(probs, fmt.Sprintf(
+					"shard %d: stateCount[%s] = %d, scan finds %d", si, state, n, tally[state]))
+			}
+		}
+		for state, n := range tally {
+			if _, ok := s.stateCount[state]; !ok && n != 0 {
+				probs = append(probs, fmt.Sprintf(
+					"shard %d: stateCount[%s] missing, scan finds %d", si, state, n))
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return probs
+}

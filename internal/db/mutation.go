@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 	"slices"
+	"sync"
 	"sync/atomic"
 )
 
@@ -46,12 +47,74 @@ type Mutation struct {
 }
 
 // MutationHook observes committed mutations. It is invoked after the
-// shard lock is released, with deep-copied payloads, so a hook may
-// block (e.g. on a group-commit fsync) without stalling other shards.
-// The store's acknowledgement of the operation to its caller happens
-// only after the hook returns — a durable hook therefore gives
-// durable-before-ack semantics without holding any lock across I/O.
+// shard lock is released, so a hook may block (e.g. on a group-commit
+// fsync) without stalling other shards. The store's acknowledgement of
+// the operation to its caller happens only after the hook returns — a
+// durable hook therefore gives durable-before-ack semantics without
+// holding any lock across I/O.
+//
+// Payloads are immutable after-images: the store installs records
+// copy-on-write and emits the installed record itself, so a hook (or
+// observer) may retain the pointer indefinitely but must never mutate
+// it.
 type MutationHook func(Mutation)
+
+// observerList fans one mutation stream out to any number of derived-
+// state subscribers (scheduler pool cache, metrics, …) registered via
+// AddMutationObserver. Registration is copy-on-write so the notify
+// path is one atomic load plus a slice walk.
+type observerList struct {
+	mu   sync.Mutex
+	seq  int
+	subs map[int]MutationHook
+	list atomic.Pointer[[]MutationHook]
+}
+
+// add registers h and returns its cancel function.
+func (o *observerList) add(h MutationHook) func() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.subs == nil {
+		o.subs = make(map[int]MutationHook)
+	}
+	o.seq++
+	id := o.seq
+	o.subs[id] = h
+	o.rebuild()
+	return func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		delete(o.subs, id)
+		o.rebuild()
+	}
+}
+
+// rebuild republishes the subscriber slice; callers hold o.mu.
+func (o *observerList) rebuild() {
+	if len(o.subs) == 0 {
+		o.list.Store(nil)
+		return
+	}
+	ids := make([]int, 0, len(o.subs))
+	for id := range o.subs {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids) // registration order, deterministic
+	l := make([]MutationHook, 0, len(ids))
+	for _, id := range ids {
+		l = append(l, o.subs[id])
+	}
+	o.list.Store(&l)
+}
+
+// notify delivers m to every registered observer.
+func (o *observerList) notify(m Mutation) {
+	if l := o.list.Load(); l != nil {
+		for _, h := range *l {
+			h(m)
+		}
+	}
+}
 
 // State is the serializable full-store image used by snapshots,
 // Save/Load, and recovery. Watermark is the store's LSN at the moment
@@ -67,8 +130,9 @@ type State struct {
 	Samples     []Sample           `json:"samples"`
 }
 
-// cloneNode deep-copies the record's slice fields so an emitted or
-// exported image cannot race with in-place updates to the stored one.
+// cloneNode deep-copies the record's slice fields. The stores use it at
+// every install point (copy-on-write): an installed record owns its
+// slices and is never modified, so readers can share them.
 func cloneNode(n NodeRecord) NodeRecord {
 	n.GPUs = slices.Clone(n.GPUs)
 	return n
@@ -84,6 +148,14 @@ func cloneJob(j JobRecord) JobRecord {
 	}
 	return j
 }
+
+// CloneNode returns a deep copy of the record. Read paths (GetNode,
+// ListNodes, ActiveNodes) return shallow copies whose slices must not
+// be mutated; callers that want a private mutable view clone first.
+func CloneNode(n NodeRecord) NodeRecord { return cloneNode(n) }
+
+// CloneJob is CloneNode's job-table counterpart.
+func CloneJob(j JobRecord) JobRecord { return cloneJob(j) }
 
 // sameAllocIdentity compares allocation episodes by identity — job,
 // placement and start instant — using time.Time.Equal so JSON
@@ -127,12 +199,20 @@ func (d *DB) SetMutationHook(h MutationHook) {
 // CurrentLSN reports the store's mutation sequence counter.
 func (d *DB) CurrentLSN() uint64 { return d.lsn.Load() }
 
-// emit invokes the installed mutation hook, if any. Callers must not
-// hold any shard lock and must pass deep-copied payloads.
+// AddMutationObserver registers a derived-state subscriber; see the
+// Store interface for the contract.
+func (d *DB) AddMutationObserver(h MutationHook) (cancel func()) {
+	return d.observers.add(h)
+}
+
+// emit invokes the installed mutation hook and then every observer.
+// Callers must not hold any shard lock; payloads are immutable
+// after-images (see MutationHook).
 func (d *DB) emit(m Mutation) {
 	if h := d.hook.Load(); h != nil {
 		(*h)(m)
 	}
+	d.observers.notify(m)
 }
 
 // ExportState collects a snapshot image shard by shard: each shard is
@@ -146,14 +226,15 @@ func (d *DB) ExportState() State {
 	for _, s := range d.nodes {
 		s.mu.RLock()
 		for _, n := range s.recs {
-			st.Nodes = append(st.Nodes, cloneNode(*n))
+			// Shallow copies: installed records are copy-on-write.
+			st.Nodes = append(st.Nodes, *n)
 		}
 		s.mu.RUnlock()
 	}
 	for _, s := range d.jobs {
 		s.mu.RLock()
 		for _, j := range s.recs {
-			st.Jobs = append(st.Jobs, cloneJob(*j))
+			st.Jobs = append(st.Jobs, *j)
 		}
 		s.mu.RUnlock()
 	}
@@ -173,14 +254,16 @@ func (d *DB) ExportState() State {
 
 // ImportState replaces the store's contents with the given image,
 // write-locking every shard for the swap (recovery runs before the
-// store is shared, so the quiesce is free there).
+// store is shared, so the quiesce is free there). The materialized job
+// indexes are derived state: they are rebuilt here from the imported
+// records, never restored from the image.
 func (d *DB) ImportState(st State) {
 	d.lockAll(true)
 	defer d.unlockAll(true)
 	for i := 0; i < d.shardCount; i++ {
 		d.nodes[i].recs = make(map[string]*NodeRecord)
 		d.jobs[i].recs = make(map[string]*JobRecord)
-		d.jobs[i].stateCount = make(map[JobState]int)
+		d.jobs[i].resetIndexes()
 		d.allocs[i].episodes = nil
 		d.samples[i].buf = nil
 	}
@@ -192,7 +275,7 @@ func (d *DB) ImportState(st State) {
 		cp := cloneJob(j)
 		s := d.jobShard(j.ID)
 		s.recs[j.ID] = &cp
-		s.stateCount[j.State]++
+		s.indexInsert(&cp)
 	}
 	for _, a := range st.Allocations {
 		s := d.allocShard(a.JobID)
@@ -230,11 +313,11 @@ func (d *DB) Apply(m Mutation) error {
 		s := d.jobShard(m.Job.ID)
 		s.mu.Lock()
 		if old, ok := s.recs[m.Job.ID]; ok {
-			s.stateCount[old.State]--
+			s.indexRemove(old)
 		}
 		cp := cloneJob(*m.Job)
 		s.recs[cp.ID] = &cp
-		s.stateCount[cp.State]++
+		s.indexInsert(&cp)
 		s.mu.Unlock()
 	case MutAllocOpen:
 		if m.Alloc == nil {
@@ -351,10 +434,17 @@ func (d *SingleMutex) SetMutationHook(h MutationHook) {
 // CurrentLSN reports the store's mutation sequence counter.
 func (d *SingleMutex) CurrentLSN() uint64 { return d.lsn.Load() }
 
+// AddMutationObserver registers a derived-state subscriber; see the
+// Store interface for the contract.
+func (d *SingleMutex) AddMutationObserver(h MutationHook) (cancel func()) {
+	return d.observers.add(h)
+}
+
 func (d *SingleMutex) emit(m Mutation) {
 	if h := d.hook.Load(); h != nil {
 		(*h)(m)
 	}
+	d.observers.notify(m)
 }
 
 // ExportState collects a snapshot image under the single lock (this

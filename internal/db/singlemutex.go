@@ -23,10 +23,11 @@ type SingleMutex struct {
 	samples     []Sample
 	maxSamples  int
 	// opDelay models per-operation I/O latency for contention studies.
-	opDelay time.Duration
-	ops     atomic.Int64
-	lsn     atomic.Uint64
-	hook    atomic.Pointer[MutationHook]
+	opDelay   time.Duration
+	ops       atomic.Int64
+	lsn       atomic.Uint64
+	hook      atomic.Pointer[MutationHook]
+	observers observerList
 }
 
 // NewSingleMutex creates a single-mutex database retaining at most
@@ -70,8 +71,7 @@ func (d *SingleMutex) UpsertNode(n NodeRecord) {
 	d.nodes[n.ID] = &cp
 	lsn := d.lsn.Add(1)
 	d.mu.Unlock()
-	image := cloneNode(n)
-	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &image})
+	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &cp})
 }
 
 // GetNode returns a copy of the node record.
@@ -85,7 +85,9 @@ func (d *SingleMutex) GetNode(id string) (NodeRecord, error) {
 	return *n, nil
 }
 
-// UpdateNode applies fn to the node record under the lock.
+// UpdateNode applies fn to the node record under the lock. Like the
+// sharded store, mutation is copy-on-write: fn runs on a private clone
+// and the previously installed record stays untouched.
 func (d *SingleMutex) UpdateNode(id string, fn func(*NodeRecord)) error {
 	d.lockOp()
 	n, ok := d.nodes[id]
@@ -93,11 +95,12 @@ func (d *SingleMutex) UpdateNode(id string, fn func(*NodeRecord)) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: node %s", ErrNotFound, id)
 	}
-	fn(n)
-	image := cloneNode(*n)
+	cp := cloneNode(*n)
+	fn(&cp)
+	d.nodes[id] = &cp
 	lsn := d.lsn.Add(1)
 	d.mu.Unlock()
-	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &image})
+	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &cp})
 	return nil
 }
 
@@ -136,8 +139,7 @@ func (d *SingleMutex) InsertJob(j JobRecord) error {
 	d.stateCount[j.State]++
 	lsn := d.lsn.Add(1)
 	d.mu.Unlock()
-	image := cloneJob(j)
-	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &image})
+	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &cp})
 	return nil
 }
 
@@ -152,7 +154,8 @@ func (d *SingleMutex) GetJob(id string) (JobRecord, error) {
 	return *j, nil
 }
 
-// UpdateJob applies fn to the job record under the lock.
+// UpdateJob applies fn to the job record under the lock (copy-on-write,
+// like UpdateNode).
 func (d *SingleMutex) UpdateJob(id string, fn func(*JobRecord)) error {
 	d.lockOp()
 	j, ok := d.jobs[id]
@@ -160,16 +163,16 @@ func (d *SingleMutex) UpdateJob(id string, fn func(*JobRecord)) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
-	before := j.State
-	fn(j)
-	if j.State != before {
-		d.stateCount[before]--
-		d.stateCount[j.State]++
+	cp := cloneJob(*j)
+	fn(&cp)
+	if cp.State != j.State {
+		d.stateCount[j.State]--
+		d.stateCount[cp.State]++
 	}
-	image := cloneJob(*j)
+	d.jobs[id] = &cp
 	lsn := d.lsn.Add(1)
 	d.mu.Unlock()
-	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &image})
+	d.emit(Mutation{LSN: lsn, Type: MutJobPut, Job: &cp})
 	return nil
 }
 

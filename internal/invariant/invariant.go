@@ -25,6 +25,12 @@
 //   - state-count-consistent: the store's per-state counters agree
 //     with a full job scan (validates the sharded counters across
 //     snapshot import and WAL replay);
+//   - index-consistent: every indexed query (JobsInState with its
+//     queue ordering, JobsOnNode, ActiveNodes) returns exactly what a
+//     full ground-truth scan derives, and — for stores exposing
+//     AuditIndexes — the materialized index structures themselves are
+//     byte-equivalent to a fresh rebuild. Indexes are derived state;
+//     any drift after churn, replay or import is a platform bug;
 //   - lsn-monotonic: the store's mutation sequence never moves
 //     backwards — including across a crash/recovery boundary, when the
 //     checker outlives the store instance.
@@ -37,6 +43,7 @@ package invariant
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"gpunion/internal/db"
 )
@@ -221,6 +228,9 @@ func (c *Checker) Check(s db.Store) []Violation {
 		}
 	}
 
+	// --- Derived-index consistency: indexed queries vs the scan. ---
+	vs = append(vs, checkIndexes(s, nodes, jobs)...)
+
 	// --- LSN monotonicity across the checker's lifetime. ---
 	if lsn := s.CurrentLSN(); lsn < c.lastLSN {
 		vs = append(vs, Violation{
@@ -231,6 +241,134 @@ func (c *Checker) Check(s db.Store) []Violation {
 		c.lastLSN = lsn
 	}
 	return vs
+}
+
+// checkIndexes verifies every index-backed query against the already-
+// collected ground-truth scans, and runs the store's own deep index
+// audit when it exposes one. The queries under test are exactly the
+// hot paths the materialized indexes serve: the scheduler's pending
+// queue, heartbeat anti-entropy's per-node job set, and the
+// scheduler's active-node pool.
+func checkIndexes(s db.Store, nodes []db.NodeRecord, jobs []db.JobRecord) []Violation {
+	var vs []Violation
+
+	// JobsInState must return the scan-derived set, in queue order.
+	byState := make(map[db.JobState][]db.JobRecord)
+	for _, j := range jobs {
+		byState[j.State] = append(byState[j.State], j)
+	}
+	for _, state := range []db.JobState{
+		db.JobPending, db.JobRunning, db.JobMigrating,
+		db.JobCompleted, db.JobFailed, db.JobKilled,
+	} {
+		got := s.JobsInState(state)
+		if miss := setDiff(jobIDs(got), jobIDs(byState[state])); miss != "" {
+			vs = append(vs, Violation{
+				Rule:   "index-consistent",
+				Detail: fmt.Sprintf("JobsInState(%s) diverges from scan: %s", state, miss),
+			})
+			continue
+		}
+		for i := 1; i < len(got); i++ {
+			if queuePrecedes(got[i], got[i-1]) {
+				vs = append(vs, Violation{
+					Rule:   "index-consistent",
+					Detail: fmt.Sprintf("JobsInState(%s) out of queue order at job %s", state, got[i].ID),
+				})
+				break
+			}
+		}
+	}
+
+	// JobsOnNode must return the scan-derived placement set, for every
+	// node the scan knows and every node the jobs reference.
+	wantOnNode := make(map[string][]string)
+	for _, j := range jobs {
+		if j.NodeID != "" && (j.State == db.JobRunning || j.State == db.JobMigrating) {
+			wantOnNode[j.NodeID] = append(wantOnNode[j.NodeID], j.ID)
+		}
+	}
+	nodeIDs := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		nodeIDs[n.ID] = true
+	}
+	for id := range wantOnNode {
+		nodeIDs[id] = true
+	}
+	for id := range nodeIDs {
+		if miss := setDiff(jobIDs(s.JobsOnNode(id)), wantOnNode[id]); miss != "" {
+			vs = append(vs, Violation{
+				Rule:   "index-consistent",
+				Detail: fmt.Sprintf("JobsOnNode(%s) diverges from scan: %s", id, miss),
+			})
+		}
+	}
+
+	// ActiveNodes must be exactly the scan's active subset.
+	var wantActive []string
+	for _, n := range nodes {
+		if n.Status == db.NodeActive {
+			wantActive = append(wantActive, n.ID)
+		}
+	}
+	var gotActive []string
+	for _, n := range s.ActiveNodes() {
+		gotActive = append(gotActive, n.ID)
+	}
+	if miss := setDiff(gotActive, wantActive); miss != "" {
+		vs = append(vs, Violation{
+			Rule:   "index-consistent",
+			Detail: "ActiveNodes diverges from scan: " + miss,
+		})
+	}
+
+	// Deep structural audit, for stores that materialize indexes.
+	if a, ok := s.(interface{ AuditIndexes() []string }); ok {
+		for _, p := range a.AuditIndexes() {
+			vs = append(vs, Violation{Rule: "index-consistent", Detail: p})
+		}
+	}
+	return vs
+}
+
+// jobIDs projects records onto their IDs.
+func jobIDs(jobs []db.JobRecord) []string {
+	out := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.ID)
+	}
+	return out
+}
+
+// setDiff compares two ID multisets and describes the first mismatch
+// ("" when equal).
+func setDiff(got, want []string) string {
+	g := append([]string(nil), got...)
+	w := append([]string(nil), want...)
+	sort.Strings(g)
+	sort.Strings(w)
+	if len(g) != len(w) {
+		return fmt.Sprintf("%d results, scan finds %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			return fmt.Sprintf("has %q where scan finds %q", g[i], w[i])
+		}
+	}
+	return ""
+}
+
+// queuePrecedes reports whether a strictly precedes b in pending-queue
+// order (priority descending, submission ascending, ID ascending); a
+// result that lists a after b is therefore out of order.
+func queuePrecedes(a, b db.JobRecord) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if !a.SubmittedAt.Equal(b.SubmittedAt) {
+		return a.SubmittedAt.Before(b.SubmittedAt)
+	}
+	return a.ID < b.ID
 }
 
 // CheckEquivalence compares two store images table by table (nodes,

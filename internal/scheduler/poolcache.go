@@ -1,0 +1,179 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gpunion/internal/db"
+)
+
+// NodePool is the scheduler's incremental view of schedulable capacity:
+// every registered node's latest record, the free devices it offers,
+// and a reliability score memoized per node generation. It subscribes
+// to the store's typed-mutation stream (db.Store.AddMutationObserver):
+// each MutNodePut invalidates exactly the node it touches, so a batch
+// cycle reuses the cached candidate entries instead of re-copying every
+// NodeRecord — GPU slices included — from the store.
+//
+// The pool is derived state, like the store's own indexes: it emits
+// nothing to the WAL, and after recovery (ImportState does not flow
+// through the mutation stream) it must be rebuilt with Reset. Audit
+// verifies pool ↔ store equivalence; the chaos harness runs it at
+// every audit point.
+type NodePool struct {
+	model ReliabilityModel
+
+	mu    sync.Mutex
+	nodes map[string]*poolNode
+	ids   []string // sorted node IDs, so snapshots are deterministic
+	// entries is the assembled candidate set served to PlaceBatchPooled;
+	// nil after any invalidation.
+	entries []poolEntry
+	dirty   bool
+	gen     uint64
+}
+
+// poolNode caches one node's after-image and its memoized prediction.
+type poolNode struct {
+	rec   *db.NodeRecord // immutable (store records are copy-on-write)
+	lsn   uint64         // generation: LSN of the installing mutation
+	rel   float64
+	relOK bool
+}
+
+// NewNodePool creates a pool sharing this scheduler's reliability
+// model, so memoized scores match what Schedule would compute.
+func (s *Scheduler) NewNodePool() *NodePool {
+	return &NodePool{model: s.model, nodes: make(map[string]*poolNode), dirty: true}
+}
+
+// Observe is the db.MutationHook feed. Node after-images replace the
+// cached entry when they are newer (the LSN guard resolves hook
+// deliveries racing across shards); everything else is ignored.
+func (p *NodePool) Observe(m db.Mutation) {
+	if m.Type != db.MutNodePut || m.Node == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pn := p.nodes[m.Node.ID]
+	switch {
+	case pn == nil:
+		p.nodes[m.Node.ID] = &poolNode{rec: m.Node, lsn: m.LSN}
+		i := sort.SearchStrings(p.ids, m.Node.ID)
+		p.ids = append(p.ids, "")
+		copy(p.ids[i+1:], p.ids[i:])
+		p.ids[i] = m.Node.ID
+	case m.LSN > pn.lsn:
+		pn.rec, pn.lsn, pn.relOK = m.Node, m.LSN, false
+	default:
+		return // stale delivery: a newer image is already cached
+	}
+	p.dirty = true
+	p.gen++
+}
+
+// Reset rebuilds the pool from a full store scan — the recovery path
+// (ImportState bypasses the mutation stream) and the initial fill. The
+// pool lock is held across the watermark read and the scan: a
+// concurrent mutation is either delivered after the rebuild (its LSN
+// exceeds the watermark read under the lock, so the guard applies it)
+// or its commit preceded the scan, whose per-shard reads then contain
+// it. Observe deliveries cannot interleave with the scan itself, so a
+// rebuild can never bury a fresher entry under a stale copy.
+func (p *NodePool) Reset(store db.Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wm := store.CurrentLSN()
+	recs := store.ListNodes()
+	p.nodes = make(map[string]*poolNode, len(recs))
+	p.ids = p.ids[:0]
+	for i := range recs {
+		rec := &recs[i]
+		p.nodes[rec.ID] = &poolNode{rec: rec, lsn: wm}
+		p.ids = append(p.ids, rec.ID)
+	}
+	p.dirty = true
+	p.gen++
+}
+
+// Generation counts invalidations (diagnostics and tests).
+func (p *NodePool) Generation() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gen
+}
+
+// snapshot returns the current candidate entries, rebuilding them only
+// if a mutation invalidated the cache since the last batch. The
+// returned slice is immutable — a later rebuild installs a fresh one —
+// so callers may keep using it after the lock drops. Reliability is
+// recomputed only for nodes whose record changed; the memoized score
+// keeps the `now` of its node's last invalidation, which is the
+// per-node-generation staleness PlaceBatchPooled accepts.
+func (p *NodePool) snapshot(now time.Time) []poolEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.dirty {
+		return p.entries
+	}
+	entries := make([]poolEntry, 0, len(p.entries))
+	for _, id := range p.ids {
+		pn := p.nodes[id]
+		if pn.rec.Status != db.NodeActive {
+			continue
+		}
+		if !pn.relOK {
+			pn.rel = p.model.Predict(*pn.rec, now)
+			pn.relOK = true
+		}
+		for j := range pn.rec.GPUs {
+			if pn.rec.GPUs[j].Allocated {
+				continue
+			}
+			entries = append(entries, poolEntry{node: pn.rec, device: &pn.rec.GPUs[j], reliability: pn.rel})
+		}
+	}
+	p.entries = entries
+	p.dirty = false
+	return entries
+}
+
+// Audit compares the pool's cached records against a fresh store scan
+// and returns the discrepancies. Call it at a quiescent point: the pool
+// is maintained outside the store's shard locks, so mid-mutation reads
+// are transiently behind by design.
+func (p *NodePool) Audit(store db.Store) []string {
+	truth := store.ListNodes()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var probs []string
+	seen := make(map[string]bool, len(truth))
+	for i := range truth {
+		rec := &truth[i]
+		seen[rec.ID] = true
+		pn := p.nodes[rec.ID]
+		if pn == nil {
+			probs = append(probs, fmt.Sprintf("node %s registered but not cached", rec.ID))
+			continue
+		}
+		want, err1 := json.Marshal(rec)
+		got, err2 := json.Marshal(pn.rec)
+		if err1 != nil || err2 != nil {
+			probs = append(probs, fmt.Sprintf("node %s failed to encode: %v / %v", rec.ID, err1, err2))
+			continue
+		}
+		if string(want) != string(got) {
+			probs = append(probs, fmt.Sprintf("node %s cached image diverges from store", rec.ID))
+		}
+	}
+	for id := range p.nodes {
+		if !seen[id] {
+			probs = append(probs, fmt.Sprintf("node %s cached but not in store", id))
+		}
+	}
+	return probs
+}

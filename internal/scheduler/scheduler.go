@@ -13,7 +13,9 @@ package scheduler
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"gpunion/internal/db"
@@ -54,9 +56,11 @@ type Placement struct {
 }
 
 // candidate is one feasible (node, device) pair under consideration.
+// It carries pointers into immutable pool records — ordering a
+// candidate slice moves three words per swap, not whole NodeRecords.
 type candidate struct {
-	node        db.NodeRecord
-	device      db.GPUInfo
+	node        *db.NodeRecord
+	device      *db.GPUInfo
 	reliability float64
 }
 
@@ -76,12 +80,18 @@ func DefaultReliability() ReliabilityModel {
 	return ReliabilityModel{HalfLife: 0.85, UptimeWeight: 0.5}
 }
 
+// predictExpCap clamps the departure exponent: past it the score has
+// long hit the positive floor, and larger exponents only buy denormals.
+const predictExpCap = 64
+
 // Predict scores a node in (0, 1]. New nodes with no history get the
 // benefit of the doubt (1.0), matching the trust-first campus setting.
 func (m ReliabilityModel) Predict(n db.NodeRecord, now time.Time) float64 {
 	score := 1.0
-	for i := 0; i < n.Departures; i++ {
-		score *= m.HalfLife
+	if n.Departures > 0 {
+		// Closed form of the per-departure decay — O(1) however flaky
+		// the provider's history is.
+		score = math.Pow(m.HalfLife, math.Min(float64(n.Departures), predictExpCap))
 	}
 	if m.UptimeWeight > 0 && !n.RegisteredAt.IsZero() {
 		lifetime := now.Sub(n.RegisteredAt)
@@ -94,9 +104,8 @@ func (m ReliabilityModel) Predict(n db.NodeRecord, now time.Time) float64 {
 			if ratio > 1 {
 				ratio = 1
 			}
-			score = (1-m.UptimeWeight)*score + m.UptimeWeight*ratio*score
 			// Blend keeps score ≤ the departure-only score.
-			_ = ratio
+			score = (1-m.UptimeWeight)*score + m.UptimeWeight*ratio*score
 		}
 	}
 	if score <= 0 {
@@ -197,13 +206,20 @@ func (LeastLoaded) Order(_ Request, cands []candidate) {
 	})
 }
 
-// Scheduler combines a strategy with the reliability model.
+// Scheduler combines a strategy with the reliability model. Decisions
+// are serialized on an internal mutex: strategies carry rotation state
+// and the scheduler reuses scratch buffers, so concurrent TrySchedule
+// storms (heartbeat bursts) queue up instead of corrupting each other.
 type Scheduler struct {
 	strategy Strategy
 	model    ReliabilityModel
 	// DegradeBelow pushes providers scoring under this threshold to the
 	// back of the preference order for long-running jobs.
 	DegradeBelow float64
+
+	mu sync.Mutex
+	// scratch is the candidate buffer placeOne reuses across decisions.
+	scratch []candidate
 }
 
 // New creates a scheduler. A nil strategy defaults to round-robin.
@@ -222,6 +238,8 @@ func (s *Scheduler) StrategyName() string { return s.strategy.Name() }
 // avoid-listed nodes are excluded. Returns ErrNoPlacement when nothing
 // fits.
 func (s *Scheduler) Schedule(req Request, nodes []db.NodeRecord, now time.Time) (Placement, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	pool := s.buildPool(nodes, now)
 	return s.placeOne(req, pool, nil)
 }
@@ -249,10 +267,36 @@ func (s *Scheduler) PlaceBatch(reqs []Request, nodes []db.NodeRecord, now time.T
 	if len(reqs) == 0 {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	poolStart := time.Now()
 	pool := s.buildPool(nodes, now)
 	poolShare := time.Since(poolStart) / time.Duration(len(reqs))
-	reserved := make(map[deviceKey]bool)
+	return s.placeBatch(reqs, pool, poolShare)
+}
+
+// PlaceBatchPooled is PlaceBatch against an incrementally maintained
+// NodePool: instead of re-copying every NodeRecord from the store each
+// cycle, the pool's cached entry set — invalidated per mutation, with
+// reliability scores memoized per node generation — serves the whole
+// batch. The pool-build share of each decision's latency collapses to
+// the (usually cached) snapshot fetch.
+func (s *Scheduler) PlaceBatchPooled(reqs []Request, pool *NodePool, now time.Time) []BatchResult {
+	if len(reqs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	poolStart := time.Now()
+	entries := pool.snapshot(now)
+	poolShare := time.Since(poolStart) / time.Duration(len(reqs))
+	return s.placeBatch(reqs, entries, poolShare)
+}
+
+// placeBatch drains the requests against one pool image; callers hold
+// s.mu and have already amortized the pool cost into poolShare.
+func (s *Scheduler) placeBatch(reqs []Request, pool []poolEntry, poolShare time.Duration) []BatchResult {
+	reserved := make(map[deviceKey]bool, len(reqs))
 	out := make([]BatchResult, len(reqs))
 	for i, req := range reqs {
 		start := time.Now()
@@ -272,26 +316,30 @@ type deviceKey struct {
 }
 
 // poolEntry is one schedulable free device with its node's prediction.
+// The pointers target records owned by the caller (buildPool) or the
+// NodePool cache; both are immutable for the entry's lifetime.
 type poolEntry struct {
-	node        db.NodeRecord
-	device      db.GPUInfo
+	node        *db.NodeRecord
+	device      *db.GPUInfo
 	reliability float64
 }
 
 // buildPool collects every free device on every active node, scoring
-// each node's reliability exactly once.
+// each node's reliability exactly once. Entries point into the caller's
+// slice, which must stay untouched until the decision completes.
 func (s *Scheduler) buildPool(nodes []db.NodeRecord, now time.Time) []poolEntry {
 	var pool []poolEntry
-	for _, n := range nodes {
+	for i := range nodes {
+		n := &nodes[i]
 		if n.Status != db.NodeActive {
 			continue
 		}
-		rel := s.model.Predict(n, now)
-		for _, d := range n.GPUs {
-			if d.Allocated {
+		rel := s.model.Predict(*n, now)
+		for j := range n.GPUs {
+			if n.GPUs[j].Allocated {
 				continue
 			}
-			pool = append(pool, poolEntry{node: n, device: d, reliability: rel})
+			pool = append(pool, poolEntry{node: n, device: &n.GPUs[j], reliability: rel})
 		}
 	}
 	return pool
@@ -300,12 +348,16 @@ func (s *Scheduler) buildPool(nodes []db.NodeRecord, now time.Time) []poolEntry 
 // placeOne filters the pool against one request's constraints, orders
 // the survivors and picks the winner. reserved (may be nil) excludes
 // devices already claimed by earlier members of the same batch.
+// Callers hold s.mu (the candidate buffer is shared scratch).
 func (s *Scheduler) placeOne(req Request, pool []poolEntry, reserved map[deviceKey]bool) (Placement, error) {
-	avoid := make(map[string]bool, len(req.AvoidNodes))
-	for _, id := range req.AvoidNodes {
-		avoid[id] = true
+	var avoid map[string]bool
+	if len(req.AvoidNodes) > 0 {
+		avoid = make(map[string]bool, len(req.AvoidNodes))
+		for _, id := range req.AvoidNodes {
+			avoid[id] = true
+		}
 	}
-	var cands []candidate
+	cands := s.scratch[:0]
 	for _, e := range pool {
 		if avoid[e.node.ID] {
 			continue
@@ -322,6 +374,7 @@ func (s *Scheduler) placeOne(req Request, pool []poolEntry, reserved map[deviceK
 		}
 		cands = append(cands, candidate{node: e.node, device: e.device, reliability: e.reliability})
 	}
+	s.scratch = cands[:0]
 	if len(cands) == 0 {
 		return Placement{}, fmt.Errorf("%w: job %s (mem %d MiB, cc >= %s)",
 			ErrNoPlacement, req.JobID, req.GPUMemMiB, req.Capability)

@@ -618,19 +618,25 @@ func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
 	return vs
 }
 
-// ExtraChecks audits what the database alone cannot show: no reachable
-// agent may be running a job the platform has placed elsewhere or
-// resolved. Suppressed inside the reconciliation grace window after a
-// heal or restart.
+// ExtraChecks audits what the database alone cannot show: the
+// coordinator's derived scheduler pool must match a fresh store scan,
+// and no reachable agent may be running a job the platform has placed
+// elsewhere or resolved. The agent checks are suppressed inside the
+// reconciliation grace window after a heal or restart; the pool check
+// is not — it is maintained synchronously and must never lag at a
+// quiescent point.
 func (h *chaosHarness) ExtraChecks() []invariant.Violation {
+	var vs []invariant.Violation
+	for _, p := range h.currentCoord().AuditSchedulerPool() {
+		vs = append(vs, invariant.Violation{Rule: "scheduler-pool-consistent", Detail: p})
+	}
 	h.mu.Lock()
 	grace := h.graceUntil
 	h.mu.Unlock()
 	if h.clock.Now().Before(grace) {
-		return nil
+		return vs
 	}
 	store := h.currentStore()
-	var vs []invariant.Violation
 	for _, id := range h.nodeIDs {
 		ag := h.agents[id]
 		if ag.Departed() || h.silenced(id) {

@@ -16,7 +16,9 @@ import (
 // latency. However, beyond 200 nodes, heartbeat monitoring and database
 // contention could become bottlenecks."
 type ScalabilityConfig struct {
-	// NodeCounts is the sweep (default 10, 25, 50, 100, 200, 400).
+	// NodeCounts is the sweep (default 10, 25, 50, 100, 200, 400, 800 —
+	// the 800 point was added once the store's queue queries stopped
+	// being the coordinator bottleneck).
 	NodeCounts []int
 	// DecisionsPerPoint is how many scheduling decisions to time.
 	DecisionsPerPoint int
@@ -70,7 +72,7 @@ type ScalabilityRow struct {
 // heartbeat monitor and database — not simulated time.
 func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 	if len(cfg.NodeCounts) == 0 {
-		cfg.NodeCounts = []int{10, 25, 50, 100, 200, 400}
+		cfg.NodeCounts = []int{10, 25, 50, 100, 200, 400, 800}
 	}
 	if cfg.DecisionsPerPoint <= 0 {
 		cfg.DecisionsPerPoint = 200

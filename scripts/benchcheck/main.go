@@ -1,0 +1,145 @@
+// Command benchcheck is the benchmark regression gate behind
+// `make bench-check`: it runs the headline benchmarks and fails when
+// any of them regresses by more than the threshold against the
+// recorded baseline (BENCH_baseline.json).
+//
+// Only benchmarks present in both the baseline and the measured run
+// are compared, so adding new benchmarks never breaks the gate;
+// improvements always pass. The gate is meant for the stable
+// single-goroutine hot-path benches — highly parallel benchmarks are
+// too noisy for a hard threshold and should stay out of the filter.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+)
+
+// baselineFile mirrors the benchmarks section of BENCH_baseline.json.
+type baselineFile struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+// "BenchmarkDBJobQueueQuery-4   3867   83499 ns/op   ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// calibrationBench is the fixed pure-CPU workload used to normalize
+// the baseline to this machine's speed (see bench_test.go). It always
+// runs in addition to the gate filter.
+const calibrationBench = "BenchmarkHotPathCalibration"
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against")
+	bench := flag.String("bench", ".", "benchmark filter regex passed to go test -bench")
+	threshold := flag.Float64("threshold", 25, "maximum tolerated ns/op regression, percent")
+	benchtime := flag.String("benchtime", "300ms", "go test -benchtime (the baseline was recorded at 300ms)")
+	count := flag.Int("count", 3, "runs per benchmark; the gate takes the best, so transient machine load cannot fail it")
+	pkg := flag.String("pkg", ".", "package holding the benchmarks")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parsing baseline: %v", err)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+
+	cmd := exec.Command("go", "test", "-bench=("+*bench+")|"+calibrationBench+"$",
+		"-benchtime="+*benchtime, "-count="+strconv.Itoa(*count), "-run=^$", *pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatal("running benchmarks: %v", err)
+	}
+
+	// Best result per benchmark across the -count runs: a genuinely
+	// regressed hot path is slow in every run, while a noisy neighbour
+	// only inflates some of them.
+	best := make(map[string]float64)
+	var order []string
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		got, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, seen := best[m[1]]; !seen || got < prev {
+			if !seen {
+				order = append(order, m[1])
+			}
+			best[m[1]] = got
+		}
+	}
+
+	// Hardware normalization: scale the baseline by how this machine's
+	// calibration run compares to the baseline's, so the threshold
+	// measures code regressions rather than host-speed deltas.
+	scale := 1.0
+	if gotCal, ok := best[calibrationBench]; ok {
+		if baseCal := baseNs[calibrationBench]; baseCal > 0 {
+			scale = gotCal / baseCal
+			fmt.Printf("  calibration: %.0f ns/op vs baseline %.0f — host speed factor %.2fx\n",
+				gotCal, baseCal, scale)
+		} else {
+			fmt.Printf("  calibration: %.0f ns/op, no baseline entry — comparing unscaled\n", gotCal)
+		}
+	}
+
+	failed := false
+	compared := 0
+	for _, name := range order {
+		if name == calibrationBench {
+			continue
+		}
+		got := best[name]
+		want, ok := baseNs[name]
+		if !ok || want <= 0 {
+			fmt.Printf("  %-40s %12.0f ns/op  (no baseline, skipped)\n", name, got)
+			continue
+		}
+		want *= scale
+		compared++
+		deltaPct := 100 * (got - want) / want
+		verdict := "ok"
+		if deltaPct > *threshold {
+			verdict = fmt.Sprintf("REGRESSION (> %.0f%%)", *threshold)
+			failed = true
+		}
+		fmt.Printf("  %-40s %12.0f ns/op  baseline %12.0f  %+7.1f%%  %s\n",
+			name, got, want, deltaPct, verdict)
+	}
+	if compared == 0 {
+		fatal("no benchmark matched both the filter %q and the baseline", *bench)
+	}
+	if failed {
+		fatal("benchmark regression beyond %.0f%% of %s", *threshold, *baselinePath)
+	}
+	fmt.Printf("bench-check: %d benchmarks within %.0f%% of baseline\n", compared, *threshold)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

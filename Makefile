@@ -7,7 +7,7 @@ GO ?= go
 # total). Raise it as coverage grows; never lower it below the seed.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos cover ci
+.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos verify-docs cover ci
 
 all: build
 
@@ -53,12 +53,20 @@ vet:
 verify-recovery:
 	$(GO) test ./internal/sim -run 'CrashRecovery' -count=1 -v
 
-# Chaos acceptance: three seeded fault schedules (400-node churn,
-# partition + coordinator kill/restart, WAL disk faults) must finish
-# with zero invariant violations, and the sabotage tests must prove the
-# checker catches deliberately broken invariants.
+# Chaos acceptance: six seeded fault schedules (400-node churn,
+# partition + coordinator kill/restart, WAL disk faults on the sharded
+# and SingleMutex stores, clock-skew + duplicate delivery, data-plane
+# partition + checkpoint corruption) must finish with zero invariant
+# violations, and the sabotage tests must prove the checker catches
+# deliberately broken invariants. See docs/FAULT-MODEL.md.
 verify-chaos:
 	$(GO) test ./internal/sim -run 'Chaos' -count=1 -v -timeout 300s
+
+# Docs acceptance: every internal package carries a package doc comment
+# (scripts/doccheck) and every example still builds.
+verify-docs:
+	$(GO) run ./scripts/doccheck internal
+	$(GO) build ./examples/...
 
 # Coverage with a floor: fail if total statement coverage drops below
 # COVER_FLOOR. The profile is left in coverage.out for upload.
@@ -72,4 +80,4 @@ cover:
 # cover runs the full test suite (with profiling), so ci does not also
 # run a bare `test` pass — the long simulations already execute once
 # there and once more under verify-chaos.
-ci: build vet fmt race bench bench-check verify-recovery verify-chaos cover
+ci: build vet fmt race bench bench-check verify-recovery verify-chaos verify-docs cover

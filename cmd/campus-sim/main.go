@@ -181,6 +181,9 @@ func runChaos(seed int64) {
 		{"churn@400", sim.RunChaosChurnScale},
 		{"partition+coord-crash", sim.RunChaosPartitionCrash},
 		{"wal-disk-faults", sim.RunChaosWALFaults},
+		{"wal-faults-singlemutex", sim.RunChaosWALFaultsSingleMutex},
+		{"skew+dup-delivery", sim.RunChaosSkewDup},
+		{"data-plane+ckpt-corrupt", sim.RunChaosDataPlane},
 	}
 	fmt.Printf("%-24s %7s %7s %10s %10s %10s %10s %11s\n",
 		"schedule", "faults", "audits", "submitted", "completed", "recoveries", "diskFaults", "violations")

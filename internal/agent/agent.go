@@ -30,7 +30,6 @@ var (
 	ErrDeparted   = errors.New("agent: node has departed")
 	ErrPaused     = errors.New("agent: node is paused")
 	ErrJobUnknown = errors.New("agent: unknown job")
-	ErrJobExists  = errors.New("agent: job already running")
 )
 
 // defaultProgressTick is how often the agent advances running jobs and
@@ -79,20 +78,27 @@ type Agent struct {
 	cfg     Config
 	clock   simclock.Clock
 	runtime *container.Runtime
-	ckpts   *checkpoint.Store
+	ckpts   checkpoint.Writer
 	bus     *eventbus.Bus
 	notify  Notifier
 	// stores resolves user-pinned checkpoint locations (§3.5). Nil
 	// means every job uses the default store.
 	stores *storage.Placement
 
-	mu       sync.Mutex
-	jobs     map[string]*jobRun
-	paused   bool
-	departed bool
-	token    string
-	stopped  bool
-	ticker   simclock.Timer
+	mu   sync.Mutex
+	jobs map[string]*jobRun
+	// launching reserves job IDs whose Launch is still in flight, so a
+	// concurrent duplicate waits for the original's outcome instead of
+	// racing it to the container runtime.
+	launching map[string]chan struct{}
+	paused    bool
+	departed  bool
+	token     string
+	stopped   bool
+	ticker    simclock.Timer
+	// beatSeq numbers every heartbeat this agent builds, so the
+	// coordinator can drop duplicate deliveries of the same beat.
+	beatSeq uint64
 }
 
 // jobRun is the agent-local state of one running workload.
@@ -120,9 +126,11 @@ type jobRun struct {
 	residual time.Duration
 }
 
-// New creates an agent over the node's runtime. Checkpoints are saved to
-// ckpts (typically backed by a LAN store or the user's pinned location).
-func New(cfg Config, clock simclock.Clock, rt *container.Runtime, ckpts *checkpoint.Store, bus *eventbus.Bus, notify Notifier) *Agent {
+// New creates an agent over the node's runtime. Checkpoints are saved
+// through ckpts — usually a *checkpoint.Store backed by a LAN store or
+// the user's pinned location; the narrower Writer interface is the
+// data-plane seam fault injection wraps.
+func New(cfg Config, clock simclock.Clock, rt *container.Runtime, ckpts checkpoint.Writer, bus *eventbus.Bus, notify Notifier) *Agent {
 	if notify == nil {
 		notify = NopNotifier{}
 	}
@@ -234,11 +242,44 @@ func (a *Agent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 		a.mu.Unlock()
 		return api.LaunchResponse{}, ErrPaused
 	}
-	if _, exists := a.jobs[req.JobID]; exists {
+	if run, exists := a.jobs[req.JobID]; exists {
+		// Idempotent ack: a duplicate launch (retried or replayed
+		// request) for a job this node already executes re-acknowledges
+		// the existing placement instead of failing. Job IDs are unique
+		// platform-wide, so a same-ID launch is always the same job —
+		// erroring here would make the coordinator believe the placement
+		// failed while the workload keeps running.
+		resp := api.LaunchResponse{ContainerID: run.containerID, DeviceID: run.deviceID}
 		a.mu.Unlock()
-		return api.LaunchResponse{}, fmt.Errorf("%w: %s", ErrJobExists, req.JobID)
+		return resp, nil
 	}
+	if ch, inflight := a.launching[req.JobID]; inflight {
+		// A concurrent duplicate of a launch still in progress (the HTTP
+		// retry racing the original): wait for the original to settle,
+		// then mirror its outcome — the same idempotent ack on success,
+		// the same failure if it never started.
+		a.mu.Unlock()
+		<-ch
+		a.mu.Lock()
+		run, exists := a.jobs[req.JobID]
+		a.mu.Unlock()
+		if exists {
+			return api.LaunchResponse{ContainerID: run.containerID, DeviceID: run.deviceID}, nil
+		}
+		return api.LaunchResponse{}, fmt.Errorf("agent: concurrent launch of %s failed", req.JobID)
+	}
+	ch := make(chan struct{})
+	if a.launching == nil {
+		a.launching = make(map[string]chan struct{})
+	}
+	a.launching[req.JobID] = ch
 	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.launching, req.JobID)
+		a.mu.Unlock()
+		close(ch)
+	}()
 
 	now := a.clock.Now()
 	mode := container.Batch
@@ -572,15 +613,23 @@ func (a *Agent) Status() api.AgentStatus {
 	}
 }
 
-// HeartbeatRequest builds the periodic status update.
+// HeartbeatRequest builds the periodic status update. Each built beat
+// carries a fresh sequence number; delivering the same request twice is
+// therefore detectable at the coordinator, while two distinct beats are
+// not conflated.
 func (a *Agent) HeartbeatRequest() api.HeartbeatRequest {
 	st := a.Status()
+	a.mu.Lock()
+	a.beatSeq++
+	seq := a.beatSeq
+	a.mu.Unlock()
 	return api.HeartbeatRequest{
 		MachineID:   a.cfg.MachineID,
 		Token:       a.Token(),
 		Telemetry:   st.Telemetry,
 		RunningJobs: st.RunningJobs,
 		Paused:      st.Paused,
+		BeatSeq:     seq,
 	}
 }
 
@@ -623,12 +672,40 @@ func (a *Agent) Stop() {
 
 // tick advances every running job by the elapsed wall time, refreshes
 // device telemetry, fires due checkpoints, and completes finished work.
+//
+// The node's wall clock is not trusted to be continuous: clock skew
+// (an NTP step, a fault injection) can jump it in either direction
+// between ticks. A backward jump rebases every agent-local deadline by
+// the jump width, so progress resumes on the next tick instead of
+// stalling until the clock re-crosses its old high-water mark. A
+// forward jump is clamped — a single tick may account at most one
+// period of real work plus one period of catch-up, so a discontinuity
+// can never mint training progress that was not computed.
 func (a *Agent) tick() {
 	now := a.clock.Now()
 	for _, run := range a.snapshotRuns() {
 		elapsed := now.Sub(run.lastTick)
-		if elapsed <= 0 {
+		if elapsed < 0 {
+			a.rebaseRun(run, -elapsed, now)
 			continue
+		}
+		if elapsed == 0 {
+			continue
+		}
+		if limit := 2 * a.cfg.ProgressTick; elapsed > limit {
+			// Shift every absolute deadline forward by the unaccounted
+			// width — symmetric with rebaseRun — so checkpoint cadence,
+			// stall remainders and session length keep their relative
+			// distance instead of being stolen by the jump.
+			skip := elapsed - limit
+			run.lastCkpt = run.lastCkpt.Add(skip)
+			if !run.pausedUntil.IsZero() {
+				run.pausedUntil = run.pausedUntil.Add(skip)
+			}
+			if !run.sessionEnds.IsZero() {
+				run.sessionEnds = run.sessionEnds.Add(skip)
+			}
+			elapsed = limit
 		}
 		run.lastTick = now
 		switch {
@@ -637,6 +714,20 @@ func (a *Agent) tick() {
 		case !run.sessionEnds.IsZero():
 			a.tickSession(run, now)
 		}
+	}
+}
+
+// rebaseRun shifts a run's absolute deadlines back by delta after the
+// clock jumped backwards, preserving every relative distance (checkpoint
+// cadence, stall remainder, session length).
+func (a *Agent) rebaseRun(run *jobRun, delta time.Duration, now time.Time) {
+	run.lastTick = now
+	run.lastCkpt = run.lastCkpt.Add(-delta)
+	if !run.pausedUntil.IsZero() {
+		run.pausedUntil = run.pausedUntil.Add(-delta)
+	}
+	if !run.sessionEnds.IsZero() {
+		run.sessionEnds = run.sessionEnds.Add(-delta)
 	}
 }
 

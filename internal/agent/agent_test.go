@@ -2,6 +2,7 @@ package agent
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -92,15 +93,24 @@ func TestLaunchBindsContainerAndGPU(t *testing.T) {
 	}
 }
 
-func TestLaunchDuplicateJob(t *testing.T) {
+func TestLaunchDuplicateIdempotent(t *testing.T) {
+	// A duplicate launch (retried or replayed request) for a job the
+	// node already executes re-acknowledges the existing placement: same
+	// container, same device, no second copy started.
 	r := newRig(t)
-	launchTraining(t, r, "j1", workload.SmallCNN, 0)
-	_, err := r.agent.Launch(api.LaunchRequest{
+	first := launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	resp, err := r.agent.Launch(api.LaunchRequest{
 		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
 		Training: &workload.SmallCNN,
 	})
-	if !errors.Is(err, ErrJobExists) {
-		t.Fatalf("err = %v, want ErrJobExists", err)
+	if err != nil {
+		t.Fatalf("duplicate launch failed: %v", err)
+	}
+	if resp != first {
+		t.Fatalf("duplicate ack %+v differs from original %+v", resp, first)
+	}
+	if st := r.agent.Status(); len(st.RunningJobs) != 1 {
+		t.Fatalf("duplicate launch changed the job set: %+v", st.RunningJobs)
 	}
 }
 
@@ -406,5 +416,103 @@ func TestCheckpointFailureDoesNotKillJob(t *testing.T) {
 	// Container still running despite capture failures.
 	if a.Runtime().Running() != 1 {
 		t.Fatal("container not running")
+	}
+}
+
+// TestSkewBackwardJumpDoesNotStallProgress: stepping the agent's clock
+// backwards rebases its per-run deadlines; training keeps advancing on
+// the very next tick instead of stalling for the jump width.
+func TestSkewBackwardJumpDoesNotStallProgress(t *testing.T) {
+	r := newRig(t)
+	skewed := simclock.NewSkewed(r.clock)
+	a := New(Config{MachineID: "m1", Kernel: "5.15"}, skewed, r.agent.Runtime(), r.ckpts, nil, NopNotifier{})
+	defer a.Stop()
+	launchVia(t, a, "j1", workload.SmallCNN)
+
+	r.clock.Advance(5 * time.Second)
+	job, _ := a.RunningJob("j1")
+	before := job.Step()
+	if before == 0 {
+		t.Fatal("no progress before the jump")
+	}
+
+	// The clock steps back two minutes; without rebasing, elapsed would
+	// stay negative for the next 120 ticks and progress would freeze.
+	skewed.SetOffset(-2 * time.Minute)
+	r.clock.Advance(3 * time.Second)
+	if after := job.Step(); after <= before {
+		t.Fatalf("progress stalled after backward jump: %d -> %d", before, after)
+	}
+}
+
+// TestSkewForwardJumpDoesNotMintProgress: stepping the clock forward
+// must not credit the job with training steps nobody computed. A single
+// tick accounts at most two tick periods.
+func TestSkewForwardJumpDoesNotMintProgress(t *testing.T) {
+	r := newRig(t)
+	skewed := simclock.NewSkewed(r.clock)
+	a := New(Config{MachineID: "m1", Kernel: "5.15"}, skewed, r.agent.Runtime(), r.ckpts, nil, NopNotifier{})
+	defer a.Stop()
+	launchVia(t, a, "j1", workload.SmallCNN)
+
+	r.clock.Advance(5 * time.Second)
+	job, _ := a.RunningJob("j1")
+	before := job.Step()
+
+	// Jump an hour ahead: the next tick sees elapsed = 1h + 1s but may
+	// account at most 2 x ProgressTick.
+	skewed.SetOffset(time.Hour)
+	r.clock.Advance(time.Second)
+	after := job.Step()
+	spec := workload.SmallCNN
+	maxSteps := spec.StepsIn(2*time.Second, gpu.RTX3090) + 1
+	if after-before > maxSteps {
+		t.Fatalf("forward jump minted %d steps (max %d)", after-before, maxSteps)
+	}
+}
+
+// launchVia starts a training job on an explicitly-constructed agent.
+func launchVia(t *testing.T, a *Agent, jobID string, spec workload.TrainingSpec) {
+	t.Helper()
+	if _, err := a.Launch(api.LaunchRequest{
+		JobID: jobID, ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+		GPUMemMiB: spec.GPUMemMiB, Training: &spec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLaunchConcurrentDuplicatesConverge: a duplicate launch racing the
+// original (the HTTP retry case) must wait for it and return the same
+// idempotent ack — never an error, never a second copy.
+func TestLaunchConcurrentDuplicatesConverge(t *testing.T) {
+	r := newRig(t)
+	spec := workload.SmallCNN
+	req := api.LaunchRequest{
+		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+		GPUMemMiB: spec.GPUMemMiB, Training: &spec,
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	resps := make([]api.LaunchResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = r.agent.Launch(req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent duplicate %d failed: %v", i, errs[i])
+		}
+		if resps[i] != resps[0] {
+			t.Fatalf("divergent acks: %+v vs %+v", resps[i], resps[0])
+		}
+	}
+	if st := r.agent.Status(); len(st.RunningJobs) != 1 {
+		t.Fatalf("running jobs = %v, want exactly one", st.RunningJobs)
 	}
 }

@@ -1,7 +1,6 @@
 package agent
 
 import (
-	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -42,7 +41,10 @@ func TestHTTPLaunchAndStatus(t *testing.T) {
 	}
 }
 
-func TestHTTPLaunchConflict(t *testing.T) {
+func TestHTTPLaunchDuplicateIdempotent(t *testing.T) {
+	// Over HTTP a retried launch request is exactly the duplicate-
+	// delivery case: the agent re-acknowledges the running placement
+	// instead of erroring, so the coordinator's retry converges.
 	r := newRig(t)
 	c := httpPair(t, r)
 	spec := workload.SmallCNN
@@ -50,19 +52,19 @@ func TestHTTPLaunchConflict(t *testing.T) {
 		JobID: "j1", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
 		GPUMemMiB: spec.GPUMemMiB, Training: &spec,
 	}
-	if _, err := c.Launch(req); err != nil {
+	first, err := c.Launch(req)
+	if err != nil {
 		t.Fatal(err)
 	}
-	_, err := c.Launch(req)
-	if err == nil {
-		t.Fatal("duplicate launch succeeded over HTTP")
+	resp, err := c.Launch(req)
+	if err != nil {
+		t.Fatalf("duplicate launch failed over HTTP: %v", err)
 	}
-	var apiErr api.Error
-	if !errors.As(err, &apiErr) {
-		t.Fatalf("error not an api.Error: %v", err)
+	if resp != first {
+		t.Fatalf("duplicate ack %+v differs from original %+v", resp, first)
 	}
-	if !strings.Contains(apiErr.Message, "already running") {
-		t.Fatalf("message = %q", apiErr.Message)
+	if st := r.agent.Status(); len(st.RunningJobs) != 1 {
+		t.Fatalf("duplicate launch changed the job set: %+v", st.RunningJobs)
 	}
 }
 

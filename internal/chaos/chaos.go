@@ -1,9 +1,10 @@
 // Package chaos is GPUnion's deterministic fault-injection engine: it
-// composes seeded schedules of node churn, network partitions, latency
-// spikes, WAL disk faults and coordinator crashes, executes them on the
-// simulated clock against a live platform, and audits the system
-// database's invariants (internal/invariant) after every injected
-// event.
+// composes seeded schedules of node churn, network partitions (control-
+// plane-only and full data-plane), latency spikes, per-node clock skew,
+// duplicate message delivery, WAL disk faults, checkpoint-store
+// corruption and coordinator crashes, executes them on the simulated
+// clock against a live platform, and audits the system database's
+// invariants (internal/invariant) after every injected event.
 //
 // The engine is platform-agnostic: internal/sim assembles the real
 // coordinator, agents and WAL, implements the Platform interface, and
@@ -50,6 +51,24 @@ const (
 	// KindCoordCrash kills the coordinator process and restarts it from
 	// snapshot + WAL.
 	KindCoordCrash Kind = "coord-crash"
+	// KindClockSkew steps a node's wall clock by Skew for Dur, then
+	// steps it back — the discontinuity is injected twice.
+	KindClockSkew Kind = "clock-skew"
+	// KindDupDeliver opens a duplicate-delivery window: heartbeats, job
+	// updates and launch requests are replayed 1–3×, which every
+	// coordinator and agent ingress must absorb without side effects.
+	KindDupDeliver Kind = "dup-deliver"
+	// KindDataPartition cuts a set of nodes off completely for Dur:
+	// the control plane (heartbeats, launches, kills) *and* the data
+	// plane (checkpoint transfers) — unlike KindPartition, which models
+	// a control-path-only outage.
+	KindDataPartition Kind = "data-partition"
+	// KindCkptBitFlip silently flips bits in checkpoint blobs written
+	// during the window.
+	KindCkptBitFlip Kind = "ckpt-bit-flip"
+	// KindCkptTruncate silently truncates checkpoint blobs written
+	// during the window.
+	KindCkptTruncate Kind = "ckpt-truncate"
 )
 
 // Fault is one scheduled injection.
@@ -67,11 +86,15 @@ type Fault struct {
 	Dur time.Duration
 	// Temporary marks a departure as return-intending.
 	Temporary bool
+	// Skew is the clock offset for KindClockSkew (either sign).
+	Skew time.Duration
 }
 
 // describe renders the fault for reports.
 func (f Fault) describe() string {
 	switch {
+	case f.Skew != 0:
+		return fmt.Sprintf("%s %s by %v for %v", f.Kind, f.Node, f.Skew, f.Dur)
 	case len(f.Nodes) > 0:
 		return fmt.Sprintf("%s %v for %v", f.Kind, f.Nodes, f.Dur)
 	case f.Node != "":
@@ -115,6 +138,28 @@ type Spec struct {
 	// inject. Each is placed shortly after a churn event when one
 	// exists, so restarts land mid-migration.
 	CoordCrashes int
+	// ClockSkewsPerDay is the rate of per-node clock-step windows.
+	ClockSkewsPerDay float64
+	// MaxSkew bounds the injected clock offset (default 2 min); the
+	// drawn offset is uniform in ±[30s, MaxSkew].
+	MaxSkew time.Duration
+	// MeanSkewWindow is the mean time until the clock steps back
+	// (default 20 min).
+	MeanSkewWindow time.Duration
+	// DupWindowsPerDay is the rate of duplicate-delivery windows.
+	DupWindowsPerDay float64
+	// MeanDupWindow is the mean duplicate-delivery window (default 10
+	// min).
+	MeanDupWindow time.Duration
+	// DataPartitionsPerDay is the rate of full (control + data plane)
+	// partitions; blast radius and length share the control-partition
+	// knobs (MaxPartitionNodes, MeanPartition).
+	DataPartitionsPerDay float64
+	// CkptFaultsPerDay is the rate of checkpoint-store corruption
+	// windows, alternating bit-flip and truncation damage.
+	CkptFaultsPerDay float64
+	// MeanCkptFault is the mean corruption window (default 10 min).
+	MeanCkptFault time.Duration
 }
 
 // withDefaults fills unset knobs.
@@ -130,6 +175,18 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.MeanWALFault <= 0 {
 		s.MeanWALFault = 5 * time.Minute
+	}
+	if s.MaxSkew < time.Minute {
+		s.MaxSkew = 2 * time.Minute
+	}
+	if s.MeanSkewWindow <= 0 {
+		s.MeanSkewWindow = 20 * time.Minute
+	}
+	if s.MeanDupWindow <= 0 {
+		s.MeanDupWindow = 10 * time.Minute
+	}
+	if s.MeanCkptFault <= 0 {
+		s.MeanCkptFault = 10 * time.Minute
 	}
 	return s
 }
@@ -215,6 +272,70 @@ func Generate(spec Spec, seed int64) Schedule {
 		})
 	}
 
+	// Clock-skew windows: one node's wall clock steps by a bounded
+	// offset, then steps back when the window closes. (The new fault
+	// families draw from the rng after the original ones and are
+	// rate-guarded, so a spec that leaves them at zero composes the
+	// same schedule it always did for a given seed.)
+	for _, t := range poissonTimes(rng, spec.ClockSkewsPerDay, spec.Duration) {
+		if len(spec.Nodes) == 0 {
+			break
+		}
+		span := int64(spec.MaxSkew - 30*time.Second)
+		skew := 30*time.Second + time.Duration(rng.Int63n(span+1))
+		if rng.Intn(2) == 0 {
+			skew = -skew
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: KindClockSkew,
+			Node: spec.Nodes[rng.Intn(len(spec.Nodes))],
+			Skew: skew,
+			Dur:  clampDur(expDur(rng, float64(spec.MeanSkewWindow)), 5*time.Minute, 2*time.Hour),
+		})
+	}
+
+	// Duplicate-delivery windows.
+	for _, t := range poissonTimes(rng, spec.DupWindowsPerDay, spec.Duration) {
+		sched = append(sched, Fault{
+			At: t, Kind: KindDupDeliver,
+			Dur: clampDur(expDur(rng, float64(spec.MeanDupWindow)), time.Minute, time.Hour),
+		})
+	}
+
+	// Data-plane partitions: random subsets, like control partitions,
+	// but severing checkpoint transfers too.
+	for _, t := range poissonTimes(rng, spec.DataPartitionsPerDay, spec.Duration) {
+		n := 1 + rng.Intn(spec.MaxPartitionNodes)
+		if n > len(spec.Nodes) {
+			n = len(spec.Nodes)
+		}
+		if n == 0 {
+			break
+		}
+		perm := rng.Perm(len(spec.Nodes))[:n]
+		sort.Ints(perm)
+		members := make([]string, n)
+		for i, idx := range perm {
+			members[i] = spec.Nodes[idx]
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: KindDataPartition, Nodes: members,
+			Dur: clampDur(expDur(rng, float64(spec.MeanPartition)), time.Minute, 2*time.Hour),
+		})
+	}
+
+	// Checkpoint-store corruption windows, alternating damage modes.
+	for i, t := range poissonTimes(rng, spec.CkptFaultsPerDay, spec.Duration) {
+		kind := KindCkptBitFlip
+		if i%2 == 1 {
+			kind = KindCkptTruncate
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: kind,
+			Dur: clampDur(expDur(rng, float64(spec.MeanCkptFault)), time.Minute, time.Hour),
+		})
+	}
+
 	// Coordinator crashes: ride shortly after churn events so restarts
 	// catch migrations in flight; fall back to uniform placement.
 	for i := 0; i < spec.CoordCrashes; i++ {
@@ -276,6 +397,16 @@ const (
 	WALShortWrite
 )
 
+// CkptFaultMode is the injected checkpoint-store behaviour.
+type CkptFaultMode int
+
+// Checkpoint-store fault modes.
+const (
+	CkptHealthy CkptFaultMode = iota
+	CkptBitFlip
+	CkptTruncate
+)
+
 // Platform is the set of actions the engine drives and audits. The sim
 // harness implements it over the real coordinator, agents, LAN model
 // and write-ahead log. Implementations must treat redundant actions
@@ -300,6 +431,19 @@ type Platform interface {
 	LatencySpikeHeal(id string)
 	// SetWALFault switches the injected disk behaviour under the log.
 	SetWALFault(mode WALFaultMode)
+	// SetClockSkew steps a node's wall clock to the given offset from
+	// true time (zero steps it back).
+	SetClockSkew(id string, offset time.Duration)
+	// SetDupDelivery toggles duplicate delivery of control messages
+	// (heartbeats, job updates, launches).
+	SetDupDelivery(enabled bool)
+	// DataPartitionStart cuts both the control and data plane to the
+	// nodes; DataPartitionHeal restores them.
+	DataPartitionStart(ids []string)
+	DataPartitionHeal(ids []string)
+	// SetCheckpointFault switches the injected damage mode under the
+	// checkpoint store's backing blobs.
+	SetCheckpointFault(mode CkptFaultMode)
 	// CrashCoordinator kills the coordinator and restarts it from
 	// snapshot + WAL, returning any recovery-equivalence violations.
 	CrashCoordinator() []invariant.Violation
@@ -342,8 +486,14 @@ type Engine struct {
 	rep     Report
 	// walWindows counts currently-open WAL fault windows: overlapping
 	// windows must not heal each other early, so the disk only returns
-	// to healthy when the last window closes.
-	walWindows int
+	// to healthy when the last window closes. ckptWindows and
+	// dupWindows do the same for checkpoint-corruption and
+	// duplicate-delivery windows, and skewWindows per node for clock
+	// skew (the latest window's offset wins for the overlap).
+	walWindows  int
+	ckptWindows int
+	dupWindows  int
+	skewWindows map[string]int
 }
 
 // NewEngine creates an engine. The checker persists across coordinator
@@ -351,10 +501,11 @@ type Engine struct {
 // recovery boundaries.
 func NewEngine(clock *simclock.Sim, plat Platform) *Engine {
 	return &Engine{
-		clock:   clock,
-		plat:    plat,
-		checker: invariant.NewChecker(),
-		rep:     Report{Executed: make(map[Kind]int)},
+		clock:       clock,
+		plat:        plat,
+		checker:     invariant.NewChecker(),
+		rep:         Report{Executed: make(map[Kind]int)},
+		skewWindows: make(map[string]int),
 	}
 }
 
@@ -421,8 +572,52 @@ func (e *Engine) apply(f Fault) {
 		e.openWALWindow(WALShortWrite, f.Dur)
 	case KindCoordCrash:
 		extra = e.plat.CrashCoordinator()
+	case KindClockSkew:
+		node := f.Node
+		e.skewWindows[node]++
+		e.plat.SetClockSkew(node, f.Skew)
+		e.clock.AfterFunc(f.Dur, func() {
+			e.skewWindows[node]--
+			if e.skewWindows[node] == 0 {
+				e.plat.SetClockSkew(node, 0)
+				e.audit("clock-skew-heal "+node, nil)
+			}
+		})
+	case KindDupDeliver:
+		e.dupWindows++
+		e.plat.SetDupDelivery(true)
+		e.clock.AfterFunc(f.Dur, func() {
+			e.dupWindows--
+			if e.dupWindows == 0 {
+				e.plat.SetDupDelivery(false)
+			}
+		})
+	case KindDataPartition:
+		e.plat.DataPartitionStart(f.Nodes)
+		nodes := f.Nodes
+		e.clock.AfterFunc(f.Dur, func() {
+			e.plat.DataPartitionHeal(nodes)
+			e.audit("data-partition-heal "+fmt.Sprint(nodes), nil)
+		})
+	case KindCkptBitFlip:
+		e.openCkptWindow(CkptBitFlip, f.Dur)
+	case KindCkptTruncate:
+		e.openCkptWindow(CkptTruncate, f.Dur)
 	}
 	e.audit(f.describe(), extra)
+}
+
+// openCkptWindow starts one checkpoint-corruption window, with the same
+// overlap semantics as openWALWindow.
+func (e *Engine) openCkptWindow(mode CkptFaultMode, dur time.Duration) {
+	e.ckptWindows++
+	e.plat.SetCheckpointFault(mode)
+	e.clock.AfterFunc(dur, func() {
+		e.ckptWindows--
+		if e.ckptWindows == 0 {
+			e.plat.SetCheckpointFault(CkptHealthy)
+		}
+	})
 }
 
 // openWALWindow starts one disk-fault window. The engine runs on the

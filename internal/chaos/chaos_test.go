@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"gpunion/internal/db"
 	"gpunion/internal/invariant"
 	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
 	"gpunion/internal/wal"
 )
 
@@ -74,6 +76,7 @@ type fakePlatform struct {
 	// proving the engine surfaces checker findings.
 	sabotage bool
 	walMode  WALFaultMode
+	ckptMode CkptFaultMode
 }
 
 func newFakePlatform() *fakePlatform {
@@ -103,6 +106,22 @@ func (p *fakePlatform) PartitionHeal(ids []string)     { p.actions = append(p.ac
 func (p *fakePlatform) LatencySpikeStart(id string)    { p.actions = append(p.actions, "lat-start") }
 func (p *fakePlatform) LatencySpikeHeal(id string)     { p.actions = append(p.actions, "lat-heal") }
 func (p *fakePlatform) SetWALFault(m WALFaultMode)     { p.walMode = m }
+func (p *fakePlatform) SetClockSkew(id string, off time.Duration) {
+	if off == 0 {
+		p.actions = append(p.actions, "skew-heal:"+id)
+	} else {
+		p.actions = append(p.actions, "skew:"+id)
+	}
+}
+func (p *fakePlatform) SetDupDelivery(on bool) {
+	p.actions = append(p.actions, fmt.Sprintf("dup:%v", on))
+}
+func (p *fakePlatform) DataPartitionStart(ids []string) { p.actions = append(p.actions, "dpart-start") }
+func (p *fakePlatform) DataPartitionHeal(ids []string)  { p.actions = append(p.actions, "dpart-heal") }
+func (p *fakePlatform) SetCheckpointFault(m CkptFaultMode) {
+	p.ckptMode = m
+	p.actions = append(p.actions, fmt.Sprintf("ckpt-fault:%d", m))
+}
 func (p *fakePlatform) CrashCoordinator() []invariant.Violation {
 	p.actions = append(p.actions, "coord-crash")
 	return nil
@@ -203,5 +222,75 @@ func TestFaultFSInjectsRealDamage(t *testing.T) {
 	}
 	if stats.TornTails == 0 {
 		t.Fatal("short write left no torn tail")
+	}
+}
+
+// TestFaultBlobStoreInjectsRealDamage: damage lands in the stored
+// bytes on every other write during a window, the write still reports
+// success, and reads return the damaged blob verbatim.
+func TestFaultBlobStoreInjectsRealDamage(t *testing.T) {
+	fs := NewFaultBlobStore(storage.NewMemStore(0))
+	payload := []byte(`{"crc":1234,"payload":{"job_id":"j1"}}`)
+
+	if err := fs.Put("k0", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.Get("k0"); !reflect.DeepEqual(got, payload) {
+		t.Fatal("healthy mode damaged a write")
+	}
+
+	fs.SetMode(CkptBitFlip)
+	if err := fs.Put("k1", payload); err != nil {
+		t.Fatal(err) // the disk lies: damaged writes still succeed
+	}
+	if err := fs.Put("k2", payload); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := fs.Get("k1")
+	g2, _ := fs.Get("k2")
+	damaged := 0
+	if !reflect.DeepEqual(g1, payload) {
+		damaged++
+	}
+	if !reflect.DeepEqual(g2, payload) {
+		damaged++
+	}
+	if damaged != 1 {
+		t.Fatalf("every-other-write cadence broken: %d of 2 writes damaged", damaged)
+	}
+
+	fs.SetMode(CkptTruncate)
+	_ = fs.Put("k3", payload)
+	_ = fs.Put("k4", payload)
+	g3, _ := fs.Get("k3")
+	g4, _ := fs.Get("k4")
+	if len(g3) == len(payload) && len(g4) == len(payload) {
+		t.Fatal("truncate window truncated nothing")
+	}
+
+	fs.SetMode(CkptHealthy)
+	if err := fs.Put("k5", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.Get("k5"); !reflect.DeepEqual(got, payload) {
+		t.Fatal("healed store still damaging writes")
+	}
+	if fs.Injected() != 2 {
+		t.Fatalf("injected = %d, want 2", fs.Injected())
+	}
+}
+
+// TestVerifyIdempotentDetectsMutation is the unit-level proof behind
+// the no-duplicate-side-effects sabotage scenario.
+func TestVerifyIdempotentDetectsMutation(t *testing.T) {
+	s := db.New(0)
+	if vs := VerifyIdempotent(s, "noop", func() {}); len(vs) != 0 {
+		t.Fatalf("no-op flagged: %v", vs)
+	}
+	vs := VerifyIdempotent(s, "mutating", func() {
+		s.UpsertNode(db.NodeRecord{ID: "n1"})
+	})
+	if len(vs) != 1 || vs[0].Rule != "no-duplicate-side-effects" {
+		t.Fatalf("vs = %v", vs)
 	}
 }

@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"sync"
+
+	"gpunion/internal/storage"
+)
+
+// FaultBlobStore implements storage.Store over a real backing store
+// with switchable silent-corruption modes: bit flips and truncation,
+// applied to blobs as they are written. The damaged bytes really land
+// in the backing store and the write reports success — the disk lies —
+// which is exactly the failure the checkpoint store's CRC frames and
+// generation fallback must absorb.
+//
+// To keep runs deterministic while still interleaving good and bad
+// generations, damage is applied to every second write during a fault
+// window (the driver goroutine serializes writes, so the counter needs
+// only its mutex).
+type FaultBlobStore struct {
+	inner storage.Store
+
+	mu   sync.Mutex
+	mode CkptFaultMode
+	// writes counts Puts observed while a fault window is open (the
+	// every-other-write cadence); injected counts damage delivered.
+	writes   int
+	injected int
+}
+
+// NewFaultBlobStore wraps a backing blob store, initially healthy.
+func NewFaultBlobStore(inner storage.Store) *FaultBlobStore {
+	return &FaultBlobStore{inner: inner}
+}
+
+// SetMode switches the injected damage behaviour.
+func (f *FaultBlobStore) SetMode(m CkptFaultMode) {
+	f.mu.Lock()
+	f.mode = m
+	f.mu.Unlock()
+}
+
+// Injected reports how many writes were actually damaged.
+func (f *FaultBlobStore) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Put stores data, possibly damaged, and reports success either way.
+func (f *FaultBlobStore) Put(key string, data []byte) error {
+	f.mu.Lock()
+	mode := f.mode
+	damage := false
+	if mode != CkptHealthy && len(data) > 1 {
+		f.writes++
+		if f.writes%2 == 1 {
+			damage = true
+			f.injected++
+		}
+	}
+	n := f.injected
+	f.mu.Unlock()
+
+	if damage {
+		bad := append([]byte(nil), data...)
+		switch mode {
+		case CkptBitFlip:
+			// Deterministic position, varied across injections.
+			bad[(n*31)%len(bad)] ^= 0x10
+		case CkptTruncate:
+			bad = bad[:len(bad)/2]
+		}
+		data = bad
+	}
+	return f.inner.Put(key, data)
+}
+
+// Get implements storage.Store.
+func (f *FaultBlobStore) Get(key string) ([]byte, error) { return f.inner.Get(key) }
+
+// Delete implements storage.Store.
+func (f *FaultBlobStore) Delete(key string) error { return f.inner.Delete(key) }
+
+// List implements storage.Store.
+func (f *FaultBlobStore) List(prefix string) ([]string, error) { return f.inner.List(prefix) }
+
+// UsedBytes implements storage.Store.
+func (f *FaultBlobStore) UsedBytes() int64 { return f.inner.UsedBytes() }

@@ -36,6 +36,7 @@ var (
 	ErrArchMismatch   = errors.New("checkpoint: CRIU image is not portable across GPU architectures")
 	ErrNoCheckpoint   = errors.New("checkpoint: no checkpoint available")
 	ErrBadChain       = errors.New("checkpoint: broken incremental chain")
+	ErrCorrupt        = errors.New("checkpoint: corrupt checkpoint frame")
 )
 
 // Progress is the application-defined recoverable state marker: how far

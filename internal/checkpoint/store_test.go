@@ -228,3 +228,115 @@ func TestStoreJobsIsolated(t *testing.T) {
 		t.Fatalf("j2 chain = %v, %v", c2, err)
 	}
 }
+
+// corruptBlob flips one bit of the stored frame for jobID/seq.
+func corruptBlob(t *testing.T, backing storage.Store, jobID string, seq int) {
+	t.Helper()
+	key := ckptKey(jobID, seq)
+	raw, err := backing.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x04
+	if err := backing.Put(key, bad); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDetectsBitFlip(t *testing.T) {
+	backing := storage.NewMemStore(0)
+	s := NewStore(backing)
+	makeChain(t, s, "j1", 2)
+	corruptBlob(t, backing, "j1", 2)
+	if _, err := s.Load("j1", 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if s.CorruptionsDetected() == 0 {
+		t.Fatal("detection not counted")
+	}
+	// The undamaged links still load.
+	if _, err := s.Load("j1", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	backing := storage.NewMemStore(0)
+	s := NewStore(backing)
+	makeChain(t, s, "j1", 0)
+	key := ckptKey("j1", 1)
+	raw, _ := backing.Get(key)
+	_ = backing.Put(key, raw[:len(raw)/2])
+	if _, err := s.Load("j1", 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLatestFallsBackPastCorruptHead: when the newest checkpoint is
+// damaged, Latest restores the previous generation instead of failing
+// or returning damaged state.
+func TestLatestFallsBackPastCorruptHead(t *testing.T) {
+	backing := storage.NewMemStore(0)
+	s := NewStore(backing)
+	makeChain(t, s, "j1", 3) // seqs 1..4
+	corruptBlob(t, backing, "j1", 4)
+	latest, err := s.Latest("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Seq != 3 {
+		t.Fatalf("Latest fell back to seq %d, want 3", latest.Seq)
+	}
+	// The fallback re-anchors the hint: repeated queries go straight to
+	// the verified chain without re-reading (and re-counting) the
+	// corrupt head.
+	detections := s.CorruptionsDetected()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Latest("j1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.CorruptionsDetected(); got != detections {
+		t.Fatalf("repeated Latest re-counted corruption: %d -> %d", detections, got)
+	}
+}
+
+// TestLatestFallsBackPastCorruptBase: an intact head whose chain runs
+// through a damaged base is unusable; the fallback must keep walking to
+// a generation whose whole chain verifies.
+func TestLatestFallsBackPastCorruptBase(t *testing.T) {
+	backing := storage.NewMemStore(0)
+	s := NewStore(backing)
+	makeChain(t, s, "j1", 3) // full@1 + increments 2,3,4
+	corruptBlob(t, backing, "j1", 3)
+	// Head 4 loads fine but chains through the damaged 3; head 3 is
+	// damaged; head 2 chains to the intact full@1.
+	latest, err := s.Latest("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Seq != 2 {
+		t.Fatalf("Latest fell back to seq %d, want 2", latest.Seq)
+	}
+	chain, err := s.RestoreChain("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].Seq != 1 || chain[1].Seq != 2 {
+		t.Fatalf("chain = %+v", chain)
+	}
+}
+
+// TestRestoreChainAllCorrupt: when nothing restorable survives, the
+// store says so (ErrBadChain) rather than handing out damage.
+func TestRestoreChainAllCorrupt(t *testing.T) {
+	backing := storage.NewMemStore(0)
+	s := NewStore(backing)
+	makeChain(t, s, "j1", 1)
+	corruptBlob(t, backing, "j1", 1)
+	corruptBlob(t, backing, "j1", 2)
+	if _, err := s.RestoreChain("j1"); !errors.Is(err, ErrBadChain) {
+		t.Fatalf("err = %v, want ErrBadChain", err)
+	}
+}

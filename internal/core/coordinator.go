@@ -100,9 +100,14 @@ type Coordinator struct {
 	bus        *eventbus.Bus
 	metrics    *monitor.Registry
 
-	mu               sync.Mutex
-	agents           map[string]AgentHandle
-	meta             map[string]*jobMeta
+	mu     sync.Mutex
+	agents map[string]AgentHandle
+	meta   map[string]*jobMeta
+	// beatSeq is the duplicate-delivery guard on heartbeat ingress: the
+	// highest beat sequence processed per node. A beat at or below it is
+	// a replay and is acknowledged without side effects. Reset per node
+	// on Register (an agent restart restarts its counter).
+	beatSeq          map[string]uint64
 	jobSeq           int
 	interactiveCount int
 	// temporary tracks nodes that departed with return intent.
@@ -155,6 +160,7 @@ func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.
 		metrics:      metrics,
 		agents:       make(map[string]AgentHandle),
 		meta:         make(map[string]*jobMeta),
+		beatSeq:      make(map[string]uint64),
 		temporary:    make(map[string]bool),
 		schedLatency: latency,
 	}
@@ -320,6 +326,10 @@ func (c *Coordinator) Register(req api.RegisterRequest, handle AgentHandle) (api
 
 	c.mu.Lock()
 	c.agents[req.MachineID] = handle
+	// A (re-)registration starts a fresh beat-sequence session: an agent
+	// process restart restarts its counter at one, which must not be
+	// mistaken for a replay of the previous session's beats.
+	delete(c.beatSeq, req.MachineID)
 	c.mu.Unlock()
 	c.hb.Track(req.MachineID, now)
 
@@ -342,6 +352,39 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 			return api.HeartbeatResponse{Reregister: true}, nil
 		}
 		return api.HeartbeatResponse{}, fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	// Duplicate-delivery guard: every beat an agent builds carries a
+	// fresh sequence number, so a beat at or below the high-water mark
+	// is a replay (a retried request, a duplicated packet) of a report
+	// already fully processed. It is acknowledged — the sender's retry
+	// loop must stop — but causes no state change: no samples appended,
+	// no telemetry refresh, no anti-entropy scan. Zero means the sender
+	// predates sequences and is always processed. The sequence is
+	// *claimed* up front — a concurrent duplicate of an in-flight beat
+	// must not start a second pass through the body — and released if
+	// the beat bounces early (unknown node, dead handle — the
+	// Reregister paths): a bounced beat was not applied, and its retry
+	// must be processed, not swallowed.
+	beatApplied := false
+	if req.BeatSeq > 0 {
+		c.mu.Lock()
+		if req.BeatSeq <= c.beatSeq[req.MachineID] {
+			c.mu.Unlock()
+			return api.HeartbeatResponse{Acknowledged: true}, nil
+		}
+		prevSeq := c.beatSeq[req.MachineID]
+		c.beatSeq[req.MachineID] = req.BeatSeq
+		c.mu.Unlock()
+		defer func() {
+			if beatApplied {
+				return
+			}
+			c.mu.Lock()
+			if c.beatSeq[req.MachineID] == req.BeatSeq {
+				c.beatSeq[req.MachineID] = prevSeq
+			}
+			c.mu.Unlock()
+		}()
 	}
 	rec, err := c.db.GetNode(req.MachineID)
 	if err != nil {
@@ -466,6 +509,9 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 		c.handleNodeReturn(req.MachineID, now)
 	}
 	c.TrySchedule()
+	// The beat is fully applied: the claimed sequence stays as the
+	// dedup high-water mark.
+	beatApplied = true
 	return api.HeartbeatResponse{Acknowledged: true}, nil
 }
 
@@ -880,14 +926,33 @@ func (c *Coordinator) JobUpdate(machineID, jobID string, state db.JobState, step
 	now := c.clock.Now()
 	switch state {
 	case db.JobCompleted, db.JobFailed:
-		// The stale-node check runs inside the record lock: on the
+		// Idempotency pre-check, outside the record lock: a duplicate
+		// delivery of a terminal report (the job already resolved, or
+		// the record no longer points at the sender) must be a true
+		// no-op — not even a no-change UpdateJob, which would still
+		// advance the mutation sequence and re-stamp FinishedAt. A
+		// duplicate racing the original on the concurrent HTTP path can
+		// still slip past this read and reach UpdateJob; the in-lock
+		// guards below keep the record correct there, at the cost of
+		// one no-change mutation record.
+		if cur, err := c.db.GetJob(jobID); err != nil ||
+			cur.State == db.JobCompleted || cur.State == db.JobFailed ||
+			cur.State == db.JobKilled ||
+			(machineID != "" && cur.NodeID != machineID) {
+			return
+		}
+		// The stale-node check also runs inside the record lock: on the
 		// concurrent HTTP path the job may be requeued and re-placed
-		// between any snapshot read and this update, and a report from
-		// the old host must lose that race, not resolve the new copy.
+		// between the snapshot read above and this update, and a report
+		// from the old host must lose that race, not resolve the new
+		// copy.
 		var nodeID, deviceID string
 		applied := false
 		err := c.db.UpdateJob(jobID, func(j *db.JobRecord) {
 			if machineID != "" && j.NodeID != machineID {
+				return
+			}
+			if j.State == db.JobCompleted || j.State == db.JobFailed || j.State == db.JobKilled {
 				return
 			}
 			nodeID, deviceID = j.NodeID, j.DeviceID

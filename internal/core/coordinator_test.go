@@ -433,3 +433,149 @@ func TestRequeueWhenNoMigrationTarget(t *testing.T) {
 		t.Fatal("requeued job lost its checkpointed progress")
 	}
 }
+
+// TestHeartbeatDuplicateDropped: a replayed heartbeat (same BeatSeq) is
+// acknowledged but processed zero times — no samples, no telemetry
+// refresh, no mutation-sequence advance.
+func TestHeartbeatDuplicateDropped(t *testing.T) {
+	r := newRig(t, time.Minute)
+	ag := r.addNode("n1", gpu.RTX3090)
+	r.clock.Advance(2 * time.Minute)
+
+	req := ag.HeartbeatRequest()
+	if req.BeatSeq == 0 {
+		t.Fatal("agent built a beat without a sequence number")
+	}
+	if resp, err := r.coord.Heartbeat(req); err != nil || !resp.Acknowledged {
+		t.Fatalf("first delivery = %+v, %v", resp, err)
+	}
+	before := r.coord.DB().CurrentLSN()
+	for i := 0; i < 3; i++ {
+		resp, err := r.coord.Heartbeat(req)
+		if err != nil || !resp.Acknowledged {
+			t.Fatalf("duplicate delivery = %+v, %v", resp, err)
+		}
+	}
+	if after := r.coord.DB().CurrentLSN(); after != before {
+		t.Fatalf("duplicate heartbeats mutated the store: LSN %d -> %d", before, after)
+	}
+	// A genuinely new beat is still processed.
+	if _, err := r.coord.Heartbeat(ag.HeartbeatRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.coord.DB().CurrentLSN(); after == before {
+		t.Fatal("fresh beat was swallowed by the duplicate guard")
+	}
+}
+
+// TestHeartbeatSeqResetOnReregister: an agent restart restarts its beat
+// counter; re-registration must clear the guard so the node is not
+// permanently muted.
+func TestHeartbeatSeqResetOnReregister(t *testing.T) {
+	r := newRig(t, time.Minute)
+	ag := r.addNode("n1", gpu.RTX3090)
+	// Drive the counter well past 1.
+	for i := 0; i < 5; i++ {
+		if _, err := r.coord.Heartbeat(ag.HeartbeatRequest()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Restart": a fresh agent process for the same machine, counter
+	// back at one.
+	rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(gpu.RTX3090), 0, 0)
+	ag2 := agent.New(agent.Config{MachineID: "n1", Kernel: "5.15"}, r.clock, rt, r.ckpts, nil, r.coord)
+	defer ag2.Stop()
+	resp, err := r.coord.Register(ag2.RegisterRequest("inproc://n1", 1<<30), LocalAgent{A: ag2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag2.SetToken(resp.Token)
+	req := ag2.HeartbeatRequest()
+	if req.BeatSeq != 1 {
+		t.Fatalf("restarted agent's first beat seq = %d", req.BeatSeq)
+	}
+	before := r.coord.DB().CurrentLSN()
+	if resp, err := r.coord.Heartbeat(req); err != nil || !resp.Acknowledged {
+		t.Fatalf("first beat after restart = %+v, %v", resp, err)
+	}
+	if r.coord.DB().CurrentLSN() == before {
+		t.Fatal("restarted agent's beats are muted by the stale guard")
+	}
+}
+
+// TestJobUpdateDuplicateIsNoOp: a replayed terminal report must not
+// re-stamp the record, advance the mutation sequence, or disturb the
+// (long since closed) allocation.
+func TestJobUpdateDuplicateIsNoOp(t *testing.T) {
+	r := newRig(t, time.Minute)
+	r.addNode("n1", gpu.RTX3090)
+	spec := workload.SmallCNN
+	spec.TotalSteps = 50
+	jobID := submitTraining(t, r, spec, 0)
+	r.clock.Advance(2 * time.Minute) // completes and reports
+
+	rec, err := r.coord.DB().GetJob(jobID)
+	if err != nil || rec.State != db.JobCompleted {
+		t.Fatalf("job = %+v, %v", rec, err)
+	}
+	before := r.coord.DB().CurrentLSN()
+	r.coord.JobUpdate("n1", jobID, db.JobCompleted, 50)
+	r.coord.JobUpdate("n1", jobID, db.JobFailed, 50) // conflicting replay loses too
+	if after := r.coord.DB().CurrentLSN(); after != before {
+		t.Fatalf("duplicate terminal reports mutated the store: LSN %d -> %d", before, after)
+	}
+	rec2, _ := r.coord.DB().GetJob(jobID)
+	if rec2.State != db.JobCompleted || !rec2.FinishedAt.Equal(rec.FinishedAt) {
+		t.Fatalf("record disturbed by duplicates: %+v vs %+v", rec2, rec)
+	}
+}
+
+// TestHeartbeatRetryAfterReregisterNotSwallowed: a beat that bounced
+// with Reregister (dead handle after a coordinator restart) was NOT
+// processed, so retrying the identical request must bounce again — not
+// be acknowledged as a duplicate of a beat that never landed.
+func TestHeartbeatRetryAfterReregisterNotSwallowed(t *testing.T) {
+	secret := []byte("shared-coordinator-secret")
+	clock := simclock.NewSim(t0)
+	store := db.New(0)
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	coord1, err := New(Config{HeartbeatInterval: time.Minute, AuthSecret: secret},
+		clock, store, ckpts, eventbus.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(gpu.RTX3090), 0, 0)
+	ag := agent.New(agent.Config{MachineID: "n1", Kernel: "5.15"}, clock, rt, ckpts, nil, NopCoordNotifier{})
+	defer ag.Stop()
+	resp, err := coord1.Register(ag.RegisterRequest("inproc://n1", 1<<30), LocalAgent{A: ag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag.SetToken(resp.Token)
+	coord1.Stop()
+
+	// The successor recovered the store (same records, same secret) but
+	// has no transport to the agent yet.
+	coord2, err := New(Config{HeartbeatInterval: time.Minute, AuthSecret: secret},
+		clock, store, ckpts, eventbus.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Stop()
+	req := ag.HeartbeatRequest()
+	hb1, err := coord2.Heartbeat(req)
+	if err != nil || !hb1.Reregister {
+		t.Fatalf("first delivery = %+v, %v (want Reregister)", hb1, err)
+	}
+	// The response was lost; the transport retries the identical beat.
+	hb2, err := coord2.Heartbeat(req)
+	if err != nil || !hb2.Reregister {
+		t.Fatalf("retried delivery = %+v, %v — the bounced beat was swallowed as a duplicate", hb2, err)
+	}
+}
+
+// NopCoordNotifier discards agent notifications in coordinator tests.
+type NopCoordNotifier struct{}
+
+func (NopCoordNotifier) JobUpdate(string, string, db.JobState, int64) {}
+func (NopCoordNotifier) Departing(string, api.DepartReason)           {}

@@ -37,14 +37,30 @@
 //
 // Recovery byte-equivalence (a restored store matching the pre-crash
 // one) is checked separately via CheckEquivalence at crash/restart
-// points, where both images exist.
+// points, where both images exist. Three further rules audit state the
+// database alone cannot show and are driven by the harness with the
+// extra context they need:
+//
+//   - checkpoint-integrity (CheckCheckpoints): every live job's restore
+//     chain resolves to a structurally valid generation — full snapshot
+//     first, increments linked base-to-head, progress never regressing —
+//     or to no checkpoint at all. Corruption in the checkpoint store
+//     must be absorbed by CRC detection and generation fallback, never
+//     surfaced as a broken chain;
+//   - skew-bounded-liveness (CheckSkewLiveness): a node whose only
+//     fault is a bounded clock skew stays in service — failure
+//     detection must key off receiver-side time, not sender clocks;
+//   - no-duplicate-side-effects (chaos.VerifyIdempotent): replaying an
+//     already-processed control message mutates nothing.
 package invariant
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
+	"gpunion/internal/checkpoint"
 	"gpunion/internal/db"
 )
 
@@ -369,6 +385,106 @@ func queuePrecedes(a, b db.JobRecord) bool {
 		return a.SubmittedAt.Before(b.SubmittedAt)
 	}
 	return a.ID < b.ID
+}
+
+// CheckpointSource is the slice of the checkpoint store the integrity
+// check reads. Taking an interface lets sabotage tests prove the rule
+// fires on a source that hands out broken chains.
+type CheckpointSource interface {
+	// RestoreChain returns the job's restore chain, oldest first.
+	RestoreChain(jobID string) ([]checkpoint.Checkpoint, error)
+}
+
+// CheckCheckpoints audits checkpoint-integrity for the given jobs
+// (callers pass the live set: pending, running, migrating): whatever
+// damage the checkpoint store's backing blobs absorbed, every restore
+// chain the platform can be handed must be structurally sound — a full
+// snapshot first, each increment based on its predecessor, progress
+// never regressing, for this job. "No checkpoint" (including "nothing
+// restorable survived") is legitimate: the job restarts from scratch.
+// A broken chain is not: it means corruption detection or generation
+// fallback let damaged state through.
+func CheckCheckpoints(cs CheckpointSource, jobs []db.JobRecord) []Violation {
+	var vs []Violation
+	for _, j := range jobs {
+		chain, err := cs.RestoreChain(j.ID)
+		if err != nil {
+			if errors.Is(err, checkpoint.ErrNoCheckpoint) || errors.Is(err, checkpoint.ErrBadChain) {
+				continue
+			}
+			vs = append(vs, Violation{
+				Rule:   "checkpoint-integrity",
+				Detail: fmt.Sprintf("job %s: restore chain unresolvable: %v", j.ID, err),
+			})
+			continue
+		}
+		if len(chain) == 0 {
+			vs = append(vs, Violation{
+				Rule:   "checkpoint-integrity",
+				Detail: fmt.Sprintf("job %s: empty restore chain", j.ID),
+			})
+			continue
+		}
+		if chain[0].Incremental {
+			vs = append(vs, Violation{
+				Rule:   "checkpoint-integrity",
+				Detail: fmt.Sprintf("job %s: restore chain starts at increment %d, not a full snapshot", j.ID, chain[0].Seq),
+			})
+		}
+		for i, ck := range chain {
+			if ck.JobID != j.ID {
+				vs = append(vs, Violation{
+					Rule:   "checkpoint-integrity",
+					Detail: fmt.Sprintf("job %s: chain link %d belongs to job %q", j.ID, ck.Seq, ck.JobID),
+				})
+			}
+			if i == 0 {
+				continue
+			}
+			if !ck.Incremental || ck.BaseSeq != chain[i-1].Seq {
+				vs = append(vs, Violation{
+					Rule: "checkpoint-integrity",
+					Detail: fmt.Sprintf("job %s: link %d does not build on its predecessor %d",
+						j.ID, ck.Seq, chain[i-1].Seq),
+				})
+			}
+			if ck.Progress.Step < chain[i-1].Progress.Step {
+				vs = append(vs, Violation{
+					Rule: "checkpoint-integrity",
+					Detail: fmt.Sprintf("job %s: progress regresses along the chain (%d after %d)",
+						j.ID, ck.Progress.Step, chain[i-1].Progress.Step),
+				})
+			}
+		}
+	}
+	return vs
+}
+
+// CheckSkewLiveness audits skew-bounded-liveness: nodes whose only
+// fault is a bounded clock offset — the caller passes exactly those,
+// excluding nodes that are also crashed, partitioned or departed — must
+// remain in service. Failure detection keys off receiver-side arrival
+// times, so a sender's skewed wall clock must never get it marked
+// unreachable.
+func CheckSkewLiveness(s db.Store, skewedNodes []string) []Violation {
+	var vs []Violation
+	for _, id := range skewedNodes {
+		n, err := s.GetNode(id)
+		if err != nil {
+			vs = append(vs, Violation{
+				Rule:   "skew-bounded-liveness",
+				Detail: fmt.Sprintf("skewed node %s unknown to the store: %v", id, err),
+			})
+			continue
+		}
+		if n.Status != db.NodeActive && n.Status != db.NodePaused {
+			vs = append(vs, Violation{
+				Rule:   "skew-bounded-liveness",
+				Detail: fmt.Sprintf("node %s dropped to %s though its only fault is clock skew", id, n.Status),
+			})
+		}
+	}
+	return vs
 }
 
 // CheckEquivalence compares two store images table by table (nodes,

@@ -93,15 +93,7 @@ func New(sched *scheduler.Scheduler, ckpts *checkpoint.Store, net *netsim.Networ
 // for the original node on migrate-back.
 func (e *Engine) Plan(job db.JobRecord, nodes []db.NodeRecord, reason Reason, now time.Time) (Plan, error) {
 	p := Plan{JobID: job.ID, From: job.NodeID, Reason: reason}
-
-	if ck, err := e.ckpts.Latest(job.ID); err == nil {
-		p.HasCheckpoint = true
-		p.RestoreSeq = ck.Seq
-		p.RestoreStep = ck.Progress.Step
-		if bytes, err := e.ckpts.RestoreBytes(job.ID); err == nil {
-			p.TransferBytes = bytes
-		}
-	}
+	e.fillRestorePoint(&p)
 
 	req := scheduler.Request{
 		JobID:       job.ID,
@@ -131,6 +123,25 @@ func (e *Engine) Plan(job db.JobRecord, nodes []db.NodeRecord, reason Reason, no
 	return p, nil
 }
 
+// fillRestorePoint resolves the job's restore chain once and derives
+// both the resume point (the chain head) and the transfer size (the
+// chain's byte total) from it — one verification walk, not the two that
+// separate Latest + RestoreBytes calls would cost. No restorable chain
+// means a stateless restart.
+func (e *Engine) fillRestorePoint(p *Plan) {
+	chain, err := e.ckpts.RestoreChain(p.JobID)
+	if err != nil || len(chain) == 0 {
+		return
+	}
+	head := chain[len(chain)-1]
+	p.HasCheckpoint = true
+	p.RestoreSeq = head.Seq
+	p.RestoreStep = head.Progress.Step
+	for _, ck := range chain {
+		p.TransferBytes += ck.Bytes
+	}
+}
+
 // BatchItem is one job's outcome within a PlanBatch call.
 type BatchItem struct {
 	Plan Plan
@@ -158,14 +169,7 @@ func (e *Engine) PlanBatch(jobs []db.JobRecord, nodes []db.NodeRecord, reason Re
 
 	for i, job := range jobs {
 		p := Plan{JobID: job.ID, From: job.NodeID, Reason: reason}
-		if ck, err := e.ckpts.Latest(job.ID); err == nil {
-			p.HasCheckpoint = true
-			p.RestoreSeq = ck.Seq
-			p.RestoreStep = ck.Progress.Step
-			if bytes, berr := e.ckpts.RestoreBytes(job.ID); berr == nil {
-				p.TransferBytes = bytes
-			}
-		}
+		e.fillRestorePoint(&p)
 		req := scheduler.Request{
 			JobID:       job.ID,
 			GPUMemMiB:   job.GPUMemMiB,

@@ -55,6 +55,11 @@ type ChaosConfig struct {
 	// WithNetwork attaches the LAN model; it is also enabled
 	// automatically when the spec sets a latency-spike rate.
 	WithNetwork bool
+	// NewStore builds the system database (default: the sharded
+	// db.New). The same factory boots the successor store after a
+	// coordinator crash, so baseline-parity runs (db.NewSingleMutex)
+	// recover onto their own store type.
+	NewStore func() db.Store
 }
 
 // ChaosResult is what one chaos run observed.
@@ -75,6 +80,15 @@ type ChaosResult struct {
 	Recoveries int
 	// WALFaultsInjected counts disk faults actually delivered.
 	WALFaultsInjected int
+	// CkptFaultsInjected counts checkpoint blobs actually damaged;
+	// CkptCorruptionsDetected counts frames the checkpoint store's CRC
+	// verification rejected (the detector firing on that damage).
+	CkptFaultsInjected      int
+	CkptCorruptionsDetected int
+	// DupReplaysDelivered counts control messages actually replayed
+	// during duplicate-delivery windows (each verified side-effect
+	// free), by message kind ("heartbeat", "job-update", "launch").
+	DupReplaysDelivered map[string]int
 	// DurabilityLost reports whether any mutation failed to log during
 	// a fault window (expected under WAL-fault schedules; recovery
 	// equivalence is then checked via a post-heal checkpoint).
@@ -110,6 +124,9 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			cfg.Spec.Nodes = append(cfg.Spec.Nodes, d.ID)
 		}
 	}
+	if cfg.NewStore == nil {
+		cfg.NewStore = func() db.Store { return db.New(0) }
+	}
 
 	h, err := newChaosHarness(cfg)
 	if err != nil {
@@ -140,6 +157,12 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	if h.fs != nil {
 		res.WALFaultsInjected = h.fs.Injected()
 	}
+	res.CkptFaultsInjected = h.blob.Injected()
+	res.CkptCorruptionsDetected = h.ckpts.CorruptionsDetected()
+	h.mu.Lock()
+	res.DupReplaysDelivered = h.dupReplays
+	h.dupReplays = nil
+	h.mu.Unlock()
 	res.DurabilityLost = h.sawDurabilityLoss
 	return res, nil
 }
@@ -152,6 +175,7 @@ type chaosHarness struct {
 	cfg      ChaosConfig
 	clock    *simclock.Sim
 	bus      *eventbus.Bus
+	blob     *chaos.FaultBlobStore
 	ckpts    *checkpoint.Store
 	net      *netsim.Network
 	fs       *chaos.FaultFS
@@ -159,6 +183,8 @@ type chaosHarness struct {
 	ownDir   bool
 	coordCfg core.Config
 	nodeIDs  []string
+	// skewed holds each agent's adjustable clock (the skew seam).
+	skewed map[string]*simclock.Skewed
 
 	mu          sync.Mutex
 	store       db.Store
@@ -167,7 +193,21 @@ type chaosHarness struct {
 	agents      map[string]*agent.Agent
 	crashed     map[string]bool
 	partitioned map[string]bool
-	origLinks   map[string]netsim.NodeLink
+	// dataPartitioned nodes have lost the data plane too: checkpoint
+	// transfers fail in both directions, on top of the control cut.
+	dataPartitioned map[string]bool
+	// skews mirrors the currently injected clock offsets, so audits
+	// know which nodes' only fault is a bounded skew.
+	skews     map[string]time.Duration
+	origLinks map[string]netsim.NodeLink
+	// dupOn marks an open duplicate-delivery window; dupCounter varies
+	// the replay count; dupReplays tallies replays by message kind;
+	// dupViolations accumulates idempotency breaches found between
+	// audits.
+	dupOn         bool
+	dupCounter    int
+	dupReplays    map[string]int
+	dupViolations []invariant.Violation
 	// graceUntil suppresses agent-vs-store phantom checks right after a
 	// heal or restart, while reconciliation heartbeats are in flight.
 	graceUntil        time.Time
@@ -182,15 +222,23 @@ type chaosHarness struct {
 var chaosAuthSecret = []byte("gpunion-chaos-harness-auth-secret")
 
 func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
+	// The checkpoint store's backing blobs sit behind the corruption
+	// seam: injected bit flips and truncations land in the real stored
+	// bytes, and the store's CRC frames must catch them on read.
+	blob := chaos.NewFaultBlobStore(storage.NewMemStore(0))
 	h := &chaosHarness{
-		cfg:         cfg,
-		clock:       simclock.NewSim(Epoch),
-		bus:         eventbus.New(4096),
-		ckpts:       checkpoint.NewStore(storage.NewMemStore(0)),
-		agents:      make(map[string]*agent.Agent),
-		crashed:     make(map[string]bool),
-		partitioned: make(map[string]bool),
-		origLinks:   make(map[string]netsim.NodeLink),
+		cfg:             cfg,
+		clock:           simclock.NewSim(Epoch),
+		bus:             eventbus.New(4096),
+		blob:            blob,
+		ckpts:           checkpoint.NewStore(blob),
+		skewed:          make(map[string]*simclock.Skewed),
+		agents:          make(map[string]*agent.Agent),
+		crashed:         make(map[string]bool),
+		partitioned:     make(map[string]bool),
+		dataPartitioned: make(map[string]bool),
+		skews:           make(map[string]time.Duration),
+		origLinks:       make(map[string]netsim.NodeLink),
 	}
 	for _, d := range cfg.Defs {
 		h.nodeIDs = append(h.nodeIDs, d.ID)
@@ -218,7 +266,7 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		StorageNode:       storageNode,
 	}
 
-	store := db.New(0)
+	store := cfg.NewStore()
 	if cfg.EnableWAL {
 		dir := cfg.WALDir
 		if dir == "" {
@@ -261,9 +309,14 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 
 	for _, d := range cfg.Defs {
 		rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(d.GPUs...), 0, 0)
+		// Each agent runs on its own skewable clock (the clock-skew
+		// seam) and writes checkpoints through a per-node gate that a
+		// data-plane partition severs.
+		skewed := simclock.NewSkewed(h.clock)
+		h.skewed[d.ID] = skewed
 		ag := agent.New(agent.Config{
 			MachineID: d.ID, Kernel: "5.15", ProgressTick: cfg.ProgressTick,
-		}, h.clock, rt, h.ckpts, h.bus, h)
+		}, skewed, rt, agentCkptWriter{h: h, id: d.ID}, h.bus, h)
 		h.agents[d.ID] = ag
 		if err := h.register(ag); err != nil {
 			return nil, err
@@ -310,11 +363,73 @@ func (h *chaosHarness) noteDurabilityLoss() {
 	h.mu.Unlock()
 }
 
-// silenced reports whether the node's control-plane path is cut.
+// silenced reports whether the node's control-plane path is cut. A
+// data-plane partition implies the control cut too: it models the whole
+// link going dark, not just the heartbeat port.
 func (h *chaosHarness) silenced(id string) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.crashed[id] || h.partitioned[id]
+	return h.crashed[id] || h.partitioned[id] || h.dataPartitioned[id]
+}
+
+// dataCut reports whether the node's checkpoint data plane is severed.
+func (h *chaosHarness) dataCut(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dataPartitioned[id]
+}
+
+// agentCkptWriter is one node's path to the platform checkpoint store,
+// with the data-plane fault model applied: a data-partitioned node
+// cannot push checkpoints (or prune remotely), exactly as its transfer
+// connections would fail. The agent must absorb the error — the
+// workload keeps running on its last durable generation.
+type agentCkptWriter struct {
+	h  *chaosHarness
+	id string
+}
+
+var errDataPlaneSevered = fmt.Errorf("chaos: checkpoint data plane severed")
+
+func (w agentCkptWriter) Save(ck checkpoint.Checkpoint) error {
+	if w.h.dataCut(w.id) {
+		return errDataPlaneSevered
+	}
+	return w.h.ckpts.Save(ck)
+}
+
+func (w agentCkptWriter) Prune(jobID string) (int64, error) {
+	if w.h.dataCut(w.id) {
+		return 0, errDataPlaneSevered
+	}
+	return w.h.ckpts.Prune(jobID)
+}
+
+// maybeReplay delivers 1–3 extra copies of an already-processed control
+// message while a duplicate-delivery window is open, verifying every
+// replay leaves the store untouched. Runs on the driver goroutine, at a
+// quiescent point by construction.
+func (h *chaosHarness) maybeReplay(kind, label string, deliver func()) {
+	h.mu.Lock()
+	if !h.dupOn {
+		h.mu.Unlock()
+		return
+	}
+	h.dupCounter++
+	replays := 1 + h.dupCounter%3
+	if h.dupReplays == nil {
+		h.dupReplays = make(map[string]int)
+	}
+	h.dupReplays[kind]++
+	h.mu.Unlock()
+	store := h.currentStore()
+	for i := 0; i < replays; i++ {
+		if vs := chaos.VerifyIdempotent(store, label, deliver); len(vs) > 0 {
+			h.mu.Lock()
+			h.dupViolations = append(h.dupViolations, vs...)
+			h.mu.Unlock()
+		}
+	}
 }
 
 // register (re-)registers an agent with the current coordinator.
@@ -345,7 +460,25 @@ func (c chaosHandle) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 	if c.h.silenced(c.id) {
 		return api.LaunchResponse{}, errUnreachable
 	}
-	return c.inner.Launch(req)
+	resp, err := c.inner.Launch(req)
+	if err == nil {
+		// Duplicate delivery of the launch request: the agent's ingress
+		// must re-acknowledge the existing placement, not fail it or
+		// start a second copy.
+		c.h.maybeReplay("launch", "launch "+req.JobID+" on "+c.id, func() {
+			resp2, err2 := c.inner.Launch(req)
+			if err2 != nil || resp2 != resp {
+				c.h.mu.Lock()
+				c.h.dupViolations = append(c.h.dupViolations, invariant.Violation{
+					Rule: "no-duplicate-side-effects",
+					Detail: fmt.Sprintf("launch %s on %s not idempotent: err=%v resp=%+v first=%+v",
+						req.JobID, c.id, err2, resp2, resp),
+				})
+				c.h.mu.Unlock()
+			}
+		})
+	}
+	return resp, err
 }
 
 func (c chaosHandle) Kill(jobID string) error {
@@ -369,9 +502,19 @@ func (h *chaosHarness) heartbeatLoop(ag *agent.Agent) {
 	var loop func()
 	loop = func() {
 		if !ag.Departed() && !h.silenced(ag.MachineID()) {
-			resp, err := h.currentCoord().Heartbeat(ag.HeartbeatRequest())
-			if err == nil && resp.Reregister {
+			req := ag.HeartbeatRequest()
+			resp, err := h.currentCoord().Heartbeat(req)
+			switch {
+			case err == nil && resp.Reregister:
 				_ = h.register(ag)
+			case err == nil && resp.Acknowledged:
+				// Replay the very same request (same beat sequence):
+				// the coordinator's ingress guard must make it a no-op.
+				h.maybeReplay("heartbeat", "heartbeat "+ag.MachineID(), func() {
+					if c := h.currentCoord(); c != nil {
+						_, _ = c.Heartbeat(req)
+					}
+				})
 			}
 		}
 		h.clock.AfterFunc(h.cfg.HeartbeatInterval, loop)
@@ -422,6 +565,14 @@ func (h *chaosHarness) startTraffic(seed int64) {
 func (h *chaosHarness) JobUpdate(machineID, jobID string, state db.JobState, step int64) {
 	if c := h.currentCoord(); c != nil {
 		c.JobUpdate(machineID, jobID, state, step)
+		// Terminal reports are retried until delivered, so they are also
+		// the reports most likely to arrive twice; the coordinator's
+		// terminal-state pre-check must make replays true no-ops.
+		h.maybeReplay("job-update", fmt.Sprintf("job-update %s on %s", jobID, machineID), func() {
+			if c2 := h.currentCoord(); c2 != nil {
+				c2.JobUpdate(machineID, jobID, state, step)
+			}
+		})
 	}
 }
 
@@ -546,6 +697,58 @@ func (h *chaosHarness) SetWALFault(mode chaos.WALFaultMode) {
 	h.fs.SetMode(mode)
 }
 
+// SetClockSkew steps one node's wall clock to the given offset from
+// true time (zero steps it back). Only the node's own components see
+// the skewed time; the coordinator keeps its own clock.
+func (h *chaosHarness) SetClockSkew(id string, offset time.Duration) {
+	sk, ok := h.skewed[id]
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	if offset == 0 {
+		delete(h.skews, id)
+	} else {
+		h.skews[id] = offset
+	}
+	h.mu.Unlock()
+	sk.SetOffset(offset)
+}
+
+// SetDupDelivery toggles the duplicate-delivery window.
+func (h *chaosHarness) SetDupDelivery(enabled bool) {
+	h.mu.Lock()
+	h.dupOn = enabled
+	h.mu.Unlock()
+}
+
+// DataPartitionStart cuts both planes to the nodes: heartbeats and
+// launches (control) and checkpoint transfers (data).
+func (h *chaosHarness) DataPartitionStart(ids []string) {
+	h.mu.Lock()
+	for _, id := range ids {
+		h.dataPartitioned[id] = true
+	}
+	h.mu.Unlock()
+}
+
+// DataPartitionHeal restores both planes; reconciliation and checkpoint
+// pushes resume on the next heartbeat/tick.
+func (h *chaosHarness) DataPartitionHeal(ids []string) {
+	h.mu.Lock()
+	for _, id := range ids {
+		delete(h.dataPartitioned, id)
+	}
+	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
+	h.mu.Unlock()
+}
+
+// SetCheckpointFault switches the injected damage under the checkpoint
+// store's backing blobs.
+func (h *chaosHarness) SetCheckpointFault(mode chaos.CkptFaultMode) {
+	h.blob.SetMode(mode)
+}
+
 // CrashCoordinator kills the coordinator process — in-memory state,
 // agent handles and pending timers die — and boots a successor from
 // snapshot + WAL, checking that the recovered image matches the
@@ -573,7 +776,7 @@ func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
 	old.Stop()
 	_ = mgr.Close()
 
-	store2 := db.New(0)
+	store2 := h.cfg.NewStore()
 	mgr2, err := wal.Open(h.dir, store2, wal.Config{
 		FS:            h.fs,
 		OnAppendError: func(error) { h.noteDurabilityLoss() },
@@ -618,25 +821,36 @@ func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
 	return vs
 }
 
-// ExtraChecks audits what the database alone cannot show: the
-// coordinator's derived scheduler pool must match a fresh store scan,
-// and no reachable agent may be running a job the platform has placed
-// elsewhere or resolved. The agent checks are suppressed inside the
-// reconciliation grace window after a heal or restart; the pool check
-// is not — it is maintained synchronously and must never lag at a
-// quiescent point.
+// ExtraChecks audits what the database alone cannot show: idempotency
+// breaches found by duplicate-delivery replays since the last audit,
+// the coordinator's derived scheduler pool against a fresh store scan,
+// checkpoint-integrity over every live job's restore chain, and —
+// outside the reconciliation grace window after a heal or restart —
+// skew-bounded-liveness for nodes whose only fault is a clock offset
+// plus the agent-vs-store phantom checks. The pool and checkpoint
+// checks are never suppressed: they are maintained synchronously and
+// must hold at every quiescent point.
 func (h *chaosHarness) ExtraChecks() []invariant.Violation {
 	var vs []invariant.Violation
+	h.mu.Lock()
+	vs = append(vs, h.dupViolations...)
+	h.dupViolations = nil
+	h.mu.Unlock()
 	for _, p := range h.currentCoord().AuditSchedulerPool() {
 		vs = append(vs, invariant.Violation{Rule: "scheduler-pool-consistent", Detail: p})
 	}
+	store := h.currentStore()
+	live := store.JobsInState(db.JobPending)
+	live = append(live, store.JobsInState(db.JobRunning)...)
+	live = append(live, store.JobsInState(db.JobMigrating)...)
+	vs = append(vs, invariant.CheckCheckpoints(h.ckpts, live)...)
 	h.mu.Lock()
 	grace := h.graceUntil
 	h.mu.Unlock()
 	if h.clock.Now().Before(grace) {
 		return vs
 	}
-	store := h.currentStore()
+	vs = append(vs, invariant.CheckSkewLiveness(store, h.skewedHealthyNodes())...)
 	for _, id := range h.nodeIDs {
 		ag := h.agents[id]
 		if ag.Departed() || h.silenced(id) {
@@ -661,6 +875,29 @@ func (h *chaosHarness) ExtraChecks() []invariant.Violation {
 		}
 	}
 	return vs
+}
+
+// skewedHealthyNodes lists the nodes whose *only* current fault is an
+// injected clock offset: skewed, but reachable and still a member.
+// Exactly these must stay in service (skew-bounded-liveness).
+func (h *chaosHarness) skewedHealthyNodes() []string {
+	h.mu.Lock()
+	ids := make([]string, 0, len(h.skews))
+	for id := range h.skews {
+		if h.crashed[id] || h.partitioned[id] || h.dataPartitioned[id] {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	h.mu.Unlock()
+	out := ids[:0]
+	for _, id := range ids {
+		if ag := h.agents[id]; ag != nil && !ag.Departed() {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // --- Canned scenarios (the CI gate: make verify-chaos) ---
@@ -722,7 +959,20 @@ func RunChaosPartitionCrash(seed int64) (ChaosResult, error) {
 // short-write windows under live traffic, plus coordinator crashes
 // that force recovery from the damaged-but-quarantined log.
 func RunChaosWALFaults(seed int64) (ChaosResult, error) {
-	return RunChaos(ChaosConfig{
+	return RunChaos(walFaultsConfig(seed))
+}
+
+// RunChaosWALFaultsSingleMutex runs the identical disk-fault schedule
+// against the SingleMutex baseline store — the ROADMAP parity check
+// that durability and recovery hold independent of store sharding.
+func RunChaosWALFaultsSingleMutex(seed int64) (ChaosResult, error) {
+	cfg := walFaultsConfig(seed)
+	cfg.NewStore = func() db.Store { return db.NewSingleMutex(0) }
+	return RunChaos(cfg)
+}
+
+func walFaultsConfig(seed int64) ChaosConfig {
+	return ChaosConfig{
 		Seed: seed,
 		Spec: chaos.Spec{
 			Duration:           6 * time.Hour,
@@ -730,6 +980,54 @@ func RunChaosWALFaults(seed int64) (ChaosResult, error) {
 			WALFaultsPerDay:    16,
 			MeanWALFault:       10 * time.Minute,
 			CoordCrashes:       2,
+		},
+		Jobs:        16,
+		EnableWAL:   true,
+		WithNetwork: true,
+	}
+}
+
+// RunChaosSkewDup is the clock-skew + duplicate-delivery schedule on
+// the paper campus: per-node wall clocks step by minutes in either
+// direction while heartbeats, terminal job updates and launch requests
+// are replayed — under churn, so the replays race real displacements.
+// The subjects are the coordinator's idempotent ingress guards and the
+// agent's skew-hardened progress accounting.
+func RunChaosSkewDup(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           6 * time.Hour,
+			ChurnPerNodePerDay: 2,
+			ClockSkewsPerDay:   16,
+			MaxSkew:            3 * time.Minute,
+			MeanSkewWindow:     25 * time.Minute,
+			DupWindowsPerDay:   18,
+			MeanDupWindow:      40 * time.Minute,
+		},
+		Jobs: 16,
+	})
+}
+
+// RunChaosDataPlane is the data-plane schedule: partitions that sever
+// checkpoint transfers along with the control path, checkpoint-store
+// corruption windows (silent bit flips and truncation under the CRC
+// frames), churn to force migrations through the damage, and a
+// coordinator crash on a WAL-backed store. The subjects are checkpoint
+// corruption detection with generation fallback and migration retry
+// once a severed transfer path heals.
+func RunChaosDataPlane(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:             6 * time.Hour,
+			ChurnPerNodePerDay:   2,
+			DataPartitionsPerDay: 8,
+			MeanPartition:        12 * time.Minute,
+			MaxPartitionNodes:    3,
+			CkptFaultsPerDay:     12,
+			MeanCkptFault:        12 * time.Minute,
+			CoordCrashes:         1,
 		},
 		Jobs:        16,
 		EnableWAL:   true,

@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"gpunion/internal/chaos"
+	"gpunion/internal/checkpoint"
 	"gpunion/internal/db"
 	"gpunion/internal/invariant"
 	"gpunion/internal/workload"
@@ -77,6 +80,71 @@ func TestChaosWALFaults(t *testing.T) {
 		t.Skip("runs a full campus day with WAL fsyncs")
 	}
 	res, err := RunChaosWALFaults(42)
+	requireClean(t, res, err)
+	if res.WALFaultsInjected == 0 {
+		t.Error("no disk faults were actually delivered")
+	}
+	if res.Recoveries == 0 {
+		t.Error("no recovery exercised the damaged log")
+	}
+}
+
+// TestChaosSkewDup: per-node clock skew plus duplicate delivery of
+// heartbeats, job updates and launches, under churn. Every replay is
+// verified side-effect free and skewed-but-healthy nodes must stay in
+// service.
+func TestChaosSkewDup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full campus day of simulated time")
+	}
+	res, err := RunChaosSkewDup(42)
+	requireClean(t, res, err)
+	if res.Report.Executed[chaos.KindClockSkew] == 0 {
+		t.Errorf("no clock skew injected: %v", res.Report.Executed)
+	}
+	if res.Report.Executed[chaos.KindDupDeliver] == 0 {
+		t.Errorf("no duplicate-delivery window opened: %v", res.Report.Executed)
+	}
+	for _, kind := range []string{"heartbeat", "job-update", "launch"} {
+		if res.DupReplaysDelivered[kind] == 0 {
+			t.Errorf("duplicate windows opened but no %s was actually replayed", kind)
+		}
+	}
+	t.Logf("skews=%d dupWindows=%d replays=%v",
+		res.Report.Executed[chaos.KindClockSkew],
+		res.Report.Executed[chaos.KindDupDeliver], res.DupReplaysDelivered)
+}
+
+// TestChaosDataPlane: partitions that sever checkpoint transfers along
+// with the control path, plus silent checkpoint-store corruption and a
+// coordinator crash. The CRC frames must catch every damaged blob and
+// restores must fall back to the previous intact generation.
+func TestChaosDataPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full campus day with WAL fsyncs")
+	}
+	res, err := RunChaosDataPlane(42)
+	requireClean(t, res, err)
+	if res.Report.Executed[chaos.KindDataPartition] == 0 {
+		t.Errorf("no data-plane partition executed: %v", res.Report.Executed)
+	}
+	if res.CkptFaultsInjected == 0 {
+		t.Error("no checkpoint blobs were actually damaged")
+	}
+	if res.CkptCorruptionsDetected == 0 {
+		t.Error("damage was injected but the CRC detector never fired")
+	}
+	t.Logf("ckptFaults=%d detected=%d", res.CkptFaultsInjected, res.CkptCorruptionsDetected)
+}
+
+// TestChaosWALFaultsSingleMutex: the WAL disk-fault schedule against
+// the SingleMutex baseline store — the ROADMAP parity check that
+// durability and recovery do not depend on store sharding.
+func TestChaosWALFaultsSingleMutex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full campus day with WAL fsyncs")
+	}
+	res, err := RunChaosWALFaultsSingleMutex(42)
 	requireClean(t, res, err)
 	if res.WALFaultsInjected == 0 {
 		t.Error("no disk faults were actually delivered")
@@ -163,6 +231,98 @@ func (d driftingStore) JobsOnNode(nodeID string) []db.JobRecord {
 // here lives in the query results, which the scan-equivalence side of
 // the invariant must catch on its own.
 func (d driftingStore) AuditIndexes() []string { return nil }
+
+// brokenChainSource models a checkpoint store whose fallback logic let
+// damage through: it hands out chains that violate the structural
+// contract. CheckCheckpoints must reject every one of them.
+type brokenChainSource struct {
+	chain []checkpoint.Checkpoint
+	err   error
+}
+
+func (b brokenChainSource) RestoreChain(string) ([]checkpoint.Checkpoint, error) {
+	return b.chain, b.err
+}
+
+// TestChaosSabotageCheckpointIntegrity: structurally broken restore
+// chains — an incremental head, an unlinked base, regressing progress,
+// a foreign job's link — must each trip checkpoint-integrity.
+func TestChaosSabotageCheckpointIntegrity(t *testing.T) {
+	jobs := []db.JobRecord{{ID: "j1", State: db.JobRunning}}
+	cases := map[string]invariant.CheckpointSource{
+		"head-is-increment": brokenChainSource{chain: []checkpoint.Checkpoint{
+			{JobID: "j1", Seq: 2, Incremental: true, BaseSeq: 1},
+		}},
+		"unlinked-base": brokenChainSource{chain: []checkpoint.Checkpoint{
+			{JobID: "j1", Seq: 1},
+			{JobID: "j1", Seq: 3, Incremental: true, BaseSeq: 2},
+		}},
+		"progress-regression": brokenChainSource{chain: []checkpoint.Checkpoint{
+			{JobID: "j1", Seq: 1, Progress: checkpoint.Progress{Step: 100}},
+			{JobID: "j1", Seq: 2, Incremental: true, BaseSeq: 1, Progress: checkpoint.Progress{Step: 50}},
+		}},
+		"foreign-job-link": brokenChainSource{chain: []checkpoint.Checkpoint{
+			{JobID: "j2", Seq: 1},
+		}},
+		"unresolvable": brokenChainSource{err: errors.New("backing store exploded")},
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			vs := invariant.CheckCheckpoints(src, jobs)
+			if len(vs) == 0 {
+				t.Fatal("broken chain went undetected")
+			}
+			for _, v := range vs {
+				if v.Rule != "checkpoint-integrity" {
+					t.Fatalf("unexpected rule %s", v.Rule)
+				}
+			}
+		})
+	}
+	// And the legitimate cases stay silent: no checkpoints at all, or
+	// checkpoints that survived nothing restorable.
+	for _, err := range []error{checkpoint.ErrNoCheckpoint, checkpoint.ErrBadChain} {
+		if vs := invariant.CheckCheckpoints(brokenChainSource{err: fmt.Errorf("wrap: %w", err)}, jobs); len(vs) != 0 {
+			t.Fatalf("legitimate %v flagged: %v", err, vs)
+		}
+	}
+}
+
+// TestChaosSabotageSkewLiveness: a node whose only fault is clock skew
+// but whose record dropped out of service must trip
+// skew-bounded-liveness.
+func TestChaosSabotageSkewLiveness(t *testing.T) {
+	s := db.New(0)
+	s.UpsertNode(db.NodeRecord{ID: "ws-1", Status: db.NodeActive})
+	s.UpsertNode(db.NodeRecord{ID: "ws-2", Status: db.NodeUnreachable})
+	if vs := invariant.CheckSkewLiveness(s, []string{"ws-1"}); len(vs) != 0 {
+		t.Fatalf("healthy skewed node flagged: %v", vs)
+	}
+	vs := invariant.CheckSkewLiveness(s, []string{"ws-1", "ws-2", "ghost"})
+	if len(vs) != 2 {
+		t.Fatalf("want 2 violations (unreachable + unknown), got %v", vs)
+	}
+	for _, v := range vs {
+		if v.Rule != "skew-bounded-liveness" {
+			t.Fatalf("unexpected rule %s", v.Rule)
+		}
+	}
+}
+
+// TestChaosSabotageDuplicateSideEffects: a replay that mutates the
+// store must trip no-duplicate-side-effects; a no-op replay must not.
+func TestChaosSabotageDuplicateSideEffects(t *testing.T) {
+	s := db.New(0)
+	if vs := chaos.VerifyIdempotent(s, "clean", func() {}); len(vs) != 0 {
+		t.Fatalf("side-effect-free replay flagged: %v", vs)
+	}
+	vs := chaos.VerifyIdempotent(s, "dirty", func() {
+		s.UpsertNode(db.NodeRecord{ID: "ws-1", Status: db.NodeActive})
+	})
+	if len(vs) != 1 || vs[0].Rule != "no-duplicate-side-effects" {
+		t.Fatalf("mutating replay not flagged: %v", vs)
+	}
+}
 
 // TestChaosSabotageIndexDrift: an index that diverges from the record
 // scan must trip the index-consistent rule.

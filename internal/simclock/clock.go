@@ -53,6 +53,60 @@ type realTimer struct{ t *time.Timer }
 
 func (rt realTimer) Stop() bool { return rt.t.Stop() }
 
+// Skewed is a Clock whose Now is offset from an inner clock's by an
+// adjustable amount — the clock-skew injection seam. Per-node skew is
+// a wall-time discontinuity, not a rate change: absolute time shifts
+// by the offset while relative scheduling (After, AfterFunc, Sleep)
+// keeps the inner clock's cadence, exactly as an NTP step on a node
+// moves its wall clock without stretching its timers.
+//
+// The chaos harness gives every agent its own Skewed wrapper over the
+// shared simulated clock and drives SetOffset from the fault schedule;
+// production code never constructs one.
+type Skewed struct {
+	inner Clock
+	mu    sync.Mutex
+	off   time.Duration
+}
+
+// NewSkewed wraps inner with an initially-zero offset.
+func NewSkewed(inner Clock) *Skewed {
+	return &Skewed{inner: inner}
+}
+
+// SetOffset installs a new skew. The next Now jumps by the difference —
+// forwards or backwards — which is the discontinuity skew-hardened
+// components must absorb.
+func (s *Skewed) SetOffset(d time.Duration) {
+	s.mu.Lock()
+	s.off = d
+	s.mu.Unlock()
+}
+
+// Offset reads the current skew.
+func (s *Skewed) Offset() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.off
+}
+
+// Now returns the inner clock's time shifted by the offset.
+func (s *Skewed) Now() time.Time {
+	s.mu.Lock()
+	off := s.off
+	s.mu.Unlock()
+	return s.inner.Now().Add(off)
+}
+
+// After delegates to the inner clock: durations are unaffected by skew.
+func (s *Skewed) After(d time.Duration) <-chan time.Time { return s.inner.After(d) }
+
+// Sleep delegates to the inner clock.
+func (s *Skewed) Sleep(d time.Duration) { s.inner.Sleep(d) }
+
+// AfterFunc delegates to the inner clock.
+func (s *Skewed) AfterFunc(d time.Duration, f func()) Timer { return s.inner.AfterFunc(d, f) }
+
 // Sim is a deterministic simulated clock. Time advances only when Advance
 // or Run is called; pending timers fire in timestamp order. Sim is safe
 // for concurrent use.

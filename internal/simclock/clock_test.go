@@ -280,3 +280,37 @@ func TestSimTimerFiringWindowProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSkewedClock(t *testing.T) {
+	start := time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC)
+	sim := NewSim(start)
+	sk := NewSkewed(sim)
+
+	if !sk.Now().Equal(start) {
+		t.Fatalf("zero-offset Now = %v", sk.Now())
+	}
+	sk.SetOffset(3 * time.Minute)
+	if got := sk.Now(); !got.Equal(start.Add(3 * time.Minute)) {
+		t.Fatalf("skewed Now = %v", got)
+	}
+	if sk.Offset() != 3*time.Minute {
+		t.Fatalf("Offset = %v", sk.Offset())
+	}
+	sk.SetOffset(-time.Minute)
+	if got := sk.Now(); !got.Equal(start.Add(-time.Minute)) {
+		t.Fatalf("negative skew Now = %v", got)
+	}
+
+	// Relative scheduling is unaffected: a timer armed through the
+	// skewed clock fires after the duration on the *inner* clock.
+	fired := false
+	sk.AfterFunc(10*time.Second, func() { fired = true })
+	sim.Advance(9 * time.Second)
+	if fired {
+		t.Fatal("timer fired early")
+	}
+	sim.Advance(time.Second)
+	if !fired {
+		t.Fatal("timer did not fire on the inner clock's schedule")
+	}
+}

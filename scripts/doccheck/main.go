@@ -1,0 +1,101 @@
+// Command doccheck fails the build when an internal package lacks a
+// package doc comment ("// Package xxx ..."), so `go doc ./internal/...`
+// always reads as a tour of the system. It walks every directory under
+// the given roots (default: internal) that contains non-test Go files
+// and requires at least one of them to carry the package comment.
+//
+// Usage: go run ./scripts/doccheck [roots...]
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal"}
+	}
+	var missing []string
+	for _, root := range roots {
+		dirs, err := packageDirs(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		for _, dir := range dirs {
+			ok, err := hasPackageDoc(dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+				os.Exit(1)
+			}
+			if !ok {
+				missing = append(missing, dir)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: packages missing a package doc comment (// Package xxx ...):")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// packageDirs lists every directory under root containing non-test Go
+// files.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		seen[filepath.Dir(path)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for dir := range seen {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasPackageDoc reports whether any non-test file in dir carries a
+// package doc comment.
+func hasPackageDoc(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package ") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

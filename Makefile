@@ -7,7 +7,7 @@ GO ?= go
 # total). Raise it as coverage grows; never lower it below the seed.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos verify-docs cover ci
+.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos verify-failover verify-docs cover ci
 
 all: build
 
@@ -62,6 +62,15 @@ verify-recovery:
 verify-chaos:
 	$(GO) test ./internal/sim -run 'Chaos' -count=1 -v -timeout 300s
 
+# Failover acceptance: the scripted leader handoff (lease expiry, epoch
+# bump, zero lost acked mutations, jobs finish under the new leader),
+# the seeded leader-kill and split-brain chaos schedules, and the
+# sabotage test proving the zero-lost-acked audit fires when the
+# replication stream drops a record. See docs/ARCHITECTURE.md
+# (replication) and docs/FAULT-MODEL.md.
+verify-failover:
+	$(GO) test ./internal/sim -run 'Failover|SplitBrain' -count=1 -v -timeout 300s
+
 # Docs acceptance: every internal package carries a package doc comment
 # (scripts/doccheck) and every example still builds.
 verify-docs:
@@ -80,4 +89,4 @@ cover:
 # cover runs the full test suite (with profiling), so ci does not also
 # run a bare `test` pass — the long simulations already execute once
 # there and once more under verify-chaos.
-ci: build vet fmt race bench bench-check verify-recovery verify-chaos verify-docs cover
+ci: build vet fmt race bench bench-check verify-recovery verify-chaos verify-failover verify-docs cover

@@ -12,7 +12,6 @@ package gpunion_test
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -830,10 +829,6 @@ func benchSnapshotUnderLoad(b *testing.B, snap func(store *db.DB)) {
 
 func BenchmarkHeartbeatsDuringShardedExport(b *testing.B) {
 	benchSnapshotUnderLoad(b, func(store *db.DB) { _ = store.ExportState() })
-}
-
-func BenchmarkHeartbeatsDuringLegacySave(b *testing.B) {
-	benchSnapshotUnderLoad(b, func(store *db.DB) { _ = store.Save(io.Discard) })
 }
 
 // BenchmarkCrashRecovery measures a full kill/recover/verify cycle of

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gpunion/internal/core"
+)
+
+// fileLease implements core.LeaseClient over a JSON record on a file
+// system shared by every coordinator replica — the same place the WAL
+// lives. It enforces the arbiter protocol of core.Lease (one holder per
+// epoch, epochs strictly increase, re-grant only after expiry plus the
+// skew tolerance) so a daemon that loses the file observes its own
+// expiry and self-fences before a successor can be granted.
+//
+// Mutual exclusion across processes uses an O_EXCL lock file; the
+// record itself is replaced atomically via write-then-rename, so a
+// reader never sees a torn lease.
+type fileLease struct {
+	path string
+	ttl  time.Duration
+	skew time.Duration
+}
+
+type leaseRecord struct {
+	Holder  string    `json:"holder"`
+	Epoch   uint64    `json:"epoch"`
+	Expires time.Time `json:"expires"`
+}
+
+// withLock runs fn on the current lease record under the cross-process
+// lock and persists whatever fn leaves in it (unless fn errors).
+func (l *fileLease) withLock(fn func(rec *leaseRecord) error) error {
+	lock := l.path + ".lock"
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			break
+		}
+		if !os.IsExist(err) {
+			return err
+		}
+		// A lock much older than any critical section is a crashed
+		// replica's leftover; break it.
+		if fi, statErr := os.Stat(lock); statErr == nil && time.Since(fi.ModTime()) > 5*time.Second {
+			_ = os.Remove(lock)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("lease: lock %s busy", lock)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer os.Remove(lock)
+
+	var rec leaseRecord
+	if b, err := os.ReadFile(l.path); err == nil {
+		// A corrupt or partial record reads as a free lease; the epoch
+		// restarting from zero is safe because every grant still goes
+		// through Acquire's increment under the same lock.
+		_ = json.Unmarshal(b, &rec)
+	}
+	if err := fn(&rec); err != nil {
+		return err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	tmp := l.path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, l.path)
+}
+
+// Acquire implements core.LeaseClient.
+func (l *fileLease) Acquire(holder string) (uint64, time.Time, error) {
+	var (
+		epoch uint64
+		until time.Time
+	)
+	err := l.withLock(func(rec *leaseRecord) error {
+		now := time.Now()
+		if rec.Holder != "" && rec.Holder != holder && now.Before(rec.Expires.Add(l.skew)) {
+			return fmt.Errorf("%w: %s until %s", core.ErrLeaseHeld, rec.Holder, rec.Expires)
+		}
+		rec.Epoch++
+		rec.Holder = holder
+		rec.Expires = now.Add(l.ttl)
+		epoch, until = rec.Epoch, rec.Expires
+		return nil
+	})
+	return epoch, until, err
+}
+
+// Renew implements core.LeaseClient.
+func (l *fileLease) Renew(holder string, epoch uint64) (time.Time, error) {
+	var until time.Time
+	err := l.withLock(func(rec *leaseRecord) error {
+		if rec.Holder != holder || rec.Epoch != epoch {
+			return core.ErrLeaseLost
+		}
+		now := time.Now()
+		if !now.Before(rec.Expires.Add(l.skew)) {
+			// Fully lapsed: re-Acquire for a fresh epoch instead of
+			// silently resuming an expired term.
+			return core.ErrLeaseLost
+		}
+		rec.Expires = now.Add(l.ttl)
+		until = rec.Expires
+		return nil
+	})
+	return until, err
+}
+
+// Leader implements core.LeaseClient.
+func (l *fileLease) Leader() (string, uint64) {
+	var rec leaseRecord
+	b, err := os.ReadFile(l.path)
+	if err != nil {
+		return "", 0
+	}
+	if json.Unmarshal(b, &rec) != nil {
+		return "", 0
+	}
+	if rec.Holder == "" || !time.Now().Before(rec.Expires) {
+		return "", rec.Epoch
+	}
+	return rec.Holder, rec.Epoch
+}

@@ -6,6 +6,8 @@
 //
 //	coordinator [-listen :8080] [-config coordinator.json]
 //	            [-wal-dir DIR] [-wal-group-commit-ms N] [-snapshot-interval-sec N]
+//	            [-mode solo|leader|standby] [-replica-id NAME]
+//	            [-lease-file FILE] [-lease-ttl-sec N] [-follow-dir DIR]
 //
 // Flags override environment variables (GPUNION_WAL_DIR,
 // GPUNION_WAL_GROUP_COMMIT_MS, GPUNION_SNAPSHOT_INTERVAL_SEC), which
@@ -17,19 +19,32 @@
 // without pausing it, and on boot the daemon recovers nodes, jobs and
 // allocations from snapshot + log and re-arms failure detection — jobs
 // survive a coordinator restart instead of needing resubmission. The
-// legacy snapshot_path (a JSON dump written only on clean shutdown) is
-// still honored when no WAL directory is set, but is deprecated.
+// legacy snapshot_path (a JSON dump of ExportState written only on
+// clean shutdown) is still honored when no WAL directory is set, but is
+// deprecated.
+//
+// Replicated operation pairs a leader with warm standbys over shared
+// storage: all replicas point -lease-file at the same fencing-token
+// arbiter file, the leader logs to its -wal-dir, and each standby tails
+// that directory (-follow-dir) into its own store while answering every
+// request with ErrNotLeader plus a LeaderHint. When the leader's lease
+// lapses, a standby wins the next epoch, drains its replication buffer,
+// bootstraps a WAL of its own and starts serving — agents re-register
+// through their endpoint list and acked state survives the handoff.
 package main
 
 import (
 	"crypto/rand"
+	"encoding/json"
 	"flag"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
+	"time"
 
 	"gpunion/internal/checkpoint"
 	"gpunion/internal/config"
@@ -67,6 +82,11 @@ func main() {
 	walDir := flag.String("wal-dir", "", "write-ahead-log directory (overrides config/env)")
 	walGroupMS := flag.Int("wal-group-commit-ms", 0, "WAL group-commit window in ms (overrides config/env)")
 	snapSec := flag.Int("snapshot-interval-sec", 0, "background snapshot period in seconds (overrides config/env)")
+	mode := flag.String("mode", "solo", `replication mode: "solo" (no lease, always leader), "leader" or "standby"`)
+	replicaID := flag.String("replica-id", "", "replica name for the lease and LeaderHint replies (default: hostname)")
+	leaseFile := flag.String("lease-file", "", "lease file on storage shared by all replicas (required for -mode leader|standby)")
+	leaseTTLSec := flag.Int("lease-ttl-sec", 10, "lease TTL in seconds (leader|standby modes)")
+	followDir := flag.String("follow-dir", "", "leader WAL directory to tail while standby (required for -mode standby)")
 	flag.Parse()
 
 	var cfg config.Coordinator
@@ -96,6 +116,36 @@ func main() {
 		log.Fatalf("config: %v", err)
 	}
 
+	// Replicated operation: leader and standby modes share a lease file
+	// (the fencing-token arbiter) on storage every replica can reach.
+	var lease core.LeaseClient
+	leaseTTL := time.Duration(*leaseTTLSec) * time.Second
+	switch *mode {
+	case "solo":
+	case "leader", "standby":
+		if *leaseFile == "" {
+			log.Fatalf("-mode %s requires -lease-file", *mode)
+		}
+		if cfg.WALDir == "" {
+			log.Fatalf("-mode %s requires a WAL directory", *mode)
+		}
+		if *replicaID == "" {
+			host, err := os.Hostname()
+			if err != nil || host == "" {
+				log.Fatalf("-mode %s requires -replica-id (hostname unavailable: %v)", *mode, err)
+			}
+			*replicaID = host
+		}
+		// Skew tolerance 2×TTL: a replica whose clock lags the shared
+		// file's writers by up to two TTLs still self-fences in time.
+		lease = &fileLease{path: *leaseFile, ttl: leaseTTL, skew: 2 * leaseTTL}
+		if *mode == "standby" && *followDir == "" {
+			log.Fatalf("-mode standby requires -follow-dir (the leader's WAL directory)")
+		}
+	default:
+		log.Fatalf("unknown -mode %q (want solo, leader or standby)", *mode)
+	}
+
 	var strategy scheduler.Strategy
 	switch cfg.Strategy {
 	case "best-fit":
@@ -116,30 +166,47 @@ func main() {
 		mgr        *wal.Manager
 		authSecret []byte
 	)
+	secretPath := filepath.Join(cfg.WALDir, "auth.key")
+	if lease != nil {
+		// Shared across replicas, next to the lease: tokens issued by
+		// one leader must still verify after a failover.
+		secretPath = filepath.Join(filepath.Dir(*leaseFile), "auth.key")
+	}
 	if cfg.WALDir != "" {
 		var err error
-		authSecret, err = loadOrCreateSecret(filepath.Join(cfg.WALDir, "auth.key"))
+		authSecret, err = loadOrCreateSecret(secretPath)
 		if err != nil {
 			log.Fatalf("auth secret: %v", err)
 		}
-		mgr, err = wal.Open(cfg.WALDir, database, wal.Config{
-			GroupWindow:      cfg.WALGroupCommit(),
-			SnapshotInterval: cfg.SnapshotInterval(),
-		})
-		if err != nil {
-			log.Fatalf("opening WAL: %v", err)
+		if *mode == "standby" {
+			// A standby's store is built by tailing the leader's log;
+			// its own WAL dir is bootstrapped at promotion and must not
+			// hold a stale previous term.
+			if entries, readErr := os.ReadDir(cfg.WALDir); readErr == nil && len(entries) > 0 {
+				log.Fatalf("-mode standby requires an empty WAL directory, but %s has %d entries (a stale log cannot be joined to a shipped store)", cfg.WALDir, len(entries))
+			}
+		} else {
+			mgr, err = wal.Open(cfg.WALDir, database, wal.Config{
+				GroupWindow:      cfg.WALGroupCommit(),
+				SnapshotInterval: cfg.SnapshotInterval(),
+			})
+			if err != nil {
+				log.Fatalf("opening WAL: %v", err)
+			}
+			r := mgr.Recovery
+			log.Printf("recovered from %s: snapshot=%v watermark=%d replayed=%d torn=%d",
+				cfg.WALDir, r.SnapshotLoaded, r.Watermark, r.Replayed, r.TornTails)
 		}
-		r := mgr.Recovery
-		log.Printf("recovered from %s: snapshot=%v watermark=%d replayed=%d torn=%d",
-			cfg.WALDir, r.SnapshotLoaded, r.Watermark, r.Replayed, r.TornTails)
 	}
 	restored := mgr != nil
 	if mgr == nil && cfg.SnapshotPath != "" {
 		// Deprecated one-shot snapshot path (no WAL): best-effort load.
 		if f, err := os.Open(cfg.SnapshotPath); err == nil {
-			if err := database.Load(f); err != nil {
+			var st db.State
+			if err := json.NewDecoder(f).Decode(&st); err != nil {
 				log.Printf("warning: could not load snapshot: %v", err)
 			} else {
+				database.ImportState(st)
 				restored = true
 			}
 			f.Close()
@@ -154,6 +221,8 @@ func main() {
 		Strategy:          strategy,
 		BatchSize:         cfg.SchedulerBatchSize,
 		AuthSecret:        authSecret,
+		Lease:             lease,
+		ReplicaID:         *replicaID,
 	}, simclock.Real(), database, ckpts, bus)
 	if err != nil {
 		log.Fatalf("creating coordinator: %v", err)
@@ -162,6 +231,65 @@ func main() {
 		// Resume the job-ID sequence, requeue mid-migration jobs and
 		// re-arm failure detection around whatever was restored.
 		coord.RecoverState()
+	}
+
+	// walMgr is the manager whose log currently backs the database: set
+	// at boot for solo/leader, installed by the promotion goroutine for
+	// a standby, read once more at shutdown for the final checkpoint.
+	var walMgr struct {
+		sync.Mutex
+		m *wal.Manager
+	}
+	walMgr.m = mgr
+
+	switch *mode {
+	case "leader":
+		for !coord.TryLead() {
+			holder, epoch := lease.Leader()
+			log.Printf("lease held by %q (epoch %d); retrying in %v", holder, epoch, leaseTTL)
+			time.Sleep(leaseTTL)
+		}
+		log.Printf("replica %s leading at epoch %d", *replicaID, coord.Epoch())
+	case "standby":
+		// Warm standby: tail the leader's log into the local store;
+		// requests are fenced with ErrNotLeader (plus a LeaderHint)
+		// until the lease is won. Promotion drains the reorder buffer,
+		// bootstraps a WAL of our own and re-arms the control plane.
+		follower := wal.NewFollower(database)
+		shipper := wal.NewShipper(*followDir)
+		go func() {
+			for {
+				if err := follower.Pump(shipper); err != nil {
+					log.Printf("standby: tailing %s: %v", *followDir, err)
+				}
+				if coord.TryLead() {
+					_ = follower.Pump(shipper) // final catch-up: the old leader is fenced now
+					if n, err := follower.Drain(); err != nil {
+						log.Printf("warning: promotion drain: %v", err)
+					} else if n > 0 {
+						log.Printf("promotion: force-applied %d buffered records", n)
+					}
+					m, err := wal.Open(cfg.WALDir, database, wal.Config{
+						GroupWindow:      cfg.WALGroupCommit(),
+						SnapshotInterval: cfg.SnapshotInterval(),
+					})
+					if err != nil {
+						log.Fatalf("promotion: opening WAL: %v", err)
+					}
+					if err := m.Checkpoint(); err != nil {
+						log.Printf("warning: promotion checkpoint: %v", err)
+					}
+					walMgr.Lock()
+					walMgr.m = m
+					walMgr.Unlock()
+					coord.RecoverState()
+					log.Printf("replica %s promoted to leader at epoch %d", *replicaID, coord.Epoch())
+					return
+				}
+				time.Sleep(leaseTTL / 2)
+			}
+		}()
+		log.Printf("replica %s standing by, tailing %s", *replicaID, *followDir)
 	}
 
 	srv := &http.Server{Addr: cfg.Listen, Handler: coord.Handler(nil)}
@@ -178,6 +306,9 @@ func main() {
 	log.Printf("shutting down")
 	coord.Stop()
 	_ = srv.Close()
+	walMgr.Lock()
+	mgr = walMgr.m
+	walMgr.Unlock()
 	switch {
 	case mgr != nil:
 		// Final checkpoint so the next boot replays an empty tail; the
@@ -194,7 +325,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("creating snapshot: %v", err)
 		}
-		if err := database.Save(f); err != nil {
+		if err := json.NewEncoder(f).Encode(database.ExportState()); err != nil {
 			log.Fatalf("saving snapshot: %v", err)
 		}
 		f.Close()

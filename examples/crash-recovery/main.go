@@ -150,7 +150,7 @@ func main() {
 	// and the recovered queue finishes.
 	active = coord2
 	for id, ag := range agents {
-		ag.SetNotifier(coord2)
+		ag.SetEndpoints([]agent.Endpoint{{ID: "coordinator", Notifier: coord2}})
 		resp, err := coord2.Register(ag.RegisterRequest("inproc://"+id, 1<<30), core.LocalAgent{A: ag})
 		if err != nil {
 			log.Fatal(err)

@@ -30,6 +30,13 @@ var (
 	ErrDeparted   = errors.New("agent: node has departed")
 	ErrPaused     = errors.New("agent: node is paused")
 	ErrJobUnknown = errors.New("agent: unknown job")
+	// ErrStaleLeader rejects a coordinator-initiated write whose leader
+	// epoch is older than the highest this agent has observed: the
+	// sender is a deposed leader (a zombie), and honoring its launches
+	// or kills would fork the platform's view of the node. This is the
+	// agent-side half of lease fencing — the agent is the shared
+	// resource that verifies fencing tokens.
+	ErrStaleLeader = errors.New("agent: request from stale leader epoch")
 )
 
 // defaultProgressTick is how often the agent advances running jobs and
@@ -56,6 +63,14 @@ func (NopNotifier) JobUpdate(string, string, db.JobState, int64) {}
 // Departing implements Notifier.
 func (NopNotifier) Departing(string, api.DepartReason) {}
 
+// Endpoint is one coordinator replica the agent can talk to.
+type Endpoint struct {
+	// ID names the replica (matches api.ErrNotLeader.LeaderHint).
+	ID string
+	// Notifier is the transport to that replica.
+	Notifier Notifier
+}
+
 // Config parameterises an Agent.
 type Config struct {
 	// MachineID is the node's unique identity (auth.NewMachineID).
@@ -80,7 +95,6 @@ type Agent struct {
 	runtime *container.Runtime
 	ckpts   checkpoint.Writer
 	bus     *eventbus.Bus
-	notify  Notifier
 	// stores resolves user-pinned checkpoint locations (§3.5). Nil
 	// means every job uses the default store.
 	stores *storage.Placement
@@ -99,6 +113,16 @@ type Agent struct {
 	// beatSeq numbers every heartbeat this agent builds, so the
 	// coordinator can drop duplicate deliveries of the same beat.
 	beatSeq uint64
+	// endpoints is the coordinator replica set and active the index of
+	// the replica currently used for notifications and heartbeats;
+	// Redirect rotates it on ErrNotLeader or transport failure.
+	endpoints []Endpoint
+	active    int
+	// coordEpoch is the highest leader epoch this agent has observed
+	// (registration acks, heartbeat acks, launch/kill envelopes). A
+	// coordinator-initiated write carrying a lower non-zero epoch is
+	// from a deposed leader and is rejected with ErrStaleLeader.
+	coordEpoch uint64
 }
 
 // jobRun is the agent-local state of one running workload.
@@ -144,13 +168,13 @@ func New(cfg Config, clock simclock.Clock, rt *container.Runtime, ckpts checkpoi
 		cfg.ProgressTick = defaultProgressTick
 	}
 	a := &Agent{
-		cfg:     cfg,
-		clock:   clock,
-		runtime: rt,
-		ckpts:   ckpts,
-		bus:     bus,
-		notify:  notify,
-		jobs:    make(map[string]*jobRun),
+		cfg:       cfg,
+		clock:     clock,
+		runtime:   rt,
+		ckpts:     ckpts,
+		bus:       bus,
+		endpoints: []Endpoint{{Notifier: notify}},
+		jobs:      make(map[string]*jobRun),
 	}
 	a.scheduleTick()
 	return a
@@ -166,20 +190,106 @@ func (a *Agent) SetToken(tok string) {
 	a.mu.Unlock()
 }
 
-// SetNotifier repoints the agent at a (new) coordinator — the
-// reconnect path after a coordinator restart: the node and its running
-// workloads survived, only the notification target changed.
-func (a *Agent) SetNotifier(n Notifier) {
+// SetEndpoints installs the coordinator replica set the agent may talk
+// to; the first entry becomes the active endpoint. This is where
+// failover policy lives: heartbeat loops send to the active endpoint,
+// and Redirect rotates it when a replica answers api.ErrNotLeader or
+// stops answering at all.
+func (a *Agent) SetEndpoints(eps []Endpoint) {
 	a.mu.Lock()
-	a.notify = n
+	defer a.mu.Unlock()
+	if len(eps) == 0 {
+		eps = []Endpoint{{Notifier: NopNotifier{}}}
+	}
+	cp := make([]Endpoint, len(eps))
+	copy(cp, eps)
+	for i := range cp {
+		if cp[i].Notifier == nil {
+			cp[i].Notifier = NopNotifier{}
+		}
+	}
+	a.endpoints = cp
+	a.active = 0
+}
+
+// SetNotifier repoints the agent at a single coordinator.
+//
+// Deprecated: use SetEndpoints — SetNotifier is the one-endpoint shim
+// kept for one release so pre-replication callers keep compiling.
+func (a *Agent) SetNotifier(n Notifier) {
+	a.SetEndpoints([]Endpoint{{Notifier: n}})
+}
+
+// ActiveEndpoint returns the endpoint currently receiving this agent's
+// notifications and heartbeats.
+func (a *Agent) ActiveEndpoint() Endpoint {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.endpoints[a.active]
+}
+
+// Redirect switches the active endpoint: to the replica named by hint
+// (an api.ErrNotLeader.LeaderHint) when it is in the set, otherwise to
+// the next endpoint round-robin. It reports whether the active endpoint
+// changed.
+func (a *Agent) Redirect(hint string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if hint != "" {
+		for i, ep := range a.endpoints {
+			if ep.ID == hint {
+				changed := i != a.active
+				a.active = i
+				return changed
+			}
+		}
+	}
+	if len(a.endpoints) < 2 {
+		return false
+	}
+	a.active = (a.active + 1) % len(a.endpoints)
+	return true
+}
+
+// ObserveEpoch records a leader epoch the agent saw in a coordinator
+// reply or request; the highest one becomes the fencing floor for
+// coordinator-initiated writes.
+func (a *Agent) ObserveEpoch(epoch uint64) {
+	a.mu.Lock()
+	if epoch > a.coordEpoch {
+		a.coordEpoch = epoch
+	}
 	a.mu.Unlock()
+}
+
+// CoordEpoch returns the highest leader epoch observed so far.
+func (a *Agent) CoordEpoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.coordEpoch
+}
+
+// fenceEpochLocked rejects a write from a leader epoch below the
+// observed floor. Zero epochs are always admitted — standalone
+// coordinators and legacy senders carry none. Caller holds a.mu.
+func (a *Agent) fenceEpochLocked(epoch uint64) error {
+	if epoch == 0 {
+		return nil
+	}
+	if epoch < a.coordEpoch {
+		return fmt.Errorf("%w: got %d, observed %d", ErrStaleLeader, epoch, a.coordEpoch)
+	}
+	if epoch > a.coordEpoch {
+		a.coordEpoch = epoch
+	}
+	return nil
 }
 
 // notifier reads the current notification target.
 func (a *Agent) notifier() Notifier {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.notify
+	return a.endpoints[a.active].Notifier
 }
 
 // Token returns the stored credential.
@@ -204,6 +314,7 @@ func (a *Agent) SetStores(p *storage.Placement) {
 // RegisterRequest builds the agent's registration payload.
 func (a *Agent) RegisterRequest(addr string, storageBytes int64) api.RegisterRequest {
 	return api.RegisterRequest{
+		Envelope:     api.Envelope{ProtocolVersion: api.ProtocolVersion, LeaderEpoch: a.CoordEpoch()},
 		MachineID:    a.cfg.MachineID,
 		Addr:         addr,
 		GPUs:         a.gpuInfo(),
@@ -234,6 +345,10 @@ func (a *Agent) gpuInfo() []db.GPUInfo {
 // checkpoint scheduling.
 func (a *Agent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 	a.mu.Lock()
+	if err := a.fenceEpochLocked(req.LeaderEpoch); err != nil {
+		a.mu.Unlock()
+		return api.LaunchResponse{}, err
+	}
 	if a.departed {
 		a.mu.Unlock()
 		return api.LaunchResponse{}, ErrDeparted
@@ -374,6 +489,20 @@ func (a *Agent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 		Node: a.cfg.MachineID, Job: req.JobID, Container: ctr.ID(),
 	})
 	return api.LaunchResponse{ContainerID: ctr.ID(), DeviceID: run.deviceID}, nil
+}
+
+// KillJob terminates a job on a coordinator's request, enforcing the
+// epoch fence: a kill from a deposed leader is rejected. Local paths
+// (kill-switch, provider controls) use Kill directly — provider
+// supremacy is not subject to fencing.
+func (a *Agent) KillJob(req api.KillRequest) error {
+	a.mu.Lock()
+	if err := a.fenceEpochLocked(req.LeaderEpoch); err != nil {
+		a.mu.Unlock()
+		return err
+	}
+	a.mu.Unlock()
+	return a.Kill(req.JobID)
 }
 
 // Kill terminates one job immediately (coordinator-requested or local).
@@ -624,6 +753,7 @@ func (a *Agent) HeartbeatRequest() api.HeartbeatRequest {
 	seq := a.beatSeq
 	a.mu.Unlock()
 	return api.HeartbeatRequest{
+		Envelope:    api.Envelope{ProtocolVersion: api.ProtocolVersion, LeaderEpoch: a.CoordEpoch()},
 		MachineID:   a.cfg.MachineID,
 		Token:       a.Token(),
 		Telemetry:   st.Telemetry,

@@ -3,6 +3,7 @@ package agent
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -39,8 +40,12 @@ func (a *Agent) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		if err := a.Kill(req.JobID); err != nil {
-			writeError(w, http.StatusNotFound, err)
+		if err := a.KillJob(req); err != nil {
+			status := http.StatusNotFound
+			if errors.Is(err, ErrStaleLeader) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -136,9 +141,10 @@ func (c *Client) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 	return resp, err
 }
 
-// Kill implements the coordinator-side handle.
-func (c *Client) Kill(jobID string) error {
-	return c.post("/v1/kill", api.KillRequest{JobID: jobID}, nil)
+// Kill implements the coordinator-side handle. The request carries the
+// sending leader's epoch; the agent enforces the fence.
+func (c *Client) Kill(req api.KillRequest) error {
+	return c.post("/v1/kill", req, nil)
 }
 
 // Checkpoint implements the coordinator-side handle.

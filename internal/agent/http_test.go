@@ -78,10 +78,10 @@ func TestHTTPKillEndpoint(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Kill("j1"); err != nil {
+	if err := c.Kill(api.KillRequest{JobID: "j1"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Kill("j1"); err == nil {
+	if err := c.Kill(api.KillRequest{JobID: "j1"}); err == nil {
 		t.Fatal("double kill succeeded over HTTP")
 	}
 }

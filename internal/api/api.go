@@ -26,6 +26,7 @@
 package api
 
 import (
+	"fmt"
 	"time"
 
 	"gpunion/internal/db"
@@ -42,8 +43,89 @@ type Error struct {
 // Error implements the error interface.
 func (e Error) Error() string { return e.Message }
 
+// Protocol versions. Version 1 is the pre-replication wire format
+// (no envelope fields); version 2 adds the Envelope — protocol
+// version negotiation on Register and leader-epoch fencing on every
+// request. A zero ProtocolVersion on the wire is read as version 1:
+// the fields are additive and omitted by old senders.
+const (
+	// ProtocolV1 is the legacy, pre-envelope protocol.
+	ProtocolV1 = 1
+	// ProtocolVersion is the current protocol spoken by this build.
+	ProtocolVersion = 2
+	// MinProtocolVersion is the oldest version the coordinator accepts.
+	MinProtocolVersion = ProtocolV1
+)
+
+// Envelope carries the protocol fields shared by every request: the
+// sender's protocol version and the highest coordinator leader epoch
+// it has observed. Embedded (and therefore JSON-inlined) in all
+// request types. Both fields are zero for legacy senders.
+type Envelope struct {
+	// ProtocolVersion is the wire version the sender speaks (zero =
+	// ProtocolV1, the pre-envelope format).
+	ProtocolVersion int `json:"protocol_version,omitempty"`
+	// LeaderEpoch is, on agent→coordinator requests, the highest leader
+	// epoch the sender has observed (the coordinator steps down if it
+	// sees a higher epoch than its own); on coordinator→agent requests
+	// (launch, kill), the sending leader's epoch — the fencing token
+	// agents use to reject a deposed leader's writes. Zero means "no
+	// epoch": single-coordinator deployments and legacy senders.
+	LeaderEpoch uint64 `json:"leader_epoch,omitempty"`
+}
+
+// ErrNotLeader is the typed reply a coordinator returns for mutating
+// requests it must not serve: it is a standby, it lost its lease, or
+// the request's epoch proves a newer leader exists. Agents redirect to
+// LeaderHint and retry.
+type ErrNotLeader struct {
+	// LeaderHint is the replica ID (or endpoint) of the believed
+	// current leader, empty when unknown.
+	LeaderHint string `json:"leader_hint,omitempty"`
+	// Epoch is the highest leader epoch the replying replica knows of.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// Error implements the error interface.
+func (e ErrNotLeader) Error() string {
+	if e.LeaderHint == "" {
+		return "api: not the leader"
+	}
+	return "api: not the leader (try " + e.LeaderHint + ")"
+}
+
+// ErrVersionMismatch is the typed Register rejection for a protocol
+// version outside [MinProtocolVersion, ProtocolVersion].
+type ErrVersionMismatch struct {
+	// Requested is the version the agent asked for.
+	Requested int `json:"requested"`
+	// Min and Max bound what the coordinator speaks.
+	Min int `json:"min"`
+	Max int `json:"max"`
+}
+
+// Error implements the error interface.
+func (e ErrVersionMismatch) Error() string {
+	return fmt.Sprintf("api: protocol version %d unsupported (coordinator speaks %d..%d)",
+		e.Requested, e.Min, e.Max)
+}
+
+// NegotiateVersion resolves the version a connection will speak from
+// the version a Register requested (zero = ProtocolV1). ok is false
+// when no common version exists.
+func NegotiateVersion(requested int) (v int, ok bool) {
+	if requested == 0 {
+		requested = ProtocolV1
+	}
+	if requested < MinProtocolVersion || requested > ProtocolVersion {
+		return 0, false
+	}
+	return requested, true
+}
+
 // RegisterRequest is sent by an agent joining the platform.
 type RegisterRequest struct {
+	Envelope
 	// MachineID is the agent-generated unique identifier.
 	MachineID string `json:"machine_id"`
 	// Addr is the agent's base URL for coordinator-initiated calls.
@@ -62,11 +144,20 @@ type RegisterResponse struct {
 	Token string `json:"token"`
 	// HeartbeatInterval is how often the agent must report.
 	HeartbeatInterval time.Duration `json:"heartbeat_interval"`
+	// ProtocolVersion is the negotiated wire version (zero = legacy
+	// coordinator, treat as ProtocolV1).
+	ProtocolVersion int `json:"protocol_version,omitempty"`
+	// LeaderEpoch is the registering coordinator's current leader epoch
+	// (zero in single-coordinator deployments). Agents remember the
+	// highest epoch seen and reject coordinator-initiated writes
+	// carrying an older one.
+	LeaderEpoch uint64 `json:"leader_epoch,omitempty"`
 }
 
 // HeartbeatRequest carries the periodic status update (§3.2: "periodic
 // status updates from provider agents").
 type HeartbeatRequest struct {
+	Envelope
 	MachineID string `json:"machine_id"`
 	Token     string `json:"token"`
 	// Telemetry is the current per-device reading.
@@ -90,6 +181,9 @@ type HeartbeatResponse struct {
 	// Reregister asks the agent to register again (unknown node, e.g.
 	// after a coordinator restart).
 	Reregister bool `json:"reregister,omitempty"`
+	// LeaderEpoch is the acking coordinator's current leader epoch, so
+	// agents track leadership changes from the regular heartbeat flow.
+	LeaderEpoch uint64 `json:"leader_epoch,omitempty"`
 }
 
 // DepartReason distinguishes the §4 interruption classes.
@@ -109,6 +203,7 @@ const (
 
 // DepartRequest announces a voluntary departure.
 type DepartRequest struct {
+	Envelope
 	MachineID string       `json:"machine_id"`
 	Token     string       `json:"token"`
 	Reason    DepartReason `json:"reason"`
@@ -119,6 +214,7 @@ type DepartRequest struct {
 
 // SubmitJobRequest is a user's job submission.
 type SubmitJobRequest struct {
+	Envelope
 	User string `json:"user"`
 	// Kind is "batch" or "interactive".
 	Kind string `json:"kind"`
@@ -171,6 +267,7 @@ type NodeSummary struct {
 
 // LaunchRequest asks an agent to start a job in a container.
 type LaunchRequest struct {
+	Envelope
 	JobID     string `json:"job_id"`
 	ImageName string `json:"image_name"`
 	// Kind is "batch" or "interactive".
@@ -204,11 +301,13 @@ type LaunchResponse struct {
 
 // KillRequest terminates a job on an agent.
 type KillRequest struct {
+	Envelope
 	JobID string `json:"job_id"`
 }
 
 // CheckpointRequest asks the agent to checkpoint a job now.
 type CheckpointRequest struct {
+	Envelope
 	JobID string `json:"job_id"`
 	// Incremental requests a delta checkpoint.
 	Incremental bool `json:"incremental"`
@@ -224,6 +323,7 @@ type CheckpointResponse struct {
 // JobUpdateRequest is the agent's report of a job state change
 // (completion, failure) to the coordinator.
 type JobUpdateRequest struct {
+	Envelope
 	MachineID string      `json:"machine_id"`
 	Token     string      `json:"token"`
 	JobID     string      `json:"job_id"`

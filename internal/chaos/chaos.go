@@ -69,6 +69,15 @@ const (
 	// KindCkptTruncate silently truncates checkpoint blobs written
 	// during the window.
 	KindCkptTruncate Kind = "ckpt-truncate"
+	// KindLeaderKill kills the current coordinator leader outright; a
+	// standby replica must promote from the shipped log with zero lost
+	// acked mutations. Ignored by non-replicated platforms.
+	KindLeaderKill Kind = "leader-kill"
+	// KindSplitBrain isolates the leader from the lease arbiter and
+	// skews its clock backwards for Dur, the worst case for fencing: a
+	// standby is elected while the zombie still believes its lease is
+	// live. Ignored by non-replicated platforms.
+	KindSplitBrain Kind = "split-brain"
 )
 
 // Fault is one scheduled injection.
@@ -160,6 +169,15 @@ type Spec struct {
 	CkptFaultsPerDay float64
 	// MeanCkptFault is the mean corruption window (default 10 min).
 	MeanCkptFault time.Duration
+	// LeaderKills is how many leader kill/failover events to inject.
+	// Only meaningful on platforms running a replicated coordinator
+	// (ReplicatedPlatform); others ignore the faults.
+	LeaderKills int
+	// SplitBrains is how many split-brain windows (leader cut from the
+	// arbiter with its clock skewed backwards) to inject.
+	SplitBrains int
+	// MeanSplitBrain is the mean split-brain window (default 2 min).
+	MeanSplitBrain time.Duration
 }
 
 // withDefaults fills unset knobs.
@@ -187,6 +205,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.MeanCkptFault <= 0 {
 		s.MeanCkptFault = 10 * time.Minute
+	}
+	if s.MeanSplitBrain <= 0 {
+		s.MeanSplitBrain = 2 * time.Minute
 	}
 	return s
 }
@@ -352,6 +373,34 @@ func Generate(spec Spec, seed int64) Schedule {
 		sched = append(sched, Fault{At: at, Kind: KindCoordCrash})
 	}
 
+	// Leader kills: spread across the horizon with bounded jitter, so
+	// each failover runs against a different phase of the workload.
+	// (Drawn after every older family and guarded by its own count, so
+	// a spec that leaves replication faults at zero composes the same
+	// schedule it always did for a given seed.)
+	for i := 0; i < spec.LeaderKills; i++ {
+		at := time.Duration(float64(spec.Duration) * (float64(i) + 0.5) / float64(spec.LeaderKills+1))
+		at += time.Duration(rng.Int63n(int64(time.Minute)))
+		if at >= spec.Duration {
+			at = spec.Duration - time.Minute
+		}
+		sched = append(sched, Fault{At: at, Kind: KindLeaderKill})
+	}
+
+	// Split-brain windows: same placement strategy, with a bounded
+	// window during which a zombie leader coexists with its successor.
+	for i := 0; i < spec.SplitBrains; i++ {
+		at := time.Duration(float64(spec.Duration) * (float64(i) + 0.75) / float64(spec.SplitBrains+1))
+		at += time.Duration(rng.Int63n(int64(time.Minute)))
+		if at >= spec.Duration {
+			at = spec.Duration - time.Minute
+		}
+		sched = append(sched, Fault{
+			At: at, Kind: KindSplitBrain,
+			Dur: clampDur(expDur(rng, float64(spec.MeanSplitBrain)), 30*time.Second, 10*time.Minute),
+		})
+	}
+
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
 	return sched
 }
@@ -450,6 +499,28 @@ type Platform interface {
 	// ExtraChecks lets the platform report invariants only it can see
 	// (e.g. agent-side phantom jobs). Called on periodic audits.
 	ExtraChecks() []invariant.Violation
+}
+
+// ReplicatedPlatform is the optional capability interface for platforms
+// running a replicated coordinator (leader + standby over WAL
+// shipping). The engine type-asserts for it when applying
+// KindLeaderKill and KindSplitBrain; platforms without it absorb those
+// faults as no-ops, keeping the Platform contract stable for the
+// standalone harness and its tests.
+type ReplicatedPlatform interface {
+	// KillLeader kills the current leader outright (no shutdown
+	// courtesy), promotes a standby, re-points the agents, and returns
+	// any zero-lost-acked-mutation or leadership-protocol violations
+	// the handoff exposed.
+	KillLeader() []invariant.Violation
+	// SplitBrainStart isolates the current leader from the lease
+	// arbiter and skews its clock backwards, so it keeps believing in
+	// an expired lease while a standby is elected.
+	SplitBrainStart()
+	// SplitBrainHeal ends the window: the zombie's clock is restored,
+	// its writes during the window are audited, and any accepted stale
+	// write is returned as a violation.
+	SplitBrainHeal() []invariant.Violation
 }
 
 // Observation is one audited point in a run: the fault (or audit tick)
@@ -603,6 +674,17 @@ func (e *Engine) apply(f Fault) {
 		e.openCkptWindow(CkptBitFlip, f.Dur)
 	case KindCkptTruncate:
 		e.openCkptWindow(CkptTruncate, f.Dur)
+	case KindLeaderKill:
+		if rp, ok := e.plat.(ReplicatedPlatform); ok {
+			extra = rp.KillLeader()
+		}
+	case KindSplitBrain:
+		if rp, ok := e.plat.(ReplicatedPlatform); ok {
+			rp.SplitBrainStart()
+			e.clock.AfterFunc(f.Dur, func() {
+				e.audit("split-brain-heal", rp.SplitBrainHeal())
+			})
+		}
 	}
 	e.audit(f.describe(), extra)
 }

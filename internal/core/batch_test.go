@@ -45,7 +45,7 @@ func (f *fakeAgent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 	return api.LaunchResponse{}, errors.New("fake: no free device")
 }
 
-func (f *fakeAgent) Kill(jobID string) error { return nil }
+func (f *fakeAgent) Kill(req api.KillRequest) error { return nil }
 
 func (f *fakeAgent) Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error) {
 	return api.CheckpointResponse{}, errors.New("fake: no checkpoints")

@@ -38,11 +38,14 @@ var (
 )
 
 // AgentHandle is the coordinator's transport to one provider agent.
+// Launch and Kill requests carry the sending leader's epoch in their
+// envelope; agents reject writes from a deposed leader (the fencing
+// half of lease-based leadership).
 type AgentHandle interface {
 	// Launch starts a workload on the node.
 	Launch(req api.LaunchRequest) (api.LaunchResponse, error)
 	// Kill terminates a job on the node.
-	Kill(jobID string) error
+	Kill(req api.KillRequest) error
 	// Checkpoint captures a job's state on demand.
 	Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error)
 }
@@ -70,6 +73,17 @@ type Config struct {
 	// StorageNode names the netsim node holding checkpoint data.
 	Net         *netsim.Network
 	StorageNode string
+	// Lease enables replicated operation: the coordinator only serves
+	// mutations while it holds the lease (TryLead), every externally
+	// visible write is fenced by the lease's epoch, and losing the
+	// lease demotes it permanently (its store may have diverged from
+	// the new leader's — rejoining requires a fresh standby bootstrap).
+	// Nil is standalone mode: always leader, epoch zero, no fencing —
+	// the pre-replication behavior, unchanged.
+	Lease LeaseClient
+	// ReplicaID names this coordinator replica to the lease arbiter and
+	// in LeaderHint replies. Required when Lease is set.
+	ReplicaID string
 }
 
 // jobMeta is the relaunch information not stored in the database record.
@@ -114,6 +128,14 @@ type Coordinator struct {
 	temporary map[string]bool
 	stopped   bool
 	sweeper   simclock.Timer
+	// Leadership state (Lease mode only). epoch is the fencing token of
+	// the current (or last) term; leading and leaseUntil gate every
+	// mutation — a coordinator whose cached lease has passed on its own
+	// clock self-fences even when it cannot reach the arbiter.
+	epoch      uint64
+	leading    bool
+	leaseUntil time.Time
+	renewTimer simclock.Timer
 
 	schedLatency *monitor.Histogram
 }
@@ -171,7 +193,11 @@ func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.
 	c.pool = sched.NewNodePool()
 	c.poolCancel = database.AddMutationObserver(c.pool.Observe)
 	c.pool.Reset(database)
-	c.scheduleSweep()
+	if cfg.Lease == nil {
+		// Standalone: leader from birth. In Lease mode the coordinator
+		// starts as a fenced standby; TryLead arms the sweeper.
+		c.scheduleSweep()
+	}
 	return c, nil
 }
 
@@ -263,8 +289,12 @@ func (c *Coordinator) RecoverState() {
 func (c *Coordinator) Stop() {
 	c.mu.Lock()
 	c.stopped = true
+	c.leading = false
 	if c.sweeper != nil {
 		c.sweeper.Stop()
+	}
+	if c.renewTimer != nil {
+		c.renewTimer.Stop()
 	}
 	c.mu.Unlock()
 	// Detach the scheduler-pool feed: a replaced coordinator must not
@@ -277,6 +307,178 @@ func (c *Coordinator) isStopped() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stopped
+}
+
+// --- Leadership (Lease mode) ---
+
+// Epoch returns the coordinator's current leader epoch (zero in
+// standalone mode or before the first TryLead).
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Leading reports whether this replica currently believes it holds the
+// lease. Standalone coordinators always lead.
+func (c *Coordinator) Leading() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leadingLocked()
+}
+
+// leadingLocked evaluates leadership under c.mu: standalone mode always
+// leads; in Lease mode the cached grant must not have passed on the
+// local clock — the self-fence that stops a zombie whose lease client
+// is cut (it cannot hear ErrLeaseLost, but it can read its own watch).
+func (c *Coordinator) leadingLocked() bool {
+	if c.cfg.Lease == nil {
+		return !c.stopped
+	}
+	return !c.stopped && c.leading && c.clock.Now().Before(c.leaseUntil)
+}
+
+// TryLead attempts to acquire the lease and become the leader. On
+// success the sweeper and the renewal loop start and mutations are
+// admitted under the new epoch. Call after New (+ RecoverState, for a
+// promoted standby). No-op returning true in standalone mode.
+func (c *Coordinator) TryLead() bool {
+	if c.cfg.Lease == nil {
+		return true
+	}
+	epoch, until, err := c.cfg.Lease.Acquire(c.cfg.ReplicaID)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return false
+	}
+	c.epoch = epoch
+	c.leaseUntil = until
+	c.leading = true
+	c.mu.Unlock()
+	c.bus.Publish(eventbus.Event{Type: eventbus.LeaderElected, Time: c.clock.Now(),
+		Node: c.cfg.ReplicaID, Detail: map[string]any{"epoch": epoch}})
+	c.scheduleSweep()
+	c.scheduleRenew()
+	return true
+}
+
+// scheduleRenew arms the next lease renewal at a third of the remaining
+// grant, so two renewals can fail before the lease lapses.
+func (c *Coordinator) scheduleRenew() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped || !c.leading {
+		return
+	}
+	d := c.leaseUntil.Sub(c.clock.Now()) / 3
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	c.renewTimer = c.clock.AfterFunc(d, c.renewLease)
+}
+
+// renewLease extends the grant or steps down. A transport failure is
+// not a demotion by itself — the replica keeps serving while its cached
+// grant is live and retries — but once the grant passes on the local
+// clock without a successful renewal, the replica self-fences: the
+// arbiter's re-grant grace (skew tolerance) guarantees no successor
+// exists before that moment.
+func (c *Coordinator) renewLease() {
+	c.mu.Lock()
+	if c.stopped || !c.leading {
+		c.mu.Unlock()
+		return
+	}
+	holder, epoch := c.cfg.ReplicaID, c.epoch
+	c.mu.Unlock()
+	until, err := c.cfg.Lease.Renew(holder, epoch)
+	if err != nil {
+		if errors.Is(err, ErrLeaseLost) {
+			c.stepDown("lease lost")
+			return
+		}
+		c.mu.Lock()
+		live := c.clock.Now().Before(c.leaseUntil)
+		c.mu.Unlock()
+		if !live {
+			c.stepDown("lease expired unrenewed")
+			return
+		}
+		c.scheduleRenew()
+		return
+	}
+	c.mu.Lock()
+	c.leaseUntil = until
+	c.mu.Unlock()
+	c.scheduleRenew()
+}
+
+// stepDown demotes a leader in place. The demotion is permanent for
+// this instance: its store may have diverged from the new leader's
+// during the overlap, so rejoining the replica group requires a fresh
+// standby bootstrap from the new leader's log, not a re-acquire.
+func (c *Coordinator) stepDown(reason string) {
+	c.mu.Lock()
+	if !c.leading {
+		c.mu.Unlock()
+		return
+	}
+	c.leading = false
+	if c.sweeper != nil {
+		c.sweeper.Stop()
+	}
+	if c.renewTimer != nil {
+		c.renewTimer.Stop()
+	}
+	epoch := c.epoch
+	c.mu.Unlock()
+	c.bus.Publish(eventbus.Event{Type: eventbus.LeaderDeposed, Time: c.clock.Now(),
+		Node: c.cfg.ReplicaID, Detail: map[string]any{"epoch": epoch, "reason": reason}})
+}
+
+// fence gates one mutating request. reqEpoch is the envelope epoch the
+// caller presented (zero = legacy/no epoch). It returns a typed
+// api.ErrNotLeader when this replica must not serve the request: it is
+// a standby, its lease lapsed, or the request proves a newer leader
+// exists (in which case the replica steps down first — the epoch
+// comparison is the PR-3 stopped-coordinator fence generalized to
+// terms). Nil in standalone mode.
+func (c *Coordinator) fence(reqEpoch uint64) error {
+	if c.cfg.Lease == nil {
+		return nil
+	}
+	c.mu.Lock()
+	if reqEpoch > c.epoch {
+		c.mu.Unlock()
+		c.stepDown("superseded by higher epoch")
+		c.mu.Lock()
+	}
+	ok := c.leadingLocked()
+	epoch := c.epoch
+	c.mu.Unlock()
+	if ok {
+		return nil
+	}
+	hint, arbiterEpoch := c.cfg.Lease.Leader()
+	if arbiterEpoch > epoch {
+		epoch = arbiterEpoch
+	}
+	if hint == c.cfg.ReplicaID {
+		// The arbiter still names us, but we are fenced (stopped or
+		// stepped down): do not send traffic back to ourselves.
+		hint = ""
+	}
+	return api.ErrNotLeader{LeaderHint: hint, Epoch: epoch}
+}
+
+// envelope stamps outgoing coordinator→agent requests with the current
+// protocol version and leader epoch.
+func (c *Coordinator) envelope() api.Envelope {
+	return api.Envelope{ProtocolVersion: api.ProtocolVersion, LeaderEpoch: c.Epoch()}
 }
 
 func (c *Coordinator) scheduleSweep() {
@@ -299,6 +501,16 @@ func (c *Coordinator) scheduleSweep() {
 func (c *Coordinator) Register(req api.RegisterRequest, handle AgentHandle) (api.RegisterResponse, error) {
 	if req.MachineID == "" {
 		return api.RegisterResponse{}, errors.New("core: empty machine id")
+	}
+	version, ok := api.NegotiateVersion(req.ProtocolVersion)
+	if !ok {
+		return api.RegisterResponse{}, api.ErrVersionMismatch{
+			Requested: req.ProtocolVersion,
+			Min:       api.MinProtocolVersion, Max: api.ProtocolVersion,
+		}
+	}
+	if err := c.fence(req.LeaderEpoch); err != nil {
+		return api.RegisterResponse{}, err
 	}
 	now := c.clock.Now()
 	token, err := c.authy.Issue(req.MachineID, auth.RoleProvider, now)
@@ -338,11 +550,17 @@ func (c *Coordinator) Register(req api.RegisterRequest, handle AgentHandle) (api
 		c.handleNodeReturn(req.MachineID, now)
 	}
 	c.TrySchedule()
-	return api.RegisterResponse{Token: token, HeartbeatInterval: c.cfg.HeartbeatInterval}, nil
+	return api.RegisterResponse{
+		Token: token, HeartbeatInterval: c.cfg.HeartbeatInterval,
+		ProtocolVersion: version, LeaderEpoch: c.Epoch(),
+	}, nil
 }
 
 // Heartbeat processes a periodic agent report.
 func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, error) {
+	if err := c.fence(req.LeaderEpoch); err != nil {
+		return api.HeartbeatResponse{}, err
+	}
 	now := c.clock.Now()
 	if _, err := c.authy.VerifySubject(req.Token, req.MachineID, now); err != nil {
 		if errors.Is(err, auth.ErrExpired) {
@@ -512,7 +730,7 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 	// The beat is fully applied: the claimed sequence stays as the
 	// dedup high-water mark.
 	beatApplied = true
-	return api.HeartbeatResponse{Acknowledged: true}, nil
+	return api.HeartbeatResponse{Acknowledged: true, LeaderEpoch: c.Epoch()}, nil
 }
 
 // lostPlacements compares the heartbeat report against the node's
@@ -571,7 +789,7 @@ func (c *Coordinator) killOrphans(machineID string, orphans []string, now time.T
 		return
 	}
 	for _, jobID := range orphans {
-		if kerr := h.Kill(jobID); kerr == nil {
+		if kerr := h.Kill(api.KillRequest{Envelope: c.envelope(), JobID: jobID}); kerr == nil {
 			c.bus.Publish(eventbus.Event{Type: eventbus.JobKilled, Time: now,
 				Job: jobID, Node: machineID,
 				Detail: map[string]any{"reason": "orphan-reconciliation"}})
@@ -583,6 +801,9 @@ func (c *Coordinator) killOrphans(machineID string, orphans []string, now time.T
 // agent has already checkpointed and stopped its workloads; the
 // coordinator migrates them and updates the node's standing.
 func (c *Coordinator) Depart(req api.DepartRequest) error {
+	if err := c.fence(req.LeaderEpoch); err != nil {
+		return err
+	}
 	now := c.clock.Now()
 	if req.Token != "" {
 		if _, err := c.authy.VerifySubject(req.Token, req.MachineID, now); err != nil {
@@ -596,6 +817,9 @@ func (c *Coordinator) Depart(req api.DepartRequest) error {
 // standing. It is the convergence point for the announced path (REST or
 // in-process notify) — emergency departures are handled by Sweep.
 func (c *Coordinator) HandleDeparture(machineID string, reason api.DepartReason) error {
+	if err := c.fence(0); err != nil {
+		return err
+	}
 	now := c.clock.Now()
 	if _, err := c.db.GetNode(machineID); err != nil {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, machineID)
@@ -633,7 +857,7 @@ func (c *Coordinator) HandleDeparture(machineID string, reason api.DepartReason)
 // path). Daemons run this automatically; simulations may call it
 // directly.
 func (c *Coordinator) Sweep() {
-	if c.isStopped() {
+	if c.isStopped() || !c.Leading() {
 		return
 	}
 	now := c.clock.Now()
@@ -671,6 +895,9 @@ func (c *Coordinator) handleNodeReturn(nodeID string, now time.Time) {
 
 // SubmitJob enqueues a user job and attempts immediate placement.
 func (c *Coordinator) SubmitJob(req api.SubmitJobRequest) (string, error) {
+	if err := c.fence(req.LeaderEpoch); err != nil {
+		return "", err
+	}
 	if req.Kind != "batch" && req.Kind != "interactive" {
 		return "", fmt.Errorf("core: unknown job kind %q", req.Kind)
 	}
@@ -754,6 +981,9 @@ func (c *Coordinator) Nodes() []api.NodeSummary {
 
 // KillJob terminates a job wherever it runs.
 func (c *Coordinator) KillJob(jobID string) error {
+	if err := c.fence(0); err != nil {
+		return err
+	}
 	rec, err := c.db.GetJob(jobID)
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
@@ -761,7 +991,8 @@ func (c *Coordinator) KillJob(jobID string) error {
 	now := c.clock.Now()
 	if rec.State == db.JobRunning && rec.NodeID != "" {
 		if h := c.handle(rec.NodeID); h != nil {
-			_ = h.Kill(jobID) // node may be gone; record the kill anyway
+			// Node may be gone; record the kill anyway.
+			_ = h.Kill(api.KillRequest{Envelope: c.envelope(), JobID: jobID})
 		}
 		c.freeDevice(rec.NodeID, rec.DeviceID)
 		_ = c.db.CloseAllocation(jobID, now)
@@ -796,7 +1027,7 @@ func (c *Coordinator) TrySchedule() {
 // failing member leaves no stranded device reservation — its in-batch
 // reservation dies with the batch and the job simply stays pending.
 func (c *Coordinator) scheduleBatch() bool {
-	if c.isStopped() {
+	if c.isStopped() || !c.Leading() {
 		return false
 	}
 	if c.db.CountJobsInState(db.JobPending) == 0 {
@@ -872,7 +1103,8 @@ func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placeme
 		return false
 	}
 	resp, err := h.Launch(api.LaunchRequest{
-		JobID: job.ID, ImageName: meta.image, Kind: meta.kind,
+		Envelope: c.envelope(),
+		JobID:    job.ID, ImageName: meta.image, Kind: meta.kind,
 		Entrypoint: meta.entrypoint, GPUMemMiB: job.GPUMemMiB,
 		CapabilityMajor: job.CapabilityMajor, CapabilityMinor: job.CapabilityMinor,
 		CheckpointIntervalSec: meta.ckptSec,
@@ -923,6 +1155,12 @@ func (c *Coordinator) place(job db.JobRecord, meta *jobMeta, p scheduler.Placeme
 // placement's allocation would corrupt the resource view (heartbeat
 // reconciliation kills such orphans).
 func (c *Coordinator) JobUpdate(machineID, jobID string, state db.JobState, step int64) {
+	if c.fence(0) != nil {
+		// A deposed or standby coordinator must not resolve jobs; the
+		// agent's report reaches the real leader through its endpoint
+		// failover, and heartbeat anti-entropy covers a dropped one.
+		return
+	}
 	now := c.clock.Now()
 	switch state {
 	case db.JobCompleted, db.JobFailed:
@@ -1037,9 +1275,10 @@ func (c *Coordinator) executePlan(job db.JobRecord, meta *jobMeta, plan migratio
 
 // finishMigration performs the relaunch once restore data is in place.
 func (c *Coordinator) finishMigration(job db.JobRecord, meta *jobMeta, plan migration.Plan, reason migration.Reason) {
-	if c.isStopped() {
-		// The transfer timer outlived the coordinator (kill/restart):
-		// the successor's RecoverState requeues this job.
+	if c.isStopped() || !c.Leading() {
+		// The transfer timer outlived the coordinator (kill/restart) or
+		// its leadership (deposed mid-transfer): the successor's
+		// RecoverState requeues this job.
 		return
 	}
 	now := c.clock.Now()
@@ -1115,7 +1354,7 @@ func (c *Coordinator) MigrateBack(nodeID string) {
 			c.mig.RecordFailure(migration.ReasonMigrateBack)
 			continue
 		}
-		if err := cur.Kill(job.ID); err != nil {
+		if err := cur.Kill(api.KillRequest{Envelope: c.envelope(), JobID: job.ID}); err != nil {
 			c.mig.RecordFailure(migration.ReasonMigrateBack)
 			continue
 		}
@@ -1184,7 +1423,7 @@ type LocalAgent struct {
 	// A is the wrapped agent.
 	A interface {
 		Launch(api.LaunchRequest) (api.LaunchResponse, error)
-		Kill(jobID string) error
+		KillJob(api.KillRequest) error
 		CheckpointNow(jobID string, incremental bool) (api.CheckpointResponse, error)
 	}
 }
@@ -1195,7 +1434,7 @@ func (l LocalAgent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 }
 
 // Kill implements AgentHandle.
-func (l LocalAgent) Kill(jobID string) error { return l.A.Kill(jobID) }
+func (l LocalAgent) Kill(req api.KillRequest) error { return l.A.KillJob(req) }
 
 // Checkpoint implements AgentHandle.
 func (l LocalAgent) Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error) {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gpunion/internal/simclock"
+)
+
+// ErrLeaseHeld is returned by Acquire while another replica's lease is
+// still live (including its skew-tolerance grace).
+var ErrLeaseHeld = errors.New("core: lease held by another replica")
+
+// ErrLeaseLost is returned by Renew when the caller no longer holds the
+// lease — its epoch was superseded or its grant expired and went to
+// someone else. The caller must step down immediately.
+var ErrLeaseLost = errors.New("core: lease lost")
+
+// LeaseClient is what a coordinator uses to acquire and keep
+// leadership. The canonical implementation is *Lease (an in-process
+// arbiter standing in for an external consensus service); the chaos
+// harness wraps it to inject partitions between a leader and the
+// arbiter.
+type LeaseClient interface {
+	// Acquire attempts to take the lease for holder. On success it
+	// returns a fresh, strictly increasing epoch and the expiry time
+	// (on the arbiter's clock).
+	Acquire(holder string) (epoch uint64, until time.Time, err error)
+	// Renew extends the lease the caller holds at the given epoch.
+	Renew(holder string, epoch uint64) (until time.Time, err error)
+	// Leader reports the current holder and epoch (best effort; holder
+	// is empty when the lease is free or expired).
+	Leader() (holder string, epoch uint64)
+}
+
+// Lease is a single-key lease arbiter with monotonically increasing
+// epochs — the fencing-token generator of the replication design. It
+// stands in for the external coordination service (etcd, a consensus
+// group) a production deployment would use; the protocol it enforces is
+// the real one:
+//
+//   - at most one holder at a time, per epoch;
+//   - the epoch increases on every grant, never repeats;
+//   - an expired lease is only re-granted after an extra SkewTolerance
+//     has passed, so a holder whose clock runs behind the arbiter's by
+//     at most that much observes its own expiry (and self-fences)
+//     before a successor can exist.
+//
+// The second rule bounds unavailability instead of risking split brain:
+// after a leader dies, writes are rejected everywhere for at most
+// TTL + SkewTolerance before a standby can take over.
+type Lease struct {
+	clock simclock.Clock
+	// TTL is how long one grant or renewal lasts.
+	ttl time.Duration
+	// skewTolerance is the extra wait after expiry before re-granting.
+	skewTolerance time.Duration
+
+	mu      sync.Mutex
+	epoch   uint64
+	holder  string
+	expires time.Time
+}
+
+// NewLease creates an arbiter on the given (authoritative) clock.
+func NewLease(clock simclock.Clock, ttl, skewTolerance time.Duration) *Lease {
+	return &Lease{clock: clock, ttl: ttl, skewTolerance: skewTolerance}
+}
+
+// TTL returns the grant duration.
+func (l *Lease) TTL() time.Duration { return l.ttl }
+
+// Acquire implements LeaseClient.
+func (l *Lease) Acquire(holder string) (uint64, time.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clock.Now()
+	if l.holder != "" && l.holder != holder && now.Before(l.expires.Add(l.skewTolerance)) {
+		return 0, time.Time{}, fmt.Errorf("%w: %s until %s", ErrLeaseHeld, l.holder, l.expires)
+	}
+	l.epoch++
+	l.holder = holder
+	l.expires = now.Add(l.ttl)
+	return l.epoch, l.expires, nil
+}
+
+// Renew implements LeaseClient.
+func (l *Lease) Renew(holder string, epoch uint64) (time.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.holder != holder || l.epoch != epoch {
+		return time.Time{}, ErrLeaseLost
+	}
+	now := l.clock.Now()
+	if !now.Before(l.expires.Add(l.skewTolerance)) {
+		// Fully lapsed: the holder must re-Acquire (and get a new epoch)
+		// rather than silently resume an expired term.
+		return time.Time{}, ErrLeaseLost
+	}
+	l.expires = now.Add(l.ttl)
+	return l.expires, nil
+}
+
+// Leader implements LeaseClient.
+func (l *Lease) Leader() (string, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.holder == "" || !l.clock.Now().Before(l.expires) {
+		return "", l.epoch
+	}
+	return l.holder, l.epoch
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -89,13 +90,15 @@ func TestDatabaseSnapshotRoundTripThroughCoordinator(t *testing.T) {
 	r.clock.Advance(time.Minute)
 
 	var buf bytes.Buffer
-	if err := r.coord.DB().Save(&buf); err != nil {
+	if err := json.NewEncoder(&buf).Encode(r.coord.DB().ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	var st db.State
+	if err := json.NewDecoder(&buf).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
 	restored := db.New(0)
-	if err := restored.Load(&buf); err != nil {
-		t.Fatal(err)
-	}
+	restored.ImportState(st)
 	job, err := restored.GetJob(id)
 	if err != nil || job.State != db.JobRunning {
 		t.Fatalf("restored job = %+v, %v", job, err)

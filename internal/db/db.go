@@ -26,9 +26,9 @@
 // emits a typed, LSN-stamped Mutation to an installed MutationHook
 // (the write-ahead log in internal/wal), ExportState checkpoints the
 // store shard by shard without ever quiescing it, and Apply replays
-// logged mutations idempotently during recovery. The legacy Save/Load
-// stop-the-world JSON snapshot is retained only for tooling and as the
-// measured baseline; the coordinator path persists via snapshot + WAL.
+// logged mutations idempotently during recovery. One-shot dumps are
+// simply the JSON encoding of ExportState; the coordinator path
+// persists via snapshot + WAL.
 //
 // A configurable per-operation delay models the contention the paper
 // predicts beyond ~200 nodes (§5.3), which the scalability benchmark
@@ -37,11 +37,9 @@
 package db
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/maphash"
-	"io"
 	"slices"
 	"sort"
 	"sync"
@@ -212,8 +210,8 @@ type Store interface {
 	// (the WAL append point); ExportState/ImportState checkpoint and
 	// restore without a global quiesce; Apply replays logged mutations
 	// idempotently; CurrentLSN reads the mutation sequence counter.
-	// Save/Load are the legacy stop-the-world JSON snapshot, retained
-	// for tooling and benchmarks.
+	// (The legacy stop-the-world Save/Load snapshot pair is gone:
+	// serialize ExportState / deserialize into ImportState instead.)
 	SetMutationHook(h MutationHook)
 	// AddMutationObserver registers an additional read-only subscriber
 	// for committed mutations — the seam derived caches (e.g. the
@@ -225,8 +223,6 @@ type Store interface {
 	Apply(m Mutation) error
 	ExportState() State
 	ImportState(st State)
-	Save(w io.Writer) error
-	Load(r io.Reader) error
 }
 
 // Compile-time interface checks.
@@ -844,62 +840,4 @@ func (d *DB) unlockAll(write bool) {
 			s.mu.RUnlock()
 		}
 	}
-}
-
-// Save writes a JSON snapshot of the whole database. All shards are
-// read-locked together so the snapshot is a consistent cut; encoding
-// happens after the locks are released.
-//
-// Deprecated: Save quiesces every shard at once — a stop-the-world
-// pause that grows with store size and stalls heartbeat commits. The
-// coordinator path persists through internal/wal instead (ExportState
-// snapshots shard by shard; the WAL covers the tail). Save remains for
-// tooling, one-shot dumps, and as the measured quiesce baseline.
-func (d *DB) Save(w io.Writer) error {
-	d.ops.Add(1)
-	st := State{Watermark: d.lsn.Load()}
-	d.lockAll(false)
-	for _, s := range d.nodes {
-		for _, n := range s.recs {
-			// Shallow copies suffice: installed records are copy-on-
-			// write, so their slice storage never mutates after the
-			// locks drop.
-			st.Nodes = append(st.Nodes, *n)
-		}
-	}
-	for _, s := range d.jobs {
-		for _, j := range s.recs {
-			st.Jobs = append(st.Jobs, *j)
-		}
-	}
-	for _, s := range d.allocs {
-		st.Allocations = append(st.Allocations, s.episodes...)
-	}
-	for _, s := range d.samples {
-		st.Samples = append(st.Samples, s.buf...)
-	}
-	d.unlockAll(false)
-
-	sortState(&st)
-	if err := json.NewEncoder(w).Encode(st); err != nil {
-		return fmt.Errorf("db: saving snapshot: %w", err)
-	}
-	return nil
-}
-
-// Load replaces the database contents from a JSON snapshot, write-
-// locking every shard for the swap.
-//
-// Deprecated: the coordinator path recovers through internal/wal
-// (snapshot + logged-mutation replay); Load remains for tooling and
-// for restoring legacy Save dumps, which decode as a State with a zero
-// watermark.
-func (d *DB) Load(r io.Reader) error {
-	d.ops.Add(1)
-	var st State
-	if err := json.NewDecoder(r).Decode(&st); err != nil {
-		return fmt.Errorf("db: loading snapshot: %w", err)
-	}
-	d.ImportState(st)
-	return nil
 }

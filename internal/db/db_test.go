@@ -1,7 +1,7 @@
 package db
 
 import (
-	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -263,7 +263,7 @@ func TestSampleRetentionBound(t *testing.T) {
 	}
 }
 
-func TestSaveLoadRoundTrip(t *testing.T) {
+func TestExportImportJSONRoundTrip(t *testing.T) {
 	d := New(0)
 	d.UpsertNode(node("n1", NodeActive))
 	if err := d.InsertJob(job("j1", JobRunning, 3, t0)); err != nil {
@@ -272,14 +272,18 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	d.RecordAllocation(AllocationRecord{JobID: "j1", NodeID: "n1", DeviceID: "gpu0", Start: t0})
 	d.AppendSample(Sample{Time: t0, NodeID: "n1", Metric: "gpu_util", Value: 0.7})
 
-	var buf bytes.Buffer
-	if err := d.Save(&buf); err != nil {
+	// One-shot dumps are the JSON encoding of ExportState; restoring is
+	// decoding into a State and importing it.
+	blob, err := json.Marshal(d.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(blob, &st); err != nil {
 		t.Fatal(err)
 	}
 	d2 := New(0)
-	if err := d2.Load(&buf); err != nil {
-		t.Fatal(err)
-	}
+	d2.ImportState(st)
 	if n, err := d2.GetNode("n1"); err != nil || n.Status != NodeActive {
 		t.Fatalf("node after load = %+v, %v", n, err)
 	}
@@ -291,13 +295,6 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if len(d2.SamplesInRange("gpu_util", "", t0, t0.Add(time.Second))) != 1 {
 		t.Fatal("samples lost")
-	}
-}
-
-func TestLoadGarbage(t *testing.T) {
-	d := New(0)
-	if err := d.Load(bytes.NewBufferString("{not json")); err == nil {
-		t.Fatal("garbage load succeeded")
 	}
 }
 

@@ -1,9 +1,7 @@
 package db
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -309,27 +307,4 @@ func (d *SingleMutex) SamplesInRange(metric, nodeID string, from, to time.Time) 
 		out = append(out, s)
 	}
 	return out
-}
-
-// Save writes a JSON snapshot of the whole database.
-//
-// Deprecated: see DB.Save — the coordinator path persists via
-// internal/wal; Save remains for tooling and benchmarks.
-func (d *SingleMutex) Save(w io.Writer) error {
-	if err := json.NewEncoder(w).Encode(d.ExportState()); err != nil {
-		return fmt.Errorf("db: saving snapshot: %w", err)
-	}
-	return nil
-}
-
-// Load replaces the database contents from a JSON snapshot.
-//
-// Deprecated: see DB.Load — recovery goes through internal/wal.
-func (d *SingleMutex) Load(r io.Reader) error {
-	var st State
-	if err := json.NewDecoder(r).Decode(&st); err != nil {
-		return fmt.Errorf("db: loading snapshot: %w", err)
-	}
-	d.ImportState(st)
-	return nil
 }

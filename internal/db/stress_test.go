@@ -2,7 +2,9 @@ package db
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -92,8 +94,7 @@ func TestShardedStressParallelHeartbeats(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for k := 0; k < 20; k++ {
-			var buf bytes.Buffer
-			if err := d.Save(&buf); err != nil {
+			if err := json.NewEncoder(io.Discard).Encode(d.ExportState()); err != nil {
 				t.Error(err)
 				return
 			}
@@ -166,13 +167,15 @@ func TestConcurrentSaveLoadConsistency(t *testing.T) {
 	}()
 	for i := 0; i < 25; i++ {
 		var buf bytes.Buffer
-		if err := d.Save(&buf); err != nil {
+		if err := json.NewEncoder(&buf).Encode(d.ExportState()); err != nil {
+			t.Fatal(err)
+		}
+		var st State
+		if err := json.NewDecoder(&buf).Decode(&st); err != nil {
 			t.Fatal(err)
 		}
 		restored := New(0)
-		if err := restored.Load(&buf); err != nil {
-			t.Fatal(err)
-		}
+		restored.ImportState(st)
 		if total := restored.CountJobsInState(JobPending) + restored.CountJobsInState(JobRunning); total != jobs {
 			t.Fatalf("snapshot %d: pending+running = %d, want %d (torn snapshot)", i, total, jobs)
 		}
@@ -256,13 +259,15 @@ func TestSingleMutexBaselineParity(t *testing.T) {
 			}
 			d.AppendSample(Sample{Time: t0, NodeID: "n1", Metric: "m", Value: 1})
 			var buf bytes.Buffer
-			if err := d.Save(&buf); err != nil {
+			if err := json.NewEncoder(&buf).Encode(d.ExportState()); err != nil {
+				t.Fatal(err)
+			}
+			var st State
+			if err := json.NewDecoder(&buf).Decode(&st); err != nil {
 				t.Fatal(err)
 			}
 			restored := New(0)
-			if err := restored.Load(&buf); err != nil {
-				t.Fatal(err)
-			}
+			restored.ImportState(st)
 			if restored.CountJobsInState(JobPending) != 2 {
 				t.Fatal("jobs lost through snapshot")
 			}

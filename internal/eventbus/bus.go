@@ -43,6 +43,10 @@ const (
 	ContainerExited  Type = "container.exited"
 
 	KillSwitch Type = "provider.killswitch"
+
+	// Leadership transitions of a replicated coordinator.
+	LeaderElected Type = "leader.elected"
+	LeaderDeposed Type = "leader.deposed"
 )
 
 // Event is a single occurrence on the bus.

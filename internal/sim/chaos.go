@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -60,6 +61,11 @@ type ChaosConfig struct {
 	// coordinator crash, so baseline-parity runs (db.NewSingleMutex)
 	// recover onto their own store type.
 	NewStore func() db.Store
+	// Replicated runs the coordinator as a replicated pair: a leader
+	// holding a lease from an in-process arbiter plus a warm standby
+	// applying the leader's log via WAL shipping. Implies EnableWAL.
+	// Required for the LeaderKills / SplitBrains fault families.
+	Replicated bool
 }
 
 // ChaosResult is what one chaos run observed.
@@ -78,6 +84,9 @@ type ChaosResult struct {
 	CompletedJobs int
 	// Recoveries counts coordinator kill/restart cycles performed.
 	Recoveries int
+	// Failovers counts completed leader handoffs (a standby promoted
+	// and took the lease) in Replicated runs.
+	Failovers int
 	// WALFaultsInjected counts disk faults actually delivered.
 	WALFaultsInjected int
 	// CkptFaultsInjected counts checkpoint blobs actually damaged;
@@ -127,6 +136,11 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	if cfg.NewStore == nil {
 		cfg.NewStore = func() db.Store { return db.New(0) }
 	}
+	if cfg.Replicated {
+		// Replication is WAL shipping; a replicated pair without a log
+		// has nothing to ship.
+		cfg.EnableWAL = true
+	}
 
 	h, err := newChaosHarness(cfg)
 	if err != nil {
@@ -154,6 +168,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	res.SubmittedJobs = h.submitted
 	res.CompletedJobs = store.CountJobsInState(db.JobCompleted)
 	res.Recoveries = h.recoveries
+	res.Failovers = h.failovers
 	if h.fs != nil {
 		res.WALFaultsInjected = h.fs.Injected()
 	}
@@ -214,6 +229,102 @@ type chaosHarness struct {
 	recoveries        int
 	submitted         int
 	sawDurabilityLoss bool
+
+	// --- Replicated mode (cfg.Replicated) ---
+
+	// lease is the in-process arbiter every replica competes for.
+	lease *core.Lease
+	// leaderLog audits lease grants and write acceptances;
+	// leaderVsSeen marks how many of its violations earlier audits
+	// already reported.
+	leaderLog    *invariant.LeaderLog
+	leaderVsSeen int
+	// replViolations collects failover-audit findings (lost-acked
+	// checks, fence probes) for the next ExtraChecks drain.
+	replViolations []invariant.Violation
+	replicaSeq     int
+	// repl is the replica currently installed as h.coord.
+	repl *replica
+	// standbyStore is the warm standby's database; follower applies
+	// shipped records into it; shipper tails the leader's log.
+	standbyStore db.Store
+	follower     *wal.Follower
+	shipper      *wal.Shipper
+	// splitOpen marks an open split-brain window; the zombie* fields
+	// hold the isolated ex-leader so heal can probe and dispose of it.
+	splitOpen   bool
+	zombie      *replica
+	zombieMgr   *wal.Manager
+	zombieEpoch uint64
+	zombieStore db.Store
+	// pendingTakeover is a successor still waiting out the lease grace.
+	pendingTakeover *takeover
+	// extraDirs are successor WAL directories to remove on stop.
+	extraDirs []string
+	failovers int
+}
+
+// replica bundles one lease-competing coordinator with its two fault
+// seams: the cuttable link to the arbiter and the adjustable clock.
+type replica struct {
+	coord *core.Coordinator
+	id    string
+	cut   *chaosLeaseClient
+	skew  *simclock.Skewed
+}
+
+// takeover is a standby promotion in flight: the successor exists and
+// retries TryLead until the dead (or fenced) leader's lease grace runs
+// out, then finishTakeover installs it.
+type takeover struct {
+	rep       *replica
+	deadStore db.Store
+	aborted   bool
+}
+
+// chaosLeaseClient wraps the arbiter with a cuttable link: a cut client
+// models the leader partitioned from the coordination service — every
+// call fails at the transport, and the replica must live off its cached
+// grant until that lapses.
+type chaosLeaseClient struct {
+	mu    sync.Mutex
+	inner core.LeaseClient
+	cut   bool
+}
+
+var errLeaseUnreachable = fmt.Errorf("chaos: lease arbiter unreachable")
+
+func (c *chaosLeaseClient) Cut(cut bool) {
+	c.mu.Lock()
+	c.cut = cut
+	c.mu.Unlock()
+}
+
+func (c *chaosLeaseClient) isCut() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut
+}
+
+func (c *chaosLeaseClient) Acquire(holder string) (uint64, time.Time, error) {
+	if c.isCut() {
+		return 0, time.Time{}, errLeaseUnreachable
+	}
+	return c.inner.Acquire(holder)
+}
+
+func (c *chaosLeaseClient) Renew(holder string, epoch uint64) (time.Time, error) {
+	if c.isCut() {
+		return time.Time{}, errLeaseUnreachable
+	}
+	return c.inner.Renew(holder, epoch)
+}
+
+func (c *chaosLeaseClient) Leader() (string, uint64) {
+	if c.isCut() {
+		return "", 0
+	}
+	return c.inner.Leader()
 }
 
 // chaosAuthSecret keeps issued credentials valid across coordinator
@@ -279,10 +390,17 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		}
 		h.dir = dir
 		h.fs = chaos.NewFaultFS()
-		mgr, err := wal.Open(dir, store, wal.Config{
+		walCfg := wal.Config{
 			FS:            h.fs,
 			OnAppendError: func(error) { h.noteDurabilityLoss() },
-		})
+		}
+		if cfg.Replicated {
+			// Semi-synchronous replication: the hook runs after the
+			// record is durable locally and before the store returns, so
+			// the standby holds every mutation any client was acked.
+			walCfg.OnDurable = h.onLeaderDurable
+		}
+		mgr, err := wal.Open(dir, store, walCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -301,11 +419,31 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		h.clock.AfterFunc(time.Hour, checkpointLoop)
 	}
 
-	coord, err := core.New(h.coordCfg, h.clock, store, h.ckpts, h.bus)
-	if err != nil {
-		return nil, err
+	if cfg.Replicated {
+		// 30 s grants against a 2 min re-grant grace: a dead leader's
+		// slot stays fenced for at most 2.5 min of simulated time before
+		// a standby can win it.
+		h.lease = core.NewLease(h.clock, 30*time.Second, 2*time.Minute)
+		h.leaderLog = invariant.NewLeaderLog()
+		rep, err := h.newReplica(store)
+		if err != nil {
+			return nil, err
+		}
+		h.store, h.coord, h.repl = store, rep.coord, rep
+		if !rep.coord.TryLead() {
+			return nil, fmt.Errorf("chaos: initial replica failed to take the free lease")
+		}
+		h.leaderLog.RecordTerm(rep.coord.Epoch(), rep.id)
+		h.standbyStore = cfg.NewStore()
+		h.follower = wal.NewFollower(h.standbyStore)
+		h.shipper = wal.NewShipper(h.dir)
+	} else {
+		coord, err := core.New(h.coordCfg, h.clock, store, h.ckpts, h.bus)
+		if err != nil {
+			return nil, err
+		}
+		h.store, h.coord = store, coord
 	}
-	h.store, h.coord = store, coord
 
 	for _, d := range cfg.Defs {
 		rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(d.GPUs...), 0, 0)
@@ -328,14 +466,35 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 
 func (h *chaosHarness) stop() {
 	h.currentCoord().Stop()
+	h.mu.Lock()
+	t := h.pendingTakeover
+	if t != nil {
+		t.aborted = true
+	}
+	z := h.zombie
+	zMgr := h.zombieMgr
+	dirs := h.extraDirs
+	h.mu.Unlock()
+	if t != nil {
+		t.rep.coord.Stop()
+	}
+	if z != nil {
+		z.coord.Stop()
+	}
 	for _, id := range h.nodeIDs {
 		h.agents[id].Stop()
 	}
 	if m := h.currentMgr(); m != nil {
 		_ = m.Close()
 	}
+	if zMgr != nil && zMgr != h.currentMgr() {
+		_ = zMgr.Close()
+	}
 	if h.ownDir {
 		os.RemoveAll(h.dir)
+	}
+	for _, d := range dirs {
+		os.RemoveAll(d)
 	}
 }
 
@@ -361,6 +520,50 @@ func (h *chaosHarness) noteDurabilityLoss() {
 	h.mu.Lock()
 	h.sawDurabilityLoss = true
 	h.mu.Unlock()
+}
+
+// newReplica builds a lease-competing coordinator over store, with its
+// own cuttable lease client and its own adjustable clock (the seams the
+// split-brain fault pulls on).
+func (h *chaosHarness) newReplica(store db.Store) (*replica, error) {
+	h.mu.Lock()
+	h.replicaSeq++
+	id := fmt.Sprintf("coord-%d", h.replicaSeq)
+	h.mu.Unlock()
+	cut := &chaosLeaseClient{inner: h.lease}
+	skew := simclock.NewSkewed(h.clock)
+	cfg := h.coordCfg
+	cfg.Lease = cut
+	cfg.ReplicaID = id
+	coord, err := core.New(cfg, skew, store, h.ckpts, h.bus)
+	if err != nil {
+		return nil, err
+	}
+	return &replica{coord: coord, id: id, cut: cut, skew: skew}, nil
+}
+
+// onLeaderDurable runs inside the serving replica's mutation hook,
+// after the record hit the log and before the store acks the write: it
+// audits the write against the leadership log and ships the tail to the
+// standby. Pumping here makes replication semi-synchronous — by the
+// time any client observes a mutation, the standby can replay it.
+func (h *chaosHarness) onLeaderDurable(db.Mutation) {
+	h.mu.Lock()
+	rep := h.repl
+	fol, shp := h.follower, h.shipper
+	h.mu.Unlock()
+	if rep == nil || fol == nil || shp == nil {
+		return
+	}
+	h.leaderLog.RecordWrite(rep.coord.Epoch(), rep.id)
+	if err := fol.Pump(shp); err != nil {
+		h.mu.Lock()
+		h.replViolations = append(h.replViolations, invariant.Violation{
+			Rule:   "replication-ship-failed",
+			Detail: fmt.Sprintf("shipping acked mutations to the standby: %v", err),
+		})
+		h.mu.Unlock()
+	}
 }
 
 // silenced reports whether the node's control-plane path is cut. A
@@ -441,6 +644,22 @@ func (h *chaosHarness) register(ag *agent.Agent) error {
 		return err
 	}
 	ag.SetToken(resp.Token)
+	ag.ObserveEpoch(resp.LeaderEpoch)
+	if h.cfg.Replicated {
+		// The agent learns the endpoint set: the leader it just joined
+		// plus the standby it can fail over to on a leader change. Both
+		// routes land on the harness, which forwards to whoever leads.
+		h.mu.Lock()
+		leaderID := ""
+		if h.repl != nil {
+			leaderID = h.repl.id
+		}
+		h.mu.Unlock()
+		ag.SetEndpoints([]agent.Endpoint{
+			{ID: leaderID, Notifier: h},
+			{ID: "standby", Notifier: h},
+		})
+	}
 	return nil
 }
 
@@ -481,11 +700,11 @@ func (c chaosHandle) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 	return resp, err
 }
 
-func (c chaosHandle) Kill(jobID string) error {
+func (c chaosHandle) Kill(req api.KillRequest) error {
 	if c.h.silenced(c.id) {
 		return errUnreachable
 	}
-	return c.inner.Kill(jobID)
+	return c.inner.Kill(req)
 }
 
 func (c chaosHandle) Checkpoint(jobID string, incremental bool) (api.CheckpointResponse, error) {
@@ -504,10 +723,12 @@ func (h *chaosHarness) heartbeatLoop(ag *agent.Agent) {
 		if !ag.Departed() && !h.silenced(ag.MachineID()) {
 			req := ag.HeartbeatRequest()
 			resp, err := h.currentCoord().Heartbeat(req)
+			var nl api.ErrNotLeader
 			switch {
 			case err == nil && resp.Reregister:
 				_ = h.register(ag)
 			case err == nil && resp.Acknowledged:
+				ag.ObserveEpoch(resp.LeaderEpoch)
 				// Replay the very same request (same beat sequence):
 				// the coordinator's ingress guard must make it a no-op.
 				h.maybeReplay("heartbeat", "heartbeat "+ag.MachineID(), func() {
@@ -515,6 +736,13 @@ func (h *chaosHarness) heartbeatLoop(ag *agent.Agent) {
 						_, _ = c.Heartbeat(req)
 					}
 				})
+			case errors.As(err, &nl):
+				// The replica we addressed is fenced: follow the hint
+				// (or try the other endpoint) and re-register. During
+				// the no-leader gap the register fails too; the next
+				// beat retries.
+				ag.Redirect(nl.LeaderHint)
+				_ = h.register(ag)
 			}
 		}
 		h.clock.AfterFunc(h.cfg.HeartbeatInterval, loop)
@@ -564,6 +792,15 @@ func (h *chaosHarness) startTraffic(seed int64) {
 // coordinator's stale-node guard decides their fate.
 func (h *chaosHarness) JobUpdate(machineID, jobID string, state db.JobState, step int64) {
 	if c := h.currentCoord(); c != nil {
+		if h.cfg.Replicated && !c.Leading() {
+			// Leadership gap: the installed replica is fenced and would
+			// drop the report. Retry until a leader is serving — the
+			// real agent's until-delivered retry loop.
+			h.clock.AfterFunc(30*time.Second, func() {
+				h.JobUpdate(machineID, jobID, state, step)
+			})
+			return
+		}
 		c.JobUpdate(machineID, jobID, state, step)
 		// Terminal reports are retried until delivered, so they are also
 		// the reports most likely to arrive twice; the coordinator's
@@ -757,6 +994,11 @@ func (h *chaosHarness) SetCheckpointFault(mode chaos.CkptFaultMode) {
 // the in-memory truth first (the contract: fsync-error windows lose
 // nothing once a snapshot succeeds).
 func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
+	if h.cfg.Replicated {
+		// In replicated mode a coordinator crash IS a leader kill: the
+		// standby takes over instead of the same instance rebooting.
+		return h.KillLeader()
+	}
 	mgr := h.currentMgr()
 	if mgr == nil {
 		return nil // no WAL: a restart would legitimately lose everything
@@ -821,6 +1063,288 @@ func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
 	return vs
 }
 
+// --- chaos.ReplicatedPlatform ---
+
+// KillLeader kills the serving leader outright — process gone, log
+// closed, lease left to expire — and starts the standby's promotion.
+// The promotion completes only once the dead leader's grant plus the
+// arbiter's skew-tolerance grace has passed (TryLead retries until
+// then), at which point finishTakeover audits zero lost acked mutations
+// and installs the successor.
+func (h *chaosHarness) KillLeader() []invariant.Violation {
+	if !h.cfg.Replicated {
+		return nil
+	}
+	h.mu.Lock()
+	busy := h.splitOpen || h.pendingTakeover != nil
+	rep := h.repl
+	h.mu.Unlock()
+	if busy || rep == nil || !rep.coord.Leading() {
+		return nil // no settled leader to kill; the schedule moves on
+	}
+	oldMgr := h.currentMgr()
+	oldStore := h.currentStore()
+	rep.coord.Stop()
+	if oldMgr != nil {
+		_ = oldMgr.Close()
+	}
+	h.mu.Lock()
+	h.mgr = nil
+	h.mu.Unlock()
+	return h.beginTakeover(oldStore)
+}
+
+// beginTakeover creates the successor replica over the warm standby's
+// store and starts its lease-acquisition loop. deadStore is the fenced
+// ex-leader's final state — the acked baseline finishTakeover audits
+// against.
+func (h *chaosHarness) beginTakeover(deadStore db.Store) []invariant.Violation {
+	h.mu.Lock()
+	sst := h.standbyStore
+	h.mu.Unlock()
+	succ, err := h.newReplica(sst)
+	if err != nil {
+		return []invariant.Violation{{Rule: "failover-failed", Detail: err.Error()}}
+	}
+	t := &takeover{rep: succ, deadStore: deadStore}
+	h.mu.Lock()
+	h.pendingTakeover = t
+	h.mu.Unlock()
+	h.awaitTakeover(t)
+	return nil
+}
+
+// awaitTakeover retries the successor's lease acquisition every two
+// seconds. The retries fail exactly as long as the protocol demands:
+// until the previous grant plus the skew-tolerance grace has run out —
+// the window in which a zombie predecessor might still believe it
+// leads.
+func (h *chaosHarness) awaitTakeover(t *takeover) {
+	h.mu.Lock()
+	aborted := t.aborted
+	h.mu.Unlock()
+	if aborted {
+		return
+	}
+	if t.rep.coord.TryLead() {
+		h.finishTakeover(t)
+		return
+	}
+	h.clock.AfterFunc(2*time.Second, func() { h.awaitTakeover(t) })
+}
+
+// finishTakeover completes a promotion whose successor now holds the
+// lease. The grant is the linearization point: the arbiter's grace
+// guarantees the predecessor self-fenced before it, so deadStore is
+// final and every mutation it ever acked must already be on the standby
+// — the zero-lost-acked audit checks exactly that. The successor then
+// gets its own log (seeded with a snapshot of the inherited state), a
+// fresh standby is bootstrapped from that log, and the fleet
+// re-attaches under the new epoch.
+func (h *chaosHarness) finishTakeover(t *takeover) {
+	fail := func(stage string, err error) {
+		h.mu.Lock()
+		h.pendingTakeover = nil
+		h.replViolations = append(h.replViolations, invariant.Violation{
+			Rule:   "failover-failed",
+			Detail: fmt.Sprintf("%s: %v", stage, err),
+		})
+		h.mu.Unlock()
+	}
+	h.leaderLog.RecordTerm(t.rep.coord.Epoch(), t.rep.id)
+	h.mu.Lock()
+	sst, fol, shp := h.standbyStore, h.follower, h.shipper
+	h.mu.Unlock()
+
+	// Final catch-up from the dead leader's log, then force-apply any
+	// buffered out-of-order tail (holes are never-durable records).
+	before := t.deadStore.ExportState()
+	if err := fol.Pump(shp); err != nil {
+		fail("final catch-up", err)
+		return
+	}
+	if _, err := fol.Drain(); err != nil {
+		fail("promotion drain", err)
+		return
+	}
+	vs := invariant.CheckNoLostAcked(before, sst.ExportState())
+
+	// The successor writes its own log from here on.
+	dir, err := os.MkdirTemp("", "gpunion-chaos-wal-*")
+	if err != nil {
+		fail("successor wal dir", err)
+		return
+	}
+	mgr, err := wal.Open(dir, sst, wal.Config{
+		FS:            h.fs,
+		OnAppendError: func(error) { h.noteDurabilityLoss() },
+		OnDurable:     h.onLeaderDurable,
+	})
+	if err != nil {
+		fail("successor wal", err)
+		return
+	}
+	if err := mgr.Checkpoint(); err != nil {
+		fail("successor snapshot", err)
+		return
+	}
+	nextStandby := h.cfg.NewStore()
+	if _, err := wal.Recover(dir, nextStandby); err != nil {
+		fail("next standby bootstrap", err)
+		return
+	}
+
+	h.mu.Lock()
+	h.store, h.coord, h.mgr, h.repl = sst, t.rep.coord, mgr, t.rep
+	h.standbyStore = nextStandby
+	h.follower = wal.NewFollower(nextStandby)
+	h.shipper = wal.NewShipper(dir)
+	h.extraDirs = append(h.extraDirs, dir)
+	h.failovers++
+	h.pendingTakeover = nil
+	h.replViolations = append(h.replViolations, vs...)
+	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
+	h.mu.Unlock()
+
+	t.rep.coord.RecoverState()
+	// Reachable agents re-attach under the new epoch; silenced ones
+	// redirect via the heartbeat ErrNotLeader path when they come back.
+	for _, id := range h.nodeIDs {
+		ag := h.agents[id]
+		if !ag.Departed() && !h.silenced(id) {
+			_ = h.register(ag)
+		}
+	}
+}
+
+// SplitBrainStart isolates the serving leader from the lease arbiter
+// and steps its local clock 90 s behind true time — within the
+// arbiter's 2 min skew tolerance — then starts a rival promotion. The
+// zombie keeps serving whatever traffic reaches it; the protocol must
+// guarantee it observes its own expiry (and self-fences) before the
+// rival can win the lease.
+func (h *chaosHarness) SplitBrainStart() {
+	if !h.cfg.Replicated {
+		return
+	}
+	h.mu.Lock()
+	busy := h.splitOpen || h.pendingTakeover != nil
+	rep := h.repl
+	h.mu.Unlock()
+	if busy || rep == nil || !rep.coord.Leading() {
+		return
+	}
+	h.mu.Lock()
+	h.splitOpen = true
+	h.zombie = rep
+	h.zombieMgr = h.mgr
+	h.zombieEpoch = rep.coord.Epoch()
+	h.zombieStore = h.store
+	zStore := h.store
+	h.mu.Unlock()
+	rep.cut.Cut(true)
+	rep.skew.SetOffset(-90 * time.Second)
+	if vs := h.beginTakeover(zStore); len(vs) > 0 {
+		h.mu.Lock()
+		h.replViolations = append(h.replViolations, vs...)
+		h.mu.Unlock()
+	}
+}
+
+// SplitBrainHeal reconnects the zombie's arbiter link and clock. If the
+// zombie never lapsed (a short window: its cached grant stayed live and
+// the next renewal extends it), the rival promotion is aborted and the
+// epoch never changed — the protocol holding, not a violation. If it
+// lapsed, the heal probes the fence from both sides before disposing of
+// the zombie: the deposed leader must reject new work, and an agent
+// that has observed the successor's epoch must reject commands stamped
+// with the zombie's.
+func (h *chaosHarness) SplitBrainHeal() []invariant.Violation {
+	if !h.cfg.Replicated {
+		return nil
+	}
+	h.mu.Lock()
+	if !h.splitOpen {
+		h.mu.Unlock()
+		return nil
+	}
+	z := h.zombie
+	zMgr := h.zombieMgr
+	zEpoch := h.zombieEpoch
+	t := h.pendingTakeover
+	h.mu.Unlock()
+
+	z.skew.SetOffset(0)
+	z.cut.Cut(false)
+	_, cur := h.lease.Leader()
+
+	if z.coord.Leading() && cur == zEpoch {
+		// Survived: no successor exists and the grant is still live, so
+		// the zombie resumes as the rightful leader.
+		if t != nil {
+			h.mu.Lock()
+			t.aborted = true
+			h.mu.Unlock()
+			t.rep.coord.Stop()
+		}
+		h.mu.Lock()
+		h.splitOpen = false
+		h.zombie, h.zombieMgr, h.zombieStore, h.zombieEpoch = nil, nil, nil, 0
+		h.pendingTakeover = nil
+		h.mu.Unlock()
+		return nil
+	}
+
+	// The zombie lapsed and must have self-fenced. Probe the fence.
+	var vs []invariant.Violation
+	probe := TrainingJobSubmission("split-brain-probe", workload.SmallCNN, 10*time.Minute)
+	if _, err := z.coord.SubmitJob(probe); err == nil {
+		vs = append(vs, invariant.Violation{
+			Rule: "no-stale-write-accepted",
+			Detail: fmt.Sprintf("deposed leader %s (epoch %d) accepted a job submission after isolation",
+				z.id, zEpoch),
+		})
+	}
+	if cur > zEpoch {
+		// A successor was elected; agents that have observed its epoch
+		// must fence the zombie's commands.
+		for _, id := range h.nodeIDs {
+			ag := h.agents[id]
+			if ag.Departed() || h.silenced(id) || ag.CoordEpoch() <= zEpoch {
+				continue
+			}
+			spec := workload.SmallCNN
+			_, err := ag.Launch(api.LaunchRequest{
+				Envelope: api.Envelope{ProtocolVersion: api.ProtocolVersion, LeaderEpoch: zEpoch},
+				JobID:    "split-brain-probe", ImageName: "pytorch/pytorch:2.3-cuda12", Kind: "batch",
+				GPUMemMiB: spec.GPUMemMiB, Training: &spec,
+			})
+			if !errors.Is(err, agent.ErrStaleLeader) {
+				vs = append(vs, invariant.Violation{
+					Rule: "no-stale-write-accepted",
+					Detail: fmt.Sprintf("agent %s (epoch %d) admitted a launch from deposed epoch %d: %v",
+						id, ag.CoordEpoch(), zEpoch, err),
+				})
+			}
+			break
+		}
+	}
+	z.coord.Stop()
+	if zMgr != nil {
+		_ = zMgr.Close()
+	}
+	h.mu.Lock()
+	if h.mgr == zMgr {
+		// The successor has not installed its own log yet (takeover
+		// still waiting out the grace); keep the slot empty until then.
+		h.mgr = nil
+	}
+	h.splitOpen = false
+	h.zombie, h.zombieMgr, h.zombieStore, h.zombieEpoch = nil, nil, nil, 0
+	h.mu.Unlock()
+	return vs
+}
+
 // ExtraChecks audits what the database alone cannot show: idempotency
 // breaches found by duplicate-delivery replays since the last audit,
 // the coordinator's derived scheduler pool against a fresh store scan,
@@ -835,9 +1359,25 @@ func (h *chaosHarness) ExtraChecks() []invariant.Violation {
 	h.mu.Lock()
 	vs = append(vs, h.dupViolations...)
 	h.dupViolations = nil
+	vs = append(vs, h.replViolations...)
+	h.replViolations = nil
 	h.mu.Unlock()
-	for _, p := range h.currentCoord().AuditSchedulerPool() {
-		vs = append(vs, invariant.Violation{Rule: "scheduler-pool-consistent", Detail: p})
+	if h.leaderLog != nil {
+		all := h.leaderLog.Violations()
+		h.mu.Lock()
+		if h.leaderVsSeen < len(all) {
+			vs = append(vs, all[h.leaderVsSeen:]...)
+			h.leaderVsSeen = len(all)
+		}
+		h.mu.Unlock()
+	}
+	// The pool audit only applies to a leading coordinator: during a
+	// leadership gap the installed replica is fenced and its derived
+	// pool is rebuilt at promotion (standalone mode always leads).
+	if c := h.currentCoord(); c.Leading() {
+		for _, p := range c.AuditSchedulerPool() {
+			vs = append(vs, invariant.Violation{Rule: "scheduler-pool-consistent", Detail: p})
+		}
 	}
 	store := h.currentStore()
 	live := store.JobsInState(db.JobPending)

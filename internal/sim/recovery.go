@@ -185,7 +185,7 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 	// Agents notice the restart and re-register (their running
 	// workloads never stopped).
 	for _, ag := range agents {
-		ag.SetNotifier(coord2)
+		ag.SetEndpoints([]agent.Endpoint{{ID: "coordinator", Notifier: coord2}})
 		if err := registerAgent(ref, ag); err != nil {
 			return res, err
 		}

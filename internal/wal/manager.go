@@ -19,6 +19,14 @@ type Config struct {
 	// SnapshotInterval is the background checkpoint period; zero means
 	// snapshots happen only via Checkpoint.
 	SnapshotInterval time.Duration
+	// OnDurable, when non-nil, is invoked after a mutation is durably
+	// logged but before the store acknowledges it to its caller. It is
+	// the semi-synchronous replication hook: a harness that ships the
+	// record to a standby inside OnDurable guarantees "acknowledged ⇒
+	// on the standby", which is what the zero-lost-acked-mutations
+	// invariant needs across a leader kill. May be called concurrently
+	// (one call per committing goroutine).
+	OnDurable func(db.Mutation)
 	// OnAppendError is invoked the moment logging a mutation fails —
 	// the store has already applied the mutation in memory, so from
 	// that record on the process is running non-durable and the
@@ -68,6 +76,10 @@ func Open(dir string, store db.Store, cfg Config) (*Manager, error) {
 			m.appendErr = err
 			m.mu.Unlock()
 			onErr(err)
+			return
+		}
+		if cfg.OnDurable != nil {
+			cfg.OnDurable(mut)
 		}
 	})
 	m.snap.Start(cfg.SnapshotInterval)

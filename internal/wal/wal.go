@@ -74,28 +74,38 @@ func encodeRecord(m db.Mutation) ([]byte, error) {
 // (anything from a clean EOF mismatch to a CRC failure); records before
 // the tear are always returned.
 func decodeFrames(data []byte) (recs []db.Mutation, torn bool) {
+	recs, _, torn = decodeFramesConsumed(data)
+	return recs, torn
+}
+
+// decodeFramesConsumed is decodeFrames plus the byte length of the
+// complete frames decoded — the cursor advance an incremental reader
+// (the Shipper) needs: a torn tail's bytes are not consumed, so the
+// next read retries them once the writer has finished (or healed past)
+// the frame.
+func decodeFramesConsumed(data []byte) (recs []db.Mutation, consumed int, torn bool) {
 	off := 0
 	for off < len(data) {
 		if len(data)-off < frameHeaderSize {
-			return recs, true
+			return recs, off, true
 		}
 		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
 		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
 		if length > maxRecordSize || length > len(data)-off-frameHeaderSize {
-			return recs, true
+			return recs, off, true
 		}
 		payload := data[off+frameHeaderSize : off+frameHeaderSize+length]
 		if crc32.Checksum(payload, castagnoli) != sum {
-			return recs, true
+			return recs, off, true
 		}
 		var m db.Mutation
 		if err := json.Unmarshal(payload, &m); err != nil {
-			return recs, true
+			return recs, off, true
 		}
 		recs = append(recs, m)
 		off += frameHeaderSize + length
 	}
-	return recs, false
+	return recs, off, false
 }
 
 // segmentPrefix and segmentSuffix bracket the zero-padded segment index.

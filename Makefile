@@ -7,7 +7,7 @@ GO ?= go
 # total). Raise it as coverage grows; never lower it below the seed.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos verify-failover verify-docs cover ci
+.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos verify-failover verify-obs verify-docs cover ci
 
 all: build
 
@@ -71,6 +71,16 @@ verify-chaos:
 verify-failover:
 	$(GO) test ./internal/sim -run 'Failover|SplitBrain' -count=1 -v -timeout 300s
 
+# Observability acceptance: the flight recorder and metrics registry
+# unit suites, the coordinator/agent exposition-over-HTTP tests, and
+# the trace determinism + sabotage-localization chaos tests. See
+# docs/OBSERVABILITY.md.
+verify-obs:
+	$(GO) test ./internal/obs ./internal/monitor -count=1 -v
+	$(GO) test ./internal/core -run 'TestHTTPMetricsExposition|TestHTTPTraceEndpoint|TestHTTPPprofGated' -count=1 -v
+	$(GO) test ./internal/agent -run 'TestMetricsRegistryPersistsAcrossScrapes' -count=1 -v
+	$(GO) test ./internal/sim -run 'TestChaosTraceDeterminism|TestChaosSabotageTraceLocalization' -count=1 -v -timeout 120s
+
 # Docs acceptance: every internal package carries a package doc comment
 # (scripts/doccheck) and every example still builds.
 verify-docs:
@@ -89,4 +99,4 @@ cover:
 # cover runs the full test suite (with profiling), so ci does not also
 # run a bare `test` pass — the long simulations already execute once
 # there and once more under verify-chaos.
-ci: build vet fmt race bench bench-check verify-recovery verify-chaos verify-failover verify-docs cover
+ci: build vet fmt race bench bench-check verify-recovery verify-chaos verify-failover verify-obs verify-docs cover

@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
+	"gpunion/internal/obs"
 	"gpunion/internal/sim"
 )
 
@@ -185,19 +188,64 @@ func runChaos(seed int64) {
 		{"skew+dup-delivery", sim.RunChaosSkewDup},
 		{"data-plane+ckpt-corrupt", sim.RunChaosDataPlane},
 	}
-	fmt.Printf("%-24s %7s %7s %10s %10s %10s %10s %11s\n",
-		"schedule", "faults", "audits", "submitted", "completed", "recoveries", "diskFaults", "violations")
+	fmt.Printf("%-24s %7s %7s %10s %10s %10s %10s %8s %11s\n",
+		"schedule", "faults", "audits", "submitted", "completed", "recoveries", "diskFaults", "trace", "violations")
+	var last sim.ChaosResult
 	for _, sc := range scenarios {
 		res, err := sc.run(seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-24s %7d %7d %10d %10d %10d %10d %11d\n",
+		fmt.Printf("%-24s %7d %7d %10d %10d %10d %10d %8d %11d\n",
 			sc.name, len(res.Schedule), res.Report.Audits, res.SubmittedJobs,
-			res.CompletedJobs, res.Recoveries, res.WALFaultsInjected, len(res.Violations))
+			res.CompletedJobs, res.Recoveries, res.WALFaultsInjected,
+			len(res.Trace), len(res.Violations))
 		for _, v := range res.Violations {
 			fmt.Printf("    INVARIANT VIOLATION: %s\n", v)
 		}
+		last = res
 	}
 	fmt.Printf("\nzero violations means every audited invariant held under the injected faults\n")
+	printObsSummary(last)
+}
+
+// printObsSummary renders the flight-recorder timeline and a metrics
+// excerpt from the final chaos schedule — the end-of-run O&M view an
+// operator would use to localize a fault from trace + metrics alone.
+func printObsSummary(res sim.ChaosResult) {
+	header("Flight recorder: last schedule's trace + coordinator metrics")
+	kinds := obs.Kinds(res.Trace)
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  %-24s %6d\n", k, kinds[k])
+	}
+	if res.TraceDropped > 0 {
+		fmt.Printf("  (ring overwrote %d older events)\n", res.TraceDropped)
+	}
+	if st := obs.StatSpans(obs.Spans(res.Trace, "job.submitted", "job.completed")); st.Count > 0 {
+		fmt.Printf("\njob submit -> complete: %d spans, min %v  mean %v  max %v\n",
+			st.Count, st.Min.Round(time.Second), st.Mean.Round(time.Second),
+			st.Max.Round(time.Second))
+	}
+
+	fmt.Printf("\ncoordinator metrics excerpt:\n")
+	excerpts := []string{
+		"gpunion_heartbeats_total", "gpunion_heartbeat_duplicates_total",
+		"gpunion_wal_fsync_seconds_count", "gpunion_wal_group_batch_size_count",
+		"gpunion_sched_pool_hits_total", "gpunion_sched_pool_misses_total",
+		"gpunion_checkpoint_corruptions_total", "gpunion_checkpoint_fallbacks_total",
+		"gpunion_leader_epoch", "gpunion_jobs{",
+	}
+	for _, line := range strings.Split(res.MetricsText, "\n") {
+		for _, want := range excerpts {
+			if strings.HasPrefix(line, want) {
+				fmt.Printf("  %s\n", line)
+				break
+			}
+		}
+	}
 }

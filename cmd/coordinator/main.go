@@ -8,6 +8,7 @@
 //	            [-wal-dir DIR] [-wal-group-commit-ms N] [-snapshot-interval-sec N]
 //	            [-mode solo|leader|standby] [-replica-id NAME]
 //	            [-lease-file FILE] [-lease-ttl-sec N] [-follow-dir DIR]
+//	            [-pprof]
 //
 // Flags override environment variables (GPUNION_WAL_DIR,
 // GPUNION_WAL_GROUP_COMMIT_MS, GPUNION_SNAPSHOT_INTERVAL_SEC), which
@@ -87,6 +88,7 @@ func main() {
 	leaseFile := flag.String("lease-file", "", "lease file on storage shared by all replicas (required for -mode leader|standby)")
 	leaseTTLSec := flag.Int("lease-ttl-sec", 10, "lease TTL in seconds (leader|standby modes)")
 	followDir := flag.String("follow-dir", "", "leader WAL directory to tail while standby (required for -mode standby)")
+	pprofOn := flag.Bool("pprof", false, "serve Go pprof profiling under /debug/pprof/ (opt-in)")
 	flag.Parse()
 
 	var cfg config.Coordinator
@@ -223,9 +225,15 @@ func main() {
 		AuthSecret:        authSecret,
 		Lease:             lease,
 		ReplicaID:         *replicaID,
+		EnableProfiling:   *pprofOn,
 	}, simclock.Real(), database, ckpts, bus)
 	if err != nil {
 		log.Fatalf("creating coordinator: %v", err)
+	}
+	if mgr != nil {
+		// Durability instrumentation: append/fsync latency, group-commit
+		// batch sizes and rotation counts on the coordinator's registry.
+		_ = mgr.Writer().Instrument(coord.Metrics())
 	}
 	if restored {
 		// Resume the job-ID sequence, requeue mid-migration jobs and
@@ -276,6 +284,7 @@ func main() {
 					if err != nil {
 						log.Fatalf("promotion: opening WAL: %v", err)
 					}
+					_ = m.Writer().Instrument(coord.Metrics())
 					if err := m.Checkpoint(); err != nil {
 						log.Printf("warning: promotion checkpoint: %v", err)
 					}

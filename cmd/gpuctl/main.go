@@ -7,6 +7,11 @@
 //	gpuctl -coordinator http://coord:8080 kill job-000001
 //	gpuctl -coordinator http://coord:8080 nodes
 //
+// Operators (against the coordinator — the O&M surface):
+//
+//	gpuctl -coordinator http://coord:8080 metrics
+//	gpuctl -coordinator http://coord:8080 trace [-job job-000001] [-json]
+//
 // Providers (against their local agent — provider supremacy controls):
 //
 //	gpuctl -agent http://127.0.0.1:7070 killswitch
@@ -16,14 +21,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"gpunion/internal/agent"
 	"gpunion/internal/api"
 	"gpunion/internal/core"
+	"gpunion/internal/obs"
 	"gpunion/internal/workload"
 )
 
@@ -49,6 +57,10 @@ func main() {
 		err = cmdNodes(core.NewClient(*coordURL))
 	case "jobs":
 		err = cmdJobs(core.NewClient(*coordURL))
+	case "metrics":
+		err = cmdMetrics(core.NewClient(*coordURL))
+	case "trace":
+		err = cmdTrace(core.NewClient(*coordURL), rest)
 	case "killswitch":
 		err = cmdKillSwitch(agent.NewClient(*agentURL))
 	case "pause":
@@ -73,6 +85,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gpuctl [-coordinator URL] [-agent URL] <command> [args]
 
 user commands:    submit, status <job>, kill <job>, jobs, nodes
+O&M commands:     metrics, trace [-job ID] [-json]
 provider commands: killswitch, pause, resume, depart, agent-status`)
 }
 
@@ -186,6 +199,96 @@ func cmdJobs(c *core.Client) error {
 			j.Submitted.Format("Jan 2 15:04:05"))
 	}
 	return nil
+}
+
+// cmdMetrics dumps the coordinator's full Prometheus exposition —
+// WAL latency, shipper lag, scheduler cache effectiveness, per-state
+// job counts, leader epoch — for ad-hoc inspection or piping into
+// promtool.
+func cmdMetrics(c *core.Client) error {
+	text, err := c.MetricsText()
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}
+
+// cmdTrace fetches the coordinator's flight-recorder export and prints
+// it for humans: an event-kind tally, job-lifecycle spans (submit →
+// terminal) with duration statistics, or — with -job — one job's full
+// timeline. -json dumps the raw export for tooling.
+func cmdTrace(c *core.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	jobID := fs.String("job", "", "print one job's event timeline")
+	asJSON := fs.Bool("json", false, "dump the raw trace export as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exp, err := c.TraceExport()
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(exp)
+	}
+	if *jobID != "" {
+		timeline := obs.JobTimeline(exp.Events, *jobID)
+		if len(timeline) == 0 {
+			return fmt.Errorf("no trace events for job %q", *jobID)
+		}
+		for _, ev := range timeline {
+			printEvent(ev)
+		}
+		return nil
+	}
+
+	fmt.Printf("events: %d retained, %d dropped\n\n", len(exp.Events), exp.Dropped)
+	kinds := obs.Kinds(exp.Events)
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  %-24s %d\n", k, kinds[k])
+	}
+
+	for _, terminal := range []string{"job.completed", "job.failed", "job.killed"} {
+		spans := obs.Spans(exp.Events, "job.submitted", terminal)
+		if len(spans) == 0 {
+			continue
+		}
+		st := obs.StatSpans(spans)
+		fmt.Printf("\njob.submitted -> %s (%d spans, min %v mean %v max %v):\n",
+			terminal, st.Count, st.Min, st.Mean, st.Max)
+		for _, sp := range spans {
+			fmt.Printf("  %-12s %-16s %s -> %s  (%v)\n",
+				sp.Job, orDash(sp.To.Node),
+				sp.From.Time.Format("15:04:05"), sp.To.Time.Format("15:04:05"),
+				sp.Duration)
+		}
+	}
+	return nil
+}
+
+// printEvent renders one trace event as a single line.
+func printEvent(ev obs.Event) {
+	fmt.Printf("%6d  %s  %-20s", ev.Seq, ev.Time.Format("15:04:05.000"), ev.Kind)
+	if ev.Node != "" {
+		fmt.Printf("  node=%s", ev.Node)
+	}
+	keys := make([]string, 0, len(ev.Detail))
+	for k := range ev.Detail {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%s", k, ev.Detail[k])
+	}
+	fmt.Println()
 }
 
 func cmdKillSwitch(c *agent.Client) error {

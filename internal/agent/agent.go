@@ -20,6 +20,7 @@ import (
 	"gpunion/internal/db"
 	"gpunion/internal/eventbus"
 	"gpunion/internal/gpu"
+	"gpunion/internal/monitor"
 	"gpunion/internal/simclock"
 	"gpunion/internal/storage"
 	"gpunion/internal/workload"
@@ -98,6 +99,12 @@ type Agent struct {
 	// stores resolves user-pinned checkpoint locations (§3.5). Nil
 	// means every job uses the default store.
 	stores *storage.Placement
+	// metrics is the agent's persistent registry: gauges are refreshed
+	// in place on each scrape and counters accumulate across scrapes —
+	// a per-scrape registry would reset every counter to zero.
+	metrics *monitor.Registry
+	// launchesTotal counts workload launches over the agent's lifetime.
+	launchesTotal *monitor.Counter
 
 	mu   sync.Mutex
 	jobs map[string]*jobRun
@@ -175,10 +182,16 @@ func New(cfg Config, clock simclock.Clock, rt *container.Runtime, ckpts checkpoi
 		bus:       bus,
 		endpoints: []Endpoint{{Notifier: notify}},
 		jobs:      make(map[string]*jobRun),
+		metrics:   monitor.NewRegistry(),
 	}
+	a.launchesTotal, _ = a.metrics.Counter("gpunion_agent_launches_total",
+		"Workload launches accepted by this agent", nil)
 	a.scheduleTick()
 	return a
 }
+
+// Metrics exposes the agent's persistent registry.
+func (a *Agent) Metrics() *monitor.Registry { return a.metrics }
 
 // MachineID returns the node identity.
 func (a *Agent) MachineID() string { return a.cfg.MachineID }
@@ -484,6 +497,7 @@ func (a *Agent) Launch(req api.LaunchRequest) (api.LaunchResponse, error) {
 	a.jobs[req.JobID] = run
 	a.mu.Unlock()
 
+	a.launchesTotal.Inc()
 	a.bus.Publish(eventbus.Event{
 		Type: eventbus.JobStarted, Time: now,
 		Node: a.cfg.MachineID, Job: req.JobID, Container: ctr.ID(),

@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"gpunion/internal/api"
-	"gpunion/internal/monitor"
 )
 
 // Handler returns the agent's REST API (§3.4: "The agent exposes REST
@@ -93,7 +92,11 @@ func (a *Agent) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		reg := monitor.NewRegistry()
+		// Refresh the telemetry gauges in place on the agent's
+		// persistent registry: counters registered elsewhere (launches,
+		// future lifecycle totals) keep accumulating across scrapes —
+		// a fresh per-scrape registry would zero them every time.
+		reg := a.metrics
 		for _, tel := range a.runtime.Inventory().Snapshot() {
 			labels := map[string]string{"node": a.cfg.MachineID, "device": tel.DeviceID, "model": tel.Model}
 			set := func(name, help string, v float64) {

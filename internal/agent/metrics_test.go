@@ -1,0 +1,57 @@
+package agent
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpunion/internal/workload"
+)
+
+// scrape fetches the agent's /v1/metrics exposition once.
+func scrape(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestMetricsRegistryPersistsAcrossScrapes is the regression test for
+// the per-scrape-registry bug: the handler used to build a fresh
+// monitor.Registry on every GET, so any counter was reborn at zero and
+// no value could ever accumulate. The persistent registry must show the
+// same launch total on consecutive scrapes, and gauges must still
+// refresh in place rather than duplicate.
+func TestMetricsRegistryPersistsAcrossScrapes(t *testing.T) {
+	r := newRig(t)
+	srv := httptest.NewServer(r.agent.Handler())
+	defer srv.Close()
+
+	launchTraining(t, r, "j1", workload.SmallCNN, 0)
+	launchTraining(t, r, "j2", workload.SmallCNN, 0)
+
+	first := scrape(t, srv)
+	if !strings.Contains(first, "gpunion_agent_launches_total 2") {
+		t.Fatalf("first scrape lost the launch count:\n%s", first)
+	}
+	second := scrape(t, srv)
+	if !strings.Contains(second, "gpunion_agent_launches_total 2") {
+		t.Fatalf("second scrape reset the launch count:\n%s", second)
+	}
+	// Gauges are updated in place: two scrapes must not duplicate the
+	// per-device series.
+	if n := strings.Count(second, "\ngpunion_agent_running_jobs "); n != 1 {
+		t.Fatalf("running-jobs gauge rendered %d times", n)
+	}
+	if !strings.Contains(second, "gpunion_agent_running_jobs 2") {
+		t.Fatalf("running-jobs gauge stale:\n%s", second)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"gpunion/internal/db"
 	"gpunion/internal/invariant"
+	"gpunion/internal/obs"
 	"gpunion/internal/simclock"
 )
 
@@ -565,7 +566,15 @@ type Engine struct {
 	ckptWindows int
 	dupWindows  int
 	skewWindows map[string]int
+	// rec, when set, lands every injected fault and every audited
+	// violation in the flight recorder, so a trace export localizes a
+	// breach against the fault that preceded it. Nil-safe: obs methods
+	// on a nil recorder are no-ops.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches a flight recorder; call before Execute.
+func (e *Engine) SetRecorder(r *obs.Recorder) { e.rec = r }
 
 // NewEngine creates an engine. The checker persists across coordinator
 // crashes within the run, so LSN monotonicity is audited through
@@ -618,6 +627,11 @@ func (e *Engine) armAudit(every, remaining time.Duration) {
 // audits the store.
 func (e *Engine) apply(f Fault) {
 	e.rep.Executed[f.Kind]++
+	// Annotate before injecting: in the trace, the fault strictly
+	// precedes any violation it causes.
+	e.rec.Record(obs.KindFaultInjected, "", f.Node, map[string]string{
+		"kind": string(f.Kind), "fault": f.describe(),
+	})
 	var extra []invariant.Violation
 	switch f.Kind {
 	case KindNodeCrash:
@@ -722,9 +736,14 @@ func (e *Engine) openWALWindow(mode WALFaultMode, dur time.Duration) {
 func (e *Engine) audit(label string, extra []invariant.Violation) {
 	vs := append(extra, e.checker.Check(e.plat.Store())...)
 	e.rep.Audits++
-	obs := Observation{At: e.clock.Now(), Fault: label, Violations: vs}
+	ob := Observation{At: e.clock.Now(), Fault: label, Violations: vs}
 	if len(vs) > 0 || label != "audit" {
-		e.rep.Observations = append(e.rep.Observations, obs)
+		e.rep.Observations = append(e.rep.Observations, ob)
+	}
+	for _, v := range vs {
+		e.rec.Record(obs.KindInvariantViolation, "", "", map[string]string{
+			"rule": v.Rule, "detail": v.Detail, "audit": label,
+		})
 	}
 	e.rep.Violations = append(e.rep.Violations, vs...)
 }

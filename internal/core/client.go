@@ -11,6 +11,7 @@ import (
 
 	"gpunion/internal/api"
 	"gpunion/internal/db"
+	"gpunion/internal/obs"
 )
 
 // Client talks to a coordinator over HTTP. It serves two callers:
@@ -111,6 +112,31 @@ func (c *Client) Nodes() ([]api.NodeSummary, error) {
 	var nodes []api.NodeSummary
 	err := c.get("/v1/nodes", &nodes)
 	return nodes, err
+}
+
+// MetricsText fetches the coordinator's metrics in the Prometheus text
+// exposition format.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/metrics")
+	if err != nil {
+		return "", fmt.Errorf("core: GET /v1/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", readAPIError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("core: reading metrics: %w", err)
+	}
+	return string(raw), nil
+}
+
+// TraceExport fetches the coordinator's flight-recorder contents.
+func (c *Client) TraceExport() (obs.Export, error) {
+	var exp obs.Export
+	err := c.get("/v1/trace", &exp)
+	return exp, err
 }
 
 // JobUpdate implements agent.Notifier over HTTP.

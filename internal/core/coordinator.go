@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"gpunion/internal/migration"
 	"gpunion/internal/monitor"
 	"gpunion/internal/netsim"
+	"gpunion/internal/obs"
 	"gpunion/internal/scheduler"
 	"gpunion/internal/simclock"
 	"gpunion/internal/workload"
@@ -73,6 +75,17 @@ type Config struct {
 	// StorageNode names the netsim node holding checkpoint data.
 	Net         *netsim.Network
 	StorageNode string
+	// Trace optionally supplies a shared flight recorder. The common
+	// case is nil: New creates a recorder and attaches it to the event
+	// bus, so every coordinator traces from birth. A harness that runs
+	// several coordinator incarnations over one bus passes the same
+	// recorder to each — it is assumed already attached, and New will
+	// not attach it again (the bus cannot unsubscribe, so re-attaching
+	// would duplicate every event).
+	Trace *obs.Recorder
+	// EnableProfiling mounts net/http/pprof on the coordinator's HTTP
+	// handler (diagnostics; off by default — profiles expose internals).
+	EnableProfiling bool
 	// Lease enables replicated operation: the coordinator only serves
 	// mutations while it holds the lease (TryLead), every externally
 	// visible write is fenced by the lease's epoch, and losing the
@@ -113,6 +126,11 @@ type Coordinator struct {
 	mig        *migration.Engine
 	bus        *eventbus.Bus
 	metrics    *monitor.Registry
+	met        *coordMetrics
+	trace      *obs.Recorder
+	// metCancel detaches the metrics mutation feed on Stop (the pool's
+	// feed has its own cancel).
+	metCancel func()
 
 	mu     sync.Mutex
 	agents map[string]AgentHandle
@@ -169,6 +187,15 @@ func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.
 	if err != nil {
 		return nil, err
 	}
+	met, err := newCoordMetrics(metrics)
+	if err != nil {
+		return nil, err
+	}
+	trace := cfg.Trace
+	if trace == nil {
+		trace = obs.NewRecorder(clock, 0)
+		trace.Attach(bus)
+	}
 	c := &Coordinator{
 		cfg:          cfg,
 		clock:        clock,
@@ -180,6 +207,8 @@ func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.
 		mig:          migration.New(sched, ckpts, cfg.Net, cfg.StorageNode),
 		bus:          bus,
 		metrics:      metrics,
+		met:          met,
+		trace:        trace,
 		agents:       make(map[string]AgentHandle),
 		meta:         make(map[string]*jobMeta),
 		beatSeq:      make(map[string]uint64),
@@ -193,6 +222,11 @@ func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.
 	c.pool = sched.NewNodePool()
 	c.poolCancel = database.AddMutationObserver(c.pool.Observe)
 	c.pool.Reset(database)
+	// Per-(type, shard) mutation counters ride the same feed the pool
+	// uses; a separate subscription keeps the cancels independent.
+	c.metCancel = database.AddMutationObserver(func(m db.Mutation) {
+		met.observeMutation(m.Type, database.ShardFor(m))
+	})
 	if cfg.Lease == nil {
 		// Standalone: leader from birth. In Lease mode the coordinator
 		// starts as a fenced standby; TryLead arms the sweeper.
@@ -220,6 +254,9 @@ func (c *Coordinator) Metrics() *monitor.Registry { return c.metrics }
 
 // Bus exposes the event bus.
 func (c *Coordinator) Bus() *eventbus.Bus { return c.bus }
+
+// Trace exposes the flight recorder.
+func (c *Coordinator) Trace() *obs.Recorder { return c.trace }
 
 // InteractiveSessions reports how many interactive sessions have been
 // launched (the Fig. 2 "+40% interactive sessions" statistic).
@@ -300,6 +337,7 @@ func (c *Coordinator) Stop() {
 	// Detach the scheduler-pool feed: a replaced coordinator must not
 	// keep consuming its successor's store mutations.
 	c.poolCancel()
+	c.metCancel()
 }
 
 // isStopped reports whether Stop was called.
@@ -359,6 +397,7 @@ func (c *Coordinator) TryLead() bool {
 	c.leaseUntil = until
 	c.leading = true
 	c.mu.Unlock()
+	c.met.leaderChanges.Inc()
 	c.bus.Publish(eventbus.Event{Type: eventbus.LeaderElected, Time: c.clock.Now(),
 		Node: c.cfg.ReplicaID, Detail: map[string]any{"epoch": epoch}})
 	c.scheduleSweep()
@@ -436,6 +475,7 @@ func (c *Coordinator) stepDown(reason string) {
 	}
 	epoch := c.epoch
 	c.mu.Unlock()
+	c.met.leaderChanges.Inc()
 	c.bus.Publish(eventbus.Event{Type: eventbus.LeaderDeposed, Time: c.clock.Now(),
 		Node: c.cfg.ReplicaID, Detail: map[string]any{"epoch": epoch, "reason": reason}})
 }
@@ -472,6 +512,13 @@ func (c *Coordinator) fence(reqEpoch uint64) error {
 		// stepped down): do not send traffic back to ourselves.
 		hint = ""
 	}
+	// A fenced write is the end of a failover span: the first one after
+	// a step-down proves the old leader can no longer mutate state.
+	c.met.fencedWrites.Inc()
+	c.trace.Record(obs.KindWriteFenced, "", c.cfg.ReplicaID, map[string]string{
+		"req_epoch":   strconv.FormatUint(reqEpoch, 10),
+		"local_epoch": strconv.FormatUint(epoch, 10),
+	})
 	return api.ErrNotLeader{LeaderHint: hint, Epoch: epoch}
 }
 
@@ -588,6 +635,7 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 		c.mu.Lock()
 		if req.BeatSeq <= c.beatSeq[req.MachineID] {
 			c.mu.Unlock()
+			c.met.heartbeatDups.Inc()
 			return api.HeartbeatResponse{Acknowledged: true}, nil
 		}
 		prevSeq := c.beatSeq[req.MachineID]
@@ -604,6 +652,7 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 			c.mu.Unlock()
 		}()
 	}
+	c.met.heartbeats.Inc()
 	rec, err := c.db.GetNode(req.MachineID)
 	if err != nil {
 		return api.HeartbeatResponse{Reregister: true}, nil
@@ -1066,6 +1115,7 @@ func (c *Coordinator) scheduleBatch() bool {
 	if len(reqs) == 0 {
 		return false
 	}
+	c.met.batchFill.Observe(float64(len(reqs)))
 
 	// Real time, per decision: scheduling latency is a real cost, and
 	// each member's own latency feeds the histogram so batching cannot

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"gpunion/internal/agent"
 	"gpunion/internal/api"
@@ -117,9 +118,27 @@ func (c *Coordinator) Handler(factory HandleFactory) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Derived gauges (job states, leadership, pool cache,
+		// checkpoint verification) are recomputed per scrape.
+		c.refreshGauges()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = c.metrics.WriteText(w)
 	})
+
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = c.trace.ExportJSON(w)
+	})
+
+	if c.cfg.EnableProfiling {
+		// Mount pprof explicitly instead of importing its DefaultServeMux
+		// side effects: profiling stays opt-in per coordinator.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	// The web interface: a read-only status page for campus users.
 	mux.HandleFunc("GET /{$}", c.Dashboard())

@@ -219,6 +219,10 @@ type Store interface {
 	// after the durable hook, outside any shard lock, and must not
 	// mutate the payloads. The returned cancel detaches the observer.
 	AddMutationObserver(h MutationHook) (cancel func())
+	// ShardFor reports which table shard a committed mutation landed
+	// on — the label per-shard write metrics aggregate by. Unsharded
+	// stores report 0 for everything.
+	ShardFor(m Mutation) int
 	CurrentLSN() uint64
 	Apply(m Mutation) error
 	ExportState() State
@@ -362,6 +366,31 @@ func (d *DB) jobShard(id string) *jobShard     { return d.jobs[shardOf(id, d.sha
 func (d *DB) allocShard(id string) *allocShard { return d.allocs[shardOf(id, d.shardCount)] }
 func (d *DB) sampleShard(id string) *sampleShard {
 	return d.samples[shardOf(id, d.shardCount)]
+}
+
+// ShardFor reports the shard index a mutation's key hashes to in its
+// table. Observers use it to label per-shard write metrics without the
+// store having to widen every Mutation record.
+func (d *DB) ShardFor(m Mutation) int {
+	switch m.Type {
+	case MutNodePut:
+		if m.Node != nil {
+			return shardOf(m.Node.ID, d.shardCount)
+		}
+	case MutJobPut:
+		if m.Job != nil {
+			return shardOf(m.Job.ID, d.shardCount)
+		}
+	case MutAllocOpen, MutAllocClose:
+		if m.Alloc != nil {
+			return shardOf(m.Alloc.JobID, d.shardCount)
+		}
+	case MutSamplePut:
+		if m.Sample != nil {
+			return shardOf(m.Sample.NodeID, d.shardCount)
+		}
+	}
+	return 0
 }
 
 // --- Nodes ---

@@ -434,6 +434,9 @@ func (d *SingleMutex) SetMutationHook(h MutationHook) {
 // CurrentLSN reports the store's mutation sequence counter.
 func (d *SingleMutex) CurrentLSN() uint64 { return d.lsn.Load() }
 
+// ShardFor always reports 0: the baseline store has a single partition.
+func (d *SingleMutex) ShardFor(Mutation) int { return 0 }
+
 // AddMutationObserver registers a derived-state subscriber; see the
 // Store interface for the contract.
 func (d *SingleMutex) AddMutationObserver(h MutationHook) (cancel func()) {

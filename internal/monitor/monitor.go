@@ -63,10 +63,12 @@ type Counter struct {
 // Inc adds 1.
 func (c *Counter) Inc() { c.Add(1) }
 
-// Add increases the counter by v; negative deltas are ignored (counters
-// never decrease).
+// Add increases the counter by v; negative and NaN deltas are ignored
+// (counters never decrease, and one bad sample must not poison the
+// series — NaN compares false against everything, so it needs its own
+// guard).
 func (c *Counter) Add(v float64) {
-	if v < 0 {
+	if v < 0 || math.IsNaN(v) {
 		return
 	}
 	c.mu.Lock()
@@ -126,8 +128,14 @@ func NewHistogram(bounds ...float64) *Histogram {
 	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
 }
 
-// Observe records one observation.
+// Observe records one observation. NaN and ±Inf observations are
+// dropped: a single one would poison the running sum for every future
+// scrape, and an infinite latency is a failure to measure, not a
+// measurement.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	idx := len(h.bounds)

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gpunion/internal/eventbus"
+	"gpunion/internal/simclock"
+)
+
+var epoch = time.Date(2025, 3, 3, 9, 0, 0, 0, time.UTC)
+
+func TestRecorderOrderAndSeq(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	r := NewRecorder(clk, 8)
+	for i := 0; i < 5; i++ {
+		r.Record("k", fmt.Sprintf("job-%d", i), "", nil)
+		clk.Advance(time.Second)
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("want 5 events, got %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if want := epoch.Add(time.Duration(i) * time.Second); !ev.Time.Equal(want) {
+			t.Errorf("event %d stamped %v, want %v", i, ev.Time, want)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("dropped %d without wrap", r.Dropped())
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	r := NewRecorder(clk, 4)
+	for i := 0; i < 10; i++ {
+		r.Record("k", fmt.Sprintf("job-%d", i), "", nil)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("want 4 retained, got %d", len(evs))
+	}
+	// Oldest-first: the last four records, in order.
+	for i, ev := range evs {
+		if want := fmt.Sprintf("job-%d", 6+i); ev.Job != want {
+			t.Errorf("slot %d holds %s, want %s", i, ev.Job, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record("k", "j", "n", nil)
+	r.RecordAt(epoch, "k", "j", "n", nil)
+	r.Attach(eventbus.New(0))
+	if r.Events() != nil || r.Dropped() != 0 {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestAttachConvertsBusEvents(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	bus := eventbus.New(0)
+	r := NewRecorder(clk, 16)
+	r.Attach(bus)
+	bus.Publish(eventbus.Event{
+		Type: eventbus.JobScheduled, Time: clk.Now(),
+		Job: "j1", Node: "ws-1", Container: "c1",
+		Detail: map[string]any{"latency": 250 * time.Microsecond, "n": 3},
+	})
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("want 1 event, got %d", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != string(eventbus.JobScheduled) || ev.Job != "j1" || ev.Node != "ws-1" {
+		t.Fatalf("bad conversion: %+v", ev)
+	}
+	if ev.Detail["container"] != "c1" || ev.Detail["n"] != "3" {
+		t.Fatalf("bad detail: %v", ev.Detail)
+	}
+}
+
+func TestExportJSONDeterministic(t *testing.T) {
+	run := func() []byte {
+		clk := simclock.NewSim(epoch)
+		r := NewRecorder(clk, 8)
+		r.Record("fault.injected", "", "ws-1", map[string]string{"kind": "node-crash", "z": "1", "a": "2"})
+		clk.Advance(time.Minute)
+		r.Record("job.completed", "j1", "ws-2", nil)
+		var buf bytes.Buffer
+		if err := r.ExportJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("exports differ:\n%s\nvs\n%s", a, b)
+	}
+	var exp Export
+	if err := json.Unmarshal(a, &exp); err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Events) != 2 || exp.Events[0].Kind != KindFaultInjected {
+		t.Fatalf("bad export: %+v", exp)
+	}
+}
+
+func TestSpansPairingByJobNodeGlobal(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	r := NewRecorder(clk, 32)
+	// Two interleaved jobs.
+	r.Record("job.submitted", "a", "", nil)
+	clk.Advance(time.Second)
+	r.Record("job.submitted", "b", "", nil)
+	clk.Advance(2 * time.Second)
+	r.Record("job.completed", "b", "", nil)
+	clk.Advance(time.Second)
+	r.Record("job.completed", "a", "", nil)
+	spans := r.Spans("job.submitted", "job.completed")
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(spans))
+	}
+	if spans[0].Job != "b" || spans[0].Duration != 2*time.Second {
+		t.Errorf("span[0] = %+v", spans[0])
+	}
+	if spans[1].Job != "a" || spans[1].Duration != 4*time.Second {
+		t.Errorf("span[1] = %+v", spans[1])
+	}
+
+	// Node pairing when no job is set.
+	r2 := NewRecorder(simclock.NewSim(epoch), 8)
+	r2.Record("leader.deposed", "", "r1", nil)
+	r2.Record("leader.elected", "", "r2", nil) // different node: no pair
+	if got := r2.Spans("leader.deposed", "leader.elected"); len(got) != 0 {
+		t.Fatalf("cross-node pair matched: %+v", got)
+	}
+
+	// Unmatched end events are skipped.
+	r3 := NewRecorder(simclock.NewSim(epoch), 8)
+	r3.Record("job.completed", "x", "", nil)
+	if got := r3.Spans("job.submitted", "job.completed"); len(got) != 0 {
+		t.Fatalf("orphan end paired: %+v", got)
+	}
+}
+
+func TestJobTimelineAndKinds(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	r := NewRecorder(clk, 16)
+	r.Record("job.submitted", "a", "", nil)
+	r.Record("job.submitted", "b", "", nil)
+	r.Record("job.completed", "a", "", nil)
+	tl := JobTimeline(r.Events(), "a")
+	if len(tl) != 2 || tl[0].Kind != "job.submitted" || tl[1].Kind != "job.completed" {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	k := Kinds(r.Events())
+	if k["job.submitted"] != 2 || k["job.completed"] != 1 {
+		t.Fatalf("kinds = %v", k)
+	}
+}
+
+func TestStatSpans(t *testing.T) {
+	spans := []Span{
+		{Duration: time.Second},
+		{Duration: 3 * time.Second},
+		{Duration: 2 * time.Second},
+	}
+	st := StatSpans(spans)
+	if st.Count != 3 || st.Min != time.Second || st.Max != 3*time.Second || st.Mean != 2*time.Second {
+		t.Fatalf("stats = %+v", st)
+	}
+	if z := StatSpans(nil); z.Count != 0 || z.Mean != 0 {
+		t.Fatalf("empty stats = %+v", z)
+	}
+}
+
+// TestRecorderConcurrent exercises Record vs Events under the race
+// detector.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(simclock.NewSim(epoch), 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record("k", fmt.Sprintf("g%d-%d", g, i), "", nil)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Events()
+				_ = r.Dropped()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	// Seq must stay strictly increasing in the retained window.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

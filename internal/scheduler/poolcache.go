@@ -34,6 +34,18 @@ type NodePool struct {
 	entries []poolEntry
 	dirty   bool
 	gen     uint64
+	// hits / misses count snapshot calls served from the cached entry
+	// set vs rebuilds forced by an invalidation — the cache-efficiency
+	// numbers PoolStats exposes to the metrics layer.
+	hits   uint64
+	misses uint64
+}
+
+// PoolStats is a point-in-time read of the pool cache's effectiveness.
+type PoolStats struct {
+	// Hits counts batch cycles served from the cached candidate set;
+	// Misses counts cycles that had to rebuild it.
+	Hits, Misses uint64
 }
 
 // poolNode caches one node's after-image and its memoized prediction.
@@ -100,6 +112,13 @@ func (p *NodePool) Reset(store db.Store) {
 	p.gen++
 }
 
+// Stats reports cumulative snapshot cache hits and misses.
+func (p *NodePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses}
+}
+
 // Generation counts invalidations (diagnostics and tests).
 func (p *NodePool) Generation() uint64 {
 	p.mu.Lock()
@@ -118,8 +137,10 @@ func (p *NodePool) snapshot(now time.Time) []poolEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.dirty {
+		p.hits++
 		return p.entries
 	}
+	p.misses++
 	entries := make([]poolEntry, 0, len(p.entries))
 	for _, id := range p.ids {
 		pn := p.nodes[id]

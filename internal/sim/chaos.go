@@ -20,6 +20,7 @@ import (
 	"gpunion/internal/gpu"
 	"gpunion/internal/invariant"
 	"gpunion/internal/netsim"
+	"gpunion/internal/obs"
 	"gpunion/internal/simclock"
 	"gpunion/internal/storage"
 	"gpunion/internal/wal"
@@ -102,6 +103,14 @@ type ChaosResult struct {
 	// a fault window (expected under WAL-fault schedules; recovery
 	// equivalence is then checked via a post-heal checkpoint).
 	DurabilityLost bool
+	// Trace is the flight recorder's retained window: every platform
+	// event, fault injection, and audited violation as simclock-
+	// timestamped entries. TraceDropped counts ring-buffer evictions.
+	Trace        []obs.Event
+	TraceDropped uint64
+	// MetricsText is the surviving coordinator's end-of-run metrics
+	// exposition (after a final derived-gauge refresh).
+	MetricsText string
 }
 
 // RunChaos executes one seeded chaos scenario.
@@ -151,6 +160,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	sched := chaos.Generate(cfg.Spec, cfg.Seed)
 	h.startTraffic(cfg.Seed + 1)
 	eng := chaos.NewEngine(h.clock, h)
+	eng.SetRecorder(h.trace)
 	rep := eng.Execute(sched, cfg.AuditEvery, cfg.Drain)
 
 	res.Schedule = sched
@@ -179,6 +189,11 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	h.dupReplays = nil
 	h.mu.Unlock()
 	res.DurabilityLost = h.sawDurabilityLoss
+	res.Trace = h.trace.Events()
+	res.TraceDropped = h.trace.Dropped()
+	if text, err := h.currentCoord().MetricsSnapshot(); err == nil {
+		res.MetricsText = text
+	}
 	return res, nil
 }
 
@@ -187,9 +202,15 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 // coordinator currently leads (and dropping announcements from
 // partitioned nodes).
 type chaosHarness struct {
-	cfg      ChaosConfig
-	clock    *simclock.Sim
-	bus      *eventbus.Bus
+	cfg   ChaosConfig
+	clock *simclock.Sim
+	bus   *eventbus.Bus
+	// trace is the run's flight recorder: attached to the shared bus
+	// once, handed to every coordinator incarnation via coordCfg.Trace,
+	// and fed fault/violation annotations by the chaos engine. One
+	// recorder spans crashes and failovers, so the exported timeline is
+	// continuous across leadership changes.
+	trace    *obs.Recorder
 	blob     *chaos.FaultBlobStore
 	ckpts    *checkpoint.Store
 	net      *netsim.Network
@@ -355,6 +376,10 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		h.nodeIDs = append(h.nodeIDs, d.ID)
 	}
 	sort.Strings(h.nodeIDs)
+	// A deep ring: chaos runs are the flight recorder's primary
+	// customer, and fault localization needs the whole run retained.
+	h.trace = obs.NewRecorder(h.clock, 1<<16)
+	h.trace.Attach(h.bus)
 
 	if cfg.WithNetwork || cfg.Spec.LatencySpikesPerDay > 0 {
 		h.net = netsim.New(10 * netsim.Gbps)
@@ -375,6 +400,7 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		AuthSecret:        chaosAuthSecret,
 		Net:               h.net,
 		StorageNode:       storageNode,
+		Trace:             h.trace,
 	}
 
 	store := cfg.NewStore()
@@ -443,6 +469,11 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 			return nil, err
 		}
 		h.store, h.coord = store, coord
+	}
+	if h.mgr != nil {
+		// WAL latency/batch instrumentation lands on the serving
+		// coordinator's registry.
+		_ = h.mgr.Writer().Instrument(h.coord.Metrics())
 	}
 
 	for _, d := range cfg.Defs {
@@ -550,6 +581,7 @@ func (h *chaosHarness) newReplica(store db.Store) (*replica, error) {
 func (h *chaosHarness) onLeaderDurable(db.Mutation) {
 	h.mu.Lock()
 	rep := h.repl
+	store := h.store
 	fol, shp := h.follower, h.shipper
 	h.mu.Unlock()
 	if rep == nil || fol == nil || shp == nil {
@@ -564,6 +596,18 @@ func (h *chaosHarness) onLeaderDurable(db.Mutation) {
 		})
 		h.mu.Unlock()
 	}
+	// Export the post-pump shipping backlog. Records lag is the
+	// leader/follower LSN gap; bytes lag is what the shipper still has
+	// on disk (best-effort — a concurrent truncation just skips files).
+	var lagRec uint64
+	if lsn, applied := store.CurrentLSN(), fol.AppliedLSN(); lsn > applied {
+		lagRec = lsn - applied
+	}
+	lagBytes, err := shp.LagBytes()
+	if err != nil {
+		lagBytes = 0
+	}
+	rep.coord.ObserveReplication(lagRec, lagBytes)
 }
 
 // silenced reports whether the node's control-plane path is cut. A
@@ -1045,6 +1089,7 @@ func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
 		h.mu.Unlock()
 		return append(vs, invariant.Violation{Rule: "recovery-failed", Detail: err.Error()})
 	}
+	_ = mgr2.Writer().Instrument(coord2.Metrics())
 	h.mu.Lock()
 	h.store, h.coord, h.mgr = store2, coord2, mgr2
 	h.recoveries++
@@ -1194,6 +1239,7 @@ func (h *chaosHarness) finishTakeover(t *takeover) {
 		return
 	}
 
+	_ = mgr.Writer().Instrument(t.rep.coord.Metrics())
 	h.mu.Lock()
 	h.store, h.coord, h.mgr, h.repl = sst, t.rep.coord, mgr, t.rep
 	h.standbyStore = nextStandby

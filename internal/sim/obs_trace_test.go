@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gpunion/internal/chaos"
+	"gpunion/internal/db"
+	"gpunion/internal/invariant"
+	"gpunion/internal/obs"
+	"gpunion/internal/simclock"
+)
+
+// traceChaosConfig is a short, fault-dense run used by the trace
+// tests: enough churn and partitions to land fault annotations without
+// burning a full campus day.
+func traceChaosConfig(seed int64) ChaosConfig {
+	return ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           2 * time.Hour,
+			ChurnPerNodePerDay: 8,
+			PartitionsPerDay:   10,
+		},
+		Jobs:       8,
+		AuditEvery: 10 * time.Minute,
+		Drain:      30 * time.Minute,
+	}
+}
+
+// TestChaosTraceDeterminism: identical seeds must export byte-identical
+// traces. The flight recorder rides the single-driver simulation, so a
+// violation's trace from CI replays exactly on a laptop — the same
+// guarantee TestChaosDeterministicSchedule gives for the fault
+// schedule, extended to the full recorded timeline.
+func TestChaosTraceDeterminism(t *testing.T) {
+	export := func() []byte {
+		t.Helper()
+		res, err := RunChaos(traceChaosConfig(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("violations under trace run: %v", res.Violations)
+		}
+		if len(res.Trace) == 0 {
+			t.Fatal("flight recorder captured nothing")
+		}
+		kinds := obs.Kinds(res.Trace)
+		if kinds[obs.KindFaultInjected] == 0 {
+			t.Fatalf("no fault annotations in trace: %v", kinds)
+		}
+		if kinds["job.submitted"] == 0 || kinds["job.completed"] == 0 {
+			t.Fatalf("job lifecycle missing from trace: %v", kinds)
+		}
+		raw, err := json.Marshal(obs.Export{Events: res.Trace, Dropped: res.TraceDropped})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different traces: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// sabotagePlatform is a minimal chaos.Platform whose CrashNode breaks
+// the store on purpose (a device double-allocation) instead of
+// modelling a fault. It exists to prove the trace localizes the breach:
+// the injected fault's annotation must precede the violation's.
+type sabotagePlatform struct {
+	store db.Store
+}
+
+func (p *sabotagePlatform) Store() db.Store { return p.store }
+
+func (p *sabotagePlatform) CrashNode(string) {
+	for _, id := range []string{"evil-a", "evil-b"} {
+		_ = p.store.InsertJob(db.JobRecord{ID: id, State: db.JobRunning,
+			NodeID: "ws-1", DeviceID: "gpu0", ImageName: "img"})
+		p.store.RecordAllocation(db.AllocationRecord{JobID: id,
+			NodeID: "ws-1", DeviceID: "gpu0", Start: Epoch})
+	}
+}
+
+func (p *sabotagePlatform) DepartNode(string, bool)                 {}
+func (p *sabotagePlatform) ReturnNode(string)                       {}
+func (p *sabotagePlatform) PartitionStart([]string)                 {}
+func (p *sabotagePlatform) PartitionHeal([]string)                  {}
+func (p *sabotagePlatform) LatencySpikeStart(string)                {}
+func (p *sabotagePlatform) LatencySpikeHeal(string)                 {}
+func (p *sabotagePlatform) SetWALFault(chaos.WALFaultMode)          {}
+func (p *sabotagePlatform) SetClockSkew(string, time.Duration)      {}
+func (p *sabotagePlatform) SetDupDelivery(bool)                     {}
+func (p *sabotagePlatform) DataPartitionStart([]string)             {}
+func (p *sabotagePlatform) DataPartitionHeal([]string)              {}
+func (p *sabotagePlatform) SetCheckpointFault(chaos.CkptFaultMode)  {}
+func (p *sabotagePlatform) CrashCoordinator() []invariant.Violation { return nil }
+func (p *sabotagePlatform) ExtraChecks() []invariant.Violation      { return nil }
+
+// TestChaosSabotageTraceLocalization: a deliberately broken invariant
+// must show up in the trace export *after* the fault annotation that
+// caused it — the fault-localization contract O&M debugging relies on.
+func TestChaosSabotageTraceLocalization(t *testing.T) {
+	clock := simclock.NewSim(Epoch)
+	plat := &sabotagePlatform{store: db.New(0)}
+	rec := obs.NewRecorder(clock, 0)
+
+	eng := chaos.NewEngine(clock, plat)
+	eng.SetRecorder(rec)
+	rep := eng.Execute(chaos.Schedule{
+		{At: 10 * time.Minute, Kind: chaos.KindNodeCrash, Node: "ws-1"},
+	}, 0, 5*time.Minute)
+	if len(rep.Violations) == 0 {
+		t.Fatal("sabotage produced no violations — the safety net is broken")
+	}
+
+	events := rec.Events()
+	var fault, violation, doubleAlloc *obs.Event
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.KindFaultInjected:
+			if fault == nil {
+				fault = ev
+			}
+		case obs.KindInvariantViolation:
+			if violation == nil {
+				violation = ev
+			}
+			if ev.Detail["rule"] == "device-double-allocation" && doubleAlloc == nil {
+				doubleAlloc = ev
+			}
+		}
+	}
+	if fault == nil {
+		t.Fatalf("no fault annotation recorded: %v", obs.Kinds(events))
+	}
+	if violation == nil {
+		t.Fatalf("no violation annotation recorded: %v", obs.Kinds(events))
+	}
+	if fault.Seq >= violation.Seq {
+		t.Fatalf("fault (seq %d) does not precede violation (seq %d)",
+			fault.Seq, violation.Seq)
+	}
+	if fault.Detail["kind"] != string(chaos.KindNodeCrash) {
+		t.Errorf("fault annotation lost its kind: %v", fault.Detail)
+	}
+	if doubleAlloc == nil {
+		t.Errorf("device-double-allocation never annotated; first violation: %v",
+			violation.Detail)
+	}
+}

@@ -131,6 +131,43 @@ func (s *Shipper) Poll() ([]db.Mutation, error) {
 	return out, nil
 }
 
+// LagBytes reports how many on-disk log bytes the cursor has not yet
+// consumed: the unread remainder of the cursor's segment plus every
+// later segment, in full. This is the shipping backlog an operator
+// watches — a growing value means the standby is falling behind the
+// leader's append rate. Before the first Poll primes the cursor, the
+// entire log counts as lag.
+func (s *Shipper) LagBytes() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := segmentIndexes(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	var lag int64
+	for _, i := range idx {
+		if s.primed && i < s.seg {
+			continue
+		}
+		fi, err := os.Stat(filepath.Join(s.dir, segmentName(i)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // truncated between listing and stat
+			}
+			return 0, err
+		}
+		sz := fi.Size()
+		if s.primed && i == s.seg {
+			sz -= s.off
+			if sz < 0 {
+				sz = 0
+			}
+		}
+		lag += sz
+	}
+	return lag, nil
+}
+
 // SkipToOldest moves the cursor to the start of the oldest segment now
 // present. Callers use it to resolve a *GapError after confirming the
 // follower already holds everything the truncated segments held.

@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpunion/internal/db"
+	"gpunion/internal/monitor"
 )
 
 // ErrClosed is returned by Append after Close.
@@ -68,6 +70,73 @@ type Writer struct {
 	flushC chan struct{}
 	doneC  chan struct{}
 	wg     sync.WaitGroup
+
+	// metrics is nil until Instrument; recording sites load it once per
+	// operation, so an uninstrumented writer pays one atomic load and no
+	// timer reads.
+	metrics atomic.Pointer[writerMetrics]
+}
+
+// writerMetrics holds the instrumentation handles registered by
+// Instrument.
+type writerMetrics struct {
+	appendSeconds *monitor.Histogram
+	fsyncSeconds  *monitor.Histogram
+	groupBatch    *monitor.Histogram
+	rotations     *monitor.Counter
+	appendErrors  *monitor.Counter
+}
+
+// Instrument registers the writer's metrics on reg and starts
+// recording: append latency (enqueue to durable), fsync latency, group
+// batch size (appenders released per fsync), segment rotations
+// (snapshot cuts and poison heals) and failed appends. Call once after
+// OpenWriter; until then the writer records nothing and reads no
+// timers.
+func (w *Writer) Instrument(reg *monitor.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	latency := []float64{0.00005, 0.0002, 0.001, 0.005, 0.02, 0.1, 0.5}
+	m := &writerMetrics{}
+	var err error
+	if m.appendSeconds, err = reg.Histogram("gpunion_wal_append_seconds",
+		"WAL append latency from enqueue to durable, in seconds.", latency, nil); err != nil {
+		return err
+	}
+	if m.fsyncSeconds, err = reg.Histogram("gpunion_wal_fsync_seconds",
+		"WAL segment fsync latency in seconds.", latency, nil); err != nil {
+		return err
+	}
+	if m.groupBatch, err = reg.Histogram("gpunion_wal_group_batch_size",
+		"Appenders released per group-commit fsync.",
+		[]float64{1, 2, 4, 8, 16, 32, 64}, nil); err != nil {
+		return err
+	}
+	if m.rotations, err = reg.Counter("gpunion_wal_rotations_total",
+		"WAL segment rotations (snapshot cuts and poisoned-segment heals).", nil); err != nil {
+		return err
+	}
+	if m.appendErrors, err = reg.Counter("gpunion_wal_append_errors_total",
+		"WAL appends that failed (durability lost for that record).", nil); err != nil {
+		return err
+	}
+	w.metrics.Store(m)
+	return nil
+}
+
+// timedSync runs f.Sync, recording its latency when instrumented.
+func (w *Writer) timedSync(f File) error {
+	m := w.metrics.Load()
+	if m == nil {
+		return f.Sync()
+	}
+	start := time.Now()
+	err := f.Sync()
+	if err == nil {
+		m.fsyncSeconds.Observe(time.Since(start).Seconds())
+	}
+	return err
 }
 
 // OpenWriter opens a Writer on dir, creating it if needed. A fresh
@@ -125,6 +194,25 @@ func (w *Writer) Append(m db.Mutation) error {
 	if err != nil {
 		return err
 	}
+	met := w.metrics.Load()
+	var start time.Time
+	if met != nil {
+		start = time.Now()
+	}
+	err = w.appendFrame(frame)
+	if met != nil {
+		if err != nil {
+			met.appendErrors.Inc()
+		} else {
+			met.appendSeconds.Observe(time.Since(start).Seconds())
+		}
+	}
+	return err
+}
+
+// appendFrame queues (or directly syncs) one encoded frame and blocks
+// until it is durable.
+func (w *Writer) appendFrame(frame []byte) error {
 	if w.opts.PerRecordSync {
 		w.ioMu.Lock()
 		defer w.ioMu.Unlock()
@@ -142,7 +230,7 @@ func (w *Writer) Append(m db.Mutation) error {
 			w.markPoisoned()
 			return fmt.Errorf("wal: appending record: %w", err)
 		}
-		if err := f.Sync(); err != nil {
+		if err := w.timedSync(f); err != nil {
 			w.markPoisoned()
 			return fmt.Errorf("wal: syncing record: %w", err)
 		}
@@ -195,12 +283,15 @@ func (w *Writer) flush() {
 	if len(buf) == 0 && len(waiters) == 0 {
 		return
 	}
+	if m := w.metrics.Load(); m != nil && len(waiters) > 0 {
+		m.groupBatch.Observe(float64(len(waiters)))
+	}
 	f, err := w.healForWrite()
 	if err == nil && len(buf) > 0 {
 		if _, werr := f.Write(buf); werr != nil {
 			w.markPoisoned()
 			err = fmt.Errorf("wal: appending group: %w", werr)
-		} else if serr := f.Sync(); serr != nil {
+		} else if serr := w.timedSync(f); serr != nil {
 			w.markPoisoned()
 			err = fmt.Errorf("wal: syncing group: %w", serr)
 		}
@@ -246,6 +337,9 @@ func (w *Writer) healForWrite() (File, error) {
 	w.f, w.seg, w.poisoned = nf, next, false
 	w.mu.Unlock()
 	_ = old.Close()
+	if m := w.metrics.Load(); m != nil {
+		m.rotations.Inc()
+	}
 	return nf, nil
 }
 
@@ -307,6 +401,9 @@ func (w *Writer) Rotate() (int, error) {
 	}
 	if err != nil {
 		return 0, err
+	}
+	if m := w.metrics.Load(); m != nil {
+		m.rotations.Inc()
 	}
 	return next, nil
 }

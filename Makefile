@@ -34,7 +34,7 @@ bench:
 # too noisy for a hard threshold and are deliberately excluded. After a
 # deliberate perf change, re-record the baseline with the command in
 # BENCH_baseline.json's comment field.
-BENCH_CHECK_FILTER ?= DBJobQueueQuery$$|DBJobsOnNode$$|BatchPlacement32$$|SinglePlacement32$$|SchedulerDecision50Nodes$$
+BENCH_CHECK_FILTER ?= DBJobQueueQuery$$|DBJobsOnNode$$|BatchPlacement32$$|SinglePlacement32$$|SchedulerDecision50Nodes$$|HeartbeatCoalesced$$
 bench-check:
 	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json -bench '$(BENCH_CHECK_FILTER)' -threshold 25
 

@@ -187,13 +187,16 @@ func BenchmarkScalability(b *testing.B) {
 			b.ReportMetric(r.SingleMutexHeadroom, "mutex_headroom_at_400")
 			b.ReportMetric(r.BatchSpeedup, "batch_speedup_at_400")
 		}
+		if r.Nodes == 800 {
+			b.ReportMetric(r.CoalesceSpeedup, "coalesce_speedup_at_800")
+		}
 	}
 	onceScalability.Do(func() {
 		fmt.Println("\n--- Scalability (paper: sub-second to 50 nodes; bottlenecks beyond 200) ---")
 		for _, r := range rows {
-			fmt.Printf("  n=%-4d sched p95=%-12v batch/decision=%-10v sub-second=%-5v db headroom sharded=%.1fx mutex=%.1fx\n",
+			fmt.Printf("  n=%-4d sched p95=%-12v batch/decision=%-10v sub-second=%-5v db headroom sharded=%.1fx mutex=%.1fx coalesce=%.1fx\n",
 				r.Nodes, r.P95SchedulingLatency, r.BatchMeanPerDecision, r.SubSecond,
-				r.Headroom, r.SingleMutexHeadroom)
+				r.Headroom, r.SingleMutexHeadroom, r.CoalesceSpeedup)
 		}
 	})
 }
@@ -625,6 +628,50 @@ func BenchmarkConcurrentHeartbeatsSingleMutex(b *testing.B) {
 	benchConcurrentHeartbeats(b, func() db.Store { return db.NewSingleMutex(0) })
 }
 
+// BenchmarkHeartbeatCoalesced measures the commit path the coalescing
+// ingress buffer takes at each flush tick: one TouchNodes batch of 64
+// no-op advances over a 200-node fleet — one critical section and one
+// MutBeat record per shard instead of 64 full after-images.
+// Single-goroutine and allocation-light, so it is stable enough for
+// the bench-check gate.
+func BenchmarkHeartbeatCoalesced(b *testing.B) {
+	store := db.New(0)
+	ids := heartbeatStore(store, 200)
+	at := benchEpoch
+	batch := make([]db.BeatDelta, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = at.Add(time.Second)
+		for j := range batch {
+			batch[j] = db.BeatDelta{NodeID: ids[(i*len(batch)+j)%len(ids)], At: at}
+		}
+		if store.TouchNodes(batch) == 0 {
+			b.Fatal("no deltas applied")
+		}
+	}
+}
+
+// BenchmarkHeartbeatPerBeatCommit is the pre-coalescing shape of the
+// same traffic — 64 individual UpdateNode commits per iteration, each
+// paying its own critical section and full after-image — kept as the
+// measured baseline BenchmarkHeartbeatCoalesced is read against.
+func BenchmarkHeartbeatPerBeatCommit(b *testing.B) {
+	store := db.New(0)
+	ids := heartbeatStore(store, 200)
+	at := benchEpoch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = at.Add(time.Second)
+		for j := 0; j < 64; j++ {
+			if err := store.UpdateNode(ids[(i*64+j)%len(ids)], func(n *db.NodeRecord) {
+				n.LastHeartbeat = at
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // benchConcurrentReads measures parallel read-path throughput (point
 // lookups plus the scheduler's ActiveNodes scan) against each store.
 func benchConcurrentReads(b *testing.B, mk func() db.Store) {
@@ -837,7 +884,17 @@ func benchWALAppend(b *testing.B, opts wal.Options) {
 	})
 }
 
+// BenchmarkWALGroupCommit is the serial group-commit baseline: batches
+// coalesce, but the writer holds the I/O lock across each batch's
+// fsync, so the next group's write waits out the previous sync.
 func BenchmarkWALGroupCommit(b *testing.B) {
+	benchWALAppend(b, wal.Options{SerialFsync: true})
+}
+
+// BenchmarkWALPipelined is the default two-stage appender: the next
+// group's buffer fills and its write issues while the previous group's
+// fsync is in flight on the sync stage.
+func BenchmarkWALPipelined(b *testing.B) {
 	benchWALAppend(b, wal.Options{})
 }
 

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gpunion/internal/agent"
+	"gpunion/internal/api"
+	"gpunion/internal/checkpoint"
+	"gpunion/internal/container"
+	"gpunion/internal/db"
+	"gpunion/internal/eventbus"
+	"gpunion/internal/gpu"
+	"gpunion/internal/invariant"
+	"gpunion/internal/simclock"
+	"gpunion/internal/storage"
+	"gpunion/internal/wal"
+)
+
+// beatRig is a coordinator with silent agents: nodes are registered but
+// never beat on their own, so each test delivers exactly the heartbeats
+// it wants to reason about.
+type beatRig struct {
+	t      *testing.T
+	clock  *simclock.Sim
+	store  db.Store
+	coord  *Coordinator
+	ckpts  *checkpoint.Store
+	tokens map[string]string
+	epochs map[string]uint64
+	seqs   map[string]uint64
+	ags    map[string]*agent.Agent
+}
+
+func newBeatRig(t *testing.T, interval time.Duration, store db.Store) *beatRig {
+	t.Helper()
+	clock := simclock.NewSim(t0)
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	coord, err := New(Config{HeartbeatInterval: interval}, clock, store, ckpts, eventbus.New(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+	return &beatRig{t: t, clock: clock, store: store, coord: coord, ckpts: ckpts,
+		tokens: make(map[string]string), epochs: make(map[string]uint64),
+		seqs: make(map[string]uint64), ags: make(map[string]*agent.Agent)}
+}
+
+func (b *beatRig) addSilentNode(id string) {
+	b.t.Helper()
+	rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(gpu.RTX3090), 0, 0)
+	ag := agent.New(agent.Config{MachineID: id, Kernel: "5.15"}, b.clock, rt, b.ckpts, nil, NopCoordNotifier{})
+	b.t.Cleanup(ag.Stop)
+	resp, err := b.coord.Register(ag.RegisterRequest("inproc://"+id, 1<<30), LocalAgent{A: ag})
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.tokens[id], b.epochs[id], b.ags[id] = resp.Token, resp.LeaderEpoch, ag
+}
+
+// beatReq builds the next in-sequence heartbeat for the node: empty
+// telemetry, no running jobs — a pure liveness report.
+func (b *beatRig) beatReq(id string) api.HeartbeatRequest {
+	b.seqs[id]++
+	return api.HeartbeatRequest{
+		Envelope:  api.Envelope{ProtocolVersion: api.ProtocolVersion, LeaderEpoch: b.epochs[id]},
+		MachineID: id, Token: b.tokens[id], BeatSeq: b.seqs[id],
+	}
+}
+
+func (b *beatRig) beat(id string) api.HeartbeatResponse {
+	b.t.Helper()
+	resp, err := b.coord.Heartbeat(b.beatReq(id))
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	return resp
+}
+
+// guardEntries reads the dedup map and coalescing buffer under the lock.
+func guardEntries(c *Coordinator) (seq map[string]uint64, buffered map[string]time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq = make(map[string]uint64, len(c.beatSeq))
+	for k, v := range c.beatSeq {
+		seq[k] = v
+	}
+	buffered = make(map[string]time.Time, len(c.beats))
+	for k, v := range c.beats {
+		buffered[k] = v
+	}
+	return seq, buffered
+}
+
+// TestBeatSeqPrunedOnDepartureAndSweep: the dedup high-water mark and
+// any buffered beat die with the membership — an announced departure
+// and a sweep-dead verdict must both prune their node's entries, or the
+// maps grow one entry per churned node forever.
+func TestBeatSeqPrunedOnDepartureAndSweep(t *testing.T) {
+	b := newBeatRig(t, time.Minute, db.New(0))
+	b.addSilentNode("n1")
+	b.addSilentNode("n2")
+	b.clock.Advance(10 * time.Second)
+	b.beat("n1")
+	b.beat("n2")
+	seq, buffered := guardEntries(b.coord)
+	if seq["n1"] != 1 || seq["n2"] != 1 {
+		t.Fatalf("guard not armed: %v", seq)
+	}
+	if len(buffered) != 2 {
+		t.Fatalf("no-op beats not buffered: %v", buffered)
+	}
+
+	if err := b.coord.HandleDeparture("n1", api.DepartScheduled); err != nil {
+		t.Fatal(err)
+	}
+	seq, buffered = guardEntries(b.coord)
+	if _, ok := seq["n1"]; ok {
+		t.Fatal("departure left n1 in the dedup map")
+	}
+	if _, ok := buffered["n1"]; ok {
+		t.Fatal("departure left n1's beat in the coalescing buffer")
+	}
+	if seq["n2"] != 1 {
+		t.Fatalf("departure of n1 disturbed n2's entry: %v", seq)
+	}
+
+	// n2 falls silent; the sweep declares it dead and must prune too.
+	b.clock.Advance(5 * time.Minute)
+	rec, err := b.store.GetNode("n2")
+	if err != nil || rec.Status != db.NodeUnreachable {
+		t.Fatalf("n2 = %+v, %v (want unreachable)", rec, err)
+	}
+	seq, buffered = guardEntries(b.coord)
+	if _, ok := seq["n2"]; ok {
+		t.Fatal("sweep left n2 in the dedup map")
+	}
+	if len(buffered) != 0 {
+		t.Fatalf("sweep left buffered beats: %v", buffered)
+	}
+}
+
+// TestReplayedBeatFromSweptNodeReregisters: a replay is only
+// acknowledged while the node is a live member. If the node was swept
+// dead since the original beat, the replay must answer Reregister —
+// replays are side-effect-free and cannot re-adopt the node, so acking
+// would silence the agent's retry loop against a dead membership.
+func TestReplayedBeatFromSweptNodeReregisters(t *testing.T) {
+	b := newBeatRig(t, time.Minute, db.New(0))
+	b.addSilentNode("n1")
+	b.clock.Advance(10 * time.Second)
+	req := b.beatReq("n1")
+	if resp, err := b.coord.Heartbeat(req); err != nil || !resp.Acknowledged {
+		t.Fatalf("original beat = %+v, %v", resp, err)
+	}
+	// Silence until the sweep declares the node dead.
+	b.clock.Advance(5 * time.Minute)
+	if rec, err := b.store.GetNode("n1"); err != nil || rec.Status != db.NodeUnreachable {
+		t.Fatalf("n1 = %+v, %v (want unreachable)", rec, err)
+	}
+	// Re-arm the guard entry the sweep pruned: this is the replay that
+	// raced the sweep — its sequence is claimed, the node is dead.
+	b.coord.mu.Lock()
+	b.coord.beatSeq["n1"] = req.BeatSeq
+	b.coord.mu.Unlock()
+	resp, err := b.coord.Heartbeat(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Acknowledged || !resp.Reregister {
+		t.Fatalf("replay from swept-dead node = %+v, want Reregister", resp)
+	}
+}
+
+// mutationLog records the store's typed-mutation stream for a test.
+type mutationLog struct {
+	mu   sync.Mutex
+	muts []db.Mutation
+}
+
+func (l *mutationLog) observe(m db.Mutation) {
+	l.mu.Lock()
+	l.muts = append(l.muts, m)
+	l.mu.Unlock()
+}
+
+func (l *mutationLog) byType(t db.MutationType) []db.Mutation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []db.Mutation
+	for _, m := range l.muts {
+		if m.Type == t {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TestNoopBeatCoalesced: a steady-state beat must not push a full node
+// after-image — it parks in the buffer and the flush tick commits one
+// MutBeat record, after which the store's LastHeartbeat has advanced.
+func TestNoopBeatCoalesced(t *testing.T) {
+	store := db.New(0)
+	b := newBeatRig(t, time.Minute, store)
+	b.addSilentNode("n1")
+	lg := &mutationLog{}
+	cancel := store.AddMutationObserver(lg.observe)
+	defer cancel()
+
+	b.clock.Advance(10 * time.Second)
+	beatAt := b.clock.Now()
+	b.beat("n1")
+	if n := len(lg.byType(db.MutNodePut)); n != 0 {
+		t.Fatalf("no-op beat emitted %d full after-images", n)
+	}
+	rec, _ := store.GetNode("n1")
+	if rec.LastHeartbeat.Equal(beatAt) {
+		t.Fatal("beat hit the store before the flush tick")
+	}
+
+	// The flush tick is a quarter interval out.
+	b.clock.Advance(15 * time.Second)
+	beats := lg.byType(db.MutBeat)
+	if len(beats) != 1 || len(beats[0].Beats) != 1 || beats[0].Beats[0].NodeID != "n1" {
+		t.Fatalf("flush emitted %+v, want one MutBeat carrying n1", beats)
+	}
+	rec, _ = store.GetNode("n1")
+	if !rec.LastHeartbeat.Equal(beatAt) {
+		t.Fatalf("flushed heartbeat = %s, want %s", rec.LastHeartbeat, beatAt)
+	}
+	if n := len(lg.byType(db.MutNodePut)); n != 0 {
+		t.Fatalf("coalesced flush emitted %d full after-images", n)
+	}
+}
+
+// TestStateChangingBeatTakesFullPath: a beat that changes anything
+// beyond LastHeartbeat (here: the provider pausing) must commit the
+// full after-image immediately, not park in the buffer.
+func TestStateChangingBeatTakesFullPath(t *testing.T) {
+	store := db.New(0)
+	b := newBeatRig(t, time.Minute, store)
+	b.addSilentNode("n1")
+	b.clock.Advance(10 * time.Second)
+	req := b.beatReq("n1")
+	req.Paused = true
+	if _, err := b.coord.Heartbeat(req); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := store.GetNode("n1")
+	if rec.Status != db.NodePaused || !rec.LastHeartbeat.Equal(b.clock.Now()) {
+		t.Fatalf("pausing beat not committed immediately: %+v", rec)
+	}
+	if _, buffered := guardEntries(b.coord); len(buffered) != 0 {
+		t.Fatalf("state-changing beat also buffered: %v", buffered)
+	}
+}
+
+// TestCoalescedFlushBoundaryCrash: a crash on either side of the flush
+// boundary must keep recovery byte-equivalent. Before the tick, the
+// buffered advance is in neither the pre-crash image nor the log —
+// volatile by design, nothing acked depends on it. After the tick, the
+// MutBeat frame is durable and replay must reproduce the advance.
+func TestCoalescedFlushBoundaryCrash(t *testing.T) {
+	secret := []byte("coalesce-crash-secret")
+	clock := simclock.NewSim(t0)
+	ckpts := checkpoint.NewStore(storage.NewMemStore(0))
+	dir := t.TempDir()
+
+	store := db.New(0)
+	mgr, err := wal.Open(dir, store, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New(Config{HeartbeatInterval: time.Minute, AuthSecret: secret},
+		clock, store, ckpts, eventbus.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(gpu.RTX3090), 0, 0)
+	ag := agent.New(agent.Config{MachineID: "n1", Kernel: "5.15"}, clock, rt, ckpts, nil, NopCoordNotifier{})
+	defer ag.Stop()
+	resp, err := coord.Register(ag.RegisterRequest("inproc://n1", 1<<30), LocalAgent{A: ag})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hb := func(c *Coordinator, seq uint64) api.HeartbeatResponse {
+		t.Helper()
+		r, herr := c.Heartbeat(api.HeartbeatRequest{
+			Envelope:  api.Envelope{ProtocolVersion: api.ProtocolVersion},
+			MachineID: "n1", Token: resp.Token, BeatSeq: seq,
+		})
+		if herr != nil {
+			t.Fatal(herr)
+		}
+		return r
+	}
+
+	// Crash mid-window: the beat is buffered, unflushed.
+	clock.Advance(10 * time.Second)
+	hb(coord, 1)
+	if _, buffered := guardEntries(coord); len(buffered) != 1 {
+		t.Fatalf("beat not buffered: %v", buffered)
+	}
+	before := store.ExportState()
+	coord.Stop()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2 := db.New(0)
+	mgr2, err := wal.Open(dir, store2, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := invariant.CheckEquivalence(before, store2.ExportState()); len(vs) != 0 {
+		t.Fatalf("pre-flush crash broke equivalence: %v", vs)
+	}
+
+	// Successor serves the same node; this time the flush tick lands
+	// before the crash, so the MutBeat frame must survive replay.
+	coord2, err := New(Config{HeartbeatInterval: time.Minute, AuthSecret: secret},
+		clock, store2, ckpts, eventbus.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2.RecoverState()
+	if _, err := coord2.Register(ag.RegisterRequest("inproc://n1", 1<<30), LocalAgent{A: ag}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10 * time.Second)
+	hb(coord2, 1)
+	beatAt := clock.Now()
+	clock.Advance(15 * time.Second) // flush tick
+	rec, _ := store2.GetNode("n1")
+	if !rec.LastHeartbeat.Equal(beatAt) {
+		t.Fatalf("flush did not land: %s vs %s", rec.LastHeartbeat, beatAt)
+	}
+	before2 := store2.ExportState()
+	coord2.Stop()
+	if err := mgr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store3 := db.New(0)
+	mgr3, err := wal.Open(dir, store3, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr3.Close()
+	if vs := invariant.CheckEquivalence(before2, store3.ExportState()); len(vs) != 0 {
+		t.Fatalf("post-flush crash broke equivalence: %v", vs)
+	}
+	rec3, err := store3.GetNode("n1")
+	if err != nil || !rec3.LastHeartbeat.Equal(beatAt) {
+		t.Fatalf("recovered heartbeat = %+v, %v; want %s", rec3, err, beatAt)
+	}
+}
+
+// TestDuplicateBeatIntoHalfFlushedBatch: a replayed beat delivered
+// after its original was flushed — while the next batch is still
+// filling — must be swallowed by the guard: no re-enqueue, no store
+// write, and the fold over the mutation stream stays exact.
+func TestDuplicateBeatIntoHalfFlushedBatch(t *testing.T) {
+	store := db.New(0)
+	b := newBeatRig(t, time.Minute, store)
+	b.addSilentNode("n1")
+	audit, cancel := invariant.NewBeatAudit(store)
+	defer cancel()
+
+	b.clock.Advance(10 * time.Second)
+	req1 := b.beatReq("n1")
+	if resp, err := b.coord.Heartbeat(req1); err != nil || !resp.Acknowledged {
+		t.Fatalf("original = %+v, %v", resp, err)
+	}
+	firstAt := b.clock.Now()
+	b.clock.Advance(15 * time.Second) // flush the first batch
+	rec, _ := store.GetNode("n1")
+	if !rec.LastHeartbeat.Equal(firstAt) {
+		t.Fatalf("first batch not flushed: %s", rec.LastHeartbeat)
+	}
+
+	// Start the next batch, then replay the old beat into it.
+	b.clock.Advance(10 * time.Second)
+	b.beat("n1")
+	secondAt := b.clock.Now()
+	lsnBefore := store.CurrentLSN()
+	for i := 0; i < 3; i++ {
+		resp, err := b.coord.Heartbeat(req1)
+		if err != nil || !resp.Acknowledged {
+			t.Fatalf("replay %d = %+v, %v", i, resp, err)
+		}
+	}
+	if lsn := store.CurrentLSN(); lsn != lsnBefore {
+		t.Fatalf("replays mutated the store: LSN %d -> %d", lsnBefore, lsn)
+	}
+	_, buffered := guardEntries(b.coord)
+	if len(buffered) != 1 || !buffered["n1"].Equal(secondAt) {
+		t.Fatalf("replay disturbed the half-flushed batch: %v", buffered)
+	}
+
+	b.clock.Advance(15 * time.Second) // flush the second batch
+	rec, _ = store.GetNode("n1")
+	if !rec.LastHeartbeat.Equal(secondAt) {
+		t.Fatalf("second batch landed %s, want %s", rec.LastHeartbeat, secondAt)
+	}
+	if vs := audit.Check(store); len(vs) != 0 {
+		t.Fatalf("beat-delta fold diverged: %v", vs)
+	}
+}

@@ -139,7 +139,17 @@ type Coordinator struct {
 	// highest beat sequence processed per node. A beat at or below it is
 	// a replay and is acknowledged without side effects. Reset per node
 	// on Register (an agent restart restarts its counter).
-	beatSeq          map[string]uint64
+	beatSeq map[string]uint64
+	// beats is the heartbeat coalescing buffer: no-op beats (state
+	// unchanged, only LastHeartbeat advancing) park here instead of
+	// paying a full per-beat store commit, and a simclock tick at
+	// HeartbeatInterval/4 flushes the batch through one TouchNodes call
+	// per shard. The heartbeat monitor still sees every beat
+	// individually; only the store write is deferred.
+	beats map[string]time.Time
+	// beatTimer is the armed flush tick; nil while the buffer is empty
+	// (idle fleets pay no timer churn).
+	beatTimer        simclock.Timer
 	jobSeq           int
 	interactiveCount int
 	// temporary tracks nodes that departed with return intent.
@@ -212,6 +222,7 @@ func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.
 		agents:       make(map[string]AgentHandle),
 		meta:         make(map[string]*jobMeta),
 		beatSeq:      make(map[string]uint64),
+		beats:        make(map[string]time.Time),
 		temporary:    make(map[string]bool),
 		schedLatency: latency,
 	}
@@ -333,6 +344,16 @@ func (c *Coordinator) Stop() {
 	if c.renewTimer != nil {
 		c.renewTimer.Stop()
 	}
+	if c.beatTimer != nil {
+		c.beatTimer.Stop()
+		c.beatTimer = nil
+	}
+	// The coalescing buffer is discarded, not flushed: a buffered beat
+	// never became a store mutation, so nothing acknowledged depends on
+	// it (acks cover the monitor update, which already happened), and a
+	// stopped coordinator must not touch the database. Agents re-beat
+	// within one interval, so the successor converges immediately.
+	c.beats = nil
 	c.mu.Unlock()
 	// Detach the scheduler-pool feed: a replaced coordinator must not
 	// keep consuming its successor's store mutations.
@@ -636,6 +657,18 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 		if req.BeatSeq <= c.beatSeq[req.MachineID] {
 			c.mu.Unlock()
 			c.met.heartbeatDups.Inc()
+			// A replay is only acknowledged while the node is still a
+			// live member. If the record is gone, the node was swept dead
+			// or departed, or the agent handle died with an old process,
+			// the original beat's processing no longer stands — and a
+			// replay must not perform side effects, so it cannot re-adopt
+			// the node the way a fresh beat would. Ask for a fresh
+			// registration instead of silencing the agent's retry loop.
+			if rec, gerr := c.db.GetNode(req.MachineID); gerr != nil ||
+				rec.Status == db.NodeUnreachable || rec.Status == db.NodeDeparted ||
+				c.handle(req.MachineID) == nil {
+				return api.HeartbeatResponse{Reregister: true}, nil
+			}
 			return api.HeartbeatResponse{Acknowledged: true}, nil
 		}
 		prevSeq := c.beatSeq[req.MachineID]
@@ -712,26 +745,35 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 	}
 	lost, protected := c.lostPlacements(rec, reported, req.Telemetry, suspicious, now)
 
-	uerr := c.db.UpdateNode(req.MachineID, func(n *db.NodeRecord) {
-		n.LastHeartbeat = now
-		n.Status = newStatus
-		if wasAway {
-			n.LastJoin = now
-		}
-		// Refresh device allocation truth from the agent. A device
-		// whose running job is inside the placement grace keeps its
-		// flag: the job may simply postdate the report, and the store
-		// must never show a running job on a free device.
-		for i := range n.GPUs {
-			for _, tel := range req.Telemetry {
-				if n.GPUs[i].DeviceID == tel.DeviceID && !protected[tel.DeviceID] {
-					n.GPUs[i].Allocated = tel.Allocated
+	if c.isNoopBeat(rec, req.Telemetry, wasAway, newStatus, suspicious, lost, orphans, protected) {
+		// Steady state at fleet scale: nothing about the record changes
+		// but LastHeartbeat. The advance parks in the coalescing buffer —
+		// a tick at HeartbeatInterval/4 commits the whole batch as one
+		// compact MutBeat record per shard — instead of pushing a full
+		// node after-image through the WAL for every beat.
+		c.enqueueBeat(req.MachineID, now)
+	} else {
+		uerr := c.db.UpdateNode(req.MachineID, func(n *db.NodeRecord) {
+			n.LastHeartbeat = now
+			n.Status = newStatus
+			if wasAway {
+				n.LastJoin = now
+			}
+			// Refresh device allocation truth from the agent. A device
+			// whose running job is inside the placement grace keeps its
+			// flag: the job may simply postdate the report, and the store
+			// must never show a running job on a free device.
+			for i := range n.GPUs {
+				for _, tel := range req.Telemetry {
+					if n.GPUs[i].DeviceID == tel.DeviceID && !protected[tel.DeviceID] {
+						n.GPUs[i].Allocated = tel.Allocated
+					}
 				}
 			}
+		})
+		if uerr != nil {
+			return api.HeartbeatResponse{Reregister: true}, nil
 		}
-	})
-	if uerr != nil {
-		return api.HeartbeatResponse{Reregister: true}, nil
 	}
 	c.hb.Beat(req.MachineID, now)
 
@@ -889,6 +931,14 @@ func (c *Coordinator) HandleDeparture(machineID string, reason api.DepartReason)
 	c.hb.Suspend(machineID)
 	c.mu.Lock()
 	c.temporary[machineID] = reason == api.DepartTemporary
+	// The dedup high-water mark dies with the membership: a returning
+	// node re-registers, which starts a fresh beat-sequence session, so
+	// keeping the entry would only leak an entry per churned node.
+	// A buffered-but-unflushed beat is dropped with it — the record is
+	// leaving service, and a LastHeartbeat advance on a departed node
+	// would contradict the departure.
+	delete(c.beatSeq, machineID)
+	delete(c.beats, machineID)
 	c.mu.Unlock()
 	c.bus.Publish(eventbus.Event{Type: eventbus.NodeDeparted, Time: now, Node: machineID,
 		Detail: map[string]any{"reason": string(reason)}})
@@ -921,6 +971,15 @@ func (c *Coordinator) Sweep() {
 				n.GPUs[i].Allocated = false
 			}
 		})
+		c.mu.Lock()
+		// Same pruning as the announced-departure path: swept-dead nodes
+		// must not accumulate dedup entries (unbounded growth under
+		// churn), and any beat still parked in the coalescing buffer is
+		// from before the silence — advancing LastHeartbeat now would
+		// contradict the unreachable verdict.
+		delete(c.beatSeq, nodeID)
+		delete(c.beats, nodeID)
+		c.mu.Unlock()
 		c.bus.Publish(eventbus.Event{Type: eventbus.NodeUnreachable, Time: now, Node: nodeID})
 		c.migrateJobsFrom(nodeID, migration.ReasonEmergency)
 	}

@@ -21,6 +21,7 @@ type coordMetrics struct {
 	heartbeats    *monitor.Counter
 	heartbeatDups *monitor.Counter
 	batchFill     *monitor.Histogram
+	beatBatch     *monitor.Histogram
 	leaderChanges *monitor.Counter
 	fencedWrites  *monitor.Counter
 
@@ -105,6 +106,12 @@ func newCoordMetrics(reg *monitor.Registry) (*coordMetrics, error) {
 	m.batchFill, err = reg.Histogram("gpunion_sched_batch_fill",
 		"Pending requests drained per scheduling cycle",
 		[]float64{1, 2, 4, 8, 16, 32, 64}, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.beatBatch, err = reg.Histogram("gpunion_heartbeat_coalesce_batch_size",
+		"No-op heartbeats committed per coalesced flush",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -183,6 +183,13 @@ type Store interface {
 	UpsertNode(n NodeRecord)
 	GetNode(id string) (NodeRecord, error)
 	UpdateNode(id string, fn func(*NodeRecord)) error
+	// TouchNodes advances LastHeartbeat on a batch of nodes — the
+	// coalesced no-op-heartbeat commit path. Beats landing on the same
+	// shard share one critical section and emit one compact MutBeat
+	// record, so a steady-state fleet's write volume is proportional to
+	// churn, not fleet size. Beats for missing nodes or with stale
+	// timestamps are skipped; the applied count is returned.
+	TouchNodes(beats []BeatDelta) int
 	ListNodes() []NodeRecord
 	ActiveNodes() []NodeRecord
 
@@ -389,6 +396,12 @@ func (d *DB) ShardFor(m Mutation) int {
 		if m.Sample != nil {
 			return shardOf(m.Sample.NodeID, d.shardCount)
 		}
+	case MutBeat:
+		// Every delta in a MutBeat record targets one shard (TouchNodes
+		// groups before emitting), so the first delta names it.
+		if len(m.Beats) > 0 {
+			return shardOf(m.Beats[0].NodeID, d.shardCount)
+		}
 	}
 	return 0
 }
@@ -445,6 +458,73 @@ func (d *DB) UpdateNode(id string, fn func(*NodeRecord)) error {
 	s.mu.Unlock()
 	d.emit(Mutation{LSN: lsn, Type: MutNodePut, Node: &cp})
 	return nil
+}
+
+// TouchNodes advances LastHeartbeat on a batch of nodes. Deltas are
+// grouped by node shard; each shard pays one lock acquisition, one
+// modelled-latency delay and one LSN for its whole group, and emits a
+// single compact MutBeat record — one WAL frame per shard per flush,
+// however many nodes beat. The LSN is allocated under the shard lock
+// (the same watermark discipline as every other mutator), so an
+// ExportState watermark read before this shard is serialized bounds
+// exactly what that shard's copy contains.
+func (d *DB) TouchNodes(beats []BeatDelta) int {
+	if len(beats) == 0 {
+		return 0
+	}
+	d.ops.Add(1)
+	// Group per shard by counting sort into one backing array — flush
+	// batches run hot, and a map[int][]BeatDelta here costs half the
+	// commit in allocator time.
+	shards := make([]int, len(beats))
+	counts := make([]int, d.shardCount)
+	for i, b := range beats {
+		s := shardOf(b.NodeID, d.shardCount)
+		shards[i] = s
+		counts[s]++
+	}
+	next := make([]int, d.shardCount)
+	sum := 0
+	for s, c := range counts {
+		next[s] = sum
+		sum += c
+	}
+	grouped := make([]BeatDelta, len(beats))
+	for i, b := range beats {
+		s := shards[i]
+		grouped[next[s]] = b
+		next[s]++
+	}
+	applied := 0
+	for idx := 0; idx < d.shardCount; idx++ {
+		if counts[idx] == 0 {
+			continue
+		}
+		group := grouped[next[idx]-counts[idx] : next[idx]]
+		s := d.nodes[idx]
+		s.mu.Lock()
+		d.delay()
+		kept := group[:0]
+		for _, b := range group {
+			n, ok := s.recs[b.NodeID]
+			if !ok || !b.At.After(n.LastHeartbeat) {
+				continue
+			}
+			cp := cloneNode(*n)
+			cp.LastHeartbeat = b.At
+			s.recs[b.NodeID] = &cp
+			kept = append(kept, b)
+		}
+		if len(kept) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		lsn := d.lsn.Add(1)
+		s.mu.Unlock()
+		d.emit(Mutation{LSN: lsn, Type: MutBeat, Beats: kept})
+		applied += len(kept)
+	}
+	return applied
 }
 
 // ListNodes returns copies of all nodes, sorted by ID. Shards are read-

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // MutationType tags one typed mutation record emitted by a Store. The
@@ -30,7 +31,23 @@ const (
 	MutAllocClose MutationType = "alloc_close"
 	// MutSamplePut records one monitoring data point.
 	MutSamplePut MutationType = "sample_put"
+	// MutBeat is a coalesced heartbeat delta: one record carries the
+	// LastHeartbeat advances of every no-op beat that landed on one node
+	// shard in a flush window. Unlike MutNodePut it is not a full
+	// after-image — steady-state beats write bytes proportional to churn,
+	// not fleet size — but replay stays idempotent because each delta
+	// only ever moves LastHeartbeat forward.
+	MutBeat MutationType = "beat"
 )
+
+// BeatDelta is one node's entry in a coalesced MutBeat record: the node
+// whose LastHeartbeat advanced, and the instant it advanced to. Nothing
+// else about the record changed (that is what made the beat a no-op and
+// eligible for coalescing).
+type BeatDelta struct {
+	NodeID string    `json:"node_id"`
+	At     time.Time `json:"at"`
+}
 
 // Mutation is the typed record a Store emits for every state change.
 // LSN is a store-wide monotone sequence number assigned under the
@@ -44,6 +61,9 @@ type Mutation struct {
 	Job    *JobRecord        `json:"job,omitempty"`
 	Alloc  *AllocationRecord `json:"alloc,omitempty"`
 	Sample *Sample           `json:"sample,omitempty"`
+	// Beats carries a MutBeat record's deltas; every delta in one record
+	// targets the same node shard (one critical section, one WAL frame).
+	Beats []BeatDelta `json:"beats,omitempty"`
 }
 
 // MutationHook observes committed mutations. It is invoked after the
@@ -351,6 +371,24 @@ func (d *DB) Apply(m Mutation) error {
 			}
 		}
 		sh.mu.Unlock()
+	case MutBeat:
+		if len(m.Beats) == 0 {
+			return fmt.Errorf("db: %s mutation without beat payload", m.Type)
+		}
+		// All deltas in one record share a shard by construction, but
+		// replay does not rely on that — each delta locks its own shard.
+		// A delta whose node is gone, or whose advance is already
+		// reflected, is a no-op (idempotent, forward-only).
+		for _, b := range m.Beats {
+			s := d.nodeShard(b.NodeID)
+			s.mu.Lock()
+			if n, ok := s.recs[b.NodeID]; ok && b.At.After(n.LastHeartbeat) {
+				cp := cloneNode(*n)
+				cp.LastHeartbeat = b.At
+				s.recs[b.NodeID] = &cp
+			}
+			s.mu.Unlock()
+		}
 	default:
 		return fmt.Errorf("db: unknown mutation type %q", m.Type)
 	}
@@ -531,6 +569,17 @@ func (d *SingleMutex) Apply(m Mutation) error {
 			d.samples = append(d.samples, *m.Sample)
 			if len(d.samples) > d.maxSamples {
 				d.samples = d.samples[len(d.samples)-d.maxSamples:]
+			}
+		}
+	case MutBeat:
+		if len(m.Beats) == 0 {
+			return fmt.Errorf("db: %s mutation without beat payload", m.Type)
+		}
+		for _, b := range m.Beats {
+			if n, ok := d.nodes[b.NodeID]; ok && b.At.After(n.LastHeartbeat) {
+				cp := cloneNode(*n)
+				cp.LastHeartbeat = b.At
+				d.nodes[b.NodeID] = &cp
 			}
 		}
 	default:

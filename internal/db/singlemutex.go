@@ -102,6 +102,35 @@ func (d *SingleMutex) UpdateNode(id string, fn func(*NodeRecord)) error {
 	return nil
 }
 
+// TouchNodes advances LastHeartbeat on a batch of nodes in one critical
+// section, emitting a single MutBeat record (see DB.TouchNodes; the
+// unsharded store has exactly one "shard").
+func (d *SingleMutex) TouchNodes(beats []BeatDelta) int {
+	if len(beats) == 0 {
+		return 0
+	}
+	d.lockOp()
+	kept := make([]BeatDelta, 0, len(beats))
+	for _, b := range beats {
+		n, ok := d.nodes[b.NodeID]
+		if !ok || !b.At.After(n.LastHeartbeat) {
+			continue
+		}
+		cp := cloneNode(*n)
+		cp.LastHeartbeat = b.At
+		d.nodes[b.NodeID] = &cp
+		kept = append(kept, b)
+	}
+	if len(kept) == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	lsn := d.lsn.Add(1)
+	d.mu.Unlock()
+	d.emit(Mutation{LSN: lsn, Type: MutBeat, Beats: kept})
+	return len(kept)
+}
+
 // ListNodes returns copies of all nodes, sorted by ID.
 func (d *SingleMutex) ListNodes() []NodeRecord {
 	d.lockOp()

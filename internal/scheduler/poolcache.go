@@ -3,6 +3,7 @@ package scheduler
 import (
 	"encoding/json"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -64,8 +65,14 @@ func (s *Scheduler) NewNodePool() *NodePool {
 
 // Observe is the db.MutationHook feed. Node after-images replace the
 // cached entry when they are newer (the LSN guard resolves hook
-// deliveries racing across shards); everything else is ignored.
+// deliveries racing across shards); coalesced beat records advance the
+// cached images' heartbeat timestamps in place; everything else is
+// ignored.
 func (p *NodePool) Observe(m db.Mutation) {
+	if m.Type == db.MutBeat {
+		p.observeBeats(m)
+		return
+	}
 	if m.Type != db.MutNodePut || m.Node == nil {
 		return
 	}
@@ -86,6 +93,32 @@ func (p *NodePool) Observe(m db.Mutation) {
 	}
 	p.dirty = true
 	p.gen++
+}
+
+// observeBeats applies one coalesced MutBeat record: every delta whose
+// LSN beats the cached generation installs a fresh after-image with
+// only LastHeartbeat advanced. Deltas for nodes the pool has never seen
+// are dropped — the missing MutNodePut that registers the node carries
+// the full image and a newer LSN, so nothing is lost.
+func (p *NodePool) observeBeats(m db.Mutation) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	changed := false
+	for _, b := range m.Beats {
+		pn := p.nodes[b.NodeID]
+		if pn == nil || m.LSN <= pn.lsn || !b.At.After(pn.rec.LastHeartbeat) {
+			continue
+		}
+		cp := *pn.rec
+		cp.GPUs = slices.Clone(cp.GPUs)
+		cp.LastHeartbeat = b.At
+		pn.rec, pn.lsn, pn.relOK = &cp, m.LSN, false
+		changed = true
+	}
+	if changed {
+		p.dirty = true
+		p.gen++
+	}
 }
 
 // Reset rebuilds the pool from a full store scan — the recovery path

@@ -244,6 +244,11 @@ type chaosHarness struct {
 	dupCounter    int
 	dupReplays    map[string]int
 	dupViolations []invariant.Violation
+	// beatAudit folds the serving store's node-image and beat-delta
+	// stream to verify beat-delta equivalence at every audit point;
+	// re-attached whenever a successor store is installed.
+	beatAudit       *invariant.BeatAudit
+	beatAuditCancel func()
 	// graceUntil suppresses agent-vs-store phantom checks right after a
 	// heal or restart, while reconciliation heartbeats are in flight.
 	graceUntil        time.Time
@@ -475,6 +480,7 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		// coordinator's registry.
 		_ = h.mgr.Writer().Instrument(h.coord.Metrics())
 	}
+	h.attachBeatAudit(h.store)
 
 	for _, d := range cfg.Defs {
 		rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(d.GPUs...), 0, 0)
@@ -539,6 +545,29 @@ func (h *chaosHarness) currentStore() db.Store {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.store
+}
+
+// attachBeatAudit (re)binds the beat-delta equivalence recorder to the
+// store passed in. Called at quiescent installation points — setup,
+// coordinator recovery, takeover completion — where no writes race the
+// base snapshot.
+func (h *chaosHarness) attachBeatAudit(store db.Store) {
+	h.mu.Lock()
+	cancel := h.beatAuditCancel
+	h.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	audit, c := invariant.NewBeatAudit(store)
+	h.mu.Lock()
+	h.beatAudit, h.beatAuditCancel = audit, c
+	h.mu.Unlock()
+}
+
+func (h *chaosHarness) currentBeatAudit() *invariant.BeatAudit {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.beatAudit
 }
 
 func (h *chaosHarness) currentMgr() *wal.Manager {
@@ -1095,6 +1124,7 @@ func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
 	h.recoveries++
 	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
 	h.mu.Unlock()
+	h.attachBeatAudit(store2)
 
 	coord2.RecoverState()
 	// Reachable agents re-attach immediately; silenced ones re-register
@@ -1251,6 +1281,7 @@ func (h *chaosHarness) finishTakeover(t *takeover) {
 	h.replViolations = append(h.replViolations, vs...)
 	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
 	h.mu.Unlock()
+	h.attachBeatAudit(sst)
 
 	t.rep.coord.RecoverState()
 	// Reachable agents re-attach under the new epoch; silenced ones
@@ -1393,6 +1424,7 @@ func (h *chaosHarness) SplitBrainHeal() []invariant.Violation {
 
 // ExtraChecks audits what the database alone cannot show: idempotency
 // breaches found by duplicate-delivery replays since the last audit,
+// beat-delta equivalence of the coalesced heartbeat stream,
 // the coordinator's derived scheduler pool against a fresh store scan,
 // checkpoint-integrity over every live job's restore chain, and —
 // outside the reconciliation grace window after a heal or restart —
@@ -1426,6 +1458,11 @@ func (h *chaosHarness) ExtraChecks() []invariant.Violation {
 		}
 	}
 	store := h.currentStore()
+	// Beat-delta equivalence holds at every audit point: the recorded
+	// mutation stream, folded, must land on the store's heartbeats.
+	if a := h.currentBeatAudit(); a != nil {
+		vs = append(vs, a.Check(store)...)
+	}
 	live := store.JobsInState(db.JobPending)
 	live = append(live, store.JobsInState(db.JobRunning)...)
 	live = append(live, store.JobsInState(db.JobMigrating)...)

@@ -195,6 +195,31 @@ func TestScalabilityTrends(t *testing.T) {
 	}
 }
 
+// TestCoalescedThroughputAt800 pins the write-path acceptance bar: at
+// the 800-node sweep point, committing heartbeats as per-shard delta
+// batches must yield at least 3x the throughput of per-beat commits.
+// The 2000-node point — reachable only once steady-state write cost
+// stopped scaling with fleet size — must record a speedup at least as
+// large.
+func TestCoalescedThroughputAt800(t *testing.T) {
+	rows, err := RunScalability(ScalabilityConfig{
+		NodeCounts:        []int{800, 2000},
+		DecisionsPerPoint: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CoalescedBeatsPerSecond <= 0 {
+			t.Fatalf("n=%d: no coalesced throughput recorded: %+v", r.Nodes, r)
+		}
+		if r.CoalesceSpeedup < 3 {
+			t.Errorf("n=%d: coalesced write path %.0f beats/s vs %.0f per-beat commits/s — %.2fx, want ≥3x",
+				r.Nodes, r.CoalescedBeatsPerSecond, r.DBOpsPerSecond, r.CoalesceSpeedup)
+		}
+	}
+}
+
 func TestTable1Complete(t *testing.T) {
 	rows := Table1()
 	if len(rows) != 12 {

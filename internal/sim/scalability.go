@@ -16,9 +16,10 @@ import (
 // latency. However, beyond 200 nodes, heartbeat monitoring and database
 // contention could become bottlenecks."
 type ScalabilityConfig struct {
-	// NodeCounts is the sweep (default 10, 25, 50, 100, 200, 400, 800 —
-	// the 800 point was added once the store's queue queries stopped
-	// being the coordinator bottleneck).
+	// NodeCounts is the sweep (default 10, 25, 50, 100, 200, 400, 800,
+	// 2000 — the 800 point was added once the store's queue queries
+	// stopped being the coordinator bottleneck; 2000 once heartbeat
+	// coalescing made the write path scale with churn, not fleet size).
 	NodeCounts []int
 	// DecisionsPerPoint is how many scheduling decisions to time.
 	DecisionsPerPoint int
@@ -56,6 +57,14 @@ type ScalabilityRow struct {
 	// SingleMutexOpsPerSecond is the same workload on the preserved
 	// single-mutex baseline — the §5.3 bottleneck the sharding removes.
 	SingleMutexOpsPerSecond float64
+	// CoalescedBeatsPerSecond is the same heartbeat-commit demand driven
+	// through the coalesced write path: each worker flushes its beats as
+	// TouchNodes delta batches, paying one critical section per touched
+	// shard instead of one per beat.
+	CoalescedBeatsPerSecond float64
+	// CoalesceSpeedup is CoalescedBeatsPerSecond / DBOpsPerSecond — the
+	// write-path win of per-shard beat batching over per-beat commits.
+	CoalesceSpeedup float64
 	// RequiredDBOpsPerSecond is what N nodes' heartbeat processing
 	// demands (≈4 database operations per beat at a 10 s interval).
 	RequiredDBOpsPerSecond float64
@@ -72,7 +81,7 @@ type ScalabilityRow struct {
 // heartbeat monitor and database — not simulated time.
 func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 	if len(cfg.NodeCounts) == 0 {
-		cfg.NodeCounts = []int{10, 25, 50, 100, 200, 400, 800}
+		cfg.NodeCounts = []int{10, 25, 50, 100, 200, 400, 800, 2000}
 	}
 	if cfg.DecisionsPerPoint <= 0 {
 		cfg.DecisionsPerPoint = 200
@@ -172,6 +181,20 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 		ops := contendedOps(sharded, nodes, 8, cfg.OpsPerWorker)
 		singleOps := contendedOps(single, nodes, 8, cfg.OpsPerWorker)
 
+		// Coalesced write path: the same beat volume on a fresh sharded
+		// store (fresh so the forward-only delta filter sees untouched
+		// heartbeats), committed as per-shard delta batches.
+		coalStore := db.New(0)
+		for _, rec := range nodes {
+			coalStore.UpsertNode(rec)
+		}
+		coalStore.SetOpDelay(cfg.DBOpDelay)
+		coalOps := coalescedOps(coalStore, nodes, 8, cfg.OpsPerWorker)
+		coalSpeedup := 0.0
+		if ops > 0 {
+			coalSpeedup = coalOps / ops
+		}
+
 		// Heartbeat demand: one beat per node per 10 s, ~4 database
 		// operations per beat (node update, telemetry samples, queue
 		// check).
@@ -186,6 +209,8 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 			HeartbeatSweepLatency:   hbLat,
 			DBOpsPerSecond:          ops,
 			SingleMutexOpsPerSecond: singleOps,
+			CoalescedBeatsPerSecond: coalOps,
+			CoalesceSpeedup:         coalSpeedup,
 			RequiredDBOpsPerSecond:  required,
 			Headroom:                ops / required,
 			SingleMutexHeadroom:     singleOps / required,
@@ -245,6 +270,51 @@ func latencyStats(lat []time.Duration) (mean, p95 time.Duration) {
 // only the elapsed time is measured; no worker spins on the wall
 // clock. It takes the Store interface so sharded and single-mutex
 // implementations run the identical workload.
+// coalescedOps drives the same heartbeat-commit volume through the
+// coalesced write path. Each worker owns a disjoint stride of the
+// fleet and flushes its beats as TouchNodes batches — one flush per
+// pass over its slice, the shape a coordinator flush window produces —
+// so a batch pays one shard critical section per touched shard rather
+// than one per beat. Returns achieved beat commits per second.
+func coalescedOps(store db.Store, nodes []db.NodeRecord, workers, opsPerWorker int) float64 {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := make([]string, 0, (len(nodes)+workers-1)/workers)
+			for i := w; i < len(nodes); i += workers {
+				own = append(own, nodes[i].ID)
+			}
+			if len(own) == 0 {
+				own = append(own, nodes[w%len(nodes)].ID)
+			}
+			batch := make([]db.BeatDelta, 0, len(own))
+			at := Epoch
+			for done := 0; done < opsPerWorker; {
+				round := opsPerWorker - done
+				if round > len(own) {
+					round = len(own)
+				}
+				at = at.Add(time.Second)
+				batch = batch[:0]
+				for i := 0; i < round; i++ {
+					batch = append(batch, db.BeatDelta{NodeID: own[(done+i)%len(own)], At: at})
+				}
+				_ = store.TouchNodes(batch)
+				done += round
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(workers*opsPerWorker) / elapsed
+}
+
 func contendedOps(store db.Store, nodes []db.NodeRecord, workers, opsPerWorker int) float64 {
 	var wg sync.WaitGroup
 	start := time.Now()

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpunion/internal/db"
+)
+
+func walDirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		info, err := os.Stat(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// TestBeatDeltaByteGrowth pins the whole point of the MutBeat encoding:
+// an idle steady-state fleet — every beat a pure LastHeartbeat advance —
+// must grow the log by compact per-node deltas, not by a full node
+// after-image (GPU inventory included) per beat. The test drives the
+// same beat traffic through both regimes over identical fleets and
+// requires the delta log to stay an order of magnitude smaller, with a
+// hard per-delta byte ceiling so record-size growth (bigger GPU lists)
+// cannot creep back in.
+func TestBeatDeltaByteGrowth(t *testing.T) {
+	const fleet, rounds = 64, 20
+	baseTime := time.Date(2025, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	newFleet := func(dir string) *db.DB {
+		store := db.New(0)
+		mgr, err := Open(dir, store, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = mgr.Close() })
+		for i := 0; i < fleet; i++ {
+			gpus := make([]db.GPUInfo, 4)
+			for g := range gpus {
+				gpus[g] = db.GPUInfo{
+					DeviceID: fmt.Sprintf("gpu%d", g), Model: "NVIDIA GeForce RTX 3090",
+					Arch: "ampere", MemoryMiB: 24576, CapabilityMajor: 8, CapabilityMinor: 6,
+				}
+			}
+			store.UpsertNode(db.NodeRecord{
+				ID: fmt.Sprintf("node-%03d", i), Addr: fmt.Sprintf("inproc://node-%03d", i),
+				Status: db.NodeActive, GPUs: gpus, Kernel: "5.15",
+				Storage: 1 << 40, RegisteredAt: baseTime, LastHeartbeat: baseTime,
+			})
+		}
+		return store
+	}
+
+	// Regime A: the old write path — one full after-image per beat.
+	dirA := t.TempDir()
+	storeA := newFleet(dirA)
+	grewFrom := walDirBytes(t, dirA)
+	for r := 1; r <= rounds; r++ {
+		at := baseTime.Add(time.Duration(r) * 30 * time.Second)
+		for i := 0; i < fleet; i++ {
+			if err := storeA.UpdateNode(fmt.Sprintf("node-%03d", i), func(n *db.NodeRecord) {
+				n.LastHeartbeat = at
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fullGrowth := walDirBytes(t, dirA) - grewFrom
+
+	// Regime B: the same beats coalesced into MutBeat deltas.
+	dirB := t.TempDir()
+	storeB := newFleet(dirB)
+	grewFrom = walDirBytes(t, dirB)
+	for r := 1; r <= rounds; r++ {
+		at := baseTime.Add(time.Duration(r) * 30 * time.Second)
+		batch := make([]db.BeatDelta, 0, fleet)
+		for i := 0; i < fleet; i++ {
+			batch = append(batch, db.BeatDelta{NodeID: fmt.Sprintf("node-%03d", i), At: at})
+		}
+		if applied := storeB.TouchNodes(batch); applied != fleet {
+			t.Fatalf("round %d: applied %d of %d deltas", r, applied, fleet)
+		}
+	}
+	deltaGrowth := walDirBytes(t, dirB) - grewFrom
+
+	if deltaGrowth <= 0 || fullGrowth <= 0 {
+		t.Fatalf("no measurable growth: full=%d delta=%d", fullGrowth, deltaGrowth)
+	}
+	if deltaGrowth*8 > fullGrowth {
+		t.Fatalf("delta log not compact: %d bytes vs %d for full after-images (want ≥8x smaller)",
+			deltaGrowth, fullGrowth)
+	}
+	perDelta := deltaGrowth / (rounds * fleet)
+	if perDelta > 120 {
+		t.Fatalf("per-beat delta costs %d bytes on disk, want ≤120 — after-image fields leaking into MutBeat?",
+			perDelta)
+	}
+}

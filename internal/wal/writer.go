@@ -29,30 +29,47 @@ type Options struct {
 	// baseline group commit is compared against; production uses group
 	// commit.
 	PerRecordSync bool
+	// SerialFsync keeps the pre-pipelining group commit: the group's
+	// fsync runs under the writer I/O lock, so the next group's write
+	// cannot issue until the previous fsync completes. Kept as the
+	// measured baseline for the pipelined default.
+	SerialFsync bool
 	// FS opens segment files (nil = the real filesystem). The chaos
 	// harness injects disk faults here.
 	FS FS
 }
 
-// Writer appends mutation records to log segments with group-committed
-// fsync: concurrent Appends coalesce into one write+sync, and each
+// Writer appends mutation records to log segments with group-committed,
+// pipelined fsync: concurrent Appends coalesce into one write, and each
 // Append returns only after its record is durable — the property that
 // lets a store acknowledge a mutation as soon as (and only when) it
 // cannot be lost.
 //
+// Commit is a two-stage pipeline. The write stage (flush) drains the
+// queue and issues the group's write() under the I/O lock, then hands
+// the segment to the sync stage and releases the lock — so the next
+// group's buffer fills and its write() issues while the previous
+// group's fsync is still in flight. The sync stage fsyncs in hand-off
+// order and releases each group's waiters only after a covering fsync,
+// which preserves acked ⇒ durable exactly as the serial writer did.
+//
 // The writer survives disk faults: a failed group write or sync marks
 // the current segment poisoned (its tail may be torn), and the next
-// write first rotates to a fresh segment. Records acknowledged after
-// the fault are therefore readable on recovery — the torn bytes stay
-// quarantined in the poisoned segment, whose tail the reader already
-// tolerates.
+// write first rotates to a fresh segment. A failed fsync additionally
+// fails every later group already written behind it on the same file —
+// those bytes sit behind a possible tear, so they must never be
+// acknowledged even if a retried fsync were to report success. Records
+// acknowledged after the fault are therefore readable on recovery — the
+// torn bytes stay quarantined in the poisoned segment, whose tail the
+// reader already tolerates.
 type Writer struct {
 	dir  string
 	opts Options
 	fs   FS
 
-	// ioMu serializes file I/O (flush, rotate) so a rotation never
-	// races a flush onto a closed segment. Held across fsync.
+	// ioMu serializes file I/O (flush, rotate). In the pipelined default
+	// it covers the group write but not the fsync; per-record and
+	// serial-fsync modes hold it across the sync too.
 	ioMu sync.Mutex
 	// mu guards the queue and segment state. Never held across I/O, so
 	// appenders keep enqueueing while a group fsync is in flight —
@@ -71,10 +88,27 @@ type Writer struct {
 	doneC  chan struct{}
 	wg     sync.WaitGroup
 
+	// syncC feeds the sync stage in write order; nil in per-record and
+	// serial-fsync modes. syncWg tracks the sync goroutine.
+	syncC  chan syncReq
+	syncWg sync.WaitGroup
+
 	// metrics is nil until Instrument; recording sites load it once per
 	// operation, so an uninstrumented writer pays one atomic load and no
 	// timer reads.
 	metrics atomic.Pointer[writerMetrics]
+}
+
+// syncReq is one write-stage hand-off to the sync stage: the segment
+// file whose new bytes need an fsync and the appenders waiting on it.
+// A request with barrier set is a drain marker instead: the sync stage
+// closes it once every earlier request has completed, which is how
+// Rotate, Close and poison heals wait out the pipeline before touching
+// a file.
+type syncReq struct {
+	f       File
+	waiters []chan error
+	barrier chan struct{}
 }
 
 // writerMetrics holds the instrumentation handles registered by
@@ -172,6 +206,11 @@ func OpenWriter(dir string, opts Options) (*Writer, error) {
 		doneC:  make(chan struct{}),
 	}
 	if !opts.PerRecordSync {
+		if !opts.SerialFsync {
+			w.syncC = make(chan syncReq, 64)
+			w.syncWg.Add(1)
+			go w.syncLoop()
+		}
 		w.wg.Add(1)
 		go w.flushLoop()
 	}
@@ -272,15 +311,20 @@ func (w *Writer) flushLoop() {
 	}
 }
 
-// flush writes and syncs the current group, if any.
+// flush is the write stage: it drains the current group, issues its
+// write() under ioMu, and either syncs inline (serial mode) or hands
+// the segment to the sync stage and releases ioMu so the next group's
+// write can overlap the fsync. Waiters are released here only on a
+// write-path error or in serial mode; the pipeline releases them from
+// the sync stage after their covering fsync.
 func (w *Writer) flush() {
 	w.ioMu.Lock()
-	defer w.ioMu.Unlock()
 	w.mu.Lock()
 	buf, waiters := w.pending, w.waiters
 	w.pending, w.waiters = nil, nil
 	w.mu.Unlock()
 	if len(buf) == 0 && len(waiters) == 0 {
+		w.ioMu.Unlock()
 		return
 	}
 	if m := w.metrics.Load(); m != nil && len(waiters) > 0 {
@@ -291,14 +335,101 @@ func (w *Writer) flush() {
 		if _, werr := f.Write(buf); werr != nil {
 			w.markPoisoned()
 			err = fmt.Errorf("wal: appending group: %w", werr)
-		} else if serr := w.timedSync(f); serr != nil {
+		}
+	}
+	if err == nil && w.syncC != nil {
+		// Hand off before releasing ioMu so sync requests arrive in
+		// write order — the invariant the failure propagation relies on.
+		w.syncC <- syncReq{f: f, waiters: waiters}
+		w.ioMu.Unlock()
+		return
+	}
+	if err == nil {
+		if serr := w.timedSync(f); serr != nil {
 			w.markPoisoned()
 			err = fmt.Errorf("wal: syncing group: %w", serr)
 		}
 	}
+	w.ioMu.Unlock()
 	for _, ch := range waiters {
 		ch <- err
 	}
+}
+
+// syncLoop is the sync stage: it fsyncs segments in hand-off order and
+// releases each group's waiters once a covering fsync completed.
+// Consecutive groups on the same file that accumulated while an earlier
+// fsync was in flight share one fsync. After a failed fsync the file is
+// remembered as failed: every later group on it — already written
+// behind a possible tear — fails without another sync attempt, because
+// a retried fsync can report success without the torn bytes being
+// readable.
+func (w *Writer) syncLoop() {
+	defer w.syncWg.Done()
+	var failedF File
+	var failedErr error
+	for {
+		first, ok := <-w.syncC
+		if !ok {
+			return
+		}
+		batch := []syncReq{first}
+	fill:
+		for {
+			select {
+			case r, rok := <-w.syncC:
+				if !rok {
+					break fill
+				}
+				batch = append(batch, r)
+			default:
+				break fill
+			}
+		}
+		for i := 0; i < len(batch); {
+			if batch[i].barrier != nil {
+				close(batch[i].barrier)
+				i++
+				continue
+			}
+			f := batch[i].f
+			var waiters []chan error
+			j := i
+			for j < len(batch) && batch[j].barrier == nil && batch[j].f == f {
+				waiters = append(waiters, batch[j].waiters...)
+				j++
+			}
+			var err error
+			if f == failedF {
+				err = failedErr
+			} else if serr := w.timedSync(f); serr != nil {
+				err = fmt.Errorf("wal: syncing group: %w", serr)
+				failedF, failedErr = f, err
+				// The failing segment is still the current one: every
+				// swap point (heal, rotate, close) drains this stage
+				// first, so no swap can have happened since hand-off.
+				w.markPoisoned()
+			}
+			for _, ch := range waiters {
+				ch <- err
+			}
+			i = j
+		}
+	}
+}
+
+// drainSync blocks until every group already handed to the sync stage
+// has completed. Callers hold ioMu, so no new hand-offs can race the
+// barrier; it is how rotation, heal and close wait out the pipeline
+// before swapping or closing a segment file. No-op outside pipelined
+// mode.
+func (w *Writer) drainSync() {
+	if w.syncC == nil {
+		return
+	}
+	done := make(chan struct{})
+	w.syncC <- syncReq{barrier: done}
+	<-done
 }
 
 // markPoisoned flags the current segment after a failed write or sync:
@@ -328,6 +459,11 @@ func (w *Writer) healForWrite() (File, error) {
 	}
 	next := w.seg + 1
 	w.mu.Unlock()
+	// Let in-flight fsyncs on the poisoned segment finish before it is
+	// retired: groups written before the tear still deserve their ack,
+	// and groups behind it fail through the sync stage's failed-file
+	// memory rather than against a closed descriptor.
+	w.drainSync()
 	nf, err := w.fs.OpenAppend(filepath.Join(w.dir, segmentName(next)))
 	if err != nil {
 		return nil, fmt.Errorf("wal: healing onto segment %d: %w", next, err)
@@ -356,6 +492,13 @@ func (w *Writer) Rotate() (int, error) {
 		w.mu.Unlock()
 		return 0, ErrClosed
 	}
+	w.mu.Unlock()
+	// Wait out the pipeline: every group already handed to the sync
+	// stage completes against the retiring segment before it is swapped
+	// or closed, and any fsync failure in that backlog has poisoned the
+	// segment it actually hit by the time the state is read below.
+	w.drainSync()
+	w.mu.Lock()
 	buf, waiters, old := w.pending, w.waiters, w.f
 	poisoned := w.poisoned
 	w.pending, w.waiters = nil, nil
@@ -440,6 +583,13 @@ func (w *Writer) Close() error {
 	if !w.opts.PerRecordSync {
 		close(w.doneC)
 		w.wg.Wait()
+		if w.syncC != nil {
+			// The flush loop is done, and ErrClosed gates new appends, so
+			// no further hand-offs can happen: drain the sync stage and
+			// stop it before the final sync+close below.
+			close(w.syncC)
+			w.syncWg.Wait()
+		}
 	}
 	w.ioMu.Lock()
 	defer w.ioMu.Unlock()

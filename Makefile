@@ -7,7 +7,7 @@ GO ?= go
 # total). Raise it as coverage grows; never lower it below the seed.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos verify-failover verify-obs verify-docs cover ci
+.PHONY: all build test race bench bench-check fmt vet verify-recovery verify-chaos verify-failover verify-obs verify-gray verify-docs cover ci
 
 all: build
 
@@ -81,6 +81,18 @@ verify-obs:
 	$(GO) test ./internal/agent -run 'TestMetricsRegistryPersistsAcrossScrapes' -count=1 -v
 	$(GO) test ./internal/sim -run 'TestChaosTraceDeterminism|TestChaosSabotageTraceLocalization' -count=1 -v -timeout 120s
 
+# Gray-failure acceptance: the three seeded gray schedules (sustained
+# degradation + coordinator crash, partial heartbeat loss over a
+# replicated pair with a leader kill, checkpoint read-rot) must finish
+# with zero invariant violations; the end-to-end predictive
+# checkpoint-then-migrate drain; the sabotage tests proving all three
+# health invariants fire; and the fold/dedup/coalescing unit suites.
+# See docs/FAULT-MODEL.md (gray failures).
+verify-gray:
+	$(GO) test ./internal/sim -run 'Gray|PartialLoss|CkptReadRot' -count=1 -v -timeout 300s
+	$(GO) test ./internal/core -run 'TestHealthBeatBypassesCoalescing|TestReplayedHealthBeatNotDoubleFolded|TestHealthEventsTruncatedPerBeat' -count=1 -v
+	$(GO) test ./internal/monitor -run 'TestFoldHealth|TestFakeHealthSource' -count=1 -v
+
 # Docs acceptance: every internal package carries a package doc comment
 # (scripts/doccheck) and every example still builds.
 verify-docs:
@@ -99,4 +111,4 @@ cover:
 # cover runs the full test suite (with profiling), so ci does not also
 # run a bare `test` pass — the long simulations already execute once
 # there and once more under verify-chaos.
-ci: build vet fmt race bench bench-check verify-recovery verify-chaos verify-failover verify-obs verify-docs cover
+ci: build vet fmt race bench bench-check verify-recovery verify-chaos verify-failover verify-obs verify-gray verify-docs cover

@@ -188,6 +188,9 @@ func runChaos(seed int64) {
 		{"wal-faults-singlemutex", sim.RunChaosWALFaultsSingleMutex},
 		{"skew+dup-delivery", sim.RunChaosSkewDup},
 		{"data-plane+ckpt-corrupt", sim.RunChaosDataPlane},
+		{"gray-degrade", sim.RunChaosGrayDegrade},
+		{"partial-loss", sim.RunChaosPartialLoss},
+		{"ckpt-read-rot", sim.RunChaosCkptReadRot},
 	}
 	fmt.Printf("%-24s %7s %7s %10s %10s %10s %10s %8s %11s\n",
 		"schedule", "faults", "audits", "submitted", "completed", "recoveries", "diskFaults", "trace", "violations")

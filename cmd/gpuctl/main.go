@@ -55,6 +55,8 @@ func main() {
 		err = cmdKill(core.NewClient(*coordURL), rest)
 	case "nodes":
 		err = cmdNodes(core.NewClient(*coordURL))
+	case "health":
+		err = cmdHealth(core.NewClient(*coordURL))
 	case "jobs":
 		err = cmdJobs(core.NewClient(*coordURL))
 	case "metrics":
@@ -85,7 +87,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gpuctl [-coordinator URL] [-agent URL] <command> [args]
 
 user commands:    submit, status <job>, kill <job>, jobs, nodes
-O&M commands:     metrics, trace [-job ID] [-json]
+O&M commands:     metrics, trace [-job ID] [-json], health
 provider commands: killswitch, pause, resume, depart, agent-status`)
 }
 
@@ -197,6 +199,47 @@ func cmdJobs(c *core.Client) error {
 		fmt.Printf("%-12s %-10s %-16s %-6d %s\n",
 			j.JobID, j.State, orDash(j.NodeID), j.Migrations,
 			j.Submitted.Format("Jan 2 15:04:05"))
+	}
+	return nil
+}
+
+// cmdHealth prints every node's gray-failure standing: the folded
+// health score, whether the node is below the drain threshold, and the
+// most recent events behind the score.
+func cmdHealth(c *core.Client) error {
+	nodes, err := c.NodeHealths()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %-12s %-8s %-10s %s\n", "NODE", "STATUS", "SCORE", "STANDING", "UPDATED")
+	for _, n := range nodes {
+		standing := "healthy"
+		if n.Unhealthy {
+			standing = "DRAINING"
+		} else if n.Score < 1 {
+			standing = "degraded"
+		}
+		updated := "-"
+		if !n.UpdatedAt.IsZero() {
+			updated = n.UpdatedAt.Format("Jan 2 15:04:05")
+		}
+		fmt.Printf("%-20s %-12s %-8.4f %-10s %s\n", n.NodeID, n.Status, n.Score, standing, updated)
+		for _, ev := range n.RecentEvents {
+			line := fmt.Sprintf("    %-18s %-8s", ev.Kind, ev.Severity)
+			if ev.DeviceID != "" {
+				line += " dev=" + ev.DeviceID
+			}
+			if ev.XID != 0 {
+				line += fmt.Sprintf(" xid=%d", ev.XID)
+			}
+			if ev.Value != 0 {
+				line += fmt.Sprintf(" value=%.2f", ev.Value)
+			}
+			if ev.Message != "" {
+				line += " " + ev.Message
+			}
+			fmt.Println(line)
+		}
 	}
 	return nil
 }

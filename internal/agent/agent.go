@@ -87,6 +87,10 @@ type Config struct {
 	// periodic checkpoint ships the whole state. Used by the network
 	// traffic ablation (§4) to quantify what incrementality saves.
 	ForceFullCheckpoints bool
+	// Health surfaces the node's gray-failure observations (XID errors,
+	// throttling, slowdowns); each built heartbeat drains it and ships
+	// the events to the coordinator. Nil means no health reporting.
+	Health gpu.HealthSource
 }
 
 // Agent is the provider-side daemon.
@@ -120,6 +124,11 @@ type Agent struct {
 	// beatSeq numbers every heartbeat this agent builds, so the
 	// coordinator can drop duplicate deliveries of the same beat.
 	beatSeq uint64
+	// pendingHealth buffers health events collected from cfg.Health but
+	// not yet shipped: a beat carries at most api.MaxHealthEventsPerBeat,
+	// and the overflow waits (bounded — oldest events drop first) for
+	// the next beat rather than being lost.
+	pendingHealth []gpu.HealthEvent
 	// endpoints is the coordinator replica set and active the index of
 	// the replica currently used for notifications and heartbeats;
 	// Redirect rotates it on ErrNotLeader or transport failure.
@@ -762,19 +771,49 @@ func (a *Agent) Status() api.AgentStatus {
 // not conflated.
 func (a *Agent) HeartbeatRequest() api.HeartbeatRequest {
 	st := a.Status()
+	var collected []gpu.HealthEvent
+	if a.cfg.Health != nil {
+		collected = a.cfg.Health.CollectHealthEvents()
+	}
 	a.mu.Lock()
 	a.beatSeq++
 	seq := a.beatSeq
+	health := a.takeHealthLocked(collected)
 	a.mu.Unlock()
 	return api.HeartbeatRequest{
-		Envelope:    api.Envelope{ProtocolVersion: api.ProtocolVersion, LeaderEpoch: a.CoordEpoch()},
-		MachineID:   a.cfg.MachineID,
-		Token:       a.Token(),
-		Telemetry:   st.Telemetry,
-		RunningJobs: st.RunningJobs,
-		Paused:      st.Paused,
-		BeatSeq:     seq,
+		Envelope:     api.Envelope{ProtocolVersion: api.ProtocolVersion, LeaderEpoch: a.CoordEpoch()},
+		MachineID:    a.cfg.MachineID,
+		Token:        a.Token(),
+		Telemetry:    st.Telemetry,
+		RunningJobs:  st.RunningJobs,
+		Paused:       st.Paused,
+		BeatSeq:      seq,
+		HealthEvents: health,
 	}
+}
+
+// maxHealthBacklog bounds the agent-side carry-over of unshipped
+// health events (a few beats' worth; beyond it the oldest drop).
+const maxHealthBacklog = 4 * api.MaxHealthEventsPerBeat
+
+// takeHealthLocked merges freshly collected events into the pending
+// buffer and cuts the next beat's bounded slice. Callers hold a.mu.
+func (a *Agent) takeHealthLocked(collected []gpu.HealthEvent) []gpu.HealthEvent {
+	a.pendingHealth = append(a.pendingHealth, collected...)
+	if over := len(a.pendingHealth) - maxHealthBacklog; over > 0 {
+		a.pendingHealth = append(a.pendingHealth[:0], a.pendingHealth[over:]...)
+	}
+	if len(a.pendingHealth) == 0 {
+		return nil
+	}
+	n := len(a.pendingHealth)
+	if n > api.MaxHealthEventsPerBeat {
+		n = api.MaxHealthEventsPerBeat
+	}
+	out := make([]gpu.HealthEvent, n)
+	copy(out, a.pendingHealth[:n])
+	a.pendingHealth = append(a.pendingHealth[:0], a.pendingHealth[n:]...)
+	return out
 }
 
 // snapshotRuns returns the current runs without holding the lock during

@@ -172,7 +172,19 @@ type HeartbeatRequest struct {
 	// delivery (retried requests, replayed packets). Zero means "no
 	// sequence" and is always processed — the pre-sequence wire format.
 	BeatSeq uint64 `json:"beat_seq,omitempty"`
+	// HealthEvents carries the gray-failure observations collected on
+	// the node since its last beat (XID errors, thermal/power
+	// throttling, throughput slowdowns). The slice is bounded: agents
+	// send and coordinators accept at most MaxHealthEventsPerBeat per
+	// beat, newest first beyond the cap. The BeatSeq dedup guard covers
+	// these too — a replayed beat never double-folds its events.
+	HealthEvents []gpu.HealthEvent `json:"health_events,omitempty"`
 }
+
+// MaxHealthEventsPerBeat bounds HeartbeatRequest.HealthEvents on both
+// sides of the wire, keeping a misbehaving (or very sick) node from
+// flooding heartbeat ingress.
+const MaxHealthEventsPerBeat = 32
 
 // HeartbeatResponse acknowledges a heartbeat.
 type HeartbeatResponse struct {
@@ -263,6 +275,23 @@ type NodeSummary struct {
 	GPUs          []db.GPUInfo  `json:"gpus"`
 	LastHeartbeat time.Time     `json:"last_heartbeat"`
 	Departures    int           `json:"departures"`
+}
+
+// NodeHealthSummary is one row of the coordinator's health listing: the
+// node's folded gray-failure score plus the latest events behind it.
+type NodeHealthSummary struct {
+	NodeID string        `json:"node_id"`
+	Status db.NodeStatus `json:"status"`
+	// Score is the folded health score in (0, 1]; 1 is fully healthy.
+	Score float64 `json:"score"`
+	// UpdatedAt is when the score last moved; zero means no health
+	// event has ever been folded for this node.
+	UpdatedAt time.Time `json:"updated_at,omitempty"`
+	// Unhealthy reports Score below the drain threshold: the node is
+	// excluded from placement and its jobs are being moved off.
+	Unhealthy bool `json:"unhealthy,omitempty"`
+	// RecentEvents is a bounded ring of the latest ingested events.
+	RecentEvents []gpu.HealthEvent `json:"recent_events,omitempty"`
 }
 
 // LaunchRequest asks an agent to start a job in a container.

@@ -79,6 +79,21 @@ const (
 	// standby is elected while the zombie still believes its lease is
 	// live. Ignored by non-replicated platforms.
 	KindSplitBrain Kind = "split-brain"
+	// KindGrayDegrade makes a node gray-fail for Dur: its devices emit
+	// health events (XID errors, thermal throttling, slowdowns) while
+	// the node keeps heartbeating and running work. The platform must
+	// fold the events, stop placing on the node, and predictively drain
+	// it. Ignored by platforms without gray-failure support.
+	KindGrayDegrade Kind = "gray-degrade"
+	// KindPartialLoss drops a fraction of one node's heartbeats for Dur
+	// — a flaky link, not a partition. The node must neither be swept
+	// dead (enough beats get through) nor double-processed when retried
+	// beats arrive late.
+	KindPartialLoss Kind = "partial-loss"
+	// KindCkptReadRot silently damages checkpoint blobs on the *read*
+	// path for Dur: the stored bytes are fine, but restores see rot.
+	// CRC verification and generation fallback must absorb it.
+	KindCkptReadRot Kind = "ckpt-read-rot"
 )
 
 // Fault is one scheduled injection.
@@ -179,6 +194,21 @@ type Spec struct {
 	SplitBrains int
 	// MeanSplitBrain is the mean split-brain window (default 2 min).
 	MeanSplitBrain time.Duration
+	// GrayDegradesPerDay is the rate of gray-failure windows (a node
+	// emitting health events while still serving).
+	GrayDegradesPerDay float64
+	// MeanGrayDegrade is the mean gray-failure window (default 15 min).
+	MeanGrayDegrade time.Duration
+	// PartialLossPerDay is the rate of flaky-link windows (a fraction
+	// of one node's heartbeats dropped).
+	PartialLossPerDay float64
+	// MeanPartialLoss is the mean flaky-link window (default 10 min).
+	MeanPartialLoss time.Duration
+	// CkptReadRotPerDay is the rate of checkpoint read-rot windows
+	// (damage injected on the restore path, not at write time).
+	CkptReadRotPerDay float64
+	// MeanCkptReadRot is the mean read-rot window (default 10 min).
+	MeanCkptReadRot time.Duration
 }
 
 // withDefaults fills unset knobs.
@@ -209,6 +239,15 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.MeanSplitBrain <= 0 {
 		s.MeanSplitBrain = 2 * time.Minute
+	}
+	if s.MeanGrayDegrade <= 0 {
+		s.MeanGrayDegrade = 15 * time.Minute
+	}
+	if s.MeanPartialLoss <= 0 {
+		s.MeanPartialLoss = 10 * time.Minute
+	}
+	if s.MeanCkptReadRot <= 0 {
+		s.MeanCkptReadRot = 10 * time.Minute
 	}
 	return s
 }
@@ -402,6 +441,41 @@ func Generate(spec Spec, seed int64) Schedule {
 		})
 	}
 
+	// Gray-failure windows: one node degrades while staying in service.
+	// (Like every family added after the original set, these draw from
+	// the rng last and only when their rate is non-zero, so the eight
+	// pre-existing seeded schedules are unchanged.)
+	for _, t := range poissonTimes(rng, spec.GrayDegradesPerDay, spec.Duration) {
+		if len(spec.Nodes) == 0 {
+			break
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: KindGrayDegrade,
+			Node: spec.Nodes[rng.Intn(len(spec.Nodes))],
+			Dur:  clampDur(expDur(rng, float64(spec.MeanGrayDegrade)), 2*time.Minute, time.Hour),
+		})
+	}
+
+	// Flaky-link windows: partial heartbeat loss on one node.
+	for _, t := range poissonTimes(rng, spec.PartialLossPerDay, spec.Duration) {
+		if len(spec.Nodes) == 0 {
+			break
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: KindPartialLoss,
+			Node: spec.Nodes[rng.Intn(len(spec.Nodes))],
+			Dur:  clampDur(expDur(rng, float64(spec.MeanPartialLoss)), time.Minute, time.Hour),
+		})
+	}
+
+	// Checkpoint read-rot windows.
+	for _, t := range poissonTimes(rng, spec.CkptReadRotPerDay, spec.Duration) {
+		sched = append(sched, Fault{
+			At: t, Kind: KindCkptReadRot,
+			Dur: clampDur(expDur(rng, float64(spec.MeanCkptReadRot)), time.Minute, time.Hour),
+		})
+	}
+
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
 	return sched
 }
@@ -524,6 +598,28 @@ type ReplicatedPlatform interface {
 	SplitBrainHeal() []invariant.Violation
 }
 
+// GrayPlatform is the optional capability interface for platforms with
+// gray-failure support (health-event injection, flaky links, read-side
+// checkpoint rot). The engine type-asserts for it when applying
+// KindGrayDegrade, KindPartialLoss and KindCkptReadRot; platforms
+// without it absorb those faults as no-ops, keeping the Platform
+// contract stable — the same arrangement as ReplicatedPlatform.
+type GrayPlatform interface {
+	// GrayDegradeStart makes the node's devices emit health events
+	// (XID errors, thermal throttling, slowdowns) while the node keeps
+	// serving; GrayDegradeHeal stops the emission (the folded score
+	// recovers by decay).
+	GrayDegradeStart(id string)
+	GrayDegradeHeal(id string)
+	// PartialLossStart drops a deterministic fraction of the node's
+	// heartbeats; PartialLossHeal restores the link.
+	PartialLossStart(id string)
+	PartialLossHeal(id string)
+	// SetCheckpointReadRot toggles silent damage on the checkpoint
+	// store's read path (stored bytes stay intact).
+	SetCheckpointReadRot(enabled bool)
+}
+
 // Observation is one audited point in a run: the fault (or audit tick)
 // and the violations found right after it.
 type Observation struct {
@@ -566,6 +662,11 @@ type Engine struct {
 	ckptWindows int
 	dupWindows  int
 	skewWindows map[string]int
+	// grayWindows / lossWindows are per-node open-window counts for the
+	// gray-failure families; readRotWindows counts read-rot windows.
+	grayWindows    map[string]int
+	lossWindows    map[string]int
+	readRotWindows int
 	// rec, when set, lands every injected fault and every audited
 	// violation in the flight recorder, so a trace export localizes a
 	// breach against the fault that preceded it. Nil-safe: obs methods
@@ -586,6 +687,8 @@ func NewEngine(clock *simclock.Sim, plat Platform) *Engine {
 		checker:     invariant.NewChecker(),
 		rep:         Report{Executed: make(map[Kind]int)},
 		skewWindows: make(map[string]int),
+		grayWindows: make(map[string]int),
+		lossWindows: make(map[string]int),
 	}
 }
 
@@ -697,6 +800,43 @@ func (e *Engine) apply(f Fault) {
 			rp.SplitBrainStart()
 			e.clock.AfterFunc(f.Dur, func() {
 				e.audit("split-brain-heal", rp.SplitBrainHeal())
+			})
+		}
+	case KindGrayDegrade:
+		if gp, ok := e.plat.(GrayPlatform); ok {
+			node := f.Node
+			e.grayWindows[node]++
+			gp.GrayDegradeStart(node)
+			e.clock.AfterFunc(f.Dur, func() {
+				e.grayWindows[node]--
+				if e.grayWindows[node] == 0 {
+					gp.GrayDegradeHeal(node)
+					e.audit("gray-degrade-heal "+node, nil)
+				}
+			})
+		}
+	case KindPartialLoss:
+		if gp, ok := e.plat.(GrayPlatform); ok {
+			node := f.Node
+			e.lossWindows[node]++
+			gp.PartialLossStart(node)
+			e.clock.AfterFunc(f.Dur, func() {
+				e.lossWindows[node]--
+				if e.lossWindows[node] == 0 {
+					gp.PartialLossHeal(node)
+					e.audit("partial-loss-heal "+node, nil)
+				}
+			})
+		}
+	case KindCkptReadRot:
+		if gp, ok := e.plat.(GrayPlatform); ok {
+			e.readRotWindows++
+			gp.SetCheckpointReadRot(true)
+			e.clock.AfterFunc(f.Dur, func() {
+				e.readRotWindows--
+				if e.readRotWindows == 0 {
+					gp.SetCheckpointReadRot(false)
+				}
 			})
 		}
 	}

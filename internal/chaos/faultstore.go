@@ -17,6 +17,10 @@ import (
 // generations, damage is applied to every second write during a fault
 // window (the driver goroutine serializes writes, so the counter needs
 // only its mutex).
+// Read-side rot (KindCkptReadRot) is the complementary gray failure:
+// the stored bytes are intact, but reads return damaged copies — media
+// rot surfacing at restore time, after every write was acknowledged
+// clean. The same every-other cadence applies, counted per read.
 type FaultBlobStore struct {
 	inner storage.Store
 
@@ -26,6 +30,11 @@ type FaultBlobStore struct {
 	// every-other-write cadence); injected counts damage delivered.
 	writes   int
 	injected int
+	// readRot toggles read-path damage; reads and readInjected mirror
+	// the write-side counters.
+	readRot      bool
+	reads        int
+	readInjected int
 }
 
 // NewFaultBlobStore wraps a backing blob store, initially healthy.
@@ -45,6 +54,21 @@ func (f *FaultBlobStore) Injected() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.injected
+}
+
+// SetReadRot toggles silent damage on the read path. Unlike the write
+// modes, the backing store stays intact — only the returned copies rot.
+func (f *FaultBlobStore) SetReadRot(enabled bool) {
+	f.mu.Lock()
+	f.readRot = enabled
+	f.mu.Unlock()
+}
+
+// ReadInjected reports how many reads were actually damaged.
+func (f *FaultBlobStore) ReadInjected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readInjected
 }
 
 // Put stores data, possibly damaged, and reports success either way.
@@ -76,8 +100,32 @@ func (f *FaultBlobStore) Put(key string, data []byte) error {
 	return f.inner.Put(key, data)
 }
 
-// Get implements storage.Store.
-func (f *FaultBlobStore) Get(key string) ([]byte, error) { return f.inner.Get(key) }
+// Get returns the stored blob, damaging every second copy while a
+// read-rot window is open. The damage is applied to a private copy:
+// re-reads outside the window see the intact bytes again.
+func (f *FaultBlobStore) Get(key string) ([]byte, error) {
+	data, err := f.inner.Get(key)
+	if err != nil {
+		return data, err
+	}
+	f.mu.Lock()
+	damage := false
+	if f.readRot && len(data) > 1 {
+		f.reads++
+		if f.reads%2 == 1 {
+			damage = true
+			f.readInjected++
+		}
+	}
+	n := f.readInjected
+	f.mu.Unlock()
+	if damage {
+		bad := append([]byte(nil), data...)
+		bad[(n*37)%len(bad)] ^= 0x20
+		data = bad
+	}
+	return data, nil
+}
 
 // Delete implements storage.Store.
 func (f *FaultBlobStore) Delete(key string) error { return f.inner.Delete(key) }

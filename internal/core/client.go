@@ -114,6 +114,13 @@ func (c *Client) Nodes() ([]api.NodeSummary, error) {
 	return nodes, err
 }
 
+// NodeHealths lists every node's health standing and recent events.
+func (c *Client) NodeHealths() ([]api.NodeHealthSummary, error) {
+	var out []api.NodeHealthSummary
+	err := c.get("/v1/health/nodes", &out)
+	return out, err
+}
+
 // MetricsText fetches the coordinator's metrics in the Prometheus text
 // exposition format.
 func (c *Client) MetricsText() (string, error) {

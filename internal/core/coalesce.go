@@ -40,14 +40,25 @@ const beatFlushCap = 512
 
 // isNoopBeat reports whether this heartbeat changes nothing about the
 // node record except LastHeartbeat: the node was not away, its status
-// is stable, reconciliation found nothing (no suspicious report
-// entries, no lost placements, no orphans, no devices inside the
-// placement grace), and the telemetry agrees with every recorded
-// allocation flag. Exactly these beats may skip the full UpdateNode
-// commit and coalesce.
+// is stable, it carries no health events, reconciliation found nothing
+// (no suspicious report entries, no lost placements, no orphans, no
+// devices inside the placement grace), and the telemetry agrees with
+// every recorded allocation flag. Exactly these beats may skip the full
+// UpdateNode commit and coalesce.
+//
+// A beat carrying health events is never a no-op: its fold advances the
+// record's Health/HealthAt, and the LastHeartbeat advance must commit
+// with it — parking the beat in the coalescing buffer would let the
+// health fold run ahead of a heartbeat the store has not seen, and a
+// buffer discarded on stop/step-down would drop the beat while its
+// health fold survived in the WAL.
 func (c *Coordinator) isNoopBeat(rec db.NodeRecord, tel []gpu.Telemetry,
-	wasAway bool, newStatus db.NodeStatus, suspicious bool,
-	lost []db.JobRecord, orphans []string, protected map[string]bool) bool {
+	health []gpu.HealthEvent, wasAway bool, newStatus db.NodeStatus,
+	suspicious bool, lost []db.JobRecord, orphans []string,
+	protected map[string]bool) bool {
+	if len(health) > 0 {
+		return false
+	}
 	if wasAway || newStatus != rec.Status || suspicious ||
 		len(lost) > 0 || len(orphans) > 0 || len(protected) > 0 {
 		return false

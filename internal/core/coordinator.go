@@ -124,10 +124,13 @@ type Coordinator struct {
 	hb         *heartbeat.Monitor
 	ckpts      *checkpoint.Store
 	mig        *migration.Engine
-	bus        *eventbus.Bus
-	metrics    *monitor.Registry
-	met        *coordMetrics
-	trace      *obs.Recorder
+	// healthParams tunes the health fold; fixed to the defaults so the
+	// health-score-consistent invariant can recompute every fold.
+	healthParams monitor.HealthParams
+	bus          *eventbus.Bus
+	metrics      *monitor.Registry
+	met          *coordMetrics
+	trace        *obs.Recorder
 	// metCancel detaches the metrics mutation feed on Stop (the pool's
 	// feed has its own cancel).
 	metCancel func()
@@ -152,6 +155,10 @@ type Coordinator struct {
 	beatTimer        simclock.Timer
 	jobSeq           int
 	interactiveCount int
+	// recentHealth is a bounded per-node ring of the latest ingested
+	// health events — diagnostic state for the health endpoint, never
+	// persisted (the WAL carries the events inside MutNodeHealth).
+	recentHealth map[string][]gpu.HealthEvent
 	// temporary tracks nodes that departed with return intent.
 	temporary map[string]bool
 	stopped   bool
@@ -215,6 +222,7 @@ func New(cfg Config, clock simclock.Clock, database db.Store, ckpts *checkpoint.
 		hb:           heartbeat.NewMonitor(cfg.HeartbeatInterval, cfg.MissedThreshold),
 		ckpts:        ckpts,
 		mig:          migration.New(sched, ckpts, cfg.Net, cfg.StorageNode),
+		healthParams: monitor.DefaultHealthParams(),
 		bus:          bus,
 		metrics:      metrics,
 		met:          met,
@@ -745,7 +753,16 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 	}
 	lost, protected := c.lostPlacements(rec, reported, req.Telemetry, suspicious, now)
 
-	if c.isNoopBeat(rec, req.Telemetry, wasAway, newStatus, suspicious, lost, orphans, protected) {
+	// Health events ride the beat. The bound is enforced coordinator-
+	// side too — a hostile or buggy agent must not widen a fold beyond
+	// what the protocol promises. Sitting after the dedup guard, a
+	// replayed beat can never fold its events twice.
+	health := req.HealthEvents
+	if len(health) > api.MaxHealthEventsPerBeat {
+		health = health[:api.MaxHealthEventsPerBeat]
+	}
+
+	if c.isNoopBeat(rec, req.Telemetry, health, wasAway, newStatus, suspicious, lost, orphans, protected) {
 		// Steady state at fleet scale: nothing about the record changes
 		// but LastHeartbeat. The advance parks in the coalescing buffer —
 		// a tick at HeartbeatInterval/4 commits the whole batch as one
@@ -776,6 +793,10 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 		}
 	}
 	c.hb.Beat(req.MachineID, now)
+
+	if len(health) > 0 {
+		c.ingestHealth(req.MachineID, health, now)
+	}
 
 	// Persist telemetry history for capacity planning (§3.2).
 	for _, tel := range req.Telemetry {
@@ -983,6 +1004,7 @@ func (c *Coordinator) Sweep() {
 		c.bus.Publish(eventbus.Event{Type: eventbus.NodeUnreachable, Time: now, Node: nodeID})
 		c.migrateJobsFrom(nodeID, migration.ReasonEmergency)
 	}
+	c.sweepHealth(now)
 }
 
 // handleNodeReturn restores a node to service and migrates back the jobs
@@ -1395,6 +1417,16 @@ func (c *Coordinator) finishMigration(job db.JobRecord, meta *jobMeta, plan migr
 	// checkpoint was in flight.
 	cur, err := c.db.GetJob(job.ID)
 	if err != nil || cur.State != db.JobMigrating {
+		return
+	}
+	// The target may have degraded below the unhealthy threshold while
+	// the checkpoint was in transit. Landing there would be a fresh
+	// placement on a node the scheduler now excludes — requeue instead
+	// and let the next batch pick a healthy target.
+	if tgt, err := c.db.GetNode(plan.Placement.NodeID); err != nil ||
+		tgt.HealthScore() < monitor.UnhealthyBelow {
+		c.mig.RecordFailure(reason)
+		c.requeueFromCheckpoint(job.ID, now)
 		return
 	}
 	c.place(job, meta, plan.Placement, plan.RestoreSeq, plan.RestoreStep, now)

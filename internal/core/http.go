@@ -117,6 +117,10 @@ func (c *Coordinator) Handler(factory HandleFactory) http.Handler {
 		writeJSON(w, http.StatusOK, c.Nodes())
 	})
 
+	mux.HandleFunc("GET /v1/health/nodes", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, c.NodeHealths())
+	})
+
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		// Derived gauges (job states, leadership, pool cache,
 		// checkpoint verification) are recomputed per scrape.

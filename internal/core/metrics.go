@@ -43,6 +43,12 @@ type coordMetrics struct {
 	// map hit, not a registry registration.
 	mutations map[string]*monitor.Counter
 	jobGauges map[db.JobState]*monitor.Gauge
+	// healthEvents caches one counter per (kind, severity) pair and
+	// nodeHealth one gauge per node, both registered lazily on first
+	// sight — same reasoning as mutations: the heartbeat ingest path
+	// must do a map hit, not a registry registration.
+	healthEvents map[string]*monitor.Counter
+	nodeHealth   map[string]*monitor.Gauge
 	// Last-seen values for the polled lifetime totals (delta-Add keeps
 	// the exported counters monotonic across scrapes).
 	lastPoolHits, lastPoolMisses uint64
@@ -59,9 +65,11 @@ var jobStates = []db.JobState{
 // newCoordMetrics registers the coordinator's instruments on reg.
 func newCoordMetrics(reg *monitor.Registry) (*coordMetrics, error) {
 	m := &coordMetrics{
-		reg:       reg,
-		mutations: make(map[string]*monitor.Counter),
-		jobGauges: make(map[db.JobState]*monitor.Gauge),
+		reg:          reg,
+		mutations:    make(map[string]*monitor.Counter),
+		jobGauges:    make(map[db.JobState]*monitor.Gauge),
+		healthEvents: make(map[string]*monitor.Counter),
+		nodeHealth:   make(map[string]*monitor.Gauge),
 	}
 	var err error
 	register := func(dst **monitor.Counter, name, help string) {
@@ -151,6 +159,52 @@ func (m *coordMetrics) observeMutation(typ db.MutationType, shard int) {
 		m.mu.Unlock()
 	}
 	ctr.Inc()
+}
+
+// observeHealthEvent counts one ingested health event under its
+// (kind, severity) labels.
+func (m *coordMetrics) observeHealthEvent(kind, severity string) {
+	key := kind + "|" + severity
+	m.mu.Lock()
+	ctr := m.healthEvents[key]
+	m.mu.Unlock()
+	if ctr == nil {
+		c, err := m.reg.Counter("gpunion_health_events_total",
+			"Health events ingested from agents by kind and severity",
+			map[string]string{"kind": kind, "severity": severity})
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.healthEvents[key] == nil {
+			m.healthEvents[key] = c
+		}
+		ctr = m.healthEvents[key]
+		m.mu.Unlock()
+	}
+	ctr.Inc()
+}
+
+// setNodeHealth exports one node's current health score.
+func (m *coordMetrics) setNodeHealth(nodeID string, score float64) {
+	m.mu.Lock()
+	g := m.nodeHealth[nodeID]
+	m.mu.Unlock()
+	if g == nil {
+		ng, err := m.reg.Gauge("gpunion_node_health",
+			"Per-node health score in (0, 1]; 1 is fully healthy",
+			map[string]string{"node": nodeID})
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.nodeHealth[nodeID] == nil {
+			m.nodeHealth[nodeID] = ng
+		}
+		g = m.nodeHealth[nodeID]
+		m.mu.Unlock()
+	}
+	g.Set(score)
 }
 
 // refresh recomputes every derived gauge and rolls the polled lifetime

@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gpunion/internal/gpu"
 	"gpunion/internal/workload"
 )
 
@@ -96,6 +97,24 @@ type NodeRecord struct {
 	TotalUptime time.Duration `json:"total_uptime"`
 	// LastJoin is when the node most recently became active.
 	LastJoin time.Time `json:"last_join"`
+
+	// Health is the folded gray-failure health score in (0, 1] — 1
+	// fully healthy — and HealthAt the instant of the fold that
+	// produced it. A zero HealthAt means no health events were ever
+	// folded (read the score through HealthScore, which treats that as
+	// healthy); both fields move only via RecordHealth / MutNodeHealth.
+	Health   float64   `json:"health,omitempty"`
+	HealthAt time.Time `json:"health_at,omitempty"`
+}
+
+// HealthScore reads the node's effective health: 1.0 until the first
+// fold installs a score (old snapshots and fresh registrations decode
+// with a zero HealthAt, which must not read as maximally unhealthy).
+func (n *NodeRecord) HealthScore() float64 {
+	if n.HealthAt.IsZero() {
+		return 1
+	}
+	return n.Health
 }
 
 // JobState is the platform-level lifecycle of a job.
@@ -190,6 +209,17 @@ type Store interface {
 	// churn, not fleet size. Beats for missing nodes or with stale
 	// timestamps are skipped; the applied count is returned.
 	TouchNodes(beats []BeatDelta) int
+	// RecordHealth folds a batch of gray-failure health events into one
+	// node's health score. fold maps the node's previous (score,
+	// instant) pair to the new score and runs inside the node's
+	// critical section, so concurrent folds on one node serialize; the
+	// committed record (MutNodeHealth) carries the resulting score as
+	// an after-image plus the folded events, which is what lets the
+	// health-score-consistent audit recompute it. Folds whose at does
+	// not advance HealthAt are skipped (forward-only, like TouchNodes);
+	// ok reports whether the fold was applied.
+	RecordHealth(nodeID string, at time.Time, events []gpu.HealthEvent,
+		fold func(prev float64, prevAt time.Time) float64) (score float64, ok bool)
 	ListNodes() []NodeRecord
 	ActiveNodes() []NodeRecord
 
@@ -402,6 +432,10 @@ func (d *DB) ShardFor(m Mutation) int {
 		if len(m.Beats) > 0 {
 			return shardOf(m.Beats[0].NodeID, d.shardCount)
 		}
+	case MutNodeHealth:
+		if m.Health != nil {
+			return shardOf(m.Health.NodeID, d.shardCount)
+		}
 	}
 	return 0
 }
@@ -525,6 +559,34 @@ func (d *DB) TouchNodes(beats []BeatDelta) int {
 		applied += len(kept)
 	}
 	return applied
+}
+
+// RecordHealth folds health events into one node's score under the
+// shard lock (see Store.RecordHealth). The emitted MutNodeHealth
+// record carries the resulting score as an after-image — replay
+// installs it directly, no re-fold — plus the events, so the
+// health-score-consistent audit can recompute the fold.
+func (d *DB) RecordHealth(nodeID string, at time.Time, events []gpu.HealthEvent,
+	fold func(prev float64, prevAt time.Time) float64) (float64, bool) {
+	d.ops.Add(1)
+	s := d.nodeShard(nodeID)
+	s.mu.Lock()
+	d.delay()
+	n, ok := s.recs[nodeID]
+	if !ok || !at.After(n.HealthAt) {
+		s.mu.Unlock()
+		return 0, false
+	}
+	score := fold(n.Health, n.HealthAt)
+	cp := cloneNode(*n)
+	cp.Health, cp.HealthAt = score, at
+	s.recs[nodeID] = &cp
+	lsn := d.lsn.Add(1)
+	s.mu.Unlock()
+	d.emit(Mutation{LSN: lsn, Type: MutNodeHealth, Health: &HealthDelta{
+		NodeID: nodeID, Score: score, At: at, Events: events,
+	}})
+	return score, true
 }
 
 // ListNodes returns copies of all nodes, sorted by ID. Shards are read-

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gpunion/internal/gpu"
 )
 
 // MutationType tags one typed mutation record emitted by a Store. The
@@ -38,6 +40,13 @@ const (
 	// not fleet size — but replay stays idempotent because each delta
 	// only ever moves LastHeartbeat forward.
 	MutBeat MutationType = "beat"
+	// MutNodeHealth is a health-score fold: one node's Health/HealthAt
+	// advance, carrying the resulting score as an after-image (replay
+	// installs it without re-folding) together with the health events
+	// that produced it (so the health-score-consistent audit can
+	// recompute the fold). Replay is idempotent because each record
+	// only ever moves HealthAt forward.
+	MutNodeHealth MutationType = "node_health"
 )
 
 // BeatDelta is one node's entry in a coalesced MutBeat record: the node
@@ -47,6 +56,18 @@ const (
 type BeatDelta struct {
 	NodeID string    `json:"node_id"`
 	At     time.Time `json:"at"`
+}
+
+// HealthDelta is a MutNodeHealth record's payload: the node whose
+// health score advanced, the folded score and fold instant
+// (after-image — replay installs these directly), and the events that
+// were folded in (audit evidence — the health-score-consistent
+// invariant recomputes the fold from them).
+type HealthDelta struct {
+	NodeID string            `json:"node_id"`
+	Score  float64           `json:"score"`
+	At     time.Time         `json:"at"`
+	Events []gpu.HealthEvent `json:"events,omitempty"`
 }
 
 // Mutation is the typed record a Store emits for every state change.
@@ -64,6 +85,8 @@ type Mutation struct {
 	// Beats carries a MutBeat record's deltas; every delta in one record
 	// targets the same node shard (one critical section, one WAL frame).
 	Beats []BeatDelta `json:"beats,omitempty"`
+	// Health carries a MutNodeHealth record's fold.
+	Health *HealthDelta `json:"health,omitempty"`
 }
 
 // MutationHook observes committed mutations. It is invoked after the
@@ -389,6 +412,22 @@ func (d *DB) Apply(m Mutation) error {
 			}
 			s.mu.Unlock()
 		}
+	case MutNodeHealth:
+		if m.Health == nil {
+			return fmt.Errorf("db: %s mutation without health payload", m.Type)
+		}
+		// The carried score is an after-image: install it verbatim (no
+		// re-fold), forward-only on HealthAt so replay is idempotent and
+		// byte-equal with the live store.
+		h := m.Health
+		s := d.nodeShard(h.NodeID)
+		s.mu.Lock()
+		if n, ok := s.recs[h.NodeID]; ok && h.At.After(n.HealthAt) {
+			cp := cloneNode(*n)
+			cp.Health, cp.HealthAt = h.Score, h.At
+			s.recs[h.NodeID] = &cp
+		}
+		s.mu.Unlock()
 	default:
 		return fmt.Errorf("db: unknown mutation type %q", m.Type)
 	}
@@ -581,6 +620,16 @@ func (d *SingleMutex) Apply(m Mutation) error {
 				cp.LastHeartbeat = b.At
 				d.nodes[b.NodeID] = &cp
 			}
+		}
+	case MutNodeHealth:
+		if m.Health == nil {
+			return fmt.Errorf("db: %s mutation without health payload", m.Type)
+		}
+		h := m.Health
+		if n, ok := d.nodes[h.NodeID]; ok && h.At.After(n.HealthAt) {
+			cp := cloneNode(*n)
+			cp.Health, cp.HealthAt = h.Score, h.At
+			d.nodes[h.NodeID] = &cp
 		}
 	default:
 		return fmt.Errorf("db: unknown mutation type %q", m.Type)

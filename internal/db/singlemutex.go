@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gpunion/internal/gpu"
 )
 
 // SingleMutex is the original mutex-guarded store: every operation —
@@ -129,6 +131,28 @@ func (d *SingleMutex) TouchNodes(beats []BeatDelta) int {
 	d.mu.Unlock()
 	d.emit(Mutation{LSN: lsn, Type: MutBeat, Beats: kept})
 	return len(kept)
+}
+
+// RecordHealth folds health events into one node's score under the
+// single lock (see Store.RecordHealth and DB.RecordHealth).
+func (d *SingleMutex) RecordHealth(nodeID string, at time.Time, events []gpu.HealthEvent,
+	fold func(prev float64, prevAt time.Time) float64) (float64, bool) {
+	d.lockOp()
+	n, ok := d.nodes[nodeID]
+	if !ok || !at.After(n.HealthAt) {
+		d.mu.Unlock()
+		return 0, false
+	}
+	score := fold(n.Health, n.HealthAt)
+	cp := cloneNode(*n)
+	cp.Health, cp.HealthAt = score, at
+	d.nodes[nodeID] = &cp
+	lsn := d.lsn.Add(1)
+	d.mu.Unlock()
+	d.emit(Mutation{LSN: lsn, Type: MutNodeHealth, Health: &HealthDelta{
+		NodeID: nodeID, Score: score, At: at, Events: events,
+	}})
+	return score, true
 }
 
 // ListNodes returns copies of all nodes, sorted by ID.

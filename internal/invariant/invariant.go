@@ -52,6 +52,19 @@
 //     detection must key off receiver-side time, not sender clocks;
 //   - no-duplicate-side-effects (chaos.VerifyIdempotent): replaying an
 //     already-processed control message mutates nothing.
+//
+// Gray-failure handling adds three more (see health.go):
+//
+//   - health-score-consistent (HealthAudit / CheckHealthDeltas): every
+//     persisted node health score is exactly the deterministic fold of
+//     the events the mutation stream carries — including across crash
+//     recovery and standby promotion;
+//   - no-placement-on-unhealthy (CheckNoPlacementOnUnhealthy): the
+//     scheduler never places new work on a node below the unhealthy
+//     threshold;
+//   - degraded-node-drained (CheckDegradedDrained): predictive
+//     checkpoint-then-migrate empties unhealthy nodes whenever feasible
+//     spare capacity exists.
 package invariant
 
 import (

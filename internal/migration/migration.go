@@ -35,6 +35,11 @@ const (
 	ReasonEmergency   Reason = "emergency" // heartbeat loss
 	ReasonTemporary   Reason = "temporary" // provider pause with return intent
 	ReasonMigrateBack Reason = "migrate-back"
+	// ReasonPredictive is a checkpoint-then-migrate drain off a node
+	// whose health score crossed the unhealthy threshold: the node is
+	// still alive, so the job checkpoints in place before moving — no
+	// work is lost, unlike the emergency path.
+	ReasonPredictive Reason = "predictive"
 )
 
 // ErrNoTarget is returned when no node can host the displaced job.

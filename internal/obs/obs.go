@@ -44,6 +44,12 @@ const (
 	// first of these after a leader.elected event closes the failover
 	// span.
 	KindWriteFenced = "write.fenced"
+	// KindHealthDegraded annotates a node's health score crossing below
+	// the unhealthy threshold (gray-failure detection).
+	KindHealthDegraded = "health.degraded"
+	// KindPredictiveMigrate annotates one job leaving a degraded node
+	// via checkpoint-then-migrate, before the node actually fails.
+	KindPredictiveMigrate = "migrate.predictive"
 )
 
 // DefaultCapacity is the ring size used when NewRecorder is given a

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gpunion/internal/db"
+	"gpunion/internal/monitor"
 )
 
 // NodePool is the scheduler's incremental view of schedulable capacity:
@@ -73,6 +74,10 @@ func (p *NodePool) Observe(m db.Mutation) {
 		p.observeBeats(m)
 		return
 	}
+	if m.Type == db.MutNodeHealth {
+		p.observeHealth(m)
+		return
+	}
 	if m.Type != db.MutNodePut || m.Node == nil {
 		return
 	}
@@ -119,6 +124,31 @@ func (p *NodePool) observeBeats(m db.Mutation) {
 		p.dirty = true
 		p.gen++
 	}
+}
+
+// observeHealth applies one MutNodeHealth fold: like observeBeats it
+// installs a fresh after-image with only the health fields advanced,
+// forward-only on HealthAt, and invalidates the memoized reliability
+// (the prediction consumes the health score, so a fold always changes
+// it). Folds for nodes the pool has never seen are dropped — the
+// registering MutNodePut carries the full image.
+func (p *NodePool) observeHealth(m db.Mutation) {
+	h := m.Health
+	if h == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pn := p.nodes[h.NodeID]
+	if pn == nil || m.LSN <= pn.lsn || !h.At.After(pn.rec.HealthAt) {
+		return
+	}
+	cp := *pn.rec
+	cp.GPUs = slices.Clone(cp.GPUs)
+	cp.Health, cp.HealthAt = h.Score, h.At
+	pn.rec, pn.lsn, pn.relOK = &cp, m.LSN, false
+	p.dirty = true
+	p.gen++
 }
 
 // Reset rebuilds the pool from a full store scan — the recovery path
@@ -179,6 +209,9 @@ func (p *NodePool) snapshot(now time.Time) []poolEntry {
 		pn := p.nodes[id]
 		if pn.rec.Status != db.NodeActive {
 			continue
+		}
+		if pn.rec.HealthScore() < monitor.UnhealthyBelow {
+			continue // being drained; see Scheduler.buildPool
 		}
 		if !pn.relOK {
 			pn.rel = p.model.Predict(*pn.rec, now)

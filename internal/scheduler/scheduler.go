@@ -20,6 +20,7 @@ import (
 
 	"gpunion/internal/db"
 	"gpunion/internal/gpu"
+	"gpunion/internal/monitor"
 )
 
 // ErrNoPlacement is returned when no active node can satisfy a request.
@@ -86,6 +87,11 @@ const predictExpCap = 64
 
 // Predict scores a node in (0, 1]. New nodes with no history get the
 // benefit of the doubt (1.0), matching the trust-first campus setting.
+// The node's gray-failure health score multiplies straight in: a node
+// that heartbeats perfectly but reports XID errors or throttling is
+// predicted unreliable exactly as if its history said so, which is how
+// degraded nodes stop winning placements without any new plumbing in
+// the strategies.
 func (m ReliabilityModel) Predict(n db.NodeRecord, now time.Time) float64 {
 	score := 1.0
 	if n.Departures > 0 {
@@ -93,6 +99,7 @@ func (m ReliabilityModel) Predict(n db.NodeRecord, now time.Time) float64 {
 		// the provider's history is.
 		score = math.Pow(m.HalfLife, math.Min(float64(n.Departures), predictExpCap))
 	}
+	score *= n.HealthScore()
 	if m.UptimeWeight > 0 && !n.RegisteredAt.IsZero() {
 		lifetime := now.Sub(n.RegisteredAt)
 		if lifetime > 0 {
@@ -332,6 +339,14 @@ func (s *Scheduler) buildPool(nodes []db.NodeRecord, now time.Time) []poolEntry 
 	for i := range nodes {
 		n := &nodes[i]
 		if n.Status != db.NodeActive {
+			continue
+		}
+		if n.HealthScore() < monitor.UnhealthyBelow {
+			// Degraded past the drain threshold: the node is being
+			// emptied predictively, so it must not win new placements
+			// (the no-placement-on-unhealthy invariant). Unlike plain
+			// unreliability — which only degrades ordering — this is a
+			// hard exclusion.
 			continue
 		}
 		rel := s.model.Predict(*n, now)

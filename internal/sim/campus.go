@@ -81,6 +81,9 @@ type Campus struct {
 	Net    *netsim.Network
 	Bus    *eventbus.Bus
 	Defs   []NodeDef
+	// Health holds each agent's injectable health source when the
+	// assembly was built WithHealthSources (gray-failure scripting).
+	Health map[string]*gpu.FakeHealthSource
 
 	hbInterval time.Duration
 }
@@ -105,6 +108,10 @@ type CampusConfig struct {
 	// SchedulerBatchSize caps one scheduling cycle's batch (0 = the
 	// coordinator default).
 	SchedulerBatchSize int
+	// WithHealthSources wires an injectable gpu.FakeHealthSource into
+	// every agent, exposed via Campus.Health — the seam gray-failure
+	// scenarios push XID/thermal/slowdown events through.
+	WithHealthSources bool
 }
 
 // NewCampus builds a deployment from node definitions. All agents share
@@ -148,6 +155,9 @@ func NewCampus(defs []NodeDef, cfg CampusConfig) (*Campus, error) {
 		Ckpts: ckpts, Net: net, Bus: bus, Defs: defs,
 		hbInterval: cfg.HeartbeatInterval,
 	}
+	if cfg.WithHealthSources {
+		c.Health = make(map[string]*gpu.FakeHealthSource, len(defs))
+	}
 	if cfg.TrackCheckpointTraffic && net != nil {
 		bus.SubscribeFunc(func(ev eventbus.Event) {
 			bytes, _ := ev.Detail["bytes"].(int64)
@@ -160,11 +170,17 @@ func NewCampus(defs []NodeDef, cfg CampusConfig) (*Campus, error) {
 
 	for _, d := range defs {
 		rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(d.GPUs...), 0, 0)
-		ag := agent.New(agent.Config{
+		acfg := agent.Config{
 			MachineID: d.ID, Kernel: "5.15",
 			ProgressTick:         cfg.ProgressTick,
 			ForceFullCheckpoints: cfg.ForceFullCheckpoints,
-		}, clock, rt, ckpts, bus, coord)
+		}
+		if cfg.WithHealthSources {
+			src := gpu.NewFakeHealthSource()
+			c.Health[d.ID] = src
+			acfg.Health = src
+		}
+		ag := agent.New(acfg, clock, rt, ckpts, bus, coord)
 		resp, err := coord.Register(ag.RegisterRequest("inproc://"+d.ID, 1<<40), core.LocalAgent{A: ag})
 		if err != nil {
 			return nil, err

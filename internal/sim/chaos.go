@@ -19,6 +19,7 @@ import (
 	"gpunion/internal/eventbus"
 	"gpunion/internal/gpu"
 	"gpunion/internal/invariant"
+	"gpunion/internal/monitor"
 	"gpunion/internal/netsim"
 	"gpunion/internal/obs"
 	"gpunion/internal/simclock"
@@ -95,6 +96,9 @@ type ChaosResult struct {
 	// verification rejected (the detector firing on that damage).
 	CkptFaultsInjected      int
 	CkptCorruptionsDetected int
+	// CkptReadFaultsInjected counts reads that returned rotted copies
+	// during read-rot windows (stored bytes stayed intact).
+	CkptReadFaultsInjected int
 	// DupReplaysDelivered counts control messages actually replayed
 	// during duplicate-delivery windows (each verified side-effect
 	// free), by message kind ("heartbeat", "job-update", "launch").
@@ -183,6 +187,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		res.WALFaultsInjected = h.fs.Injected()
 	}
 	res.CkptFaultsInjected = h.blob.Injected()
+	res.CkptReadFaultsInjected = h.blob.ReadInjected()
 	res.CkptCorruptionsDetected = h.ckpts.CorruptionsDetected()
 	h.mu.Lock()
 	res.DupReplaysDelivered = h.dupReplays
@@ -246,9 +251,25 @@ type chaosHarness struct {
 	dupViolations []invariant.Violation
 	// beatAudit folds the serving store's node-image and beat-delta
 	// stream to verify beat-delta equivalence at every audit point;
+	// healthAudit does the same for the health-fold stream. Both are
 	// re-attached whenever a successor store is installed.
-	beatAudit       *invariant.BeatAudit
-	beatAuditCancel func()
+	beatAudit         *invariant.BeatAudit
+	beatAuditCancel   func()
+	healthAudit       *invariant.HealthAudit
+	healthAuditCancel func()
+	// healthSrcs holds each agent's injectable health source (the
+	// gray-degrade seam); grayOn marks nodes with an open gray window
+	// (the pump re-injects events every heartbeat interval); lossOn
+	// marks nodes whose heartbeats drop probabilistically (partial
+	// loss); lossRng drives those drops, consumed only inside loss
+	// windows so other schedules' determinism is untouched.
+	healthSrcs map[string]*gpu.FakeHealthSource
+	grayOn     map[string]bool
+	lossOn     map[string]bool
+	lossRng    *rand.Rand
+	// unhealthySince records when each node was first observed below
+	// the unhealthy threshold, feeding the degraded-node-drained grace.
+	unhealthySince map[string]time.Time
 	// graceUntil suppresses agent-vs-store phantom checks right after a
 	// heal or restart, while reconciliation heartbeats are in flight.
 	graceUntil        time.Time
@@ -376,6 +397,11 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		dataPartitioned: make(map[string]bool),
 		skews:           make(map[string]time.Duration),
 		origLinks:       make(map[string]netsim.NodeLink),
+		healthSrcs:      make(map[string]*gpu.FakeHealthSource),
+		grayOn:          make(map[string]bool),
+		lossOn:          make(map[string]bool),
+		lossRng:         rand.New(rand.NewSource(cfg.Seed + 2)),
+		unhealthySince:  make(map[string]time.Time),
 	}
 	for _, d := range cfg.Defs {
 		h.nodeIDs = append(h.nodeIDs, d.ID)
@@ -480,7 +506,7 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		// coordinator's registry.
 		_ = h.mgr.Writer().Instrument(h.coord.Metrics())
 	}
-	h.attachBeatAudit(h.store)
+	h.attachStreamAudits(h.store)
 
 	for _, d := range cfg.Defs {
 		rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(d.GPUs...), 0, 0)
@@ -489,8 +515,11 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		// data-plane partition severs.
 		skewed := simclock.NewSkewed(h.clock)
 		h.skewed[d.ID] = skewed
+		src := gpu.NewFakeHealthSource()
+		h.healthSrcs[d.ID] = src
 		ag := agent.New(agent.Config{
 			MachineID: d.ID, Kernel: "5.15", ProgressTick: cfg.ProgressTick,
+			Health: src,
 		}, skewed, rt, agentCkptWriter{h: h, id: d.ID}, h.bus, h)
 		h.agents[d.ID] = ag
 		if err := h.register(ag); err != nil {
@@ -547,20 +576,25 @@ func (h *chaosHarness) currentStore() db.Store {
 	return h.store
 }
 
-// attachBeatAudit (re)binds the beat-delta equivalence recorder to the
-// store passed in. Called at quiescent installation points — setup,
-// coordinator recovery, takeover completion — where no writes race the
-// base snapshot.
-func (h *chaosHarness) attachBeatAudit(store db.Store) {
+// attachStreamAudits (re)binds the beat-delta and health-fold
+// equivalence recorders to the store passed in. Called at quiescent
+// installation points — setup, coordinator recovery, takeover
+// completion — where no writes race the base snapshots.
+func (h *chaosHarness) attachStreamAudits(store db.Store) {
 	h.mu.Lock()
-	cancel := h.beatAuditCancel
+	cancelBeat, cancelHealth := h.beatAuditCancel, h.healthAuditCancel
 	h.mu.Unlock()
-	if cancel != nil {
-		cancel()
+	if cancelBeat != nil {
+		cancelBeat()
 	}
-	audit, c := invariant.NewBeatAudit(store)
+	if cancelHealth != nil {
+		cancelHealth()
+	}
+	beat, cb := invariant.NewBeatAudit(store)
+	health, ch := invariant.NewHealthAudit(store)
 	h.mu.Lock()
-	h.beatAudit, h.beatAuditCancel = audit, c
+	h.beatAudit, h.beatAuditCancel = beat, cb
+	h.healthAudit, h.healthAuditCancel = health, ch
 	h.mu.Unlock()
 }
 
@@ -568,6 +602,12 @@ func (h *chaosHarness) currentBeatAudit() *invariant.BeatAudit {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.beatAudit
+}
+
+func (h *chaosHarness) currentHealthAudit() *invariant.HealthAudit {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.healthAudit
 }
 
 func (h *chaosHarness) currentMgr() *wal.Manager {
@@ -787,13 +827,28 @@ func (c chaosHandle) Checkpoint(jobID string, incremental bool) (api.CheckpointR
 	return c.inner.Checkpoint(jobID, incremental)
 }
 
+// dropBeat reports whether this beat falls inside an open partial-loss
+// window and loses the coin toss. The decision runs before the agent
+// builds the request, so its health buffer and beat sequence stay
+// untouched — the dropped beat simply never happened, and the next one
+// carries the accumulated events.
+func (h *chaosHarness) dropBeat(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.lossOn[id] {
+		return false
+	}
+	return h.lossRng.Intn(2) == 0
+}
+
 // heartbeatLoop reports on the configured cadence; beats from silenced
 // (crashed or partitioned) and departed nodes are dropped — silence is
-// the platform's failure signal.
+// the platform's failure signal — and partial-loss windows drop
+// individual beats probabilistically.
 func (h *chaosHarness) heartbeatLoop(ag *agent.Agent) {
 	var loop func()
 	loop = func() {
-		if !ag.Departed() && !h.silenced(ag.MachineID()) {
+		if !ag.Departed() && !h.silenced(ag.MachineID()) && !h.dropBeat(ag.MachineID()) {
 			req := ag.HeartbeatRequest()
 			resp, err := h.currentCoord().Heartbeat(req)
 			var nl api.ErrNotLeader
@@ -1059,6 +1114,98 @@ func (h *chaosHarness) SetCheckpointFault(mode chaos.CkptFaultMode) {
 	h.blob.SetMode(mode)
 }
 
+// --- chaos.GrayPlatform ---
+
+// GrayDegradeStart opens a gray-degradation window: the node's health
+// source starts emitting recoverable-XID and thermal events, which
+// ride its next heartbeats to the coordinator. Nothing fails outright
+// — the node keeps beating and its jobs keep running; only the health
+// fold should push it out of service.
+func (h *chaosHarness) GrayDegradeStart(id string) {
+	if h.healthSrcs[id] == nil {
+		return
+	}
+	h.mu.Lock()
+	open := h.grayOn[id]
+	h.grayOn[id] = true
+	h.mu.Unlock()
+	if !open {
+		h.pumpGray(id, 0)
+	}
+}
+
+// pumpGray injects one event batch and re-arms itself every heartbeat
+// interval while the window stays open. The mix is deterministic in
+// the tick counter: a critical thermal event each beat, plus a
+// recoverable XID every third — enough to fold a node below the
+// unhealthy threshold within a few beats.
+func (h *chaosHarness) pumpGray(id string, tick int) {
+	h.mu.Lock()
+	open := h.grayOn[id]
+	h.mu.Unlock()
+	if !open {
+		return
+	}
+	now := h.clock.Now()
+	events := []gpu.HealthEvent{{
+		Kind: gpu.HealthThermal, Severity: gpu.SeverityCritical,
+		DeviceID: "GPU-0", Value: 96, At: now,
+		Message: "chaos: injected thermal throttle",
+	}}
+	if tick%3 == 0 {
+		events = append(events, gpu.HealthEvent{
+			Kind: gpu.HealthXIDRecoverable, Severity: gpu.SeverityWarn,
+			DeviceID: "GPU-0", XID: 31, At: now,
+			Message: "chaos: injected recoverable xid",
+		})
+	}
+	h.healthSrcs[id].Inject(events...)
+	h.clock.AfterFunc(h.cfg.HeartbeatInterval, func() { h.pumpGray(id, tick+1) })
+}
+
+// GrayDegradeHeal closes the window; the pump stops re-arming and the
+// coordinator's decay sweep folds the node back toward healthy.
+func (h *chaosHarness) GrayDegradeHeal(id string) {
+	h.mu.Lock()
+	delete(h.grayOn, id)
+	h.mu.Unlock()
+}
+
+// PartialLossStart opens a partial heartbeat-loss window: roughly
+// every second beat from the node is dropped in flight. The path is
+// degraded, not dead — the node must neither be declared lost nor
+// double-ingest the health events its surviving beats carry.
+func (h *chaosHarness) PartialLossStart(id string) {
+	h.mu.Lock()
+	h.lossOn[id] = true
+	h.mu.Unlock()
+}
+
+// PartialLossHeal restores reliable delivery. The heal grants the same
+// reconciliation grace a partition heal does: inside the window the
+// coordinator may have declared the node lost and re-placed its jobs,
+// and the orphan-killing beat exchange needs reliable delivery to land.
+func (h *chaosHarness) PartialLossHeal(id string) {
+	h.mu.Lock()
+	delete(h.lossOn, id)
+	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
+	h.mu.Unlock()
+}
+
+// lossy reports whether the node sits inside an open partial-loss
+// window.
+func (h *chaosHarness) lossy(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lossOn[id]
+}
+
+// SetCheckpointReadRot toggles silent damage on the checkpoint store's
+// read path; stored bytes stay intact.
+func (h *chaosHarness) SetCheckpointReadRot(enabled bool) {
+	h.blob.SetReadRot(enabled)
+}
+
 // CrashCoordinator kills the coordinator process — in-memory state,
 // agent handles and pending timers die — and boots a successor from
 // snapshot + WAL, checking that the recovered image matches the
@@ -1124,7 +1271,7 @@ func (h *chaosHarness) CrashCoordinator() []invariant.Violation {
 	h.recoveries++
 	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
 	h.mu.Unlock()
-	h.attachBeatAudit(store2)
+	h.attachStreamAudits(store2)
 
 	coord2.RecoverState()
 	// Reachable agents re-attach immediately; silenced ones re-register
@@ -1281,7 +1428,7 @@ func (h *chaosHarness) finishTakeover(t *takeover) {
 	h.replViolations = append(h.replViolations, vs...)
 	h.graceUntil = h.clock.Now().Add(3 * h.cfg.HeartbeatInterval)
 	h.mu.Unlock()
-	h.attachBeatAudit(sst)
+	h.attachStreamAudits(sst)
 
 	t.rep.coord.RecoverState()
 	// Reachable agents re-attach under the new epoch; silenced ones
@@ -1463,6 +1610,13 @@ func (h *chaosHarness) ExtraChecks() []invariant.Violation {
 	if a := h.currentBeatAudit(); a != nil {
 		vs = append(vs, a.Check(store)...)
 	}
+	// Health-score consistency is the same property for the health
+	// stream, and the unhealthy-placement exclusion is pure store state
+	// — neither needs a reconciliation grace.
+	if a := h.currentHealthAudit(); a != nil {
+		vs = append(vs, a.Check(store)...)
+	}
+	vs = append(vs, invariant.CheckNoPlacementOnUnhealthy(store)...)
 	live := store.JobsInState(db.JobPending)
 	live = append(live, store.JobsInState(db.JobRunning)...)
 	live = append(live, store.JobsInState(db.JobMigrating)...)
@@ -1474,9 +1628,13 @@ func (h *chaosHarness) ExtraChecks() []invariant.Violation {
 		return vs
 	}
 	vs = append(vs, invariant.CheckSkewLiveness(store, h.skewedHealthyNodes())...)
+	vs = append(vs, h.checkDegradedDrained(store)...)
 	for _, id := range h.nodeIDs {
 		ag := h.agents[id]
-		if ag.Departed() || h.silenced(id) {
+		// Lossy nodes are skipped like silenced ones: mid-window the
+		// coordinator may legitimately have re-placed their jobs while
+		// the orphan-killing reconciliation beats are being dropped.
+		if ag.Departed() || h.silenced(id) || h.lossy(id) {
 			continue
 		}
 		for _, jobID := range ag.Status().RunningJobs {
@@ -1498,6 +1656,36 @@ func (h *chaosHarness) ExtraChecks() []invariant.Violation {
 		}
 	}
 	return vs
+}
+
+// checkDegradedDrained maintains the unhealthy-since ledger and runs
+// the degraded-node-drained audit. The ledger stamps a node at the
+// first (post-grace-window) audit that saw it below the threshold, so
+// the drain grace runs from observed crossing time, not from the last
+// health fold — folds keep advancing while a gray window stays open.
+func (h *chaosHarness) checkDegradedDrained(store db.Store) []invariant.Violation {
+	now := h.clock.Now()
+	nodes := store.ListNodes()
+	h.mu.Lock()
+	for i := range nodes {
+		n := &nodes[i]
+		if n.HealthScore() < monitor.UnhealthyBelow {
+			if _, ok := h.unhealthySince[n.ID]; !ok {
+				h.unhealthySince[n.ID] = now
+			}
+		} else {
+			delete(h.unhealthySince, n.ID)
+		}
+	}
+	since := make(map[string]time.Time, len(h.unhealthySince))
+	for id, t := range h.unhealthySince {
+		since[id] = t
+	}
+	h.mu.Unlock()
+	// Ten beat intervals: detection takes a beat, the checkpoint and
+	// plan are immediate, and the transfer plus one sweep-cadence retry
+	// fit comfortably inside the rest.
+	return invariant.CheckDegradedDrained(store, since, now, 10*h.cfg.HeartbeatInterval)
 }
 
 // skewedHealthyNodes lists the nodes whose *only* current fault is an
@@ -1629,6 +1817,78 @@ func RunChaosSkewDup(seed int64) (ChaosResult, error) {
 			MeanDupWindow:      40 * time.Minute,
 		},
 		Jobs: 16,
+	})
+}
+
+// RunChaosGrayDegrade is the gray-failure schedule: nodes degrade
+// without dying — recoverable XIDs and thermal throttling stream in on
+// heartbeats while the node keeps beating and its jobs keep running —
+// under churn and a coordinator crash, on a WAL-backed store. The
+// subjects are the health-fold pipeline (health-score-consistent,
+// including across crash recovery), the scheduler's unhealthy
+// exclusion, and predictive checkpoint-then-migrate actually draining
+// degraded nodes (degraded-node-drained).
+func RunChaosGrayDegrade(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           6 * time.Hour,
+			ChurnPerNodePerDay: 2,
+			GrayDegradesPerDay: 24,
+			MeanGrayDegrade:    25 * time.Minute,
+			CoordCrashes:       1,
+		},
+		Jobs:        16,
+		EnableWAL:   true,
+		WithNetwork: true,
+	})
+}
+
+// RunChaosPartialLoss is the lossy-path schedule: partial heartbeat
+// loss (every other beat dropped) overlapping gray-degradation
+// windows, so health events arrive late, batched onto surviving beats.
+// The subjects are the bounded health carry (events accumulate and
+// ride the next delivered beat, none double-ingested), loss-tolerant
+// failure detection — a half-dead path must not get the node declared
+// lost — and, via the replicated pair with a leader kill, the health
+// score surviving standby promotion intact.
+func RunChaosPartialLoss(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           6 * time.Hour,
+			ChurnPerNodePerDay: 2,
+			GrayDegradesPerDay: 6,
+			MeanGrayDegrade:    20 * time.Minute,
+			PartialLossPerDay:  12,
+			MeanPartialLoss:    15 * time.Minute,
+			LeaderKills:        1,
+		},
+		Jobs:       16,
+		Replicated: true,
+	})
+}
+
+// RunChaosCkptReadRot is the silent-read-rot schedule: checkpoint
+// blobs are stored intact but every other read returns a damaged copy
+// during rot windows, while gray degradation forces predictive
+// migrations straight through the damage. The subjects are the
+// checkpoint store's read-side CRC detection and generation fallback
+// under a restore path that cannot trust what it fetches.
+func RunChaosCkptReadRot(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           6 * time.Hour,
+			ChurnPerNodePerDay: 2,
+			GrayDegradesPerDay: 6,
+			MeanGrayDegrade:    20 * time.Minute,
+			CkptReadRotPerDay:  10,
+			MeanCkptReadRot:    15 * time.Minute,
+		},
+		Jobs:        16,
+		EnableWAL:   true,
+		WithNetwork: true,
 	})
 }
 

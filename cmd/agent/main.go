@@ -5,7 +5,15 @@
 // Usage:
 //
 //	agent -coordinator http://coord:8080 [-listen :7070] [-gpus "RTX 3090:2"]
+//	agent -coordinator http://coord:8080 -aggregator http://rack-agg:7080
 //	agent -config agent.json
+//
+// With -aggregator, heartbeats prefer the rack relay (which acks no-op
+// beats locally and rolls them up); the agent falls back to the direct
+// coordinator endpoint whenever the relay errors or answers stale.
+// Pair it with -telemetry-every N (telemetry attached every Nth beat)
+// — a beat carrying telemetry always passes through the relay, so
+// only the off-cadence idle beats fold.
 //
 // SIGINT triggers a *scheduled* departure: running jobs are checkpointed
 // and the coordinator is told to migrate them. SIGTERM departs without
@@ -39,6 +47,8 @@ import (
 
 func main() {
 	coordURL := flag.String("coordinator", "", "coordinator base URL (overrides config)")
+	aggURL := flag.String("aggregator", "", "rack aggregator base URL (optional heartbeat relay)")
+	telemetryEvery := flag.Int("telemetry-every", 0, "attach telemetry every Nth beat (0 = every beat; set >1 behind an aggregator so idle beats fold)")
 	listen := flag.String("listen", "", "HTTP bind address (overrides config)")
 	gpus := flag.String("gpus", "", `installed devices, e.g. "RTX 3090:2,A100:1" (overrides config)`)
 	cfgPath := flag.String("config", "", "path to agent.json")
@@ -86,7 +96,11 @@ func main() {
 		MachineID:                 machineID,
 		Kernel:                    cfg.Kernel,
 		DefaultCheckpointInterval: time.Duration(cfg.CheckpointIntervalSec) * time.Second,
+		TelemetryEvery:            *telemetryEvery,
 	}, simclock.Real(), rt, ckpts, nil, coordClient)
+	if *aggURL != "" {
+		ag.SetAggregator(*aggURL, core.NewClient(*aggURL))
+	}
 
 	srv := &http.Server{Addr: cfg.Listen, Handler: ag.Handler()}
 	go func() {
@@ -115,7 +129,7 @@ func main() {
 				if ag.Departed() {
 					continue
 				}
-				hb, err := coordClient.Heartbeat(ag.HeartbeatRequest())
+				hb, _, err := ag.SendBeat(coordClient)
 				if err != nil {
 					log.Printf("heartbeat: %v", err)
 					continue

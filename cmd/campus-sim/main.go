@@ -161,19 +161,22 @@ func runScalability(seed int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%6s %14s %14s %14s %10s %14s %14s %14s %10s %9s %9s %9s\n",
+	fmt.Printf("%6s %14s %14s %14s %10s %14s %14s %14s %10s %9s %9s %9s %6s %11s %11s %7s\n",
 		"nodes", "sched mean", "sched p95", "batch/dec", "sub-sec",
-		"db ops/s", "mutex ops/s", "coal beats/s", "required", "headroom", "mutex hr", "coal x")
+		"db ops/s", "mutex ops/s", "coal beats/s", "required", "headroom", "mutex hr", "coal x",
+		"racks", "direct rq/s", "agg rq/s", "agg x")
 	for _, r := range rows {
-		fmt.Printf("%6d %14s %14s %14s %10v %14.0f %14.0f %14.0f %10.0f %8.1fx %8.1fx %8.1fx\n",
+		fmt.Printf("%6d %14s %14s %14s %10v %14.0f %14.0f %14.0f %10.0f %8.1fx %8.1fx %8.1fx %6d %11.1f %11.1f %6.1fx\n",
 			r.Nodes, r.MeanSchedulingLatency, r.P95SchedulingLatency,
 			r.BatchMeanPerDecision, r.SubSecond,
 			r.DBOpsPerSecond, r.SingleMutexOpsPerSecond, r.CoalescedBeatsPerSecond,
-			r.RequiredDBOpsPerSecond, r.Headroom, r.SingleMutexHeadroom, r.CoalesceSpeedup)
+			r.RequiredDBOpsPerSecond, r.Headroom, r.SingleMutexHeadroom, r.CoalesceSpeedup,
+			r.AggRacks, r.DirectIngressPerSecond, r.AggIngressPerSecond, r.IngressReduction)
 	}
 	fmt.Printf("\npaper reference: sub-second scheduling to 50 nodes; DB/heartbeat bottlenecks beyond 200\n")
 	fmt.Printf("sharded store vs single-mutex baseline: headroom vs mutex-hr; batch/dec is per-decision cost via PlaceBatch\n")
 	fmt.Printf("coal beats/s drives the same beat volume through per-shard TouchNodes batches; coal x is its speedup over per-beat commits\n")
+	fmt.Printf("direct/agg rq/s is coordinator ingress with every agent beating direct vs behind per-rack aggregators; agg x is the reduction\n")
 }
 
 func runChaos(seed int64) {
@@ -191,19 +194,25 @@ func runChaos(seed int64) {
 		{"gray-degrade", sim.RunChaosGrayDegrade},
 		{"partial-loss", sim.RunChaosPartialLoss},
 		{"ckpt-read-rot", sim.RunChaosCkptReadRot},
+		{"agg-crash", sim.RunChaosAggCrash},
+		{"agg-partition+fallback", sim.RunChaosAggPartition},
 	}
-	fmt.Printf("%-24s %7s %7s %10s %10s %10s %10s %8s %11s\n",
-		"schedule", "faults", "audits", "submitted", "completed", "recoveries", "diskFaults", "trace", "violations")
+	fmt.Printf("%-24s %7s %7s %10s %10s %10s %10s %8s %12s %11s\n",
+		"schedule", "faults", "audits", "submitted", "completed", "recoveries", "diskFaults", "trace", "fold/fwd", "violations")
 	var last sim.ChaosResult
 	for _, sc := range scenarios {
 		res, err := sc.run(seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-24s %7d %7d %10d %10d %10d %10d %8d %11d\n",
+		foldFwd := "-"
+		if res.AggForwards > 0 {
+			foldFwd = fmt.Sprintf("%d/%d", res.AggFoldedBeats, res.AggForwards)
+		}
+		fmt.Printf("%-24s %7d %7d %10d %10d %10d %10d %8d %12s %11d\n",
 			sc.name, len(res.Schedule), res.Report.Audits, res.SubmittedJobs,
 			res.CompletedJobs, res.Recoveries, res.WALFaultsInjected,
-			len(res.Trace), len(res.Violations))
+			len(res.Trace), foldFwd, len(res.Violations))
 		for _, v := range res.Violations {
 			fmt.Printf("    INVARIANT VIOLATION: %s\n", v)
 		}

@@ -91,6 +91,15 @@ type Config struct {
 	// throttling, slowdowns); each built heartbeat drains it and ships
 	// the events to the coordinator. Nil means no health reporting.
 	Health gpu.HealthSource
+	// AggregatorRetry is how long a failed rack aggregator stays
+	// demoted before SendBeat probes it again (default 30s).
+	AggregatorRetry time.Duration
+	// TelemetryEvery attaches the device telemetry snapshot to every
+	// Nth heartbeat instead of all of them (0 or 1 = every beat).
+	// Liveness stays per-beat; only the sample cadence coarsens. An
+	// idle node's off-cadence beats then carry no payload at all,
+	// which is what lets a rack aggregator fold them into deltas.
+	TelemetryEvery int
 }
 
 // Agent is the provider-side daemon.
@@ -139,7 +148,26 @@ type Agent struct {
 	// coordinator-initiated write carrying a lower non-zero epoch is
 	// from a deposed leader and is rejected with ErrStaleLeader.
 	coordEpoch uint64
+	// Aggregation tier: agg is the node's assigned rack aggregator (nil
+	// = none, beat direct), aggID names it, and aggRetryAt is the
+	// demotion deadline — after an aggregator failure the agent beats
+	// direct until this time passes, then probes the aggregator again.
+	agg        BeatSender
+	aggID      string
+	aggRetryAt time.Time
 }
+
+// BeatSender delivers one heartbeat request. Both endpoint tiers speak
+// it: a rack aggregator (aggregator.Aggregator) and a direct
+// coordinator transport (core.Client, or the coordinator itself
+// in-process).
+type BeatSender interface {
+	Heartbeat(api.HeartbeatRequest) (api.HeartbeatResponse, error)
+}
+
+// defaultAggregatorRetry is how long a failed aggregator stays demoted
+// before the agent probes it again.
+const defaultAggregatorRetry = 30 * time.Second
 
 // jobRun is the agent-local state of one running workload.
 type jobRun struct {
@@ -765,6 +793,89 @@ func (a *Agent) Status() api.AgentStatus {
 	}
 }
 
+// SetAggregator assigns (or, with a nil sender, clears) the node's
+// rack aggregator — the preferred heartbeat tier. Any standing
+// demotion is cleared: a freshly assigned aggregator gets probed on
+// the next beat.
+func (a *Agent) SetAggregator(id string, send BeatSender) {
+	a.mu.Lock()
+	a.agg = send
+	a.aggID = id
+	a.aggRetryAt = time.Time{}
+	a.mu.Unlock()
+}
+
+// AggregatorID returns the assigned aggregator's name (empty = none).
+func (a *Agent) AggregatorID() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.aggID
+}
+
+// aggregatorRetry resolves the demotion backoff.
+func (a *Agent) aggregatorRetry() time.Duration {
+	if a.cfg.AggregatorRetry > 0 {
+		return a.cfg.AggregatorRetry
+	}
+	return defaultAggregatorRetry
+}
+
+// demoteAggregator sidelines the aggregator tier until the retry
+// deadline: subsequent beats go direct, then one probes again.
+func (a *Agent) demoteAggregator(now time.Time) {
+	a.mu.Lock()
+	a.aggRetryAt = now.Add(a.aggregatorRetry())
+	a.mu.Unlock()
+}
+
+// SendBeat builds one heartbeat and delivers it through the endpoint
+// tiers: the assigned aggregator first (unless demoted), falling back
+// to the direct sender when the aggregator is unassigned, errors, or
+// answers with a stale leader epoch — the same beat, same sequence, so
+// the coordinator's dedup guard keeps the failover exactly-once even
+// if the aggregator had already folded it. viaAggregator reports which
+// tier produced the returned response.
+func (a *Agent) SendBeat(direct BeatSender) (resp api.HeartbeatResponse, viaAggregator bool, err error) {
+	req := a.HeartbeatRequest()
+	now := a.clock.Now()
+	a.mu.Lock()
+	agg := a.agg
+	if agg != nil && !a.aggRetryAt.IsZero() && now.Before(a.aggRetryAt) {
+		agg = nil // demoted: beat direct, probe later
+	}
+	a.mu.Unlock()
+
+	if agg != nil {
+		resp, err = agg.Heartbeat(req)
+		if err == nil {
+			if resp.LeaderEpoch != 0 && resp.LeaderEpoch < a.CoordEpoch() {
+				// The aggregator is relaying acks from a deposed leader:
+				// its upstream is stale. Demote it and re-deliver this
+				// beat direct — the stale leader's "processing" is fenced
+				// away, so the direct delivery is the authoritative one.
+				a.demoteAggregator(now)
+			} else {
+				a.ObserveEpoch(resp.LeaderEpoch)
+				return resp, true, nil
+			}
+		} else {
+			a.demoteAggregator(now)
+		}
+	}
+	if direct == nil {
+		if err == nil {
+			err = errors.New("agent: no direct endpoint to fall back to")
+		}
+		return api.HeartbeatResponse{}, false, err
+	}
+	resp, err = direct.Heartbeat(req)
+	if err != nil {
+		return api.HeartbeatResponse{}, false, err
+	}
+	a.ObserveEpoch(resp.LeaderEpoch)
+	return resp, false, nil
+}
+
 // HeartbeatRequest builds the periodic status update. Each built beat
 // carries a fresh sequence number; delivering the same request twice is
 // therefore detectable at the coordinator, while two distinct beats are
@@ -780,11 +891,15 @@ func (a *Agent) HeartbeatRequest() api.HeartbeatRequest {
 	seq := a.beatSeq
 	health := a.takeHealthLocked(collected)
 	a.mu.Unlock()
+	tel := st.Telemetry
+	if n := a.cfg.TelemetryEvery; n > 1 && seq%uint64(n) != 0 {
+		tel = nil
+	}
 	return api.HeartbeatRequest{
 		Envelope:     api.Envelope{ProtocolVersion: api.ProtocolVersion, LeaderEpoch: a.CoordEpoch()},
 		MachineID:    a.cfg.MachineID,
 		Token:        a.Token(),
-		Telemetry:    st.Telemetry,
+		Telemetry:    tel,
 		RunningJobs:  st.RunningJobs,
 		Paused:       st.Paused,
 		BeatSeq:      seq,

@@ -1,0 +1,277 @@
+// Aggregation-tier wire types: the batch format a rack/zone aggregator
+// uses to roll up agent heartbeats before they reach the coordinator.
+//
+// An aggregator acks no-op beats locally and folds them into
+// AggBeatDelta entries (node → latest receipt time); beats that could
+// change coordinator state (health events, job-list changes, paused
+// transitions, flagged nodes) are forwarded verbatim as AggPassthrough
+// entries. One AggregatedBeat per flush tick makes coordinator ingress
+// O(aggregators + churn) instead of O(nodes).
+//
+// Exactly-once: the per-node BeatSeq is preserved end-to-end. The
+// coordinator's existing sequence dedup applies to both deltas and
+// passthrough beats, so a replayed or duplicated batch folds to a
+// no-op. LeaderEpoch fencing applies to the batch exactly as it does
+// to a direct heartbeat.
+package api
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// AggBeatDelta is one folded node entry in an aggregated batch: "this
+// node heartbeat normally through beat sequence BeatSeq, last seen at
+// At". The aggregator already acked those beats; the coordinator only
+// needs to advance liveness.
+type AggBeatDelta struct {
+	// NodeID is the machine the delta covers.
+	NodeID string `json:"node_id"`
+	// Token authenticates the node exactly as on a direct heartbeat.
+	Token string `json:"token"`
+	// At is the aggregator's receipt time of the node's newest folded
+	// beat — the time the coordinator must record as LastHeartbeat so
+	// aggregated and direct ingestion converge to the same state.
+	At time.Time `json:"at"`
+	// BeatSeq is the node's highest folded beat sequence, preserved for
+	// the coordinator's exactly-once dedup.
+	BeatSeq uint64 `json:"beat_seq"`
+	// Beats counts how many agent beats this delta folded (≥ 1);
+	// observability only.
+	Beats int `json:"beats"`
+}
+
+// AggPassthrough is a beat the aggregator could not fold: it carries
+// health events or a visible state change, so the coordinator must see
+// it verbatim. At preserves the aggregator's receipt time.
+type AggPassthrough struct {
+	// At is when the aggregator received the beat.
+	At time.Time `json:"at"`
+	// Beat is the agent's original request, unmodified.
+	Beat HeartbeatRequest `json:"beat"`
+}
+
+// AggregatedBeat is one flush window's roll-up from one aggregator.
+type AggregatedBeat struct {
+	Envelope
+	// AggregatorID identifies the sending aggregator (rack/zone scope).
+	AggregatorID string `json:"aggregator_id"`
+	// WindowSeq is the aggregator's monotonically increasing flush
+	// counter; observability and replay diagnosis, not dedup (dedup is
+	// per-node BeatSeq).
+	WindowSeq uint64 `json:"window_seq"`
+	// Deltas are the folded no-op beats, sorted by NodeID.
+	Deltas []AggBeatDelta `json:"deltas,omitempty"`
+	// Beats are the pass-through state-changing beats, in receipt order.
+	Beats []AggPassthrough `json:"beats,omitempty"`
+}
+
+// AggregatedBeatResponse acks a batch and fans per-node directives back
+// through the aggregator.
+type AggregatedBeatResponse struct {
+	// Acknowledged is true when the coordinator accepted the batch.
+	Acknowledged bool `json:"acknowledged"`
+	// LeaderEpoch is the acking coordinator's current epoch; the
+	// aggregator relays it to agents so epoch observation works exactly
+	// as on the direct path.
+	LeaderEpoch uint64 `json:"leader_epoch,omitempty"`
+	// Reregister lists nodes the coordinator no longer knows (restart,
+	// sweep); the aggregator relays the flag on each node's next beat.
+	Reregister []string `json:"reregister,omitempty"`
+	// SendFull lists nodes whose deltas the coordinator could not fold
+	// safely (e.g. status changed underneath); the aggregator must pass
+	// those nodes' beats through verbatim until the flag clears.
+	SendFull []string `json:"send_full,omitempty"`
+}
+
+// Decode-side caps: a corrupt or hostile batch must not force huge
+// allocations before the checksum is verified.
+const (
+	// MaxAggBatchEntries bounds Deltas and Beats counts in one batch.
+	MaxAggBatchEntries = 65536
+	// maxAggStringLen bounds IDs and tokens inside a batch.
+	maxAggStringLen = 4096
+	// maxAggBlobLen bounds one embedded pass-through beat.
+	maxAggBlobLen = 1 << 20
+)
+
+// aggMagic heads every encoded batch; rev bumps on format change.
+var aggMagic = [4]byte{'A', 'G', 'B', '1'}
+
+// EncodeAggregatedBeat renders the compact binary batch format used on
+// the aggregator → coordinator hop: varint-packed deltas (the hot,
+// numerous part), JSON-embedded pass-through beats (the rare part),
+// and a trailing CRC32 over everything before it.
+func EncodeAggregatedBeat(b AggregatedBeat) ([]byte, error) {
+	out := make([]byte, 0, 64+32*len(b.Deltas))
+	out = append(out, aggMagic[:]...)
+	out = binary.AppendUvarint(out, uint64(b.ProtocolVersion))
+	out = binary.AppendUvarint(out, b.LeaderEpoch)
+	out = appendAggString(out, b.AggregatorID)
+	out = binary.AppendUvarint(out, b.WindowSeq)
+
+	if len(b.Deltas) > MaxAggBatchEntries || len(b.Beats) > MaxAggBatchEntries {
+		return nil, fmt.Errorf("api: aggregated batch too large (%d deltas, %d beats)",
+			len(b.Deltas), len(b.Beats))
+	}
+	out = binary.AppendUvarint(out, uint64(len(b.Deltas)))
+	for _, d := range b.Deltas {
+		out = appendAggString(out, d.NodeID)
+		out = appendAggString(out, d.Token)
+		out = binary.AppendVarint(out, d.At.UnixNano())
+		out = binary.AppendUvarint(out, d.BeatSeq)
+		out = binary.AppendUvarint(out, uint64(d.Beats))
+	}
+	out = binary.AppendUvarint(out, uint64(len(b.Beats)))
+	for _, p := range b.Beats {
+		raw, err := json.Marshal(p.Beat)
+		if err != nil {
+			return nil, fmt.Errorf("api: encoding pass-through beat: %w", err)
+		}
+		if len(raw) > maxAggBlobLen {
+			return nil, fmt.Errorf("api: pass-through beat too large (%d bytes)", len(raw))
+		}
+		out = binary.AppendVarint(out, p.At.UnixNano())
+		out = binary.AppendUvarint(out, uint64(len(raw)))
+		out = append(out, raw...)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(out))
+	return append(out, crc[:]...), nil
+}
+
+// DecodeAggregatedBeat parses a batch produced by EncodeAggregatedBeat.
+// It never panics on corrupt input: every length is bounds-checked
+// before allocation and the trailing CRC must match.
+func DecodeAggregatedBeat(raw []byte) (AggregatedBeat, error) {
+	var b AggregatedBeat
+	if len(raw) < len(aggMagic)+4 {
+		return b, fmt.Errorf("api: aggregated batch truncated (%d bytes)", len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return b, fmt.Errorf("api: aggregated batch checksum mismatch")
+	}
+	if [4]byte(body[:4]) != aggMagic {
+		return b, fmt.Errorf("api: bad aggregated batch magic")
+	}
+	r := aggReader{buf: body[4:]}
+	b.ProtocolVersion = int(r.uvarint())
+	b.LeaderEpoch = r.uvarint()
+	b.AggregatorID = r.str()
+	b.WindowSeq = r.uvarint()
+
+	nDeltas := r.uvarint()
+	if nDeltas > MaxAggBatchEntries {
+		return b, fmt.Errorf("api: aggregated batch claims %d deltas", nDeltas)
+	}
+	if r.err == nil && nDeltas > 0 {
+		b.Deltas = make([]AggBeatDelta, 0, min(int(nDeltas), 1024))
+	}
+	for i := uint64(0); i < nDeltas && r.err == nil; i++ {
+		var d AggBeatDelta
+		d.NodeID = r.str()
+		d.Token = r.str()
+		d.At = time.Unix(0, r.varint())
+		d.BeatSeq = r.uvarint()
+		d.Beats = int(r.uvarint())
+		if r.err == nil {
+			b.Deltas = append(b.Deltas, d)
+		}
+	}
+	nBeats := r.uvarint()
+	if nBeats > MaxAggBatchEntries {
+		return b, fmt.Errorf("api: aggregated batch claims %d pass-through beats", nBeats)
+	}
+	if r.err == nil && nBeats > 0 {
+		b.Beats = make([]AggPassthrough, 0, min(int(nBeats), 1024))
+	}
+	for i := uint64(0); i < nBeats && r.err == nil; i++ {
+		var p AggPassthrough
+		p.At = time.Unix(0, r.varint())
+		blob := r.blob()
+		if r.err != nil {
+			break
+		}
+		if err := json.Unmarshal(blob, &p.Beat); err != nil {
+			return b, fmt.Errorf("api: decoding pass-through beat: %w", err)
+		}
+		b.Beats = append(b.Beats, p)
+	}
+	if r.err != nil {
+		return b, r.err
+	}
+	if len(r.buf) != 0 {
+		return b, fmt.Errorf("api: %d trailing bytes after aggregated batch", len(r.buf))
+	}
+	return b, nil
+}
+
+// aggReader is a bounds-checked sequential decoder; the first error
+// sticks and all later reads are no-ops.
+type aggReader struct {
+	buf []byte
+	err error
+}
+
+func (r *aggReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = fmt.Errorf("api: truncated uvarint in aggregated batch")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *aggReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.err = fmt.Errorf("api: truncated varint in aggregated batch")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *aggReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxAggStringLen || n > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("api: bad string length %d in aggregated batch", n)
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *aggReader) blob() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxAggBlobLen || n > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("api: bad blob length %d in aggregated batch", n)
+		return nil
+	}
+	blob := r.buf[:n]
+	r.buf = r.buf[n:]
+	return blob
+}
+
+func appendAggString(out []byte, s string) []byte {
+	out = binary.AppendUvarint(out, uint64(len(s)))
+	return append(out, s...)
+}

@@ -1,0 +1,91 @@
+package api
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fuzzSeedBatches builds the seed corpus from the same batch shapes
+// the equivalence battery's aggregators forward: empty windows, pure
+// delta windows, pass-through beats carrying telemetry and health
+// events, and damaged variants at every interesting boundary.
+func fuzzSeedBatches(f *testing.F) {
+	f.Helper()
+	at := time.Date(2025, 9, 1, 0, 4, 30, 0, time.UTC)
+	batches := []AggregatedBeat{
+		{},
+		{
+			Envelope:     Envelope{ProtocolVersion: ProtocolVersion, LeaderEpoch: 3},
+			AggregatorID: "agg-00",
+			WindowSeq:    17,
+			Deltas: []AggBeatDelta{
+				{NodeID: "eq-00", Token: "tok.sig", At: at, BeatSeq: 41, Beats: 2},
+				{NodeID: "eq-03", Token: "tok2.sig", At: at.Add(11 * time.Second), BeatSeq: 7, Beats: 1},
+			},
+		},
+		{
+			AggregatorID: "agg-01",
+			WindowSeq:    1,
+			Beats: []AggPassthrough{{
+				At: at,
+				Beat: HeartbeatRequest{
+					Envelope:  Envelope{ProtocolVersion: ProtocolVersion},
+					MachineID: "eq-05", Token: "t.s", BeatSeq: 12,
+					RunningJobs: []string{"job-1"},
+				},
+			}},
+		},
+	}
+	var good []byte
+	for _, b := range batches {
+		enc, err := EncodeAggregatedBeat(b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		good = enc
+	}
+	f.Add([]byte{})
+	f.Add(good[:len(good)-5])            // torn before the CRC
+	f.Add(good[:4])                      // magic only
+	f.Add(append([]byte{}, good[:2]...)) // torn magic
+	crc := append([]byte{}, good...)     // CRC damage
+	crc[len(crc)-1] ^= 0xFF
+	f.Add(crc)
+	body := append([]byte{}, good...) // body damage under a stale CRC
+	body[6] ^= 0x40
+	f.Add(body)
+	// Hostile counts: magic + huge uvarint where the delta count goes.
+	f.Add(append(append([]byte{}, aggMagic[:]...),
+		0x01, 0x00, 0x01, 0x61, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0))
+}
+
+// FuzzAggregatedBeat hammers the batch codec with corrupt and
+// truncated inputs. Properties:
+//
+//  1. DecodeAggregatedBeat never panics and never over-allocates on
+//     hostile length fields (the caps reject them before allocation);
+//  2. anything that decodes cleanly survives an encode/decode round
+//     trip unchanged — the wire format is lossless for everything the
+//     decoder accepts.
+func FuzzAggregatedBeat(f *testing.F) {
+	fuzzSeedBatches(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeAggregatedBeat(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeAggregatedBeat(b)
+		if err != nil {
+			t.Fatalf("decoded batch does not re-encode: %v", err)
+		}
+		again, err := DecodeAggregatedBeat(enc)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(b, again) {
+			t.Fatalf("round trip diverged:\n first %+v\nsecond %+v", b, again)
+		}
+	})
+}

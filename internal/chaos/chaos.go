@@ -94,6 +94,16 @@ const (
 	// path for Dur: the stored bytes are fine, but restores see rot.
 	// CRC verification and generation fallback must absorb it.
 	KindCkptReadRot Kind = "ckpt-read-rot"
+	// KindAggCrash kills a rack aggregator mid-window for Dur, then
+	// restarts it empty: its open flush window's deltas are lost, and
+	// its agents must fall back to the direct path until it returns.
+	// Ignored by platforms without an aggregation tier.
+	KindAggCrash Kind = "agg-crash"
+	// KindAggPartition cuts an aggregator's upstream link to the
+	// coordinator for Dur: the aggregator degrades, refuses its agents'
+	// beats, and they fall back direct while it probes. Ignored by
+	// platforms without an aggregation tier.
+	KindAggPartition Kind = "agg-partition"
 )
 
 // Fault is one scheduled injection.
@@ -209,6 +219,19 @@ type Spec struct {
 	CkptReadRotPerDay float64
 	// MeanCkptReadRot is the mean read-rot window (default 10 min).
 	MeanCkptReadRot time.Duration
+	// Aggregators are the injectable rack-aggregator identities. Only
+	// meaningful on platforms with an aggregation tier (AggPlatform).
+	Aggregators []string
+	// AggCrashesPerDay is the rate of aggregator crash/restart events.
+	AggCrashesPerDay float64
+	// MeanAggOutage is the mean aggregator down time (default 5 min).
+	MeanAggOutage time.Duration
+	// AggPartitionsPerDay is the rate of aggregator-upstream partitions
+	// (the aggregator stays up but cannot reach the coordinator).
+	AggPartitionsPerDay float64
+	// MeanAggPartition is the mean upstream-partition window (default
+	// 10 min).
+	MeanAggPartition time.Duration
 }
 
 // withDefaults fills unset knobs.
@@ -248,6 +271,12 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.MeanCkptReadRot <= 0 {
 		s.MeanCkptReadRot = 10 * time.Minute
+	}
+	if s.MeanAggOutage <= 0 {
+		s.MeanAggOutage = 5 * time.Minute
+	}
+	if s.MeanAggPartition <= 0 {
+		s.MeanAggPartition = 10 * time.Minute
 	}
 	return s
 }
@@ -476,6 +505,33 @@ func Generate(spec Spec, seed int64) Schedule {
 		})
 	}
 
+	// Aggregator crashes: a rack relay dies with a flush window open,
+	// restarts empty after the outage. (Drawn after every older family
+	// and rate-guarded, preserving pre-existing seeded schedules.)
+	for _, t := range poissonTimes(rng, spec.AggCrashesPerDay, spec.Duration) {
+		if len(spec.Aggregators) == 0 {
+			break
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: KindAggCrash,
+			Node: spec.Aggregators[rng.Intn(len(spec.Aggregators))],
+			Dur:  clampDur(expDur(rng, float64(spec.MeanAggOutage)), time.Minute, time.Hour),
+		})
+	}
+
+	// Aggregator-upstream partitions: the relay stays up but its
+	// coordinator link is cut, forcing degradation + direct fallback.
+	for _, t := range poissonTimes(rng, spec.AggPartitionsPerDay, spec.Duration) {
+		if len(spec.Aggregators) == 0 {
+			break
+		}
+		sched = append(sched, Fault{
+			At: t, Kind: KindAggPartition,
+			Node: spec.Aggregators[rng.Intn(len(spec.Aggregators))],
+			Dur:  clampDur(expDur(rng, float64(spec.MeanAggPartition)), time.Minute, time.Hour),
+		})
+	}
+
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
 	return sched
 }
@@ -620,6 +676,23 @@ type GrayPlatform interface {
 	SetCheckpointReadRot(enabled bool)
 }
 
+// AggPlatform is the optional capability interface for platforms with
+// a rack aggregation tier. The engine type-asserts for it when applying
+// KindAggCrash and KindAggPartition; platforms without it absorb those
+// faults as no-ops, the same arrangement as ReplicatedPlatform and
+// GrayPlatform.
+type AggPlatform interface {
+	// CrashAggregator kills the aggregator: its open flush window is
+	// lost and its agents' beats fail over to the direct path.
+	CrashAggregator(id string)
+	// RestartAggregator brings the aggregator back empty.
+	RestartAggregator(id string)
+	// AggPartitionStart cuts the aggregator's upstream link to the
+	// coordinator; AggPartitionHeal restores it.
+	AggPartitionStart(id string)
+	AggPartitionHeal(id string)
+}
+
 // Observation is one audited point in a run: the fault (or audit tick)
 // and the violations found right after it.
 type Observation struct {
@@ -667,6 +740,10 @@ type Engine struct {
 	grayWindows    map[string]int
 	lossWindows    map[string]int
 	readRotWindows int
+	// aggDownWindows / aggPartWindows are per-aggregator open-window
+	// counts for the aggregation-tier families.
+	aggDownWindows map[string]int
+	aggPartWindows map[string]int
 	// rec, when set, lands every injected fault and every audited
 	// violation in the flight recorder, so a trace export localizes a
 	// breach against the fault that preceded it. Nil-safe: obs methods
@@ -682,13 +759,15 @@ func (e *Engine) SetRecorder(r *obs.Recorder) { e.rec = r }
 // recovery boundaries.
 func NewEngine(clock *simclock.Sim, plat Platform) *Engine {
 	return &Engine{
-		clock:       clock,
-		plat:        plat,
-		checker:     invariant.NewChecker(),
-		rep:         Report{Executed: make(map[Kind]int)},
-		skewWindows: make(map[string]int),
-		grayWindows: make(map[string]int),
-		lossWindows: make(map[string]int),
+		clock:          clock,
+		plat:           plat,
+		checker:        invariant.NewChecker(),
+		rep:            Report{Executed: make(map[Kind]int)},
+		skewWindows:    make(map[string]int),
+		grayWindows:    make(map[string]int),
+		lossWindows:    make(map[string]int),
+		aggDownWindows: make(map[string]int),
+		aggPartWindows: make(map[string]int),
 	}
 }
 
@@ -836,6 +915,32 @@ func (e *Engine) apply(f Fault) {
 				e.readRotWindows--
 				if e.readRotWindows == 0 {
 					gp.SetCheckpointReadRot(false)
+				}
+			})
+		}
+	case KindAggCrash:
+		if ap, ok := e.plat.(AggPlatform); ok {
+			agg := f.Node
+			e.aggDownWindows[agg]++
+			ap.CrashAggregator(agg)
+			e.clock.AfterFunc(f.Dur, func() {
+				e.aggDownWindows[agg]--
+				if e.aggDownWindows[agg] == 0 {
+					ap.RestartAggregator(agg)
+					e.audit("agg-restart "+agg, nil)
+				}
+			})
+		}
+	case KindAggPartition:
+		if ap, ok := e.plat.(AggPlatform); ok {
+			agg := f.Node
+			e.aggPartWindows[agg]++
+			ap.AggPartitionStart(agg)
+			e.clock.AfterFunc(f.Dur, func() {
+				e.aggPartWindows[agg]--
+				if e.aggPartWindows[agg] == 0 {
+					ap.AggPartitionHeal(agg)
+					e.audit("agg-partition-heal "+agg, nil)
 				}
 			})
 		}

@@ -71,6 +71,34 @@ func (c *Client) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, err
 	return resp, err
 }
 
+// IngestAggregated forwards one aggregator flush window in the compact
+// binary batch format. It implements aggregator.Upstream, so a
+// rack-scoped aggregator daemon can point straight at a coordinator.
+func (c *Client) IngestAggregated(batch api.AggregatedBeat) (api.AggregatedBeatResponse, error) {
+	var out api.AggregatedBeatResponse
+	raw, err := api.EncodeAggregatedBeat(batch)
+	if err != nil {
+		return out, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/aggregated", bytes.NewReader(raw))
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return out, fmt.Errorf("core: POST /v1/aggregated: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return out, readAPIError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("core: decoding response: %w", err)
+	}
+	return out, nil
+}
+
 // Depart announces a voluntary departure.
 func (c *Client) Depart(machineID string, reason api.DepartReason, graceSeconds int) error {
 	return c.post("/v1/depart", api.DepartRequest{

@@ -637,7 +637,16 @@ func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse
 	if err := c.fence(req.LeaderEpoch); err != nil {
 		return api.HeartbeatResponse{}, err
 	}
-	now := c.clock.Now()
+	return c.heartbeatAt(req, c.clock.Now())
+}
+
+// heartbeatAt is the fenced heartbeat body with an explicit receipt
+// time. The direct path stamps clock.Now(); aggregated ingestion
+// (IngestAggregated) replays each rolled-up beat through here with the
+// aggregator's receipt time, so both paths fold to byte-identical
+// store state — same dedup, same reconciliation, same coalescing.
+// Callers must have fenced the request's epoch already.
+func (c *Coordinator) heartbeatAt(req api.HeartbeatRequest, now time.Time) (api.HeartbeatResponse, error) {
 	if _, err := c.authy.VerifySubject(req.Token, req.MachineID, now); err != nil {
 		if errors.Is(err, auth.ErrExpired) {
 			// Long-lived nodes outlive their credentials (semester-scale

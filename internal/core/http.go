@@ -4,12 +4,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 
 	"gpunion/internal/agent"
 	"gpunion/internal/api"
 )
+
+// maxAggregatedBody bounds one aggregated-batch request body: the
+// entry caps in api already bound the decoded size, this bounds what
+// the decoder is even offered.
+const maxAggregatedBody = 64 << 20
 
 // HandleFactory builds an AgentHandle for a newly registered node's
 // address. The default dials the agent's REST API; tests substitute
@@ -47,6 +53,28 @@ func (c *Coordinator) Handler(factory HandleFactory) http.Handler {
 			return
 		}
 		resp, err := c.Heartbeat(req)
+		if err != nil {
+			writeError(w, http.StatusUnauthorized, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/aggregated", func(w http.ResponseWriter, r *http.Request) {
+		// Aggregated batches arrive in the compact binary format
+		// (api.EncodeAggregatedBeat), not JSON: the whole point of the
+		// tier is to keep the coordinator-facing hop small.
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxAggregatedBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("core: reading aggregated batch: %w", err))
+			return
+		}
+		batch, err := api.DecodeAggregatedBeat(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := c.IngestAggregated(batch)
 		if err != nil {
 			writeError(w, http.StatusUnauthorized, err)
 			return

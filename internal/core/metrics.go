@@ -24,6 +24,9 @@ type coordMetrics struct {
 	beatBatch     *monitor.Histogram
 	leaderChanges *monitor.Counter
 	fencedWrites  *monitor.Counter
+	aggBatches    *monitor.Counter
+	aggDeltas     *monitor.Counter
+	aggPassthru   *monitor.Counter
 
 	shipLagRecords *monitor.Gauge
 	shipLagBytes   *monitor.Gauge
@@ -92,6 +95,12 @@ func newCoordMetrics(reg *monitor.Registry) (*coordMetrics, error) {
 		"Leadership acquisitions and step-downs on this replica")
 	register(&m.fencedWrites, "gpunion_fenced_writes_total",
 		"Mutating requests rejected because this replica is not the leader")
+	register(&m.aggBatches, "gpunion_agg_batches_total",
+		"Aggregated heartbeat batches ingested from rack aggregators")
+	register(&m.aggDeltas, "gpunion_agg_deltas_total",
+		"Rolled-up per-node liveness deltas ingested from aggregated batches")
+	register(&m.aggPassthru, "gpunion_agg_passthrough_total",
+		"State-changing beats forwarded verbatim inside aggregated batches")
 	register(&m.poolHits, "gpunion_sched_pool_hits_total",
 		"Scheduling cycles served from the cached candidate set")
 	register(&m.poolMisses, "gpunion_sched_pool_misses_total",

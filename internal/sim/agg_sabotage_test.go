@@ -1,0 +1,162 @@
+package sim
+
+// The aggregation sabotage battery: each test wires a deliberately
+// misbehaving relay into the equivalence harness and proves the
+// `aggregation-equivalence` audit fires. The point is negative
+// coverage — the chaos schedules and the property battery show honest
+// aggregation is invisible; these show the audit is not vacuous, for
+// each of the four ways a relay can lie: silently dropping a node's
+// folded liveness, fabricating an advance no agent reported, replaying
+// an already-forwarded window, and fencing a window to a leader epoch
+// it has already seen superseded.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gpunion/internal/api"
+)
+
+// steadyRounds is a churn-free, health-free schedule: every node beats
+// every round, telemetry every 4th beat, everything else folds. The
+// sabotage effects are then the only signal in the audit.
+func steadyRounds(n int) []equivRound { return make([]equivRound, n) }
+
+// sabotageLag is the audit tolerance the sabotage checks run with —
+// generous enough that honest bounded lag (zero here, the schedule
+// quiesces) could never trip it.
+const sabotageLag = 90 * time.Second
+
+func requireViolation(t *testing.T, vs []string, substr string) {
+	t.Helper()
+	for _, v := range vs {
+		if strings.Contains(v, substr) {
+			return
+		}
+	}
+	t.Fatalf("audit did not fire %q; violations: %v", substr, vs)
+}
+
+func violationDetails(arm *equivArm, lag time.Duration) []string {
+	var out []string
+	for _, v := range arm.aggAudit.Check(arm.store, lag) {
+		out = append(out, v.Detail)
+	}
+	return out
+}
+
+// TestAggSabotageDroppedDelta: a relay whose windows silently lose one
+// node's folded deltas. The victim's beats are acked locally but its
+// stored liveness freezes at its last pass-through, so the audit's
+// dropped-liveness rule must fire once the gap outgrows the tolerance.
+// 38 rounds put the victim's last pass-through (telemetry, beat 36)
+// two folded-and-dropped beats behind its newest ack.
+func TestAggSabotageDroppedDelta(t *testing.T) {
+	const victim = "eq-00"
+	hooks := &equivHooks{batch: func(b *api.AggregatedBeat) {
+		kept := b.Deltas[:0]
+		for _, d := range b.Deltas {
+			if d.NodeID != victim {
+				kept = append(kept, d)
+			}
+		}
+		b.Deltas = kept
+	}}
+	arm := newEquivArm(t, 6, 2, hooks)
+	defer arm.stop()
+	arm.play(t, steadyRounds(38))
+	if arm.foldedBeats() == 0 {
+		t.Fatal("nothing folded — sabotage never had a delta to drop")
+	}
+	vs := violationDetails(arm, sabotageLag)
+	requireViolation(t, vs, "dropped liveness")
+	requireViolation(t, vs, victim)
+}
+
+// TestAggSabotageFabricatedAdvance: a relay that re-stamps one node's
+// folded deltas 37 seconds into the future — liveness instants no
+// agent ever reported. The store lands on a fabricated instant outside
+// the acknowledged set and the fabrication rule must fire.
+func TestAggSabotageFabricatedAdvance(t *testing.T) {
+	const victim = "eq-01"
+	hooks := &equivHooks{batch: func(b *api.AggregatedBeat) {
+		for i := range b.Deltas {
+			if b.Deltas[i].NodeID == victim {
+				b.Deltas[i].At = b.Deltas[i].At.Add(37 * time.Second)
+			}
+		}
+	}}
+	arm := newEquivArm(t, 6, 2, hooks)
+	defer arm.stop()
+	arm.play(t, steadyRounds(38))
+	vs := violationDetails(arm, sabotageLag)
+	requireViolation(t, vs, "fabricated advance")
+	requireViolation(t, vs, victim)
+}
+
+// TestAggSabotageReplayedBatch: a relay that re-forwards a window it
+// already sent. The coordinator absorbs the replay — the per-node
+// sequence guard and the forward-only beat buffer make it a no-op, and
+// the test asserts the store is byte-identical across the replay — but
+// the audit's window-sequence rule must still flag the relay.
+func TestAggSabotageReplayedBatch(t *testing.T) {
+	var saved *api.AggregatedBeat
+	hooks := &equivHooks{batch: func(b *api.AggregatedBeat) {
+		if saved == nil && len(b.Deltas) > 0 {
+			cp := *b
+			cp.Deltas = append([]api.AggBeatDelta(nil), b.Deltas...)
+			cp.Beats = append([]api.AggPassthrough(nil), b.Beats...)
+			saved = &cp
+		}
+	}}
+	arm := newEquivArm(t, 6, 2, hooks)
+	defer arm.stop()
+	arm.play(t, steadyRounds(12))
+	if saved == nil {
+		t.Fatal("no delta-carrying window was ever forwarded")
+	}
+	if vs := violationDetails(arm, sabotageLag); len(vs) != 0 {
+		t.Fatalf("audit dirty before the replay: %v", vs)
+	}
+
+	before := arm.exportNormalized()
+	// The relay resends the captured wire bytes.
+	arm.aggAudit.ObserveForward(saved.AggregatorID, saved.LeaderEpoch, saved.WindowSeq)
+	if _, err := arm.coord.IngestAggregated(*saved); err != nil {
+		t.Fatalf("replayed batch rejected outright: %v", err)
+	}
+	if after := arm.exportNormalized(); string(before) != string(after) {
+		t.Error("replayed window changed the store — the ingest path is not idempotent")
+	}
+	requireViolation(t, violationDetails(arm, sabotageLag), "replayed window")
+}
+
+// TestAggSabotageStaleEpoch: the upstream's responses announce leader
+// epoch 2 (a failover the relay observed and must honour), then the
+// relay forwards a window fenced to epoch 1. The epoch-regression rule
+// must fire even though the standalone coordinator's fence lets the
+// batch through.
+func TestAggSabotageStaleEpoch(t *testing.T) {
+	const bumped = uint64(2)
+	tampered := false
+	hooks := &equivHooks{}
+	hooks.resp = func(r *api.AggregatedBeatResponse) {
+		if r.LeaderEpoch < bumped {
+			r.LeaderEpoch = bumped
+		}
+	}
+	hooks.batch = func(b *api.AggregatedBeat) {
+		if !tampered && b.LeaderEpoch == bumped {
+			b.LeaderEpoch = bumped - 1
+			tampered = true
+		}
+	}
+	arm := newEquivArm(t, 6, 2, hooks)
+	defer arm.stop()
+	arm.play(t, steadyRounds(12))
+	if !tampered {
+		t.Fatal("the relay never learned the bumped epoch — sabotage never ran")
+	}
+	requireViolation(t, violationDetails(arm, sabotageLag), "after learning epoch 2")
+}

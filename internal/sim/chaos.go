@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gpunion/internal/agent"
+	"gpunion/internal/aggregator"
 	"gpunion/internal/api"
 	"gpunion/internal/chaos"
 	"gpunion/internal/checkpoint"
@@ -68,6 +69,13 @@ type ChaosConfig struct {
 	// applying the leader's log via WAL shipping. Implies EnableWAL.
 	// Required for the LeaderKills / SplitBrains fault families.
 	Replicated bool
+	// Aggregators interposes a rack aggregation tier of this many
+	// relays (internal/aggregator): agents are assigned round-robin and
+	// their beats route aggregator-first with direct fallback, while
+	// the aggregation-equivalence audit watches both ends. Required for
+	// the AggCrashes / AggPartitions fault families. Zero disables the
+	// tier, leaving the classic direct heartbeat path untouched.
+	Aggregators int
 }
 
 // ChaosResult is what one chaos run observed.
@@ -107,6 +115,11 @@ type ChaosResult struct {
 	// a fault window (expected under WAL-fault schedules; recovery
 	// equivalence is then checked via a post-heal checkpoint).
 	DurabilityLost bool
+	// AggFoldedBeats / AggForwards count, across the aggregation tier,
+	// the no-op beats acked locally (each one a coordinator request
+	// saved) and the upstream batch requests actually sent.
+	AggFoldedBeats uint64
+	AggForwards    uint64
 	// Trace is the flight recorder's retained window: every platform
 	// event, fault injection, and audited violation as simclock-
 	// timestamped entries. TraceDropped counts ring-buffer evictions.
@@ -154,6 +167,11 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		// has nothing to ship.
 		cfg.EnableWAL = true
 	}
+	if cfg.Aggregators > 0 && len(cfg.Spec.Aggregators) == 0 {
+		for i := 0; i < cfg.Aggregators; i++ {
+			cfg.Spec.Aggregators = append(cfg.Spec.Aggregators, aggName(i))
+		}
+	}
 
 	h, err := newChaosHarness(cfg)
 	if err != nil {
@@ -194,6 +212,11 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	h.dupReplays = nil
 	h.mu.Unlock()
 	res.DurabilityLost = h.sawDurabilityLoss
+	for _, id := range h.aggIDs {
+		folded, _, forwards, _ := h.aggs[id].Stats()
+		res.AggFoldedBeats += folded
+		res.AggForwards += forwards
+	}
 	res.Trace = h.trace.Events()
 	res.TraceDropped = h.trace.Dropped()
 	if text, err := h.currentCoord().MetricsSnapshot(); err == nil {
@@ -267,6 +290,17 @@ type chaosHarness struct {
 	grayOn     map[string]bool
 	lossOn     map[string]bool
 	lossRng    *rand.Rand
+	// aggs are the rack aggregators (cfg.Aggregators > 0); aggIDs is
+	// their sorted identity list and aggCut the injected upstream
+	// partitions. aggAudit folds both ends of the tier — agent-side
+	// acknowledgements, upstream forwards, committed health folds — for
+	// the aggregation-equivalence invariant; it persists across
+	// coordinator recoveries (only its store subscription re-binds).
+	aggs           map[string]*aggregator.Aggregator
+	aggIDs         []string
+	aggCut         map[string]bool
+	aggAudit       *invariant.AggAudit
+	aggAuditCancel func()
 	// unhealthySince records when each node was first observed below
 	// the unhealthy threshold, feeding the degraded-node-drained grace.
 	unhealthySince map[string]time.Time
@@ -398,6 +432,8 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		skews:           make(map[string]time.Duration),
 		origLinks:       make(map[string]netsim.NodeLink),
 		healthSrcs:      make(map[string]*gpu.FakeHealthSource),
+		aggs:            make(map[string]*aggregator.Aggregator),
+		aggCut:          make(map[string]bool),
 		grayOn:          make(map[string]bool),
 		lossOn:          make(map[string]bool),
 		lossRng:         rand.New(rand.NewSource(cfg.Seed + 2)),
@@ -508,7 +544,21 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 	}
 	h.attachStreamAudits(h.store)
 
-	for _, d := range cfg.Defs {
+	// The aggregation tier: rack relays folding their agents' no-op
+	// beats, each forwarding through the upstream seam (which applies
+	// the partition fault and feeds the equivalence audit). A flush
+	// window of half the heartbeat interval keeps worst-case liveness
+	// lag under one beat.
+	for i := 0; i < cfg.Aggregators; i++ {
+		id := aggName(i)
+		h.aggs[id] = aggregator.New(aggregator.Config{
+			ID:            id,
+			FlushInterval: cfg.HeartbeatInterval / 2,
+		}, h.clock, aggUpstream{h: h, id: id})
+		h.aggIDs = append(h.aggIDs, id)
+	}
+
+	for i, d := range cfg.Defs {
 		rt := container.NewRuntime(container.DefaultImages(), gpu.NewMixedInventory(d.GPUs...), 0, 0)
 		// Each agent runs on its own skewable clock (the clock-skew
 		// seam) and writes checkpoints through a per-node gate that a
@@ -517,10 +567,23 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		h.skewed[d.ID] = skewed
 		src := gpu.NewFakeHealthSource()
 		h.healthSrcs[d.ID] = src
-		ag := agent.New(agent.Config{
+		acfg := agent.Config{
 			MachineID: d.ID, Kernel: "5.15", ProgressTick: cfg.ProgressTick,
 			Health: src,
-		}, skewed, rt, agentCkptWriter{h: h, id: d.ID}, h.bus, h)
+		}
+		if len(h.aggIDs) > 0 {
+			// Fleet telemetry cadence: samples every 4th beat, liveness
+			// every beat. The off-cadence beats of idle nodes carry no
+			// payload, so the rack relay can fold them.
+			acfg.TelemetryEvery = 4
+		}
+		ag := agent.New(acfg, skewed, rt, agentCkptWriter{h: h, id: d.ID}, h.bus, h)
+		if len(h.aggIDs) > 0 {
+			// Round-robin rack assignment: the agent beats through its
+			// relay first and falls back direct when it is unavailable.
+			aggID := h.aggIDs[i%len(h.aggIDs)]
+			ag.SetAggregator(aggID, aggSender{h: h, id: aggID})
+		}
 		h.agents[d.ID] = ag
 		if err := h.register(ag); err != nil {
 			return nil, err
@@ -529,6 +592,10 @@ func newChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 	}
 	return h, nil
 }
+
+// aggName is the rack aggregator naming scheme shared by the harness
+// and the schedule spec.
+func aggName(i int) string { return fmt.Sprintf("agg-%02d", i) }
 
 func (h *chaosHarness) stop() {
 	h.currentCoord().Stop()
@@ -549,6 +616,9 @@ func (h *chaosHarness) stop() {
 	}
 	for _, id := range h.nodeIDs {
 		h.agents[id].Stop()
+	}
+	for _, id := range h.aggIDs {
+		h.aggs[id].Stop()
 	}
 	if m := h.currentMgr(); m != nil {
 		_ = m.Close()
@@ -582,7 +652,7 @@ func (h *chaosHarness) currentStore() db.Store {
 // completion — where no writes race the base snapshots.
 func (h *chaosHarness) attachStreamAudits(store db.Store) {
 	h.mu.Lock()
-	cancelBeat, cancelHealth := h.beatAuditCancel, h.healthAuditCancel
+	cancelBeat, cancelHealth, cancelAgg := h.beatAuditCancel, h.healthAuditCancel, h.aggAuditCancel
 	h.mu.Unlock()
 	if cancelBeat != nil {
 		cancelBeat()
@@ -590,12 +660,53 @@ func (h *chaosHarness) attachStreamAudits(store db.Store) {
 	if cancelHealth != nil {
 		cancelHealth()
 	}
+	if cancelAgg != nil {
+		cancelAgg()
+	}
 	beat, cb := invariant.NewBeatAudit(store)
 	health, ch := invariant.NewHealthAudit(store)
+	// The aggregation audit is created once and survives coordinator
+	// recoveries: its acknowledged-beat ledger spans store lifetimes,
+	// only the mutation subscription re-binds to the successor.
+	var agg *invariant.AggAudit
+	var ca func()
+	if h.cfg.Aggregators > 0 {
+		if agg = h.currentAggAudit(); agg == nil {
+			agg, ca = invariant.NewAggAudit(store)
+		} else {
+			ca = agg.Attach(store)
+		}
+	}
 	h.mu.Lock()
 	h.beatAudit, h.beatAuditCancel = beat, cb
 	h.healthAudit, h.healthAuditCancel = health, ch
+	if agg != nil {
+		h.aggAudit, h.aggAuditCancel = agg, ca
+	}
 	h.mu.Unlock()
+}
+
+func (h *chaosHarness) currentAggAudit() *invariant.AggAudit {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.aggAudit
+}
+
+// observeBeatAck reports one genuinely acknowledged beat to the
+// aggregation audit: the instant both tiers stamp an ack with is the
+// shared simulated clock's now, and only the events the coordinator
+// would actually ingest (the per-beat cap) count toward health
+// completeness.
+func (h *chaosHarness) observeBeatAck(req api.HeartbeatRequest, resp api.HeartbeatResponse, err error) {
+	a := h.currentAggAudit()
+	if a == nil || err != nil || !resp.Acknowledged || resp.Reregister {
+		return
+	}
+	n := len(req.HealthEvents)
+	if n > api.MaxHealthEventsPerBeat {
+		n = api.MaxHealthEventsPerBeat
+	}
+	a.ObserveAck(req.MachineID, h.clock.Now(), n)
 }
 
 func (h *chaosHarness) currentBeatAudit() *invariant.BeatAudit {
@@ -758,6 +869,11 @@ func (h *chaosHarness) register(ag *agent.Agent) error {
 	}
 	ag.SetToken(resp.Token)
 	ag.ObserveEpoch(resp.LeaderEpoch)
+	if a := h.currentAggAudit(); a != nil {
+		// Register installs the node with LastHeartbeat = the
+		// coordinator's now, which is the shared simulated clock's now.
+		a.ObserveRegister(ag.MachineID(), h.clock.Now())
+	}
 	if h.cfg.Replicated {
 		// The agent learns the endpoint set: the leader it just joined
 		// plus the standby it can fail over to on a leader change. Both
@@ -774,6 +890,66 @@ func (h *chaosHarness) register(ag *agent.Agent) error {
 		})
 	}
 	return nil
+}
+
+// directSender routes one agent's direct-path beats to whichever
+// coordinator currently serves, reporting acknowledged beats to the
+// aggregation audit (the direct path is the fallback tier, and the
+// audit must see every ack or honest fallback traffic would read as
+// fabrication).
+type directSender struct{ h *chaosHarness }
+
+func (s directSender) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, error) {
+	resp, err := s.h.currentCoord().Heartbeat(req)
+	s.h.observeBeatAck(req, resp, err)
+	return resp, err
+}
+
+// aggSender routes one agent's beats to its rack aggregator. Crash
+// state lives in the aggregator itself (Stop makes Ingest refuse), so
+// the shim only adds the audit tap.
+type aggSender struct {
+	h  *chaosHarness
+	id string
+}
+
+func (s aggSender) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, error) {
+	g := s.h.aggs[s.id]
+	if g == nil {
+		return api.HeartbeatResponse{}, aggregator.ErrUnavailable
+	}
+	resp, err := g.Heartbeat(req)
+	s.h.observeBeatAck(req, resp, err)
+	return resp, err
+}
+
+// aggUpstream is one aggregator's coordinator link with the
+// upstream-partition seam applied. Every forward is reported to the
+// audit before the cut check — a batch the partition swallows was
+// still sent — and learned epochs are reported on success.
+type aggUpstream struct {
+	h  *chaosHarness
+	id string
+}
+
+var errAggUpstreamSevered = fmt.Errorf("chaos: aggregator upstream link severed")
+
+func (u aggUpstream) IngestAggregated(b api.AggregatedBeat) (api.AggregatedBeatResponse, error) {
+	a := u.h.currentAggAudit()
+	if a != nil {
+		a.ObserveForward(u.id, b.LeaderEpoch, b.WindowSeq)
+	}
+	u.h.mu.Lock()
+	cut := u.h.aggCut[u.id]
+	u.h.mu.Unlock()
+	if cut {
+		return api.AggregatedBeatResponse{}, errAggUpstreamSevered
+	}
+	resp, err := u.h.currentCoord().IngestAggregated(b)
+	if err == nil && a != nil {
+		a.ObserveAggEpoch(u.id, resp.LeaderEpoch)
+	}
+	return resp, err
 }
 
 // chaosHandle is the coordinator's transport to one agent, with the
@@ -844,8 +1020,14 @@ func (h *chaosHarness) dropBeat(id string) bool {
 // heartbeatLoop reports on the configured cadence; beats from silenced
 // (crashed or partitioned) and departed nodes are dropped — silence is
 // the platform's failure signal — and partial-loss windows drop
-// individual beats probabilistically.
+// individual beats probabilistically. Agents with a rack aggregator
+// assigned use the tiered loop instead; the classic direct loop below
+// is byte-for-byte what the pre-aggregation schedules ran.
 func (h *chaosHarness) heartbeatLoop(ag *agent.Agent) {
+	if ag.AggregatorID() != "" {
+		h.aggregatedHeartbeatLoop(ag)
+		return
+	}
 	var loop func()
 	loop = func() {
 		if !ag.Departed() && !h.silenced(ag.MachineID()) && !h.dropBeat(ag.MachineID()) {
@@ -869,6 +1051,33 @@ func (h *chaosHarness) heartbeatLoop(ag *agent.Agent) {
 				// (or try the other endpoint) and re-register. During
 				// the no-leader gap the register fails too; the next
 				// beat retries.
+				ag.Redirect(nl.LeaderHint)
+				_ = h.register(ag)
+			}
+		}
+		h.clock.AfterFunc(h.cfg.HeartbeatInterval, loop)
+	}
+	h.clock.AfterFunc(h.cfg.HeartbeatInterval, loop)
+}
+
+// aggregatedHeartbeatLoop reports through the agent's endpoint tiers:
+// the rack aggregator first, the coordinator direct when the relay is
+// down, degraded or stale. SendBeat builds the request once and
+// re-delivers the very same beat on fallback, so the coordinator's
+// sequence guard sees at most one effective copy. Epoch observation
+// happens inside SendBeat; the loop only handles re-registration
+// demands and leadership redirects, mirroring the direct loop.
+func (h *chaosHarness) aggregatedHeartbeatLoop(ag *agent.Agent) {
+	direct := directSender{h: h}
+	var loop func()
+	loop = func() {
+		if !ag.Departed() && !h.silenced(ag.MachineID()) && !h.dropBeat(ag.MachineID()) {
+			resp, _, err := ag.SendBeat(direct)
+			var nl api.ErrNotLeader
+			switch {
+			case err == nil && resp.Reregister:
+				_ = h.register(ag)
+			case errors.As(err, &nl):
 				ag.Redirect(nl.LeaderHint)
 				_ = h.register(ag)
 			}
@@ -1204,6 +1413,45 @@ func (h *chaosHarness) lossy(id string) bool {
 // read path; stored bytes stay intact.
 func (h *chaosHarness) SetCheckpointReadRot(enabled bool) {
 	h.blob.SetReadRot(enabled)
+}
+
+// --- chaos.AggPlatform ---
+
+// CrashAggregator kills a rack relay: its open flush window's deltas
+// die with it (the tier's bounded-lag allowance) and its agents' next
+// beats fail over to the direct path.
+func (h *chaosHarness) CrashAggregator(id string) {
+	if g := h.aggs[id]; g != nil {
+		g.Stop()
+	}
+}
+
+// RestartAggregator brings the relay back empty; its agents promote it
+// again on their next beat.
+func (h *chaosHarness) RestartAggregator(id string) {
+	if g := h.aggs[id]; g != nil {
+		g.Restart()
+	}
+}
+
+// AggPartitionStart severs the relay's upstream link: the next forward
+// fails, the aggregator degrades (refusing its agents' beats, which
+// fall back direct) and probes until the heal.
+func (h *chaosHarness) AggPartitionStart(id string) {
+	h.mu.Lock()
+	h.aggCut[id] = true
+	h.mu.Unlock()
+}
+
+// AggPartitionHeal restores the upstream link and heals the relay's
+// degraded state, as its next successful probe would.
+func (h *chaosHarness) AggPartitionHeal(id string) {
+	h.mu.Lock()
+	delete(h.aggCut, id)
+	h.mu.Unlock()
+	if g := h.aggs[id]; g != nil {
+		g.Heal()
+	}
 }
 
 // CrashCoordinator kills the coordinator process — in-memory state,
@@ -1616,6 +1864,13 @@ func (h *chaosHarness) ExtraChecks() []invariant.Violation {
 	if a := h.currentHealthAudit(); a != nil {
 		vs = append(vs, a.Check(store)...)
 	}
+	// Aggregation equivalence: the roll-up tier fabricated no liveness
+	// and persistently lost none. The tolerance covers a crashed flush
+	// window (half a beat) plus the beats a node needs to re-deliver
+	// through the direct path after a relay failure.
+	if a := h.currentAggAudit(); a != nil {
+		vs = append(vs, a.Check(store, 5*h.cfg.HeartbeatInterval)...)
+	}
 	vs = append(vs, invariant.CheckNoPlacementOnUnhealthy(store)...)
 	live := store.JobsInState(db.JobPending)
 	live = append(live, store.JobsInState(db.JobRunning)...)
@@ -1889,6 +2144,54 @@ func RunChaosCkptReadRot(seed int64) (ChaosResult, error) {
 		Jobs:        16,
 		EnableWAL:   true,
 		WithNetwork: true,
+	})
+}
+
+// RunChaosAggCrash is the aggregation-tier crash schedule: the paper
+// campus beats through four rack aggregators while relays are killed
+// mid-flush-window (their open deltas legitimately die) and restarted
+// empty, under churn and a coordinator crash on a WAL-backed store.
+// The subjects are the aggregation-equivalence audit — no fabricated
+// or persistently lost liveness through relay deaths — the agents'
+// direct-path fallback and re-promotion, and the roll-up surviving
+// coordinator recovery (the audit's ledger spans the store swap).
+func RunChaosAggCrash(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:           6 * time.Hour,
+			ChurnPerNodePerDay: 2,
+			AggCrashesPerDay:   24,
+			MeanAggOutage:      10 * time.Minute,
+			CoordCrashes:       1,
+		},
+		Jobs:        16,
+		Aggregators: 4,
+		EnableWAL:   true,
+	})
+}
+
+// RunChaosAggPartition is the aggregation-tier partition schedule:
+// upstream links between relays and the coordinator are severed while
+// gray-degrading nodes stream health events, so health-carrying
+// pass-through beats must fail over to the direct path un-acked and
+// re-deliver without loss or double-ingestion. The subjects are
+// degradation + direct fallback (a cut relay must refuse beats, not
+// black-hole them), the health-completeness half of the equivalence
+// audit, and relay re-promotion after the heal.
+func RunChaosAggPartition(seed int64) (ChaosResult, error) {
+	return RunChaos(ChaosConfig{
+		Seed: seed,
+		Spec: chaos.Spec{
+			Duration:            6 * time.Hour,
+			ChurnPerNodePerDay:  2,
+			AggPartitionsPerDay: 18,
+			MeanAggPartition:    12 * time.Minute,
+			GrayDegradesPerDay:  6,
+			MeanGrayDegrade:     20 * time.Minute,
+		},
+		Jobs:        16,
+		Aggregators: 4,
 	})
 }
 

@@ -220,6 +220,37 @@ func TestCoalescedThroughputAt800(t *testing.T) {
 	}
 }
 
+// TestAggregatedIngressReduction pins the aggregation tier's acceptance
+// bar: at 2000 nodes, routing beats through per-rack relays must cut
+// coordinator ingress requests/sec by at least 5x versus every agent
+// beating the coordinator directly — and the win must keep growing past
+// 2000, since folded ingress scales with racks and telemetry cadence
+// while direct ingress scales with nodes.
+func TestAggregatedIngressReduction(t *testing.T) {
+	rows, err := RunScalability(ScalabilityConfig{
+		NodeCounts:        []int{2000, 5000},
+		DecisionsPerPoint: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AggIngressPerSecond <= 0 || r.DirectIngressPerSecond <= 0 {
+			t.Fatalf("n=%d: missing ingress figures: %+v", r.Nodes, r)
+		}
+		if r.IngressReduction < 5 {
+			t.Errorf("n=%d: aggregated ingress %.1f req/s vs direct %.1f req/s — %.2fx, want ≥5x",
+				r.Nodes, r.AggIngressPerSecond, r.DirectIngressPerSecond, r.IngressReduction)
+		}
+		t.Logf("n=%d racks=%d: direct %.1f req/s → aggregated %.1f req/s (%.1fx)",
+			r.Nodes, r.AggRacks, r.DirectIngressPerSecond, r.AggIngressPerSecond, r.IngressReduction)
+	}
+	if rows[1].IngressReduction <= rows[0].IngressReduction {
+		t.Errorf("reduction should grow with fleet size: %.2fx at %d → %.2fx at %d",
+			rows[0].IngressReduction, rows[0].Nodes, rows[1].IngressReduction, rows[1].Nodes)
+	}
+}
+
 func TestTable1Complete(t *testing.T) {
 	rows := Table1()
 	if len(rows) != 12 {

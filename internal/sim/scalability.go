@@ -5,10 +5,13 @@ import (
 	"sync"
 	"time"
 
+	"gpunion/internal/aggregator"
+	"gpunion/internal/api"
 	"gpunion/internal/db"
 	"gpunion/internal/gpu"
 	"gpunion/internal/heartbeat"
 	"gpunion/internal/scheduler"
+	"gpunion/internal/simclock"
 )
 
 // ScalabilityConfig parameterises the §5.3 study: "the central
@@ -17,9 +20,11 @@ import (
 // contention could become bottlenecks."
 type ScalabilityConfig struct {
 	// NodeCounts is the sweep (default 10, 25, 50, 100, 200, 400, 800,
-	// 2000 — the 800 point was added once the store's queue queries
-	// stopped being the coordinator bottleneck; 2000 once heartbeat
-	// coalescing made the write path scale with churn, not fleet size).
+	// 2000, 5000 — the 800 point was added once the store's queue
+	// queries stopped being the coordinator bottleneck; 2000 once
+	// heartbeat coalescing made the write path scale with churn, not
+	// fleet size; 5000 once the rack aggregation tier made coordinator
+	// ingress O(racks + churn) instead of O(nodes)).
 	NodeCounts []int
 	// DecisionsPerPoint is how many scheduling decisions to time.
 	DecisionsPerPoint int
@@ -65,6 +70,21 @@ type ScalabilityRow struct {
 	// CoalesceSpeedup is CoalescedBeatsPerSecond / DBOpsPerSecond — the
 	// write-path win of per-shard beat batching over per-beat commits.
 	CoalesceSpeedup float64
+	// AggRacks is the aggregation-tier shape at this fleet size (one
+	// relay per ingressRackSize nodes).
+	AggRacks int
+	// DirectIngressPerSecond is the coordinator ingress request rate
+	// with every agent beating the coordinator itself (one request per
+	// beat at the fleet heartbeat interval).
+	DirectIngressPerSecond float64
+	// AggIngressPerSecond is the same fleet's coordinator ingress rate
+	// behind per-rack aggregators: folded no-op beats arrive as one
+	// request per roll-up window, only telemetry-carrying beats pass
+	// through. Measured by driving the real relay on a simulated clock.
+	AggIngressPerSecond float64
+	// IngressReduction is DirectIngressPerSecond / AggIngressPerSecond —
+	// the tier's headline: ingress cost O(racks + churn), not O(nodes).
+	IngressReduction float64
 	// RequiredDBOpsPerSecond is what N nodes' heartbeat processing
 	// demands (≈4 database operations per beat at a 10 s interval).
 	RequiredDBOpsPerSecond float64
@@ -81,7 +101,7 @@ type ScalabilityRow struct {
 // heartbeat monitor and database — not simulated time.
 func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 	if len(cfg.NodeCounts) == 0 {
-		cfg.NodeCounts = []int{10, 25, 50, 100, 200, 400, 800, 2000}
+		cfg.NodeCounts = []int{10, 25, 50, 100, 200, 400, 800, 2000, 5000}
 	}
 	if cfg.DecisionsPerPoint <= 0 {
 		cfg.DecisionsPerPoint = 200
@@ -195,6 +215,14 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 			coalSpeedup = coalOps / ops
 		}
 
+		// --- Coordinator ingress with and without the rack
+		// aggregation tier, measured on the real relay. ---
+		directIngress, aggIngress, racks := aggregatedIngress(n)
+		reduction := 0.0
+		if aggIngress > 0 {
+			reduction = directIngress / aggIngress
+		}
+
 		// Heartbeat demand: one beat per node per 10 s, ~4 database
 		// operations per beat (node update, telemetry samples, queue
 		// check).
@@ -211,12 +239,99 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 			SingleMutexOpsPerSecond: singleOps,
 			CoalescedBeatsPerSecond: coalOps,
 			CoalesceSpeedup:         coalSpeedup,
+			AggRacks:                racks,
+			DirectIngressPerSecond:  directIngress,
+			AggIngressPerSecond:     aggIngress,
+			IngressReduction:        reduction,
 			RequiredDBOpsPerSecond:  required,
 			Headroom:                ops / required,
 			SingleMutexHeadroom:     singleOps / required,
 		})
 	}
 	return rows, nil
+}
+
+// Aggregation-tier shape for the ingress measurement, mirroring the
+// fleet's production cadence: 64-node racks, 10 s beats, a telemetry
+// sample every 6th beat (so one sample per node per minute), 30 s
+// roll-up windows.
+const (
+	ingressRackSize       = 64
+	ingressBeatEvery      = 10 * time.Second
+	ingressTelemetryEvery = 6
+	ingressFlushWindow    = 30 * time.Second
+	ingressSpan           = 10 * time.Minute
+)
+
+// countingUpstream stands in for the coordinator on the ingress sweep:
+// every IngestAggregated call is one coordinator ingress request.
+type countingUpstream struct {
+	mu       sync.Mutex
+	requests uint64
+}
+
+func (u *countingUpstream) IngestAggregated(api.AggregatedBeat) (api.AggregatedBeatResponse, error) {
+	u.mu.Lock()
+	u.requests++
+	u.mu.Unlock()
+	return api.AggregatedBeatResponse{Acknowledged: true}, nil
+}
+
+// aggregatedIngress measures coordinator ingress request rates for an
+// n-node steady-state fleet, direct vs. behind per-rack relays. The
+// aggregated arm drives the real internal/aggregator on a simulated
+// clock — telemetry-carrying beats pass through (each one upstream
+// request, draining the parked window), off-cadence beats fold and
+// ride the window's flush timer — so the figure reflects the relay's
+// actual forwarding behavior, not a formula. The direct arm is exact:
+// one ingress request per beat. Telemetry phase is staggered across
+// nodes (agents boot at different times), spreading pass-throughs
+// evenly instead of synchronizing the whole fleet's sample beats.
+func aggregatedIngress(n int) (directPerSec, aggPerSec float64, racks int) {
+	clock := simclock.NewSim(Epoch)
+	up := &countingUpstream{}
+	racks = (n + ingressRackSize - 1) / ingressRackSize
+	aggs := make([]*aggregator.Aggregator, racks)
+	for i := range aggs {
+		aggs[i] = aggregator.New(aggregator.Config{
+			ID:            fmt.Sprintf("rack-%03d", i),
+			FlushInterval: ingressFlushWindow,
+		}, clock, up)
+	}
+	defer func() {
+		for _, g := range aggs {
+			g.Stop()
+		}
+	}()
+	telemetry := []gpu.Telemetry{{
+		DeviceID: "gpu0", Model: "RTX 3090",
+		Utilization: 0.5, UsedMemMiB: 8192, TotalMemMiB: 24576,
+		TemperatureC: 60, PowerW: 250,
+	}}
+	var beats uint64
+	seq := uint64(0)
+	for elapsed := time.Duration(0); elapsed < ingressSpan; elapsed += ingressBeatEvery {
+		seq++
+		for i := 0; i < n; i++ {
+			req := api.HeartbeatRequest{
+				MachineID: fmt.Sprintf("node-%04d", i),
+				BeatSeq:   seq,
+			}
+			if (seq+uint64(i))%ingressTelemetryEvery == 0 {
+				req.Telemetry = telemetry
+			}
+			_, _ = aggs[i/ingressRackSize].Ingest(req)
+			beats++
+		}
+		clock.Advance(ingressBeatEvery)
+	}
+	// Drain windows still parked at the end of the span.
+	clock.Advance(ingressFlushWindow)
+	up.mu.Lock()
+	requests := up.requests
+	up.mu.Unlock()
+	span := ingressSpan.Seconds()
+	return float64(beats) / span, float64(requests) / span, racks
 }
 
 // syntheticNodes builds n single-3090 node records, a fraction of them
